@@ -1,0 +1,347 @@
+//! Compilation of SPJU≠ expressions into UCQ≠ — the bridge that lets the
+//! paper's p-minimization machinery run on algebra plans: the core
+//! provenance of a plan is `MinProv` of its compiled query.
+
+use prov_query::{Atom, ConjunctiveQuery, Diseq, Term, UnionQuery, Variable};
+
+use crate::expr::{AlgebraError, Condition, Expr};
+
+/// One adjunct under construction: body atoms, disequalities, and the
+/// output column terms.
+#[derive(Clone, Debug)]
+struct Template {
+    atoms: Vec<Atom>,
+    diseqs: Vec<Diseq>,
+    out: Vec<Term>,
+}
+
+impl Template {
+    /// Substitutes `var := replacement` everywhere. `None` if a
+    /// disequality becomes unsatisfiable.
+    fn bind(&self, var: Variable, replacement: Term) -> Option<Template> {
+        let mut apply = |t: Term| match t {
+            Term::Var(v) if v == var => replacement,
+            other => other,
+        };
+        let atoms = self.atoms.iter().map(|a| a.map_terms(&mut apply)).collect();
+        let mut diseqs = Vec::with_capacity(self.diseqs.len());
+        for d in &self.diseqs {
+            let (l, r) = d.sides();
+            let (li, ri) = (apply(l), apply(r));
+            if li == ri {
+                return None;
+            }
+            match (li, ri) {
+                (Term::Var(lv), rt) => diseqs.push(Diseq::new(lv, rt)),
+                (lt, Term::Var(rv)) => diseqs.push(Diseq::new(rv, lt)),
+                (Term::Const(_), Term::Const(_)) => {} // distinct: vacuous
+            }
+        }
+        let out = self.out.iter().map(|&t| apply(t)).collect();
+        Some(Template { atoms, diseqs, out })
+    }
+
+    /// Enforces equality of two terms; `None` if impossible.
+    fn equate(&self, a: Term, b: Term) -> Option<Template> {
+        if a == b {
+            return Some(self.clone());
+        }
+        match (a, b) {
+            (Term::Var(v), other) | (other, Term::Var(v)) => self.bind(v, other),
+            (Term::Const(_), Term::Const(_)) => None,
+        }
+    }
+
+    /// Enforces disequality of two terms; `None` if impossible (`t ≠ t`).
+    fn disequate(&self, a: Term, b: Term) -> Option<Template> {
+        if a == b {
+            return None;
+        }
+        let mut next = self.clone();
+        match (a, b) {
+            (Term::Var(lv), rt) => next.diseqs.push(Diseq::new(lv, rt)),
+            (lt, Term::Var(rv)) => next.diseqs.push(Diseq::new(rv, lt)),
+            (Term::Const(_), Term::Const(_)) => {} // distinct constants: vacuous
+        }
+        Some(next)
+    }
+}
+
+fn compile_templates(expr: &Expr) -> Vec<Template> {
+    match expr {
+        Expr::Scan { relation, arity } => {
+            let vars: Vec<Term> = (0..*arity).map(|_| Term::Var(Variable::fresh())).collect();
+            vec![Template {
+                atoms: vec![Atom::new(*relation, vars.clone())],
+                diseqs: Vec::new(),
+                out: vars,
+            }]
+        }
+        Expr::Select { conditions, input } => {
+            let mut templates = compile_templates(input);
+            for cond in conditions {
+                templates = templates
+                    .into_iter()
+                    .filter_map(|t| match *cond {
+                        Condition::EqCols(l, r) => t.equate(t.out[l], t.out[r]),
+                        Condition::EqConst(c, v) => t.equate(t.out[c], Term::Const(v)),
+                        Condition::NeqCols(l, r) => t.disequate(t.out[l], t.out[r]),
+                        Condition::NeqConst(c, v) => t.disequate(t.out[c], Term::Const(v)),
+                    })
+                    .collect();
+            }
+            templates
+        }
+        Expr::Project { columns, input } => compile_templates(input)
+            .into_iter()
+            .map(|t| {
+                let out = columns.iter().map(|&c| t.out[c]).collect();
+                Template { out, ..t }
+            })
+            .collect(),
+        Expr::Product(l, r) => {
+            let left = compile_templates(l);
+            let right = compile_templates(r);
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for lt in &left {
+                for rt in &right {
+                    // Fresh variables per Scan make the sides disjoint,
+                    // except when templates are *reused* across pairs —
+                    // rename the right side apart to stay safe.
+                    let renamed = rename_template(rt);
+                    out.push(Template {
+                        atoms: lt.atoms.iter().cloned().chain(renamed.atoms).collect(),
+                        diseqs: lt.diseqs.iter().copied().chain(renamed.diseqs).collect(),
+                        out: lt.out.iter().copied().chain(renamed.out).collect(),
+                    });
+                }
+            }
+            out
+        }
+        Expr::Union(l, r) => {
+            let mut templates = compile_templates(l);
+            templates.extend(compile_templates(r));
+            templates
+        }
+    }
+}
+
+fn rename_template(t: &Template) -> Template {
+    let mut mapping = std::collections::BTreeMap::new();
+    let mut apply = |term: Term| match term {
+        Term::Var(v) => Term::Var(*mapping.entry(v).or_insert_with(Variable::fresh)),
+        c @ Term::Const(_) => c,
+    };
+    let atoms = t.atoms.iter().map(|a| a.map_terms(&mut apply)).collect();
+    let diseqs = t
+        .diseqs
+        .iter()
+        .map(|d| {
+            let (l, r) = d.sides();
+            match (apply(l), apply(r)) {
+                (Term::Var(lv), rt) => Diseq::new(lv, rt),
+                (lt, Term::Var(rv)) => Diseq::new(rv, lt),
+                _ => unreachable!("renaming maps variables to variables"),
+            }
+        })
+        .collect();
+    let out = t.out.iter().map(|&x| apply(x)).collect();
+    Template { atoms, diseqs, out }
+}
+
+/// Compiles an expression into an equivalent UCQ≠. Returns `Ok(None)` for
+/// expressions that are unsatisfiable at compile time (every adjunct
+/// dropped by contradictory selections).
+pub fn to_query(expr: &Expr) -> Result<Option<UnionQuery>, AlgebraError> {
+    expr.arity()?;
+    let templates = compile_templates(expr);
+    let mut adjuncts = Vec::with_capacity(templates.len());
+    for t in templates {
+        let head = Atom::of("ans", &t.out);
+        if let Ok(q) = ConjunctiveQuery::new(head, t.atoms, t.diseqs) {
+            adjuncts.push(q);
+        }
+    }
+    Ok(UnionQuery::new(adjuncts).ok())
+}
+
+/// The core-provenance plan of an expression: `MinProv` of its compiled
+/// query (Theorem 4.6 applied to algebra plans).
+pub fn core_plan(expr: &Expr) -> Result<Option<UnionQuery>, AlgebraError> {
+    Ok(to_query(expr)?.map(|q| prov_core::minprov::minprov(&q)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use prov_engine::eval_ucq;
+    use prov_storage::{Database, Value};
+
+    fn table_2_database() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        db
+    }
+
+    fn qconj_plan() -> Expr {
+        Expr::scan("R", 2)
+            .product(Expr::scan("R", 2))
+            .select(vec![Condition::EqCols(0, 3), Condition::EqCols(1, 2)])
+            .project(vec![0])
+    }
+
+    /// The central differential test: algebra evaluation and compiled-query
+    /// evaluation produce identical provenance, tuple by tuple.
+    fn assert_compilation_faithful(expr: &Expr, db: &Database) {
+        let direct = eval(expr, db).unwrap();
+        let compiled = to_query(expr).unwrap();
+        match compiled {
+            None => assert!(direct.is_empty(), "unsatisfiable plan produced tuples"),
+            Some(q) => {
+                let via_query = eval_ucq(&q, db);
+                assert_eq!(
+                    direct.len(),
+                    via_query.len(),
+                    "result sizes differ for {expr}"
+                );
+                for (t, p) in &direct {
+                    assert_eq!(
+                        *p,
+                        via_query.provenance(t),
+                        "provenance differs at {t} for {expr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qconj_compiles_faithfully() {
+        assert_compilation_faithful(&qconj_plan(), &table_2_database());
+    }
+
+    #[test]
+    fn unions_and_constants_compile_faithfully() {
+        let db = table_2_database();
+        let e = Expr::scan("R", 2)
+            .select(vec![Condition::EqConst(0, Value::new("a"))])
+            .project(vec![1])
+            .union(
+                Expr::scan("R", 2)
+                    .select(vec![Condition::NeqCols(0, 1)])
+                    .project(vec![0]),
+            );
+        assert_compilation_faithful(&e, &db);
+    }
+
+    #[test]
+    fn contradictory_selection_compiles_to_none() {
+        let e = Expr::scan("R", 2).select(vec![
+            Condition::EqConst(0, Value::new("a")),
+            Condition::NeqConst(0, Value::new("a")),
+        ]);
+        assert!(to_query(&e).unwrap().is_none());
+        assert!(eval(&e, &table_2_database()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eq_then_neq_on_same_columns_is_unsatisfiable() {
+        let e = Expr::scan("R", 2)
+            .select(vec![Condition::EqCols(0, 1), Condition::NeqCols(0, 1)]);
+        assert!(to_query(&e).unwrap().is_none());
+    }
+
+    #[test]
+    fn core_plan_matches_minprov_of_qconj() {
+        // The compiled Qconj plan p-minimizes to the Figure 1 union shape.
+        let core = core_plan(&qconj_plan()).unwrap().unwrap();
+        assert_eq!(core.len(), 2);
+        let db = table_2_database();
+        let core_result = eval_ucq(&core, &db);
+        assert_eq!(
+            core_result.provenance(&prov_storage::Tuple::of(&["a"])),
+            prov_semiring::Polynomial::parse("s1 + s2·s3")
+        );
+    }
+
+    #[test]
+    fn self_product_of_shared_subplan_is_renamed_apart() {
+        // Product of a subplan with itself must not alias variables.
+        let sub = Expr::scan("R", 2).select(vec![Condition::NeqCols(0, 1)]);
+        let e = sub.clone().product(sub).project(vec![0, 2]);
+        assert_compilation_faithful(&e, &table_2_database());
+    }
+
+    #[test]
+    fn random_plans_compile_faithfully() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let db = table_2_database();
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = random_expr(&mut rng, 3);
+            if e.arity().unwrap_or(0) == 0 && matches!(e, Expr::Scan { .. }) {
+                continue;
+            }
+            if e.arity().is_ok() {
+                assert_compilation_faithful(&e, &db);
+            }
+        }
+    }
+
+    /// A tiny random plan generator over R/2 (kept well-typed by
+    /// construction).
+    fn random_expr(rng: &mut impl rand::Rng, depth: usize) -> Expr {
+        if depth == 0 {
+            return Expr::scan("R", 2);
+        }
+        match rng.random_range(0..5u8) {
+            0 => Expr::scan("R", 2),
+            1 => {
+                let input = random_expr(rng, depth - 1);
+                let arity = input.arity().unwrap();
+                let cond = match rng.random_range(0..4u8) {
+                    0 => Condition::EqCols(rng.random_range(0..arity), rng.random_range(0..arity)),
+                    1 => Condition::NeqCols(0, arity - 1),
+                    2 => Condition::EqConst(rng.random_range(0..arity), Value::new("a")),
+                    _ => Condition::NeqConst(rng.random_range(0..arity), Value::new("b")),
+                };
+                // Skip degenerate x != x conditions.
+                if let Condition::NeqCols(l, r) = cond {
+                    if l == r {
+                        return input;
+                    }
+                }
+                input.select(vec![cond])
+            }
+            2 => {
+                let input = random_expr(rng, depth - 1);
+                let arity = input.arity().unwrap();
+                let keep: Vec<usize> =
+                    (0..arity).filter(|_| rng.random_range(0..2u8) == 0).collect();
+                let keep = if keep.is_empty() { vec![0] } else { keep };
+                input.project(keep)
+            }
+            3 => random_expr(rng, depth - 1).product(Expr::scan("R", 2)),
+            _ => {
+                let l = random_expr(rng, depth - 1);
+                let arity = l.arity().unwrap();
+                let r = if arity == 2 {
+                    Expr::scan("R", 2)
+                } else {
+                    // Make a right side of matching arity via projection.
+                    let mut cols = Vec::with_capacity(arity);
+                    for i in 0..arity {
+                        cols.push(i % 2);
+                    }
+                    Expr::scan("R", 2).project(cols)
+                };
+                l.union(r)
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Direct `N[X]`-annotated evaluation of SPJU≠ expressions, exactly as in
+//! Green et al.: selection filters annotations, projection **adds** the
+//! annotations of collapsing tuples, product **multiplies**, union adds.
+
+use std::collections::BTreeMap;
+
+use prov_semiring::{CommutativeSemiring, Polynomial};
+use prov_storage::{Database, Tuple, Value};
+
+use crate::expr::{AlgebraError, Condition, Expr};
+
+/// An annotated relation-in-flight: tuple → provenance polynomial.
+pub type AnnotatedRows = BTreeMap<Tuple, Polynomial>;
+
+/// Evaluates an expression over an abstractly-tagged database.
+pub fn eval(expr: &Expr, db: &Database) -> Result<AnnotatedRows, AlgebraError> {
+    expr.arity()?; // validate column references up front
+    Ok(eval_unchecked(expr, db))
+}
+
+fn eval_unchecked(expr: &Expr, db: &Database) -> AnnotatedRows {
+    match expr {
+        Expr::Scan { relation, arity } => {
+            let mut out = AnnotatedRows::new();
+            if let Some(rel) = db.relation(*relation) {
+                if rel.arity() == *arity {
+                    for (tuple, annotation) in rel.iter() {
+                        out.insert(tuple.clone(), Polynomial::var(*annotation));
+                    }
+                }
+            }
+            out
+        }
+        Expr::Select { conditions, input } => eval_unchecked(input, db)
+            .into_iter()
+            .filter(|(t, _)| conditions.iter().all(|c| satisfies(t, c)))
+            .collect(),
+        Expr::Project { columns, input } => {
+            let mut out = AnnotatedRows::new();
+            for (t, p) in eval_unchecked(input, db) {
+                let projected: Tuple = columns.iter().map(|&c| t.get(c)).collect();
+                match out.entry(projected) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let sum = e.get().add(&p);
+                        e.insert(sum);
+                    }
+                }
+            }
+            out
+        }
+        Expr::Product(l, r) => {
+            let left = eval_unchecked(l, db);
+            let right = eval_unchecked(r, db);
+            let mut out = AnnotatedRows::new();
+            for (lt, lp) in &left {
+                for (rt, rp) in &right {
+                    let tuple: Tuple = lt
+                        .values()
+                        .iter()
+                        .chain(rt.values())
+                        .copied()
+                        .collect();
+                    let p = lp.mul(rp);
+                    match out.entry(tuple) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(p);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            let sum = e.get().add(&p);
+                            e.insert(sum);
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Expr::Union(l, r) => {
+            let mut out = eval_unchecked(l, db);
+            for (t, p) in eval_unchecked(r, db) {
+                match out.entry(t) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let sum = e.get().add(&p);
+                        e.insert(sum);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn column(t: &Tuple, c: usize) -> Value {
+    t.get(c)
+}
+
+fn satisfies(t: &Tuple, cond: &Condition) -> bool {
+    match *cond {
+        Condition::EqCols(l, r) => column(t, l) == column(t, r),
+        Condition::EqConst(c, v) => column(t, c) == v,
+        Condition::NeqCols(l, r) => column(t, l) != column(t, r),
+        Condition::NeqConst(c, v) => column(t, c) != v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn table_2_database() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        db
+    }
+
+    #[test]
+    fn scan_yields_base_annotations() {
+        let rows = eval(&Expr::scan("R", 2), &table_2_database()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[&Tuple::of(&["a", "b"])], Polynomial::parse("s2"));
+    }
+
+    #[test]
+    fn qconj_as_algebra_matches_example_2_14() {
+        // π#0( σ#0=#3,#1=#2 (R × R) ): x s.t. R(x,y) ∧ R(y,x).
+        let e = Expr::scan("R", 2)
+            .product(Expr::scan("R", 2))
+            .select(vec![Condition::EqCols(0, 3), Condition::EqCols(1, 2)])
+            .project(vec![0]);
+        let rows = eval(&e, &table_2_database()).unwrap();
+        assert_eq!(rows[&Tuple::of(&["a"])], Polynomial::parse("s1·s1 + s2·s3"));
+        assert_eq!(rows[&Tuple::of(&["b"])], Polynomial::parse("s4·s4 + s2·s3"));
+    }
+
+    #[test]
+    fn union_adds_annotations() {
+        // π#0(σ#0=#1(R)) ∪ π#1(σ#0=#1(R)) — same tuples twice.
+        let diag = Expr::scan("R", 2).select(vec![Condition::EqCols(0, 1)]);
+        let e = diag.clone().project(vec![0]).union(diag.project(vec![1]));
+        let rows = eval(&e, &table_2_database()).unwrap();
+        assert_eq!(rows[&Tuple::of(&["a"])], Polynomial::parse("2·s1"));
+    }
+
+    #[test]
+    fn projection_sums_collapsing_tuples() {
+        // π over no columns (boolean): sums all four annotations.
+        let e = Expr::scan("R", 2).project(vec![]);
+        let rows = eval(&e, &table_2_database()).unwrap();
+        assert_eq!(rows[&Tuple::empty()], Polynomial::parse("s1 + s2 + s3 + s4"));
+    }
+
+    #[test]
+    fn const_conditions() {
+        let e = Expr::scan("R", 2).select(vec![Condition::EqConst(1, Value::new("b"))]);
+        let rows = eval(&e, &table_2_database()).unwrap();
+        assert_eq!(rows.len(), 2);
+        let e = Expr::scan("R", 2).select(vec![
+            Condition::NeqConst(0, Value::new("a")),
+            Condition::NeqCols(0, 1),
+        ]);
+        let rows = eval(&e, &table_2_database()).unwrap();
+        assert_eq!(rows.len(), 1); // only (b,a)
+    }
+
+    #[test]
+    fn missing_relation_or_wrong_arity_is_empty() {
+        let db = table_2_database();
+        assert!(eval(&Expr::scan("Nope", 1), &db).unwrap().is_empty());
+        assert!(eval(&Expr::scan("R", 3), &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_columns_error_before_evaluation() {
+        let db = table_2_database();
+        let bad = Expr::scan("R", 2).project(vec![7]);
+        assert!(eval(&bad, &db).is_err());
+    }
+}

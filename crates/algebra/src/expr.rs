@@ -1,0 +1,249 @@
+//! A positional SPJU≠ relational algebra: scans, selections (with
+//! equalities and disequalities), projections, products and unions — the
+//! query formulation for which Green, Karvounarakis & Tannen originally
+//! defined `N[X]` provenance (the paper's footnote 1).
+
+use std::fmt;
+
+use prov_storage::{RelName, Value};
+
+/// A selection predicate over column positions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Condition {
+    /// Column `l` equals column `r`.
+    EqCols(usize, usize),
+    /// Column `c` equals constant `v`.
+    EqConst(usize, Value),
+    /// Column `l` differs from column `r`.
+    NeqCols(usize, usize),
+    /// Column `c` differs from constant `v`.
+    NeqConst(usize, Value),
+}
+
+impl Condition {
+    /// The column positions this condition reads.
+    pub fn columns(&self) -> Vec<usize> {
+        match *self {
+            Condition::EqCols(l, r) | Condition::NeqCols(l, r) => vec![l, r],
+            Condition::EqConst(c, _) | Condition::NeqConst(c, _) => vec![c],
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::EqCols(l, r) => write!(f, "#{l} = #{r}"),
+            Condition::EqConst(c, v) => write!(f, "#{c} = '{v}'"),
+            Condition::NeqCols(l, r) => write!(f, "#{l} != #{r}"),
+            Condition::NeqConst(c, v) => write!(f, "#{c} != '{v}'"),
+        }
+    }
+}
+
+/// An SPJU≠ expression. Column references are positional (0-based).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A base relation scan.
+    Scan {
+        /// Relation name.
+        relation: RelName,
+        /// The relation's arity (validated at evaluation time).
+        arity: usize,
+    },
+    /// `σ_conditions(input)`.
+    Select {
+        /// Filter conditions, conjunctive.
+        conditions: Vec<Condition>,
+        /// Input expression.
+        input: Box<Expr>,
+    },
+    /// `π_columns(input)` — columns may repeat or reorder.
+    Project {
+        /// Output columns as positions of the input.
+        columns: Vec<usize>,
+        /// Input expression.
+        input: Box<Expr>,
+    },
+    /// Cartesian product; right columns are shifted by the left arity.
+    Product(Box<Expr>, Box<Expr>),
+    /// Union of two expressions of equal arity.
+    Union(Box<Expr>, Box<Expr>),
+}
+
+/// Errors raised by arity validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AlgebraError {
+    /// A condition or projection referenced a column beyond the arity.
+    ColumnOutOfRange {
+        /// Offending column.
+        column: usize,
+        /// Available arity.
+        arity: usize,
+    },
+    /// Union operands have different arities.
+    UnionArityMismatch(usize, usize),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column #{column} out of range for arity {arity}")
+            }
+            AlgebraError::UnionArityMismatch(l, r) => {
+                write!(f, "union of arity {l} with arity {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl Expr {
+    /// A base relation scan.
+    pub fn scan(relation: &str, arity: usize) -> Expr {
+        Expr::Scan { relation: RelName::new(relation), arity }
+    }
+
+    /// Wraps in a selection.
+    pub fn select(self, conditions: Vec<Condition>) -> Expr {
+        Expr::Select { conditions, input: Box::new(self) }
+    }
+
+    /// Wraps in a projection.
+    pub fn project(self, columns: Vec<usize>) -> Expr {
+        Expr::Project { columns, input: Box::new(self) }
+    }
+
+    /// Cartesian product.
+    pub fn product(self, other: Expr) -> Expr {
+        Expr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Natural-style equijoin: product followed by column equalities
+    /// `(left_col = left_arity + right_col)` and projection of all columns.
+    pub fn join_on(self, other: Expr, pairs: &[(usize, usize)]) -> Result<Expr, AlgebraError> {
+        let left_arity = self.arity()?;
+        let conditions = pairs
+            .iter()
+            .map(|&(l, r)| Condition::EqCols(l, left_arity + r))
+            .collect();
+        Ok(self.product(other).select(conditions))
+    }
+
+    /// Union.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// The output arity; validates column references along the way.
+    pub fn arity(&self) -> Result<usize, AlgebraError> {
+        match self {
+            Expr::Scan { arity, .. } => Ok(*arity),
+            Expr::Select { conditions, input } => {
+                let arity = input.arity()?;
+                for cond in conditions {
+                    for column in cond.columns() {
+                        if column >= arity {
+                            return Err(AlgebraError::ColumnOutOfRange { column, arity });
+                        }
+                    }
+                }
+                Ok(arity)
+            }
+            Expr::Project { columns, input } => {
+                let arity = input.arity()?;
+                for &column in columns {
+                    if column >= arity {
+                        return Err(AlgebraError::ColumnOutOfRange { column, arity });
+                    }
+                }
+                Ok(columns.len())
+            }
+            Expr::Product(l, r) => Ok(l.arity()? + r.arity()?),
+            Expr::Union(l, r) => {
+                let (la, ra) = (l.arity()?, r.arity()?);
+                if la != ra {
+                    return Err(AlgebraError::UnionArityMismatch(la, ra));
+                }
+                Ok(la)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Scan { relation, arity } => write!(f, "{relation}/{arity}"),
+            Expr::Select { conditions, input } => {
+                write!(f, "σ[")?;
+                for (i, c) in conditions.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]({input})")
+            }
+            Expr::Project { columns, input } => {
+                write!(f, "π[")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "#{c}")?;
+                }
+                write!(f, "]({input})")
+            }
+            Expr::Product(l, r) => write!(f, "({l} × {r})"),
+            Expr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_computation() {
+        let e = Expr::scan("R", 2).product(Expr::scan("S", 1));
+        assert_eq!(e.arity().unwrap(), 3);
+        let p = e.project(vec![2, 0]);
+        assert_eq!(p.arity().unwrap(), 2);
+    }
+
+    #[test]
+    fn column_bounds_checked() {
+        let bad = Expr::scan("R", 2).project(vec![5]);
+        assert!(matches!(
+            bad.arity(),
+            Err(AlgebraError::ColumnOutOfRange { column: 5, arity: 2 })
+        ));
+        let bad_sel = Expr::scan("R", 2).select(vec![Condition::EqCols(0, 3)]);
+        assert!(bad_sel.arity().is_err());
+    }
+
+    #[test]
+    fn union_arity_mismatch_detected() {
+        let bad = Expr::scan("R", 2).union(Expr::scan("S", 1));
+        assert!(matches!(bad.arity(), Err(AlgebraError::UnionArityMismatch(2, 1))));
+    }
+
+    #[test]
+    fn join_on_builds_product_select() {
+        let e = Expr::scan("R", 2).join_on(Expr::scan("R", 2), &[(1, 0)]).unwrap();
+        assert_eq!(e.arity().unwrap(), 4);
+        assert!(matches!(e, Expr::Select { .. }));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::scan("R", 2)
+            .select(vec![Condition::NeqCols(0, 1)])
+            .project(vec![0]);
+        assert_eq!(e.to_string(), "π[#0](σ[#0 != #1](R/2))");
+    }
+}

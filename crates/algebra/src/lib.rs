@@ -1,0 +1,22 @@
+//! SPJU≠ relational algebra with `N[X]`-annotated evaluation — the
+//! formulation for which Green, Karvounarakis & Tannen (PODS 2007)
+//! originally defined provenance polynomials (see the paper's footnote 1).
+//!
+//! * [`Expr`] — positional select/project/product/union plans with
+//!   equality and disequality conditions;
+//! * [`eval`] — direct annotated evaluation (projection adds, product
+//!   multiplies, union adds);
+//! * [`to_query`] — compilation into UCQ≠, differential-tested to produce
+//!   identical provenance;
+//! * [`core_plan`] — the core provenance of a plan, via `MinProv` on the
+//!   compiled query (Theorem 4.6 applied to algebra plans).
+
+#![warn(missing_docs)]
+
+mod compile;
+mod eval;
+mod expr;
+
+pub use compile::{core_plan, to_query};
+pub use eval::{eval, AnnotatedRows};
+pub use expr::{AlgebraError, Condition, Expr};

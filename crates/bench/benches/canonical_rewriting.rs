@@ -1,0 +1,34 @@
+//! B5 — canonical rewriting growth (Def 4.1): the adjunct count follows
+//! the Bell numbers of the variable count, the engine of Theorem 4.10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prov_query::canonical::canonical_rewriting;
+use prov_query::generate::{chain, cycle};
+use std::collections::BTreeSet;
+
+fn bench_canonical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_chain");
+    group.sample_size(10);
+    for &n in &[2usize, 4, 6] {
+        let q = chain(n); // n+1 variables → Bell(n+1) completions
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(canonical_rewriting(q, &BTreeSet::new())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("canonical_cycle");
+    group.sample_size(10);
+    for &n in &[3usize, 5, 7] {
+        let q = cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(canonical_rewriting(q, &BTreeSet::new())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! B7 — direct core provenance (Theorem 5.1): the PTIME polynomial
+//! transformation vs the exact (automorphism-counting) computation, and
+//! the query-based route for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+use prov_bench::{binary_db, random_polynomial};
+use prov_core::direct::{core_polynomial, exact_core};
+use prov_core::minprov::minprov_cq;
+use prov_engine::{eval_cq, eval_ucq};
+use prov_query::parse_cq;
+use prov_storage::Tuple;
+
+fn bench_direct(c: &mut Criterion) {
+    // PTIME transformation vs polynomial size.
+    let mut group = c.benchmark_group("core_polynomial_ptime");
+    for &n in &[20usize, 80, 320] {
+        let p = random_polynomial(n, 6, n / 2 + 3, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(core_polynomial(p)))
+        });
+    }
+    group.finish();
+
+    // Exact core vs monomial degree (automorphism counting is exponential
+    // in the monomial, polynomial in the count).
+    let mut group = c.benchmark_group("exact_core_on_triangle_db");
+    group.sample_size(20);
+    let triangle = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+    for &n in &[20usize, 60] {
+        let db = binary_db(n, 6, 5);
+        let p = eval_cq(&triangle, &db).boolean_provenance();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(p, db),
+            |b, (p, db)| {
+                b.iter(|| {
+                    black_box(
+                        exact_core(p, db, &Tuple::empty(), &BTreeSet::new()).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Crossover: direct computation vs rewrite-and-reevaluate.
+    let mut group = c.benchmark_group("direct_vs_query_based");
+    group.sample_size(10);
+    let db = binary_db(40, 6, 5);
+    let p = eval_cq(&triangle, &db).boolean_provenance();
+    group.bench_function("direct_exact", |b| {
+        b.iter(|| black_box(exact_core(&p, &db, &Tuple::empty(), &BTreeSet::new()).unwrap()))
+    });
+    group.bench_function("minprov_then_eval", |b| {
+        b.iter(|| {
+            let minimal = minprov_cq(&triangle);
+            black_box(eval_ucq(&minimal, &db).boolean_provenance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct);
+criterion_main!(benches);

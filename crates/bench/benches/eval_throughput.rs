@@ -1,0 +1,77 @@
+//! B1 — provenance-annotated evaluation throughput vs database size
+//! (Def 2.12), for the paper's running queries on synthetic instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prov_bench::binary_db;
+use prov_engine::{eval_cq, eval_ucq};
+use prov_query::{parse_cq, parse_ucq};
+
+fn bench_eval(c: &mut Criterion) {
+    let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+    let qunion = parse_ucq(
+        "ans(x) :- R(x,y), R(y,x), x != y\n\
+         ans(x) :- R(x,x)",
+    )
+    .unwrap();
+    let triangle = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+
+    let mut group = c.benchmark_group("eval_cq_qconj");
+    for &n in &[50usize, 200, 800] {
+        let db = binary_db(n, (n as f64).sqrt() as usize + 2, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq(&qconj, db)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eval_ucq_qunion");
+    for &n in &[50usize, 200, 800] {
+        let db = binary_db(n, (n as f64).sqrt() as usize + 2, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| black_box(eval_ucq(&qunion, db)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eval_cq_triangle");
+    for &n in &[50usize, 200] {
+        let db = binary_db(n, (n as f64).sqrt() as usize + 2, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq(&triangle, db)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_strategy_ablation);
+criterion_main!(benches);
+
+// Ablation (DESIGN.md B1): naive written-order full-scan evaluation vs the
+// planned (most-bound-first + indexed) strategy, on a selective query
+// where planning matters.
+fn bench_strategy_ablation(c: &mut Criterion) {
+    use prov_engine::{eval_cq_with, EvalOptions};
+    let selective = parse_cq("ans(x) :- R(x,y), R(y,'d1'), R('d0',x)").unwrap();
+    let mut group = c.benchmark_group("eval_strategy_ablation");
+    for &n in &[200usize, 800] {
+        let db = binary_db(n, 12, 1);
+        group.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq_with(&selective, db, EvalOptions::naive())))
+        });
+        group.bench_with_input(BenchmarkId::new("planned", n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq_with(&selective, db, EvalOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("index_only", n), &db, |b, db| {
+            b.iter(|| {
+                black_box(eval_cq_with(
+                    &selective,
+                    db,
+                    EvalOptions { reorder_atoms: false, use_index: true },
+                ))
+            })
+        });
+    }
+    group.finish();
+}

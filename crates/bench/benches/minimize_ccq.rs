@@ -1,0 +1,42 @@
+//! B4 — cCQ≠ minimization is PTIME (Theorem 3.12 / Lemma 3.13): atom
+//! dedup scales polynomially where MinProv on general queries cannot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prov_core::standard::minimize_complete;
+use prov_query::{Atom, ConjunctiveQuery, Diseq, Term, Variable};
+
+/// A complete query with `n` variables, each atom duplicated `dup` times.
+fn complete_query(n: usize, dup: usize) -> ConjunctiveQuery {
+    let vars: Vec<Variable> = (0..n).map(|i| Variable::new(&format!("cc{i}"))).collect();
+    let mut atoms = Vec::new();
+    for w in vars.windows(2) {
+        for _ in 0..dup {
+            atoms.push(Atom::of("R", &[Term::Var(w[0]), Term::Var(w[1])]));
+        }
+    }
+    let mut diseqs = Vec::new();
+    for (i, &x) in vars.iter().enumerate() {
+        for &y in &vars[i + 1..] {
+            diseqs.push(Diseq::vars(x, y));
+        }
+    }
+    ConjunctiveQuery::new(Atom::of("ans", &[]), atoms, diseqs).unwrap()
+}
+
+fn bench_ccq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize_complete_ptime");
+    for &n in &[8usize, 32, 128] {
+        let q = complete_query(n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("vars", n),
+            &q,
+            |b, q| b.iter(|| black_box(minimize_complete(q))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccq);
+criterion_main!(benches);

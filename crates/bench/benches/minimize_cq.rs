@@ -1,0 +1,40 @@
+//! B3 — standard (Chandra–Merlin) CQ minimization: fold-based core
+//! computation on stars (fully foldable), chains and cycles (cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prov_core::standard::minimize_cq;
+use prov_query::generate::{chain, cycle, star};
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize_star");
+    for &n in &[4usize, 8, 16] {
+        let q = star(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(minimize_cq(q)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("minimize_chain");
+    for &n in &[4usize, 8, 12] {
+        let q = chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(minimize_cq(q)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("minimize_cycle");
+    for &n in &[3usize, 5, 7] {
+        let q = cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(minimize_cq(q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimize);
+criterion_main!(benches);

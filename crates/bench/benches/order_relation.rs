@@ -1,0 +1,53 @@
+//! B2 — deciding the terseness order p ≤ p' (Def 2.15) vs polynomial
+//! size: the b-matching/max-flow check should scale polynomially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prov_bench::random_polynomial;
+use prov_semiring::direct::core_polynomial;
+use prov_semiring::order::{compare, poly_leq};
+
+fn bench_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_leq_core_vs_full");
+    for &n in &[10usize, 40, 160] {
+        // Compare a polynomial against its own core: the worst realistic
+        // case (every monomial has at least one admissible target).
+        let p = random_polynomial(n, 6, n / 2 + 3, 7);
+        let core = core_polynomial(&p);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(core, p), |b, (lo, hi)| {
+            b.iter(|| black_box(poly_leq(lo, hi)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compare_random_pairs");
+    for &n in &[10usize, 40, 160] {
+        let p = random_polynomial(n, 6, n / 2 + 3, 11);
+        let q = random_polynomial(n, 6, n / 2 + 3, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(p, q), |b, (p, q)| {
+            b.iter(|| black_box(compare(p, q)))
+        });
+    }
+    group.finish();
+
+    // Coefficient magnitude must not matter (flow capacities, not units).
+    let mut group = c.benchmark_group("poly_leq_large_coefficients");
+    for &scale in &[1u64, 1_000, 1_000_000] {
+        let mut p = prov_semiring::Polynomial::zero_poly();
+        let mut q = prov_semiring::Polynomial::zero_poly();
+        for i in 0..20 {
+            let m = prov_semiring::Monomial::parse(&format!("c{i}"));
+            let m2 = prov_semiring::Monomial::parse(&format!("c{i}·c{}", (i + 1) % 20));
+            p.add_occurrences(m, scale);
+            q.add_occurrences(m2, scale);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &(p, q), |b, (p, q)| {
+            b.iter(|| black_box(poly_leq(p, q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_order);
+criterion_main!(benches);

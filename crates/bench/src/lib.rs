@@ -1,0 +1,43 @@
+//! Shared fixtures for the `provmin` benchmark harness (see DESIGN.md §4,
+//! rows B1–B7).
+
+use prov_semiring::{Annotation, Monomial, Polynomial};
+use prov_storage::generator::{random_database, DatabaseSpec};
+use prov_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible random binary-relation database of `tuples` rows over a
+/// domain of `domain` values.
+pub fn binary_db(tuples: usize, domain: usize, seed: u64) -> Database {
+    random_database(&DatabaseSpec::single_binary(tuples, domain), seed)
+}
+
+/// A random polynomial with `monomials` monomial occurrences of degree up
+/// to `degree` over `vars` annotations (deterministic per seed).
+pub fn random_polynomial(monomials: usize, degree: usize, vars: usize, seed: u64) -> Polynomial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Polynomial::zero_poly();
+    for _ in 0..monomials {
+        let d = rng.random_range(1..=degree.max(1));
+        let m = Monomial::from_annotations(
+            (0..d).map(|_| Annotation::new(&format!("b{}", rng.random_range(0..vars.max(1))))),
+        );
+        p.add_monomial(m);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(random_polynomial(5, 3, 8, 42), random_polynomial(5, 3, 8, 42));
+        assert_eq!(
+            binary_db(10, 4, 7).num_tuples(),
+            binary_db(10, 4, 7).num_tuples()
+        );
+    }
+}

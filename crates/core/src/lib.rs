@@ -1,0 +1,26 @@
+//! Provenance minimization — the primary contribution of *"On Provenance
+//! Minimization"* (Amsterdamer, Deutch, Milo, Tannen, PODS 2011).
+//!
+//! * [`standard`] — baseline join minimization (Chandra–Merlin for CQ,
+//!   atom dedup for complete queries, Sagiv–Yannakakis for unions);
+//! * [`order`] — the provenance order on queries `Q ≤_P Q'` (Def 2.17),
+//!   with the Theorem 3.3 sufficient condition and empirical comparison;
+//! * [`minprov`] — Algorithm 1, computing a p-minimal equivalent in UCQ≠
+//!   that realizes the **core provenance** (Theorem 4.6);
+//! * [`direct`] — direct core-provenance computation from polynomials
+//!   (Theorem 5.1), including exact coefficients via automorphism counting
+//!   (Lemmas 5.7/5.9);
+//! * [`pminimal`] — the per-class dispatcher behind Table 1 and the
+//!   DP-complete decision problem (Corollary 3.10).
+
+#![warn(missing_docs)]
+
+pub mod direct;
+pub mod minprov;
+pub mod order;
+pub mod pminimal;
+pub mod related;
+pub mod standard;
+
+pub use minprov::{minprov, minprov_cq, minprov_trace, MinProvTrace};
+pub use pminimal::{p_minimize_auto, p_minimize_overall};

@@ -1,0 +1,208 @@
+//! The provenance order on queries, `Q ≤_P Q'` (paper Def 2.17), and tools
+//! to test it: the sufficient homomorphism condition of Theorem 3.3 and
+//! empirical comparison over generated database families.
+
+use prov_semiring::order::{self, PolyOrder};
+use prov_storage::generator::{random_database, DatabaseSpec};
+use prov_storage::Database;
+use prov_query::homomorphism::find_surjective_homomorphism;
+use prov_query::{ConjunctiveQuery, UnionQuery};
+use prov_engine::eval_ucq;
+
+/// Checks `P(t, q, db) ≤ P(t, q2, db)` for every output tuple `t` on one
+/// database (the per-instance slice of Def 2.17, which is stated for
+/// equivalent queries). If the result sets differ on `db` the queries are
+/// not equivalent and this returns `false`.
+pub fn leq_p_on(db: &Database, q: &UnionQuery, q2: &UnionQuery) -> bool {
+    let r1 = eval_ucq(q, db);
+    let r2 = eval_ucq(q2, db);
+    r1.iter().all(|(t, p)| order::poly_leq(p, &r2.provenance(t)))
+        && r2.iter().all(|(t, _)| r1.contains(t))
+}
+
+/// Full per-instance comparison of two equivalent queries.
+pub fn compare_on(db: &Database, q: &UnionQuery, q2: &UnionQuery) -> PolyOrder {
+    match (leq_p_on(db, q, q2), leq_p_on(db, q2, q)) {
+        (true, true) => PolyOrder::Equivalent,
+        (true, false) => PolyOrder::Less,
+        (false, true) => PolyOrder::Greater,
+        (false, false) => PolyOrder::Incomparable,
+    }
+}
+
+/// The verdict of an empirical `≤_P` comparison over a database family.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// `q ≤_P q2` held on every tested instance, strictly on at least one.
+    Less,
+    /// Provenance was equivalent on every tested instance.
+    Equivalent,
+    /// `q2 ≤_P q` held on every tested instance, strictly on at least one.
+    Greater,
+    /// Each direction failed on some instance (witnesses incomparability,
+    /// as in Theorem 3.5).
+    Incomparable,
+}
+
+/// Compares two equivalent queries empirically over `num_dbs` random
+/// databases drawn from `spec` (seeds `0..num_dbs`).
+///
+/// A `Less`/`Greater`/`Equivalent` verdict is evidence, not proof (the
+/// order quantifies over *all* instances); an `Incomparable` verdict is a
+/// proof, since both failures are witnessed by concrete instances.
+pub fn compare_empirically(
+    q: &UnionQuery,
+    q2: &UnionQuery,
+    spec: &DatabaseSpec,
+    num_dbs: u64,
+) -> Verdict {
+    let mut le_all = true;
+    let mut ge_all = true;
+    let mut strict_le = false;
+    let mut strict_ge = false;
+    for seed in 0..num_dbs {
+        let db = random_database(spec, seed);
+        match compare_on(&db, q, q2) {
+            PolyOrder::Equivalent => {}
+            PolyOrder::Less => {
+                ge_all = false;
+                strict_le = true;
+            }
+            PolyOrder::Greater => {
+                le_all = false;
+                strict_ge = true;
+            }
+            PolyOrder::Incomparable => {
+                le_all = false;
+                ge_all = false;
+            }
+        }
+        if !le_all && !ge_all {
+            return Verdict::Incomparable;
+        }
+    }
+    match (le_all, ge_all) {
+        (true, true) => Verdict::Equivalent,
+        (true, false) => {
+            debug_assert!(strict_le);
+            Verdict::Less
+        }
+        (false, true) => {
+            debug_assert!(strict_ge);
+            Verdict::Greater
+        }
+        (false, false) => Verdict::Incomparable,
+    }
+}
+
+/// The sufficient condition of Theorem 3.3: if there is a homomorphism
+/// `q2 → q` surjective on relational atoms, then `q ≤_P q2`.
+pub fn leq_p_by_surjective_hom(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    find_surjective_homomorphism(q2, q).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_storage::Tuple;
+    use prov_query::{parse_cq, parse_ucq};
+
+    fn table_2_database() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        db
+    }
+
+    fn qunion() -> UnionQuery {
+        parse_ucq(
+            "ans(x) :- R(x,y), R(y,x), x != y\n\
+             ans(x) :- R(x,x)",
+        )
+        .unwrap()
+    }
+
+    fn qconj() -> UnionQuery {
+        parse_ucq("ans(x) :- R(x,y), R(y,x)").unwrap()
+    }
+
+    #[test]
+    fn example_2_18_on_table_2() {
+        let db = table_2_database();
+        assert!(leq_p_on(&db, &qunion(), &qconj()));
+        assert!(!leq_p_on(&db, &qconj(), &qunion()));
+        assert_eq!(compare_on(&db, &qunion(), &qconj()), PolyOrder::Less);
+    }
+
+    #[test]
+    fn theorem_3_11_empirically() {
+        // Qunion <_P Qconj over random databases.
+        let spec = DatabaseSpec::single_binary(6, 3);
+        let verdict = compare_empirically(&qunion(), &qconj(), &spec, 8);
+        assert_eq!(verdict, Verdict::Less);
+    }
+
+    #[test]
+    fn theorem_3_3_surjective_hom_condition() {
+        // Example 3.4: hom Q → Q' (both atoms onto one) is surjective, so
+        // Q' ≤_P Q.
+        let q = parse_cq("ans() :- R(x), R(y)").unwrap();
+        let q_prime = parse_cq("ans() :- R(z)").unwrap();
+        assert!(leq_p_by_surjective_hom(&q_prime, &q));
+        assert!(!leq_p_by_surjective_hom(&q, &q_prime));
+    }
+
+    #[test]
+    fn lemma_3_6_incomparability_is_witnessed() {
+        // QnoPmin vs Qalt on the two hand-built databases D and D'.
+        let qnopmin = parse_ucq(
+            "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2",
+        )
+        .unwrap();
+        let qalt = parse_ucq(
+            "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3",
+        )
+        .unwrap();
+
+        // D (Table 4): R = {(a,b):s1, (b,a):s2, (a,a):s3}, S = {(a):s0}.
+        let mut d = Database::new();
+        d.add("R", &["a", "b"], "s1");
+        d.add("R", &["b", "a"], "s2");
+        d.add("R", &["a", "a"], "s3");
+        d.add("S", &["a"], "s0");
+        assert_eq!(compare_on(&d, &qalt, &qnopmin), PolyOrder::Less);
+
+        // D' (Table 5): R = {(a,b):t1, (b,c):t2, (c,a):t3, (a,a):t4},
+        // S = {(a):t0}.
+        let mut d_prime = Database::new();
+        d_prime.add("R", &["a", "b"], "t1");
+        d_prime.add("R", &["b", "c"], "t2");
+        d_prime.add("R", &["c", "a"], "t3");
+        d_prime.add("R", &["a", "a"], "t4");
+        d_prime.add("S", &["a"], "t0");
+        assert_eq!(compare_on(&d_prime, &qnopmin, &qalt), PolyOrder::Less);
+    }
+
+    #[test]
+    fn equivalent_queries_compare_equivalent() {
+        let q = qunion();
+        let db = table_2_database();
+        assert_eq!(compare_on(&db, &q, &q), PolyOrder::Equivalent);
+        let spec = DatabaseSpec::single_binary(5, 3);
+        assert_eq!(compare_empirically(&q, &q, &spec, 5), Verdict::Equivalent);
+    }
+
+    #[test]
+    fn result_sets_must_agree() {
+        // Non-equivalent queries: leq_p_on also checks tuple coverage.
+        let q1 = parse_ucq("ans(x) :- R(x,x)").unwrap();
+        let q2 = parse_ucq("ans(x) :- R(x,y)").unwrap();
+        let db = table_2_database();
+        // q1's tuples ⊆ q2's with smaller provenance, q2 has more tuples.
+        assert!(!leq_p_on(&db, &q2, &q1));
+        let r1 = eval_ucq(&q1, &db);
+        assert!(r1.contains(&Tuple::of(&["a"])));
+    }
+}

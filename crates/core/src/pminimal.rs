@@ -1,0 +1,215 @@
+//! PROVENANCE-MINIMIZATION per query class — the dispatcher behind the
+//! paper's Table 1, plus the DP-complete decision problem of
+//! Corollary 3.10.
+//!
+//! | class | p-minimal in class            | p-minimal overall          |
+//! |-------|-------------------------------|----------------------------|
+//! | CQ    | standard minimization (3.9)   | in UCQ≠ via MinProv (3.11) |
+//! | CQ≠   | may not exist (3.5)           | in UCQ≠ via MinProv (4.6)  |
+//! | cCQ≠  | atom dedup, PTIME (3.12)      | same query (3.12)          |
+//! | UCQ≠  | MinProv, EXPTIME (4.6, 4.10)  | same                       |
+
+use prov_query::containment::cq_equivalent;
+use prov_query::{ConjunctiveQuery, QueryClass, UnionQuery};
+
+use crate::minprov::minprov;
+use crate::standard::{is_minimal_cq, minimize_complete, minimize_cq};
+
+/// Computes the p-minimal equivalent of a CQ *within CQ*: by Theorem 3.9
+/// this is exactly its standard (Chandra–Merlin) minimization.
+///
+/// Note (Theorem 3.11): an equivalent UCQ≠ query may still be strictly
+/// terser; use [`p_minimize_overall`] for the overall core provenance.
+pub fn p_minimize_in_cq(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    minimize_cq(q)
+}
+
+/// Whether a CQ is p-minimal within CQ (Theorem 3.9: iff standard-minimal).
+pub fn is_p_minimal_in_cq(q: &ConjunctiveQuery) -> bool {
+    is_minimal_cq(q)
+}
+
+/// Computes the p-minimal equivalent of a complete CQ≠ — in PTIME, and the
+/// result is p-minimal among *all* UCQ≠ queries (Theorem 3.12).
+pub fn p_minimize_complete(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    minimize_complete(q)
+}
+
+/// Computes a p-minimal equivalent in UCQ≠ — the overall core provenance —
+/// for any union query, via MinProv (Theorem 4.6). EXPTIME, unavoidably
+/// (Theorem 4.10).
+pub fn p_minimize_overall(q: &UnionQuery) -> UnionQuery {
+    minprov(q)
+}
+
+/// The decision problem of Corollary 3.10 (DP-complete): given CQs `q` and
+/// `q_sub` where `q_sub` is a sub-query of `q`, decide whether `q_sub` is
+/// the p-minimal equivalent of `q` in CQ.
+///
+/// Per Theorem 3.9 this is: `q_sub ≡ q` (NP part) and `q_sub` is minimal
+/// (co-NP part). Panics if `q_sub` is not a sub-query of `q` or either has
+/// disequalities.
+pub fn decide_p_minimal_cq(q: &ConjunctiveQuery, q_sub: &ConjunctiveQuery) -> bool {
+    assert!(q.is_cq() && q_sub.is_cq(), "Corollary 3.10 concerns CQ");
+    assert!(
+        is_subquery(q_sub, q),
+        "q_sub must be a sub-query of q (same head, subset of atoms)"
+    );
+    cq_equivalent(q, q_sub) && is_minimal_cq(q_sub)
+}
+
+/// Whether `small` is a sub-query of `big`: same head and `small`'s atoms
+/// are a sub-multiset of `big`'s.
+pub fn is_subquery(small: &ConjunctiveQuery, big: &ConjunctiveQuery) -> bool {
+    if small.head() != big.head() {
+        return false;
+    }
+    let mut remaining: Vec<_> = big.atoms().to_vec();
+    for atom in small.atoms() {
+        match remaining.iter().position(|a| a == atom) {
+            Some(i) => {
+                remaining.remove(i);
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// A row of Table 1: what PROVENANCE-MINIMIZATION looks like for a class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// The input class.
+    pub class: &'static str,
+    /// Where the standard-minimal equivalent lives.
+    pub standard_minimal: &'static str,
+    /// What p-minimality within the class looks like.
+    pub p_minimal_in_class: &'static str,
+    /// Where the overall p-minimal query lives and at what cost.
+    pub p_minimal_overall: &'static str,
+}
+
+/// The four rows of Table 1, as the implementation realizes them.
+pub fn table_1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            class: "CQ≠",
+            standard_minimal: "in CQ≠",
+            p_minimal_in_class: "no p-minimal query exists (Thm 3.5)",
+            p_minimal_overall: "in UCQ≠, EXPTIME (MinProv)",
+        },
+        Table1Row {
+            class: "CQ",
+            standard_minimal: "in CQ",
+            p_minimal_in_class: "same as standard minimization (Thm 3.9)",
+            p_minimal_overall: "in UCQ≠, EXPTIME (MinProv; Thm 3.11)",
+        },
+        Table1Row {
+            class: "cCQ≠",
+            standard_minimal: "in cCQ≠",
+            p_minimal_in_class: "same as standard minimization (Thm 3.12)",
+            p_minimal_overall: "in cCQ≠, PTIME (atom dedup)",
+        },
+        Table1Row {
+            class: "UCQ≠",
+            standard_minimal: "in UCQ≠",
+            p_minimal_in_class: "different from standard minimization",
+            p_minimal_overall: "in UCQ≠, EXPTIME (MinProv)",
+        },
+    ]
+}
+
+/// Dispatches PROVENANCE-MINIMIZATION for a single conjunctive query based
+/// on its class, returning the overall p-minimal equivalent and a note on
+/// the route taken.
+pub fn p_minimize_auto(q: &ConjunctiveQuery) -> (UnionQuery, &'static str) {
+    // Completeness first: a diseq-free query over a single variable is
+    // trivially complete, and the PTIME route applies (Thm 3.12).
+    if q.is_complete() {
+        return (
+            UnionQuery::single(p_minimize_complete(q)),
+            "cCQ≠: PTIME atom dedup (Thm 3.12), overall p-minimal",
+        );
+    }
+    match q.class() {
+        QueryClass::CompleteCqDiseq => unreachable!("handled above"),
+        QueryClass::Cq | QueryClass::CqDiseq => (
+            p_minimize_overall(&UnionQuery::single(q.clone())),
+            "MinProv: overall p-minimal in UCQ≠ (Thm 4.6)",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_query::containment::equivalent;
+    use prov_query::parse_cq;
+
+    #[test]
+    fn cq_route_is_standard_minimization() {
+        let q = parse_cq("ans(x) :- R(x,y), R(x,z)").unwrap();
+        let min = p_minimize_in_cq(&q);
+        assert_eq!(min.len(), 1);
+        assert!(is_p_minimal_in_cq(&min));
+    }
+
+    #[test]
+    fn complete_route_is_dedup() {
+        let q = parse_cq("ans() :- R(v,v), R(v,v)").unwrap();
+        let min = p_minimize_complete(&q);
+        assert_eq!(min.len(), 1);
+    }
+
+    #[test]
+    fn auto_dispatch_matches_class() {
+        let complete = parse_cq("ans() :- R(v,v), R(v,v)").unwrap();
+        let (out, note) = p_minimize_auto(&complete);
+        assert_eq!(out.len(), 1);
+        assert!(note.contains("cCQ≠"));
+
+        let cq = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let (out, note) = p_minimize_auto(&cq);
+        assert!(note.contains("MinProv"));
+        assert!(equivalent(&out, &UnionQuery::single(cq)));
+    }
+
+    #[test]
+    fn decision_problem_positive_instance() {
+        let q = parse_cq("ans(x) :- R(x,y), R(x,z)").unwrap();
+        let sub = parse_cq("ans(x) :- R(x,y)").unwrap();
+        assert!(decide_p_minimal_cq(&q, &sub));
+    }
+
+    #[test]
+    fn decision_problem_negative_instance_not_equivalent() {
+        let q = parse_cq("ans(x) :- R(x,y), S(x)").unwrap();
+        let sub = parse_cq("ans(x) :- R(x,y)").unwrap();
+        assert!(!decide_p_minimal_cq(&q, &sub));
+    }
+
+    #[test]
+    fn decision_problem_negative_instance_not_minimal() {
+        let q = parse_cq("ans(x) :- R(x,y), R(x,z), S(x)").unwrap();
+        let sub = parse_cq("ans(x) :- R(x,y), R(x,z)").unwrap();
+        // sub is a sub-query but not equivalent to q (S is dropped), and
+        // also not minimal; either failure suffices.
+        assert!(!decide_p_minimal_cq(&q, &sub));
+    }
+
+    #[test]
+    fn subquery_respects_multiplicity() {
+        let q = parse_cq("ans() :- R(v,v), R(v,v)").unwrap();
+        let once = parse_cq("ans() :- R(v,v)").unwrap();
+        assert!(is_subquery(&once, &q));
+        assert!(!is_subquery(&q, &once));
+    }
+
+    #[test]
+    fn table_1_has_four_rows() {
+        let rows = table_1();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.class == "cCQ≠"
+            && r.p_minimal_overall.contains("PTIME")));
+    }
+}

@@ -1,0 +1,136 @@
+//! Comparisons with the related provenance models of paper §7: Why
+//! provenance (Buneman et al.) and Trio lineage (Benjelloun et al.).
+//!
+//! The paper's observations, which this module makes checkable:
+//! * core provenance is **more minimal than Trio** — Trio does not omit
+//!   containing monomials;
+//! * core provenance is **more informative than both** — its coefficients
+//!   are canonical ("core coefficients" = automorphism counts), whereas
+//!   Why provenance has none and Trio's vary between equivalent queries;
+//! * all three agree once coefficients and containing monomials are
+//!   forgotten: the witness basis of Why provenance equals the core's
+//!   monomial supports.
+
+use prov_semiring::trio::TrioLineage;
+use prov_semiring::why::WhyProvenance;
+use prov_semiring::{Monomial, Polynomial};
+
+use crate::direct::core_polynomial;
+
+/// A side-by-side report of one tuple's provenance under the four models
+/// discussed in §7.
+#[derive(Clone, Debug)]
+pub struct ModelComparison {
+    /// The full `N[X]` polynomial (Green et al.).
+    pub full: Polynomial,
+    /// The core provenance (this paper), possibly with approximate
+    /// coefficients (use `direct::exact_core` for canonical ones).
+    pub core: Polynomial,
+    /// Trio lineage: no exponents, coefficients kept.
+    pub trio: TrioLineage,
+    /// Why provenance: set of witness sets.
+    pub why: WhyProvenance,
+}
+
+impl ModelComparison {
+    /// Builds the comparison from a full provenance polynomial.
+    pub fn of(p: &Polynomial) -> Self {
+        ModelComparison {
+            full: p.clone(),
+            core: core_polynomial(p),
+            trio: TrioLineage::from_polynomial(p),
+            why: WhyProvenance::from_polynomial(p),
+        }
+    }
+
+    /// Sizes (total factor occurrences / tuple references) per model, in
+    /// the order `(full, trio, core, why)`.
+    pub fn sizes(&self) -> (u64, u64, u64, usize) {
+        (self.full.size(), self.trio.size(), self.core.size(), self.why.size())
+    }
+
+    /// §7 claim: the core keeps a subset of Trio's monomials (Trio does
+    /// not omit containing monomials; the core does).
+    pub fn core_monomials_subset_of_trio(&self) -> bool {
+        self.core
+            .monomials()
+            .all(|m| self.trio.as_polynomial().coefficient(m) > 0)
+    }
+
+    /// §7 claim: the core's monomial supports equal Why provenance's
+    /// minimal witness basis.
+    pub fn core_supports_equal_why_basis(&self) -> bool {
+        let core_supports: std::collections::BTreeSet<_> =
+            self.core.monomials().map(Monomial::support).collect();
+        let basis = self.why.minimal_witness_basis();
+        core_supports == *basis.witnesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_provenance() -> Polynomial {
+        // P(Q̂, D̂) from Example 5.2.
+        Polynomial::parse("s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5")
+    }
+
+    #[test]
+    fn size_ordering_on_paper_example() {
+        let cmp = ModelComparison::of(&triangle_provenance());
+        let (full, trio, core, why) = cmp.sizes();
+        assert!(core <= trio, "core must be at most Trio-sized");
+        assert!(trio <= full, "Trio must be at most N[X]-sized");
+        assert!((why as u64) <= core, "Why forgets coefficients, so it is smallest");
+    }
+
+    #[test]
+    fn core_subset_of_trio() {
+        let cmp = ModelComparison::of(&triangle_provenance());
+        assert!(cmp.core_monomials_subset_of_trio());
+        // And strictly: Trio keeps s1·s2·s3, the core drops it.
+        assert!(cmp.trio.as_polynomial().coefficient(&Monomial::parse("s1·s2·s3")) > 0);
+        assert_eq!(cmp.core.coefficient(&Monomial::parse("s1·s2·s3")), 0);
+    }
+
+    #[test]
+    fn core_supports_match_why_basis() {
+        for text in [
+            "s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5",
+            "x·y + x·y·z + w",
+            "a·a + a·b + b·a",
+        ] {
+            let cmp = ModelComparison::of(&Polynomial::parse(text));
+            assert!(
+                cmp.core_supports_equal_why_basis(),
+                "mismatch for {text}: core {} vs why basis {}",
+                cmp.core,
+                cmp.why.minimal_witness_basis()
+            );
+        }
+    }
+
+    #[test]
+    fn trio_is_not_canonical_across_equivalent_queries() {
+        // P(Q̂, D̂) vs P(MinProv(Q̂), D̂): Trio keeps the containing monomial
+        // s1·s2·s3 in the first but not the second, so Trio lineage is not
+        // invariant under query equivalence — the core is.
+        let full = triangle_provenance();
+        let minimal = Polynomial::parse("s1 + 3·s2·s4·s5");
+        assert_ne!(
+            TrioLineage::from_polynomial(&full).as_polynomial(),
+            TrioLineage::from_polynomial(&minimal).as_polynomial(),
+            "Trio distinguishes equivalent computations"
+        );
+        assert_eq!(core_polynomial(&full), core_polynomial(&minimal));
+    }
+
+    #[test]
+    fn zero_polynomial_comparison() {
+        let cmp = ModelComparison::of(&Polynomial::zero_poly());
+        assert_eq!(cmp.sizes(), (0, 0, 0, 0));
+        assert!(cmp.core_monomials_subset_of_trio());
+        assert!(cmp.core_supports_equal_why_basis());
+    }
+}

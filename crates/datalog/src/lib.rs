@@ -1,0 +1,23 @@
+//! Non-recursive Datalog with `N[X]` provenance — the paper's §8
+//! future-work direction ("considering provenance minimization for more
+//! expressive query languages, e.g. Datalog"), realized for the
+//! non-recursive fragment.
+//!
+//! * [`Program`] — rule sets over EDB/IDB predicates, with a
+//!   non-recursiveness check;
+//! * [`evaluate`] — bottom-up provenance evaluation with per-stratum
+//!   materialization and transitive expansion to EDB annotations;
+//! * [`unfold`] — resolution-based rewriting of any IDB predicate into a
+//!   UCQ≠ over the EDB, which makes the paper's machinery apply verbatim;
+//! * [`core_query`] — the core provenance of a Datalog predicate via
+//!   `MinProv` on its unfolding (Theorem 4.6 through the reduction).
+
+#![warn(missing_docs)]
+
+mod eval;
+mod program;
+mod unfold;
+
+pub use eval::{core_query, evaluate, DatalogResult};
+pub use program::{Program, ProgramError};
+pub use unfold::{unfold, unfold_all};

@@ -1,0 +1,275 @@
+//! Unfolding (resolution): rewriting every IDB predicate of a
+//! non-recursive program into a UCQ≠ over the EDB only.
+//!
+//! This is the reduction that makes the paper's machinery apply to
+//! non-recursive Datalog: once `P` unfolds into `UCQ≠`, `MinProv`
+//! (Theorem 4.6) computes its core provenance.
+
+use std::collections::BTreeMap;
+
+use prov_storage::RelName;
+use prov_query::{ConjunctiveQuery, Term, UnionQuery, Variable};
+
+use crate::program::Program;
+
+/// Syntactic unification of argument vectors (no function symbols): binds
+/// variables of either side, fails on distinct constants. Returns a flat
+/// (fully resolved) substitution.
+fn unify(pairs: &[(Term, Term)]) -> Option<BTreeMap<Variable, Term>> {
+    let mut subst: BTreeMap<Variable, Term> = BTreeMap::new();
+    fn resolve(subst: &BTreeMap<Variable, Term>, mut t: Term) -> Term {
+        while let Term::Var(v) = t {
+            match subst.get(&v) {
+                Some(&next) if next != t => t = next,
+                _ => break,
+            }
+        }
+        t
+    }
+    for &(a, b) in pairs {
+        let ra = resolve(&subst, a);
+        let rb = resolve(&subst, b);
+        if ra == rb {
+            continue;
+        }
+        match (ra, rb) {
+            (Term::Var(v), other) => {
+                subst.insert(v, other);
+            }
+            (other, Term::Var(v)) => {
+                subst.insert(v, other);
+            }
+            (Term::Const(_), Term::Const(_)) => return None,
+        }
+    }
+    // Flatten chains so a single application suffices.
+    let keys: Vec<Variable> = subst.keys().copied().collect();
+    for v in keys {
+        let flat = resolve(&subst, Term::Var(v));
+        subst.insert(v, flat);
+    }
+    Some(subst)
+}
+
+/// Resolves `rule`'s body atom at `index` (an IDB atom) against one
+/// unfolded adjunct of its predicate: renames the adjunct apart, unifies
+/// its head with the atom, splices its body in place of the atom, and
+/// applies the unifier. `None` when unification fails or a disequality
+/// becomes unsatisfiable — that combination contributes no derivations.
+fn resolve_atom(
+    rule: &ConjunctiveQuery,
+    index: usize,
+    adjunct: &ConjunctiveQuery,
+) -> Option<ConjunctiveQuery> {
+    let fresh = adjunct.rename_apart();
+    let atom = &rule.atoms()[index];
+    if fresh.head().arity() != atom.arity() {
+        return None;
+    }
+    let pairs: Vec<(Term, Term)> = fresh
+        .head()
+        .args
+        .iter()
+        .copied()
+        .zip(atom.args.iter().copied())
+        .collect();
+    let subst = unify(&pairs)?;
+
+    // Apply the unifier while splicing: rule minus the atom, plus the
+    // adjunct's body; diseqs from both. The substitution must be applied
+    // *before* constructing the query — safety only holds afterwards.
+    let mut apply = |t: Term| match t {
+        Term::Var(v) => subst.get(&v).copied().unwrap_or(Term::Var(v)),
+        c @ Term::Const(_) => c,
+    };
+    let head = rule.head().map_terms(&mut apply);
+    let mut atoms = Vec::with_capacity(rule.atoms().len() - 1 + fresh.atoms().len());
+    for (i, a) in rule.atoms().iter().enumerate() {
+        if i != index {
+            atoms.push(a.map_terms(&mut apply));
+        }
+    }
+    atoms.extend(fresh.atoms().iter().map(|a| a.map_terms(&mut apply)));
+    let mut diseqs: Vec<prov_query::Diseq> = Vec::new();
+    for d in rule.diseqs().iter().chain(fresh.diseqs()) {
+        let (l, r) = d.sides();
+        let (li, ri) = (apply(l), apply(r));
+        if li == ri {
+            return None; // t ≠ t: this combination is unsatisfiable.
+        }
+        match (li, ri) {
+            (Term::Var(lv), rt) => diseqs.push(prov_query::Diseq::new(lv, rt)),
+            (lt, Term::Var(rv)) => diseqs.push(prov_query::Diseq::new(rv, lt)),
+            (Term::Const(_), Term::Const(_)) => {} // distinct: vacuous
+        }
+    }
+    ConjunctiveQuery::new(head, atoms, diseqs).ok()
+}
+
+/// Unfolds one rule into EDB-only conjunctive queries, resolving IDB atoms
+/// left to right against `defs` (which must already contain every IDB
+/// predicate the rule uses — guaranteed by dependency order).
+fn unfold_rule(
+    rule: &ConjunctiveQuery,
+    defs: &BTreeMap<RelName, Vec<ConjunctiveQuery>>,
+    program: &Program,
+) -> Vec<ConjunctiveQuery> {
+    let idb_atom = rule
+        .atoms()
+        .iter()
+        .position(|a| !program.is_edb(a.relation));
+    let Some(index) = idb_atom else {
+        return vec![rule.clone()];
+    };
+    let predicate = rule.atoms()[index].relation;
+    let adjuncts = defs
+        .get(&predicate)
+        .expect("dependency order guarantees the definition exists");
+    let mut out = Vec::new();
+    for adjunct in adjuncts {
+        if let Some(resolved) = resolve_atom(rule, index, adjunct) {
+            out.extend(unfold_rule(&resolved, defs, program));
+        }
+    }
+    out
+}
+
+/// Unfolds every IDB predicate of `program` into EDB-only conjunctive
+/// queries. A predicate may unfold to no adjuncts (unsatisfiable).
+pub fn unfold_all(program: &Program) -> BTreeMap<RelName, Vec<ConjunctiveQuery>> {
+    let mut defs: BTreeMap<RelName, Vec<ConjunctiveQuery>> = BTreeMap::new();
+    for &predicate in program.idb_order() {
+        let mut unfolded = Vec::new();
+        for rule in program.rules_for(predicate) {
+            unfolded.extend(unfold_rule(rule, &defs, program));
+        }
+        defs.insert(predicate, unfolded);
+    }
+    defs
+}
+
+/// Unfolds one predicate into a UCQ≠ over the EDB. `None` if the
+/// predicate is unsatisfiable (no surviving adjuncts) or undefined.
+pub fn unfold(program: &Program, predicate: RelName) -> Option<UnionQuery> {
+    let defs = unfold_all(program);
+    let adjuncts = defs.get(&predicate)?.clone();
+    UnionQuery::new(adjuncts).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_hop_unfolds_to_join() {
+        let p = Program::parse(
+            "hop(x,y) :- E(x,y)\n\
+             two(x,z) :- hop(x,y), hop(y,z)",
+        )
+        .unwrap();
+        let ucq = unfold(&p, RelName::new("two")).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let q = &ucq.adjuncts()[0];
+        assert_eq!(q.len(), 2);
+        assert!(q.atoms().iter().all(|a| a.relation == RelName::new("E")));
+    }
+
+    #[test]
+    fn union_definitions_multiply_out() {
+        // v has 2 rules; w joins two v's → 4 unfolded adjuncts.
+        let p = Program::parse(
+            "v(x) :- E(x,y)\n\
+             v(x) :- F(x)\n\
+             w(x) :- v(x), v(x)",
+        )
+        .unwrap();
+        let ucq = unfold(&p, RelName::new("w")).unwrap();
+        assert_eq!(ucq.len(), 4);
+    }
+
+    #[test]
+    fn constants_propagate_through_unfolding() {
+        let p = Program::parse(
+            "v(x) :- E(x,'a')\n\
+             w() :- v('b')",
+        )
+        .unwrap();
+        let ucq = unfold(&p, RelName::new("w")).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let q = &ucq.adjuncts()[0];
+        // Unfolds to w() :- E('b','a').
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.atoms()[0].args[0], Term::constant("b"));
+        assert_eq!(q.atoms()[0].args[1], Term::constant("a"));
+    }
+
+    #[test]
+    fn constant_clash_drops_the_combination() {
+        let p = Program::parse(
+            "v('a') :- E('a')\n\
+             w() :- v('b')",
+        )
+        .unwrap();
+        // v's head constant 'a' cannot unify with 'b': w is unsatisfiable.
+        assert!(unfold(&p, RelName::new("w")).is_none());
+    }
+
+    #[test]
+    fn diseqs_travel_with_adjuncts() {
+        let p = Program::parse(
+            "v(x,y) :- E(x,y), x != y\n\
+             w(x) :- v(x,x2)",
+        )
+        .unwrap();
+        let ucq = unfold(&p, RelName::new("w")).unwrap();
+        assert_eq!(ucq.adjuncts()[0].diseqs().len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_diseq_after_unification_drops_adjunct() {
+        let p = Program::parse(
+            "v(x,y) :- E(x,y), x != y\n\
+             w(x) :- v(x,x)",
+        )
+        .unwrap();
+        // Unifying v's two head vars collapses x != y to x != x.
+        assert!(unfold(&p, RelName::new("w")).is_none());
+    }
+
+    #[test]
+    fn repeated_head_vars_in_definition_merge_caller_vars() {
+        let p = Program::parse(
+            "diag(x,x) :- E(x)\n\
+             w(u,v2) :- diag(u,v2)",
+        )
+        .unwrap();
+        let ucq = unfold(&p, RelName::new("w")).unwrap();
+        let q = &ucq.adjuncts()[0];
+        // u and v2 are forced equal: head must repeat a single variable.
+        assert_eq!(q.head().args[0], q.head().args[1]);
+    }
+
+    #[test]
+    fn deep_chains_unfold_transitively() {
+        let p = Program::parse(
+            "a(x,y) :- E(x,y)\n\
+             b(x,z) :- a(x,y), a(y,z)\n\
+             c(x,w) :- b(x,z), b(z,w)",
+        )
+        .unwrap();
+        let ucq = unfold(&p, RelName::new("c")).unwrap();
+        assert_eq!(ucq.len(), 1);
+        assert_eq!(ucq.adjuncts()[0].len(), 4); // E-path of length 4
+    }
+
+    #[test]
+    fn unify_handles_variable_chains() {
+        let x = Term::var("uf_x");
+        let y = Term::var("uf_y");
+        let c = Term::constant("uf_c");
+        let subst = unify(&[(x, y), (y, c)]).unwrap();
+        assert_eq!(subst[&Variable::new("uf_x")], c);
+        assert_eq!(subst[&Variable::new("uf_y")], c);
+        assert!(unify(&[(c, Term::constant("uf_d"))]).is_none());
+    }
+}

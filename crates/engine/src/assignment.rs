@@ -1,0 +1,85 @@
+//! Assignments of query atoms to database tuples (paper Def 2.6).
+
+use std::collections::BTreeMap;
+
+use prov_semiring::Monomial;
+use prov_storage::{Database, Tuple, Value};
+use prov_query::{ConjunctiveQuery, Term, Variable};
+
+/// An assignment: a mapping of the relational atoms of a query to tuples of
+/// a database that respects relation names, induces a consistent argument
+/// mapping, and satisfies the query's disequalities (Def 2.6).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    /// `tuples[i]` is the database tuple atom `i` is mapped to.
+    pub tuples: Vec<Tuple>,
+    /// The induced mapping on variables.
+    pub bindings: BTreeMap<Variable, Value>,
+}
+
+impl Assignment {
+    /// `σ(head(Q))`: the output tuple this assignment yields (Def 2.6).
+    pub fn head_tuple(&self, q: &ConjunctiveQuery) -> Tuple {
+        q.head()
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => *self
+                    .bindings
+                    .get(v)
+                    .expect("head variable bound (query safety)"),
+                Term::Const(c) => *c,
+            })
+            .collect()
+    }
+
+    /// The provenance monomial of this assignment: the product of the
+    /// annotations of the assigned tuples, multiplicities included
+    /// (Def 2.12).
+    pub fn monomial(&self, q: &ConjunctiveQuery, db: &Database) -> Monomial {
+        Monomial::from_annotations(self.tuples.iter().zip(q.atoms()).map(|(t, atom)| {
+            db.annotation_of(atom.relation, t)
+                .expect("assigned tuple exists in the database")
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::assignments;
+    use prov_query::parse_cq;
+
+    fn table_2_database() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        db
+    }
+
+    #[test]
+    fn example_2_7_assignment_enumeration() {
+        let db = table_2_database();
+        // First adjunct of Qunion: two assignments.
+        let q1 = parse_cq("ans(x) :- R(x,y), R(y,x), x != y").unwrap();
+        let assignments_q1 = assignments(&q1, &db);
+        assert_eq!(assignments_q1.len(), 2);
+        // Second adjunct: two assignments ((a,a) and (b,b)).
+        let q2 = parse_cq("ans(x) :- R(x,x)").unwrap();
+        assert_eq!(assignments(&q2, &db).len(), 2);
+    }
+
+    #[test]
+    fn head_tuple_and_monomial() {
+        let db = table_2_database();
+        let q1 = parse_cq("ans(x) :- R(x,y), R(y,x), x != y").unwrap();
+        let all = assignments(&q1, &db);
+        let first = all
+            .iter()
+            .find(|a| a.head_tuple(&q1) == Tuple::of(&["a"]))
+            .expect("assignment yielding (a)");
+        assert_eq!(first.monomial(&q1, &db), Monomial::parse("s2·s3"));
+    }
+}

@@ -1,0 +1,473 @@
+//! Provenance-annotated query evaluation (paper Def 2.12):
+//! `P(t, Q, D) = Σ_{σ ∈ A(t,Q,D)} Π_{Ri ∈ body(Q)} P(σ(Ri))`.
+//!
+//! Two execution strategies are provided and benchmarked against each
+//! other (ablation B1): a naive nested-loop over atoms in written order,
+//! and the default planned strategy (most-bound-first atom ordering plus
+//! per-position hash indexes). Both enumerate exactly the assignments of
+//! Def 2.6; provenance is identical.
+
+use std::collections::BTreeMap;
+
+use prov_semiring::{CommutativeSemiring, Polynomial};
+use prov_storage::{Database, Tuple, Valuation, Value};
+use prov_query::{ConjunctiveQuery, Term, UnionQuery, Variable};
+
+use crate::assignment::Assignment;
+use crate::index::DatabaseIndex;
+
+/// The annotated result of a query: each output tuple with its provenance
+/// polynomial. Boolean queries produce (at most) the empty tuple.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AnnotatedResult {
+    tuples: BTreeMap<Tuple, Polynomial>,
+}
+
+impl AnnotatedResult {
+    /// The provenance of `t`, or the zero polynomial if `t` is not in the
+    /// result.
+    pub fn provenance(&self, t: &Tuple) -> Polynomial {
+        self.tuples.get(t).cloned().unwrap_or_else(Polynomial::zero_poly)
+    }
+
+    /// For boolean queries: the provenance of the empty tuple
+    /// (paper notation `P(Q, D)`).
+    pub fn boolean_provenance(&self) -> Polynomial {
+        self.provenance(&Tuple::empty())
+    }
+
+    /// Whether `t` is in the result.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains_key(t)
+    }
+
+    /// Iterates `(tuple, provenance)` pairs in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Polynomial)> {
+        self.tuples.iter()
+    }
+
+    /// The output tuples (the ordinary, provenance-free query result).
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.keys()
+    }
+
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Adds the provenance of another result (union of derivations).
+    pub fn merge(&mut self, other: AnnotatedResult) {
+        for (t, p) in other.tuples {
+            match self.tuples.entry(t) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(p);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let sum = e.get().add(&p);
+                    e.insert(sum);
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, t: Tuple, m: prov_semiring::Monomial) {
+        self.tuples
+            .entry(t)
+            .or_insert_with(Polynomial::zero_poly)
+            .add_monomial(m);
+    }
+}
+
+/// Evaluation strategy knobs (the B1 ablation axes).
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Process atoms most-bound-first instead of written order.
+    pub reorder_atoms: bool,
+    /// Use per-position hash indexes instead of full scans.
+    pub use_index: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { reorder_atoms: true, use_index: true }
+    }
+}
+
+impl EvalOptions {
+    /// The naive reference strategy: written order, full scans.
+    pub fn naive() -> Self {
+        EvalOptions { reorder_atoms: false, use_index: false }
+    }
+}
+
+/// Enumerates all assignments of `q` into `db` (Def 2.6) under the
+/// default strategy.
+pub fn assignments(q: &ConjunctiveQuery, db: &Database) -> Vec<Assignment> {
+    assignments_with(q, db, EvalOptions::default())
+}
+
+/// Enumerates all assignments of `q` into `db` under explicit options.
+pub fn assignments_with(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+) -> Vec<Assignment> {
+    let n = q.atoms().len();
+    let order = if options.reorder_atoms {
+        plan_atom_order(q)
+    } else {
+        (0..n).collect()
+    };
+    let index = options.use_index.then(|| DatabaseIndex::build(db));
+    let mut out = Vec::new();
+    let mut tuples: Vec<Tuple> = vec![Tuple::empty(); n];
+    let mut bindings: BTreeMap<Variable, Value> = BTreeMap::new();
+    extend(q, db, index.as_ref(), &order, 0, &mut tuples, &mut bindings, &mut out);
+    out
+}
+
+/// Orders atoms most-bound-first: atoms with constants and already-bound
+/// variables come earlier, shrinking the candidate sets.
+fn plan_atom_order(q: &ConjunctiveQuery) -> Vec<usize> {
+    let n = q.atoms().len();
+    let mut bound: std::collections::BTreeSet<Variable> = std::collections::BTreeSet::new();
+    let mut order = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let atom = &q.atoms()[i];
+                let consts = atom.args.iter().filter(|t| !t.is_var()).count();
+                let bound_vars = atom.variables().filter(|v| bound.contains(v)).count();
+                let unbound = atom.variables().filter(|v| !bound.contains(v)).count();
+                (consts + bound_vars, usize::MAX - unbound, usize::MAX - i)
+            })
+            .expect("remaining non-empty");
+        order.push(best);
+        bound.extend(q.atoms()[best].variables());
+        remaining.remove(pos);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    index: Option<&DatabaseIndex<'_>>,
+    order: &[usize],
+    step: usize,
+    tuples: &mut Vec<Tuple>,
+    bindings: &mut BTreeMap<Variable, Value>,
+    out: &mut Vec<Assignment>,
+) {
+    if step == order.len() {
+        out.push(Assignment { tuples: tuples.clone(), bindings: bindings.clone() });
+        return;
+    }
+    let atom_idx = order[step];
+    let atom = &q.atoms()[atom_idx];
+    let Some(relation) = db.relation(atom.relation) else {
+        return;
+    };
+    if relation.arity() != atom.arity() {
+        return;
+    }
+
+    // Candidate rows: via the most selective posting list when some
+    // argument is already bound, else a full scan.
+    let rows: Vec<&(Tuple, prov_semiring::Annotation)> = match index
+        .and_then(|ix| ix.relation(atom.relation))
+    {
+        Some(rel_index) => {
+            let constraints: Vec<(usize, Value)> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, term)| match term {
+                    Term::Const(c) => Some((pos, *c)),
+                    Term::Var(v) => bindings.get(v).map(|&val| (pos, val)),
+                })
+                .collect();
+            match rel_index.most_selective(&constraints) {
+                Some(posting) => {
+                    let all: Vec<_> = relation.iter().collect();
+                    posting.iter().map(|&row| all[row]).collect()
+                }
+                None => relation.iter().collect(),
+            }
+        }
+        None => relation.iter().collect(),
+    };
+
+    'candidates: for (tuple, _) in rows {
+        let mut added: Vec<Variable> = Vec::new();
+        for (term, &value) in atom.args.iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != value {
+                        unbind(bindings, &added);
+                        continue 'candidates;
+                    }
+                }
+                Term::Var(v) => match bindings.get(v) {
+                    Some(&bound) => {
+                        if bound != value {
+                            unbind(bindings, &added);
+                            continue 'candidates;
+                        }
+                    }
+                    None => {
+                        bindings.insert(*v, value);
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        // Eager disequality check on fully-bound disequalities.
+        if diseqs_satisfiable(q, bindings) {
+            tuples[atom_idx] = tuple.clone();
+            extend(q, db, index, order, step + 1, tuples, bindings, out);
+        }
+        unbind(bindings, &added);
+    }
+}
+
+fn unbind(bindings: &mut BTreeMap<Variable, Value>, added: &[Variable]) {
+    for v in added {
+        bindings.remove(v);
+    }
+}
+
+fn diseqs_satisfiable(q: &ConjunctiveQuery, bindings: &BTreeMap<Variable, Value>) -> bool {
+    q.diseqs().iter().all(|d| {
+        let left = bindings.get(&d.left());
+        let right = match d.right() {
+            Term::Var(v) => bindings.get(&v).copied(),
+            Term::Const(c) => Some(c),
+        };
+        match (left, right) {
+            (Some(&l), Some(r)) => l != r,
+            _ => true, // not fully bound yet
+        }
+    })
+}
+
+/// Evaluates a conjunctive query over an abstractly-tagged database,
+/// producing each output tuple with its `N[X]` provenance (Def 2.12).
+pub fn eval_cq(q: &ConjunctiveQuery, db: &Database) -> AnnotatedResult {
+    eval_cq_with(q, db, EvalOptions::default())
+}
+
+/// [`eval_cq`] under explicit strategy options.
+pub fn eval_cq_with(q: &ConjunctiveQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
+    let mut result = AnnotatedResult::default();
+    for a in assignments_with(q, db, options) {
+        result.record(a.head_tuple(q), a.monomial(q, db));
+    }
+    result
+}
+
+/// Evaluates a union of conjunctive queries: provenance sums over adjuncts
+/// (Def 2.12, union case).
+pub fn eval_ucq(q: &UnionQuery, db: &Database) -> AnnotatedResult {
+    eval_ucq_with(q, db, EvalOptions::default())
+}
+
+/// [`eval_ucq`] under explicit strategy options.
+pub fn eval_ucq_with(q: &UnionQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
+    let mut result = AnnotatedResult::default();
+    for adj in q.adjuncts() {
+        result.merge(eval_cq_with(adj, db, options));
+    }
+    result
+}
+
+/// Evaluates a union query directly into a semiring `K` by specializing
+/// the provenance polynomials under `valuation` — the factorization of
+/// `K`-relational semantics through `N[X]` (universal property).
+pub fn eval_in_semiring<K: CommutativeSemiring>(
+    q: &UnionQuery,
+    db: &Database,
+    valuation: &Valuation<K>,
+) -> BTreeMap<Tuple, K> {
+    eval_ucq(q, db)
+        .iter()
+        .map(|(t, p)| (t.clone(), valuation.eval(p)))
+        .filter(|(_, k)| !k.is_zero())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_query::{parse_cq, parse_ucq};
+    use prov_semiring::Natural;
+
+    fn table_2_database() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        db
+    }
+
+    #[test]
+    fn example_2_13_qunion_provenance() {
+        // Table 3: ans = {(a): s2·s3 + s1, (b): s3·s2 + s4}.
+        let db = table_2_database();
+        let qunion = parse_ucq(
+            "ans(x) :- R(x,y), R(y,x), x != y\n\
+             ans(x) :- R(x,x)",
+        )
+        .unwrap();
+        let result = eval_ucq(&qunion, &db);
+        assert_eq!(result.len(), 2);
+        assert_eq!(
+            result.provenance(&Tuple::of(&["a"])),
+            Polynomial::parse("s2·s3 + s1")
+        );
+        assert_eq!(
+            result.provenance(&Tuple::of(&["b"])),
+            Polynomial::parse("s3·s2 + s4")
+        );
+    }
+
+    #[test]
+    fn example_2_14_qconj_provenance() {
+        // Qconj: (a) ↦ s2·s3 + s1·s1, (b) ↦ s3·s2 + s4·s4.
+        let db = table_2_database();
+        let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let result = eval_cq(&qconj, &db);
+        assert_eq!(
+            result.provenance(&Tuple::of(&["a"])),
+            Polynomial::parse("s2·s3 + s1·s1")
+        );
+        assert_eq!(
+            result.provenance(&Tuple::of(&["b"])),
+            Polynomial::parse("s3·s2 + s4·s4")
+        );
+    }
+
+    #[test]
+    fn example_3_4_exponent_from_duplicate_use() {
+        // Q: ans():-R(x),R(y) on R = {(a):s}: provenance s·s.
+        let mut db = Database::new();
+        db.add("R", &["a"], "e34_s");
+        let q = parse_cq("ans() :- R(x), R(y)").unwrap();
+        let result = eval_cq(&q, &db);
+        assert_eq!(result.boolean_provenance(), Polynomial::parse("e34_s·e34_s"));
+        let q_single = parse_cq("ans() :- R(x)").unwrap();
+        assert_eq!(
+            eval_cq(&q_single, &db).boolean_provenance(),
+            Polynomial::parse("e34_s")
+        );
+    }
+
+    #[test]
+    fn constants_filter_tuples() {
+        let db = table_2_database();
+        let q = parse_cq("ans(x) :- R(x,'b')").unwrap();
+        let result = eval_cq(&q, &db);
+        assert_eq!(result.len(), 2); // (a) from s2, (b) from s4
+        assert_eq!(result.provenance(&Tuple::of(&["a"])), Polynomial::parse("s2"));
+    }
+
+    #[test]
+    fn empty_result_when_diseq_unsatisfied() {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "dq_s1");
+        let q = parse_cq("ans(x) :- R(x,y), x != y").unwrap();
+        assert!(eval_cq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn missing_relation_yields_empty() {
+        let db = table_2_database();
+        let q = parse_cq("ans(x) :- Missing(x)").unwrap();
+        assert!(eval_cq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_yields_empty() {
+        let db = table_2_database();
+        let q = parse_cq("ans(x) :- R(x)").unwrap();
+        assert!(eval_cq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn semiring_evaluation_counts_derivations() {
+        let db = table_2_database();
+        let qconj = parse_ucq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let counts = eval_in_semiring(&qconj, &db, &Valuation::<Natural>::all_one());
+        assert_eq!(counts[&Tuple::of(&["a"])], Natural(2));
+        assert_eq!(counts[&Tuple::of(&["b"])], Natural(2));
+    }
+
+    #[test]
+    fn merge_sums_provenance() {
+        let db = table_2_database();
+        let q = parse_ucq("ans(x) :- R(x,x)\nans(x) :- R(x,x)").unwrap();
+        // Unioning a query with itself doubles each monomial.
+        let result = eval_ucq(&q, &db);
+        assert_eq!(
+            result.provenance(&Tuple::of(&["a"])),
+            Polynomial::parse("2·s1")
+        );
+    }
+
+    #[test]
+    fn strategies_agree_on_paper_queries() {
+        let db = table_2_database();
+        for text in [
+            "ans(x) :- R(x,y), R(y,x)",
+            "ans() :- R(x,y), R(y,z), R(z,x)",
+            "ans(x) :- R(x,'b')",
+            "ans(x) :- R(x,y), R(y,x), x != y",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let naive = eval_cq_with(&q, &db, EvalOptions::naive());
+            let planned = eval_cq_with(&q, &db, EvalOptions::default());
+            assert_eq!(naive, planned, "strategies disagree on {text}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_random_instances() {
+        use prov_storage::generator::{random_database, DatabaseSpec};
+        use prov_query::generate::{random_cq, QuerySpec};
+        let spec = QuerySpec {
+            diseq_percent: 30,
+            ..QuerySpec::binary(3, 3)
+        };
+        for seed in 0..25u64 {
+            let q = random_cq(&spec, seed);
+            let db = random_database(&DatabaseSpec::single_binary(8, 3), seed);
+            let naive = eval_cq_with(&q, &db, EvalOptions::naive());
+            let planned = eval_cq_with(&q, &db, EvalOptions::default());
+            assert_eq!(naive, planned, "strategies disagree on {q} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn index_only_and_reorder_only_also_agree() {
+        let db = table_2_database();
+        let q = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+        let reference = eval_cq_with(&q, &db, EvalOptions::naive());
+        for options in [
+            EvalOptions { reorder_atoms: true, use_index: false },
+            EvalOptions { reorder_atoms: false, use_index: true },
+        ] {
+            assert_eq!(eval_cq_with(&q, &db, options), reference);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-relation position indexes for assignment enumeration.
+//!
+//! Built once per evaluation: for every relation and argument position, a
+//! hash index from value to the rows carrying it. Extending a partial
+//! assignment through an atom with at least one bound argument then scans
+//! only the shortest matching posting list instead of the whole relation.
+
+use std::collections::HashMap;
+
+use prov_storage::{Database, RelName, Relation, Value};
+
+/// An index over one relation: `posting[(position, value)]` lists the row
+/// indices whose tuple has `value` at `position`.
+#[derive(Debug)]
+pub struct RelationIndex<'a> {
+    relation: &'a Relation,
+    posting: HashMap<(usize, Value), Vec<usize>>,
+}
+
+impl<'a> RelationIndex<'a> {
+    /// Builds the index for `relation`.
+    pub fn build(relation: &'a Relation) -> Self {
+        let mut posting: HashMap<(usize, Value), Vec<usize>> = HashMap::new();
+        for (row, (tuple, _)) in relation.iter().enumerate() {
+            for (pos, &value) in tuple.values().iter().enumerate() {
+                posting.entry((pos, value)).or_default().push(row);
+            }
+        }
+        RelationIndex { relation, posting }
+    }
+
+    /// The indexed relation.
+    pub fn relation(&self) -> &'a Relation {
+        self.relation
+    }
+
+    /// Rows whose tuple has `value` at `position` (empty slice if none).
+    pub fn matching(&self, position: usize, value: Value) -> &[usize] {
+        self.posting
+            .get(&(position, value))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Of the given `(position, value)` constraints, returns the posting
+    /// list of the most selective one, or `None` when unconstrained.
+    pub fn most_selective(&self, constraints: &[(usize, Value)]) -> Option<&[usize]> {
+        constraints
+            .iter()
+            .map(|&(pos, v)| self.matching(pos, v))
+            .min_by_key(|rows| rows.len())
+    }
+}
+
+/// Indexes for every relation of a database.
+#[derive(Debug)]
+pub struct DatabaseIndex<'a> {
+    by_relation: HashMap<RelName, RelationIndex<'a>>,
+}
+
+impl<'a> DatabaseIndex<'a> {
+    /// Builds indexes for all relations of `db`.
+    pub fn build(db: &'a Database) -> Self {
+        DatabaseIndex {
+            by_relation: db
+                .relations()
+                .map(|r| (r.name(), RelationIndex::build(r)))
+                .collect(),
+        }
+    }
+
+    /// The index for `rel`, if the relation exists.
+    pub fn relation(&self, rel: RelName) -> Option<&RelationIndex<'a>> {
+        self.by_relation.get(&rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_storage::Tuple;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "b"], "ix1");
+        db.add("R", &["a", "c"], "ix2");
+        db.add("R", &["b", "c"], "ix3");
+        db
+    }
+
+    #[test]
+    fn posting_lists_are_correct() {
+        let db = sample();
+        let idx = DatabaseIndex::build(&db);
+        let r = idx.relation(RelName::new("R")).unwrap();
+        assert_eq!(r.matching(0, Value::new("a")).len(), 2);
+        assert_eq!(r.matching(1, Value::new("c")).len(), 2);
+        assert_eq!(r.matching(0, Value::new("zz")).len(), 0);
+    }
+
+    #[test]
+    fn most_selective_picks_shortest() {
+        let db = sample();
+        let idx = DatabaseIndex::build(&db);
+        let r = idx.relation(RelName::new("R")).unwrap();
+        let rows = r
+            .most_selective(&[(0, Value::new("a")), (1, Value::new("b"))])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let (tuple, _) = &r.relation().iter().nth(rows[0]).cloned().unwrap();
+        assert_eq!(*tuple, Tuple::of(&["a", "b"]));
+    }
+
+    #[test]
+    fn unconstrained_returns_none() {
+        let db = sample();
+        let idx = DatabaseIndex::build(&db);
+        let r = idx.relation(RelName::new("R")).unwrap();
+        assert!(r.most_selective(&[]).is_none());
+    }
+
+    #[test]
+    fn missing_relation() {
+        let db = sample();
+        let idx = DatabaseIndex::build(&db);
+        assert!(idx.relation(RelName::new("Nope")).is_none());
+    }
+}

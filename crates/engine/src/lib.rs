@@ -1,0 +1,20 @@
+//! Provenance-annotated query evaluation — the execution substrate of
+//! `provmin` (paper Def 2.6 / Def 2.12).
+//!
+//! Evaluates conjunctive queries and unions over abstractly-tagged
+//! databases by enumerating assignments, producing an `N[X]` provenance
+//! polynomial per output tuple, and optionally specializing into any
+//! commutative semiring via a valuation.
+
+#![warn(missing_docs)]
+
+mod assignment;
+mod eval;
+mod index;
+
+pub use assignment::Assignment;
+pub use eval::{
+    assignments, assignments_with, eval_cq, eval_cq_with, eval_in_semiring, eval_ucq,
+    eval_ucq_with, AnnotatedResult, EvalOptions,
+};
+pub use index::{DatabaseIndex, RelationIndex};

@@ -1,0 +1,186 @@
+//! Every query, relation and database instance appearing in the paper,
+//! constructed exactly as printed (Figures 1–3, Tables 2–6).
+
+use prov_storage::Database;
+use prov_query::{parse_cq, parse_ucq, ConjunctiveQuery, UnionQuery};
+
+/// Figure 1, `Q1`: `ans(x) :- R(x,y), R(y,x), x ≠ y`.
+pub fn fig1_q1() -> ConjunctiveQuery {
+    parse_cq("ans(x) :- R(x,y), R(y,x), x != y").expect("Figure 1 Q1 parses")
+}
+
+/// Figure 1, `Q2`: `ans(x) :- R(x,x)`.
+pub fn fig1_q2() -> ConjunctiveQuery {
+    parse_cq("ans(x) :- R(x,x)").expect("Figure 1 Q2 parses")
+}
+
+/// Figure 1, `Qunion = Q1 ∪ Q2`.
+pub fn fig1_qunion() -> UnionQuery {
+    UnionQuery::new(vec![fig1_q1(), fig1_q2()]).expect("Figure 1 Qunion is well-formed")
+}
+
+/// Figure 1, `Qconj`: `ans(x) :- R(x,y), R(y,x)`.
+pub fn fig1_qconj() -> ConjunctiveQuery {
+    parse_cq("ans(x) :- R(x,y), R(y,x)").expect("Figure 1 Qconj parses")
+}
+
+/// Table 2: relation `R` with tuples `(a,a):s1, (a,b):s2, (b,a):s3,
+/// (b,b):s4`.
+pub fn table_2_database() -> Database {
+    let mut db = Database::new();
+    db.add("R", &["a", "a"], "s1");
+    db.add("R", &["a", "b"], "s2");
+    db.add("R", &["b", "a"], "s3");
+    db.add("R", &["b", "b"], "s4");
+    db
+}
+
+/// Figure 2, `QnoPmin` (the query with no p-minimal equivalent in CQ≠).
+pub fn fig2_qnopmin() -> ConjunctiveQuery {
+    parse_cq(
+        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2",
+    )
+    .expect("Figure 2 QnoPmin parses")
+}
+
+/// Figure 2, `Qalt` (equivalent to `QnoPmin`, incomparable provenance).
+pub fn fig2_qalt() -> ConjunctiveQuery {
+    parse_cq(
+        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3",
+    )
+    .expect("Figure 2 Qalt parses")
+}
+
+/// Figure 2, `Qalt2` (`x1 ≠ x4` variant).
+pub fn fig2_qalt2() -> ConjunctiveQuery {
+    parse_cq(
+        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x4",
+    )
+    .expect("Figure 2 Qalt2 parses")
+}
+
+/// Figure 2, `Qalt3` (`x1 ≠ x5` variant).
+pub fn fig2_qalt3() -> ConjunctiveQuery {
+    parse_cq(
+        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x5",
+    )
+    .expect("Figure 2 Qalt3 parses")
+}
+
+/// Table 4: database `D` with `R = {(a,b):s1, (b,a):s2, (a,a):s3}` and
+/// `S = {(a):s0}` (the `S` tuple is from the Lemma 3.6 proof text).
+pub fn table_4_database() -> Database {
+    let mut db = Database::new();
+    db.add("R", &["a", "b"], "s1");
+    db.add("R", &["b", "a"], "s2");
+    db.add("R", &["a", "a"], "s3");
+    db.add("S", &["a"], "s0");
+    db
+}
+
+/// Table 5: database `D'` with `R = {(a,b):s'1, (b,c):s'2, (c,a):s'3,
+/// (a,a):s'4}` and `S = {(a):s'0}`.
+pub fn table_5_database() -> Database {
+    let mut db = Database::new();
+    db.add("R", &["a", "b"], "sp1");
+    db.add("R", &["b", "c"], "sp2");
+    db.add("R", &["c", "a"], "sp3");
+    db.add("R", &["a", "a"], "sp4");
+    db.add("S", &["a"], "sp0");
+    db
+}
+
+/// Figure 3, `Q̂`: `ans() :- R(x,y), R(y,z), R(z,x)` (the triangle query).
+pub fn fig3_qhat() -> ConjunctiveQuery {
+    parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").expect("Figure 3 Q̂ parses")
+}
+
+/// Figure 3, `Q̂_III` — the expected MinProv output `Q̂min1 ∪ Q̂5`.
+pub fn fig3_qhat_expected_output() -> UnionQuery {
+    parse_ucq(
+        "ans() :- R(v1,v1)\n\
+         ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3",
+    )
+    .expect("Figure 3 Q̂_III parses")
+}
+
+/// Table 6: database `D̂` with `R = {(a,a):s1, (a,b):s2, (b,a):s3,
+/// (b,c):s4, (c,a):s5}`.
+pub fn table_6_database() -> Database {
+    let mut db = Database::new();
+    db.add("R", &["a", "a"], "s1");
+    db.add("R", &["a", "b"], "s2");
+    db.add("R", &["b", "a"], "s3");
+    db.add("R", &["b", "c"], "s4");
+    db.add("R", &["c", "a"], "s5");
+    db
+}
+
+/// Example 4.2's query: `ans(x,y) :- R(x,y), x ≠ 'a', x ≠ y`.
+pub fn example_4_2_query() -> ConjunctiveQuery {
+    parse_cq("ans(x,y) :- R(x,y), x != 'a', x != y").expect("Example 4.2 parses")
+}
+
+/// Theorem 6.2's queries: `Q: ans(x) :- R(x), R(y), x ≠ y` and
+/// `Q': ans(x) :- R(x), R(x)`.
+pub fn theorem_6_2_queries() -> (ConjunctiveQuery, ConjunctiveQuery) {
+    (
+        parse_cq("ans(x) :- R(x), R(y), x != y").expect("Theorem 6.2 Q parses"),
+        parse_cq("ans(x) :- R(x), R(x)").expect("Theorem 6.2 Q' parses"),
+    )
+}
+
+/// Theorem 6.2's database: `R = {(a), (b)}` abstractly tagged; the paper
+/// collapses both annotations to `s` via a renaming (see
+/// `prov_storage::Renaming`).
+pub fn theorem_6_2_database() -> Database {
+    let mut db = Database::new();
+    db.add("R", &["a"], "t62_a");
+    db.add("R", &["b"], "t62_b");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_artifacts_construct() {
+        let _ = fig1_qunion();
+        let _ = fig1_qconj();
+        let _ = table_2_database();
+        let _ = fig2_qnopmin();
+        let _ = fig2_qalt();
+        let _ = fig2_qalt2();
+        let _ = fig2_qalt3();
+        let _ = table_4_database();
+        let _ = table_5_database();
+        let _ = fig3_qhat();
+        let _ = fig3_qhat_expected_output();
+        let _ = table_6_database();
+        let _ = example_4_2_query();
+        let _ = theorem_6_2_queries();
+        let _ = theorem_6_2_database();
+    }
+
+    #[test]
+    fn figure_2_queries_are_pairwise_equivalent() {
+        use prov_query::containment::cq_equivalent;
+        let queries = [fig2_qnopmin(), fig2_qalt(), fig2_qalt2(), fig2_qalt3()];
+        for (i, a) in queries.iter().enumerate() {
+            for b in &queries[i + 1..] {
+                assert!(cq_equivalent(a, b), "{a}\nvs\n{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_1_equivalence() {
+        use prov_query::containment::equivalent;
+        use prov_query::UnionQuery;
+        assert!(equivalent(
+            &fig1_qunion(),
+            &UnionQuery::single(fig1_qconj())
+        ));
+    }
+}

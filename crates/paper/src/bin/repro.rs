@@ -1,0 +1,55 @@
+//! `repro` — regenerates every table and figure of *"On Provenance
+//! Minimization"* (PODS 2011) and checks the output against the paper.
+//!
+//! Usage:
+//! ```text
+//! repro            # run all experiments
+//! repro E4 E7      # run selected experiments by id
+//! repro --list     # list experiment ids and titles
+//! ```
+
+use prov_paper::experiments::{render, run_all};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reports = run_all();
+
+    if args.iter().any(|a| a == "--list") {
+        for r in &reports {
+            println!("{:4} {}", r.id, r.title);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if args.is_empty() {
+        reports
+    } else {
+        reports
+            .into_iter()
+            .filter(|r| args.iter().any(|a| a.eq_ignore_ascii_case(r.id)))
+            .collect()
+    };
+
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0;
+    for report in &selected {
+        print!("{}", render(report));
+        println!();
+        if !report.pass {
+            failures += 1;
+        }
+    }
+    println!(
+        "{} experiments, {} passed, {} failed",
+        selected.len(),
+        selected.len() - failures,
+        failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

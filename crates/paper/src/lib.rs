@@ -1,0 +1,11 @@
+//! Reproduction artifacts for *"On Provenance Minimization"* (PODS 2011):
+//! every query, relation and database the paper prints ([`artifacts`]),
+//! and one experiment driver per table/figure/theorem ([`experiments`]).
+//!
+//! The `repro` binary runs the full suite:
+//! `cargo run -p prov-paper --bin repro` (or `--bin repro -- E4` for one).
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod experiments;

@@ -1,0 +1,196 @@
+//! Relational atoms and disequality atoms (paper Def 2.1).
+
+use std::fmt;
+
+use prov_storage::{RelName, Value};
+
+use crate::term::{Term, Variable};
+
+/// A relational atom `R(l1, ..., lk)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: RelName,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(relation: RelName, args: Vec<Term>) -> Self {
+        Atom { relation, args }
+    }
+
+    /// Convenience constructor: `Atom::of("R", &[Term::var("x"), ...])`.
+    pub fn of(relation: &str, args: &[Term]) -> Self {
+        Atom { relation: RelName::new(relation), args: args.to_vec() }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The variables occurring in the atom, with repetitions.
+    pub fn variables(&self) -> impl Iterator<Item = Variable> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// The constants occurring in the atom, with repetitions.
+    pub fn constants(&self) -> impl Iterator<Item = Value> + '_ {
+        self.args.iter().filter_map(Term::as_const)
+    }
+
+    /// Applies a term substitution to the arguments.
+    pub fn map_terms(&self, f: &mut impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            relation: self.relation,
+            args: self.args.iter().map(|&t| f(t)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A disequality atom `l ≠ r` (paper Def 2.1: the left side is a variable,
+/// the right side a variable or constant).
+///
+/// Variable–variable disequalities are stored with the smaller variable on
+/// the left so that `x ≠ y` and `y ≠ x` compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diseq {
+    left: Variable,
+    right: Term,
+}
+
+impl Diseq {
+    /// Builds a normalized disequality. Panics on the trivially
+    /// unsatisfiable `x ≠ x`.
+    pub fn new(left: Variable, right: Term) -> Self {
+        match right {
+            Term::Var(rv) => {
+                assert_ne!(left, rv, "disequality x ≠ x is unsatisfiable");
+                if rv < left {
+                    Diseq { left: rv, right: Term::Var(left) }
+                } else {
+                    Diseq { left, right }
+                }
+            }
+            Term::Const(_) => Diseq { left, right },
+        }
+    }
+
+    /// Variable–variable disequality.
+    pub fn vars(a: Variable, b: Variable) -> Self {
+        Diseq::new(a, Term::Var(b))
+    }
+
+    /// Variable–constant disequality.
+    pub fn var_const(v: Variable, c: Value) -> Self {
+        Diseq::new(v, Term::Const(c))
+    }
+
+    /// The left term (always a variable).
+    pub fn left(&self) -> Variable {
+        self.left
+    }
+
+    /// The right term.
+    pub fn right(&self) -> Term {
+        self.right
+    }
+
+    /// Both sides, as terms.
+    pub fn sides(&self) -> (Term, Term) {
+        (Term::Var(self.left), self.right)
+    }
+
+    /// The variables occurring in this disequality.
+    pub fn variables(&self) -> impl Iterator<Item = Variable> {
+        std::iter::once(self.left).chain(self.right.as_var())
+    }
+}
+
+impl fmt::Display for Diseq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} != {}", self.left, self.right)
+    }
+}
+
+impl fmt::Debug for Diseq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_display() {
+        let a = Atom::of("R", &[Term::var("x"), Term::constant("c")]);
+        assert_eq!(a.to_string(), "R(x,'c')");
+        assert_eq!(a.arity(), 2);
+    }
+
+    #[test]
+    fn atom_variable_and_constant_iteration() {
+        let a = Atom::of("R", &[Term::var("x"), Term::constant("c"), Term::var("x")]);
+        assert_eq!(a.variables().count(), 2);
+        assert_eq!(a.constants().count(), 1);
+    }
+
+    #[test]
+    fn diseq_normalizes_variable_order() {
+        let x = Variable::new("dq_x");
+        let y = Variable::new("dq_y");
+        assert_eq!(Diseq::vars(x, y), Diseq::vars(y, x));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn diseq_rejects_x_neq_x() {
+        let x = Variable::new("dq_same");
+        Diseq::vars(x, x);
+    }
+
+    #[test]
+    fn var_const_diseq_keeps_shape() {
+        let x = Variable::new("dq_v");
+        let d = Diseq::var_const(x, Value::new("a"));
+        assert_eq!(d.left(), x);
+        assert_eq!(d.right(), Term::constant("a"));
+    }
+
+    #[test]
+    fn map_terms_substitutes() {
+        let a = Atom::of("R", &[Term::var("mt_x"), Term::var("mt_y")]);
+        let target = Term::constant("a");
+        let b = a.map_terms(&mut |t| {
+            if t == Term::var("mt_x") {
+                target
+            } else {
+                t
+            }
+        });
+        assert_eq!(b.args, vec![Term::constant("a"), Term::var("mt_y")]);
+    }
+}

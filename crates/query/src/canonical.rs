@@ -1,0 +1,361 @@
+//! Canonical rewritings (paper Def 4.1): rewriting a CQ≠ query as the
+//! union of its *possible completions*, one complete conjunctive query per
+//! consistent way of equating/disequating its arguments.
+//!
+//! A possible completion is induced by a partition of `Var(Q) ∪ C` (for a
+//! constant set `C ⊇ Const(Q)`) in which each block holds at most one
+//! constant and no block merges the two sides of a disequality of `Q`.
+//! Block representatives replace the original arguments; all pairwise
+//! disequalities between the new variables and between new variables and
+//! the constants of `C` are added.
+//!
+//! The number of completions is exponential (partitions of the variable
+//! set — Bell-number growth), which is the engine of Theorem 4.10.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use prov_storage::Value;
+
+use crate::atom::Diseq;
+use crate::cq::ConjunctiveQuery;
+use crate::term::{Term, Variable};
+use crate::ucq::UnionQuery;
+
+/// Enumerates the set partitions of `n` elements as restricted-growth
+/// strings: `rgs[i]` is the block index of element `i`, with
+/// `rgs[i] ≤ 1 + max(rgs[..i])`.
+pub fn set_partitions(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut rgs = vec![0usize; n];
+    fn recurse(i: usize, max_used: usize, rgs: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if i == rgs.len() {
+            out.push(rgs.clone());
+            return;
+        }
+        for block in 0..=max_used + 1 {
+            rgs[i] = block;
+            recurse(i + 1, max_used.max(block), rgs, out);
+        }
+    }
+    if n == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    // First element is always in block 0.
+    recurse(1, 0, &mut rgs, &mut out);
+    out
+}
+
+/// The Bell number `B(n)` (number of set partitions), saturating.
+pub fn bell_number(n: usize) -> u64 {
+    // Bell triangle.
+    let mut row = vec![1u64];
+    for _ in 1..=n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("non-empty row"));
+        for &x in &row {
+            let prev = *next.last().expect("non-empty next");
+            next.push(prev.saturating_add(x));
+        }
+        row = next;
+    }
+    row[0]
+}
+
+/// One possible completion of a query: the complete query plus the
+/// partition data that produced it (kept for provenance bookkeeping and
+/// tests).
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The complete conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// For each original variable, the term it was replaced by.
+    pub replacement: BTreeMap<Variable, Term>,
+}
+
+/// Computes all possible completions of `q` with respect to constant set
+/// `consts ⊇ Const(q)` (paper Def 4.1). `Can(q) = completions(q, Const(q))`.
+pub fn completions(q: &ConjunctiveQuery, consts: &BTreeSet<Value>) -> Vec<Completion> {
+    let all_consts: BTreeSet<Value> = consts.union(&q.constants()).copied().collect();
+    let vars: Vec<Variable> = q.variables().into_iter().collect();
+    let const_list: Vec<Value> = all_consts.iter().copied().collect();
+    let mut out = Vec::new();
+
+    for rgs in set_partitions(vars.len()) {
+        let num_blocks = rgs.iter().copied().max().map_or(0, |m| m + 1);
+        // Check variable–variable disequalities of q: endpoints must be in
+        // different blocks.
+        let block_of = |v: Variable| -> usize {
+            let idx = vars.iter().position(|&x| x == v).expect("variable indexed");
+            rgs[idx]
+        };
+        let var_diseqs_ok = q.diseqs().iter().all(|d| match d.right() {
+            Term::Var(rv) => block_of(d.left()) != block_of(rv),
+            Term::Const(_) => true,
+        });
+        if !var_diseqs_ok {
+            continue;
+        }
+        // Enumerate injective partial assignments of constants to blocks.
+        // assignment[b] = Some(value) or None (fresh variable block).
+        let mut assignment: Vec<Option<Value>> = vec![None; num_blocks];
+        enumerate_const_assignments(
+            q,
+            &vars,
+            &rgs,
+            &const_list,
+            0,
+            &mut assignment,
+            &mut out,
+            &all_consts,
+        );
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_const_assignments(
+    q: &ConjunctiveQuery,
+    vars: &[Variable],
+    rgs: &[usize],
+    const_list: &[Value],
+    block: usize,
+    assignment: &mut Vec<Option<Value>>,
+    out: &mut Vec<Completion>,
+    all_consts: &BTreeSet<Value>,
+) {
+    if block == assignment.len() {
+        if let Some(completion) = build_completion(q, vars, rgs, assignment, all_consts) {
+            out.push(completion);
+        }
+        return;
+    }
+    // Block stays a fresh variable.
+    assignment[block] = None;
+    enumerate_const_assignments(q, vars, rgs, const_list, block + 1, assignment, out, all_consts);
+    // Or the block is identified with one constant not used by an earlier
+    // block (the partition of Var ∪ C puts each constant in one block).
+    for &c in const_list {
+        if assignment[..block].contains(&Some(c)) {
+            continue;
+        }
+        assignment[block] = Some(c);
+        enumerate_const_assignments(
+            q,
+            vars,
+            rgs,
+            const_list,
+            block + 1,
+            assignment,
+            out,
+            all_consts,
+        );
+    }
+    assignment[block] = None;
+}
+
+fn build_completion(
+    q: &ConjunctiveQuery,
+    vars: &[Variable],
+    rgs: &[usize],
+    assignment: &[Option<Value>],
+    all_consts: &BTreeSet<Value>,
+) -> Option<Completion> {
+    // Check variable–constant disequalities: a block assigned constant c
+    // must not contain a variable with the disequality x != c; and distinct
+    // constants are always disequal so var-var diseqs across blocks with
+    // different constants are satisfied automatically.
+    let block_of = |v: Variable| -> usize {
+        let idx = vars.iter().position(|&x| x == v).expect("variable indexed");
+        rgs[idx]
+    };
+    for d in q.diseqs() {
+        match d.right() {
+            Term::Const(c) => {
+                if assignment[block_of(d.left())] == Some(c) {
+                    return None;
+                }
+            }
+            Term::Var(rv) => {
+                // Different blocks by construction; if both blocks map to
+                // constants they are distinct constants (injective
+                // assignment), fine.
+                debug_assert_ne!(block_of(d.left()), block_of(rv));
+            }
+        }
+    }
+    // Build replacement terms per block: constant, or a new variable named
+    // v1, v2, ... as in the paper. Reusing these names across completions
+    // is safe: the replacement is total, so no original variable survives.
+    let mut next_var = 0usize;
+    let block_terms: Vec<Term> = assignment
+        .iter()
+        .map(|slot| match slot {
+            Some(c) => Term::Const(*c),
+            None => {
+                next_var += 1;
+                Term::Var(Variable::new(&format!("v{next_var}")))
+            }
+        })
+        .collect();
+    let mut replacement: BTreeMap<Variable, Term> = BTreeMap::new();
+    for (i, &v) in vars.iter().enumerate() {
+        replacement.insert(v, block_terms[rgs[i]]);
+    }
+    // Substitute into head and atoms; drop q's own disequalities (they are
+    // all satisfied by construction) and add the completeness set instead.
+    let head = q.head().map_terms(&mut |t| replace(t, &replacement));
+    let atoms = q
+        .atoms()
+        .iter()
+        .map(|a| a.map_terms(&mut |t| replace(t, &replacement)))
+        .collect::<Vec<_>>();
+    let fresh_vars: Vec<Variable> = block_terms.iter().filter_map(Term::as_var).collect();
+    let mut diseqs: Vec<Diseq> = Vec::new();
+    for (i, &x) in fresh_vars.iter().enumerate() {
+        for &y in &fresh_vars[i + 1..] {
+            diseqs.push(Diseq::vars(x, y));
+        }
+        for &c in all_consts {
+            diseqs.push(Diseq::var_const(x, c));
+        }
+    }
+    let query = ConjunctiveQuery::new(head, atoms, diseqs)
+        .expect("completion preserves well-formedness");
+    Some(Completion { query, replacement })
+}
+
+fn replace(t: Term, replacement: &BTreeMap<Variable, Term>) -> Term {
+    match t {
+        Term::Var(v) => *replacement.get(&v).expect("every variable partitioned"),
+        c @ Term::Const(_) => c,
+    }
+}
+
+/// The canonical rewriting `Can(Q, C)` of a conjunctive query (Def 4.1):
+/// the union of its possible completions w.r.t. `C ∪ Const(Q)`.
+pub fn canonical_rewriting(
+    q: &ConjunctiveQuery,
+    consts: &BTreeSet<Value>,
+) -> UnionQuery {
+    let completions = completions(q, consts);
+    UnionQuery::new(completions.into_iter().map(|c| c.query).collect())
+        .expect("canonical rewriting is a well-formed union")
+}
+
+/// The canonical rewriting of a union query: union of the canonical
+/// rewritings of its adjuncts w.r.t. the union's full constant set plus `C`
+/// (step I of MinProv).
+pub fn canonical_rewriting_union(q: &UnionQuery, consts: &BTreeSet<Value>) -> UnionQuery {
+    let all_consts: BTreeSet<Value> = consts.union(&q.constants()).copied().collect();
+    let mut adjuncts = Vec::new();
+    for adj in q.adjuncts() {
+        adjuncts.extend(completions(adj, &all_consts).into_iter().map(|c| c.query));
+    }
+    UnionQuery::new(adjuncts).expect("canonical rewriting is a well-formed union")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn partition_counts_are_bell_numbers() {
+        for n in 0..=6 {
+            assert_eq!(
+                set_partitions(n).len() as u64,
+                bell_number(n),
+                "partition count for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bell_numbers_match_known_values() {
+        let expected = [1u64, 1, 2, 5, 15, 52, 203, 877, 4140];
+        for (n, &b) in expected.iter().enumerate() {
+            assert_eq!(bell_number(n), b);
+        }
+    }
+
+    #[test]
+    fn example_4_2_canonical_rewriting() {
+        // Q: ans(x,y) :- R(x,y), x != 'a', x != y with C = {a, b}
+        // has exactly 5 completions (Q1..Q5 in the paper).
+        let q = parse_cq("ans(x,y) :- R(x,y), x != 'a', x != y").unwrap();
+        let consts: BTreeSet<Value> = [Value::new("a"), Value::new("b")].into();
+        let can = canonical_rewriting(&q, &consts);
+        assert_eq!(can.len(), 5, "got:\n{can}");
+        // Every adjunct is complete w.r.t. {a, b}.
+        for adj in can.adjuncts() {
+            assert!(adj.is_complete_wrt(&consts), "not complete: {adj}");
+        }
+    }
+
+    #[test]
+    fn example_4_7_canonical_rewriting_of_triangle() {
+        // Q̂: ans() :- R(x,y), R(y,z), R(z,x) has 5 completions
+        // (partitions of 3 variables, no constants).
+        let q = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+        let can = canonical_rewriting(&q, &BTreeSet::new());
+        assert_eq!(can.len(), 5);
+        // One adjunct is the all-merged R(v,v),R(v,v),R(v,v).
+        assert!(can
+            .adjuncts()
+            .iter()
+            .any(|a| a.variables().len() == 1 && a.len() == 3));
+        // One adjunct is the complete triangle with 3 distinct variables.
+        assert!(can
+            .adjuncts()
+            .iter()
+            .any(|a| a.variables().len() == 3 && a.diseqs().len() == 3));
+    }
+
+    #[test]
+    fn diseqs_restrict_partitions() {
+        // x != y forbids merging x and y: only the discrete partition.
+        let q = parse_cq("ans() :- R(x,y), x != y").unwrap();
+        let can = canonical_rewriting(&q, &BTreeSet::new());
+        assert_eq!(can.len(), 1);
+        assert_eq!(can.adjuncts()[0].diseqs().len(), 1);
+    }
+
+    #[test]
+    fn constants_generate_merge_cases() {
+        // ans(x) :- R(x): completions are x fresh (with x != 'c') and
+        // x = 'c' — w.r.t. C = {c}.
+        let q = parse_cq("ans(x) :- R(x)").unwrap();
+        let consts: BTreeSet<Value> = [Value::new("c")].into();
+        let can = canonical_rewriting(&q, &consts);
+        assert_eq!(can.len(), 2);
+    }
+
+    #[test]
+    fn var_const_diseq_blocks_identification() {
+        let q = parse_cq("ans(x) :- R(x), x != 'c'").unwrap();
+        let consts: BTreeSet<Value> = [Value::new("c")].into();
+        let can = canonical_rewriting(&q, &consts);
+        // x cannot be 'c': single completion (x fresh, x != 'c').
+        assert_eq!(can.len(), 1);
+    }
+
+    #[test]
+    fn canonical_preserves_head_arity() {
+        let q = parse_cq("ans(x,y) :- R(x,y)").unwrap();
+        let can = canonical_rewriting(&q, &BTreeSet::new());
+        // Partitions of {x,y}: merged or split = 2 completions.
+        assert_eq!(can.len(), 2);
+        for adj in can.adjuncts() {
+            assert_eq!(adj.head().arity(), 2);
+        }
+    }
+
+    #[test]
+    fn completion_replacement_maps_all_variables() {
+        let q = parse_cq("ans() :- R(x,y), S(y,z)").unwrap();
+        for completion in completions(&q, &BTreeSet::new()) {
+            assert_eq!(completion.replacement.len(), 3);
+        }
+    }
+}

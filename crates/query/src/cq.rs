@@ -1,0 +1,419 @@
+//! Rule-based conjunctive queries with disequalities (paper Def 2.1) and
+//! the completeness property (Def 2.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use prov_storage::{RelName, Value};
+
+use crate::atom::{Atom, Diseq};
+use crate::term::{Term, Variable};
+
+/// The query classes studied by the paper (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryClass {
+    /// Conjunctive queries without disequalities.
+    Cq,
+    /// Conjunctive queries with disequalities.
+    CqDiseq,
+    /// Complete conjunctive queries with disequalities (Def 2.2).
+    CompleteCqDiseq,
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueryClass::Cq => "CQ",
+            QueryClass::CqDiseq => "CQ≠",
+            QueryClass::CompleteCqDiseq => "cCQ≠",
+        })
+    }
+}
+
+/// A rule-based conjunctive query with disequalities:
+/// `ans(u0) :- R1(u1), ..., Rn(un), E1, ..., Em` (paper Def 2.1).
+///
+/// Invariants enforced at construction:
+/// * every head variable appears in some relational atom (safety);
+/// * every disequality variable appears in some relational atom;
+/// * the body has at least one relational atom.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    head: Atom,
+    atoms: Vec<Atom>,
+    diseqs: BTreeSet<Diseq>,
+}
+
+/// Errors raised by [`ConjunctiveQuery::new`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryError {
+    /// A head variable does not occur in any relational atom.
+    UnsafeHeadVariable(Variable),
+    /// A disequality variable does not occur in any relational atom.
+    UnsafeDiseqVariable(Variable),
+    /// The body has no relational atoms.
+    EmptyBody,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable {v} does not appear in the body")
+            }
+            QueryError::UnsafeDiseqVariable(v) => {
+                write!(f, "disequality variable {v} does not appear in a relational atom")
+            }
+            QueryError::EmptyBody => f.write_str("query body has no relational atoms"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl ConjunctiveQuery {
+    /// Builds a query, validating the paper's well-formedness conditions.
+    pub fn new(
+        head: Atom,
+        atoms: Vec<Atom>,
+        diseqs: impl IntoIterator<Item = Diseq>,
+    ) -> Result<Self, QueryError> {
+        if atoms.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        let diseqs: BTreeSet<Diseq> = diseqs.into_iter().collect();
+        let body_vars: BTreeSet<Variable> =
+            atoms.iter().flat_map(|a| a.variables()).collect();
+        for v in head.variables() {
+            if !body_vars.contains(&v) {
+                return Err(QueryError::UnsafeHeadVariable(v));
+            }
+        }
+        for d in &diseqs {
+            for v in d.variables() {
+                if !body_vars.contains(&v) {
+                    return Err(QueryError::UnsafeDiseqVariable(v));
+                }
+            }
+        }
+        Ok(ConjunctiveQuery { head, atoms, diseqs })
+    }
+
+    /// The rule head `ans(u0)`.
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// The relational atoms of the body.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The disequality atoms.
+    pub fn diseqs(&self) -> &BTreeSet<Diseq> {
+        &self.diseqs
+    }
+
+    /// Whether the query is boolean (head of arity 0).
+    pub fn is_boolean(&self) -> bool {
+        self.head.arity() == 0
+    }
+
+    /// `Var(Q)`: the variables of the body (paper Def 2.1).
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// `Const(Q)`: the constants of the body (paper Def 2.1).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.constants())
+            .chain(self.diseqs.iter().filter_map(|d| d.right().as_const()))
+            .collect()
+    }
+
+    /// The number of relational atoms (the "length" that standard
+    /// minimization minimizes).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Always false: queries have non-empty bodies.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the query is in CQ (no disequalities).
+    pub fn is_cq(&self) -> bool {
+        self.diseqs.is_empty()
+    }
+
+    /// Whether the query is *complete* (paper Def 2.2): it contains
+    /// `x ≠ y` for every pair of distinct variables and `x ≠ c` for every
+    /// variable `x` and constant `c ∈ Const(Q)`.
+    pub fn is_complete(&self) -> bool {
+        self.is_complete_wrt(&self.constants())
+    }
+
+    /// Completeness with respect to a superset `consts ⊇ Const(Q)` — the
+    /// strengthened notion used by the MinProv correctness proof
+    /// (paper Prop 4.8: "complete w.r.t. a set of constants C").
+    pub fn is_complete_wrt(&self, consts: &BTreeSet<Value>) -> bool {
+        let vars: Vec<Variable> = self.variables().into_iter().collect();
+        for (i, &x) in vars.iter().enumerate() {
+            for &y in &vars[i + 1..] {
+                if !self.diseqs.contains(&Diseq::vars(x, y)) {
+                    return false;
+                }
+            }
+            for &c in consts {
+                if !self.diseqs.contains(&Diseq::var_const(x, c)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The query class this query belongs to (most specific of the three).
+    pub fn class(&self) -> QueryClass {
+        if self.is_cq() {
+            QueryClass::Cq
+        } else if self.is_complete() {
+            QueryClass::CompleteCqDiseq
+        } else {
+            QueryClass::CqDiseq
+        }
+    }
+
+    /// Returns the same query with one relational atom removed.
+    /// Returns `None` if removal would break well-formedness (safety) or
+    /// empty the body.
+    pub fn without_atom(&self, index: usize) -> Option<ConjunctiveQuery> {
+        if self.atoms.len() <= 1 {
+            return None;
+        }
+        let mut atoms = self.atoms.clone();
+        atoms.remove(index);
+        ConjunctiveQuery::new(self.head.clone(), atoms, self.diseqs.iter().copied()).ok()
+    }
+
+    /// Applies a variable substitution to head, atoms and disequalities.
+    ///
+    /// Disequalities whose image would be `t ≠ t` make the query
+    /// unsatisfiable; this method panics in that case (callers merging
+    /// variables must drop or re-derive disequalities first).
+    pub fn substitute(&self, f: &mut impl FnMut(Variable) -> Term) -> ConjunctiveQuery {
+        let mut map = |t: Term| match t {
+            Term::Var(v) => f(v),
+            c @ Term::Const(_) => c,
+        };
+        let head = self.head.map_terms(&mut map);
+        let atoms = self.atoms.iter().map(|a| a.map_terms(&mut map)).collect();
+        let mut diseqs: Vec<Diseq> = Vec::new();
+        for d in &self.diseqs {
+            let (l, r) = d.sides();
+            match (map(l), map(r)) {
+                (Term::Var(lv), rt) => diseqs.push(Diseq::new(lv, rt)),
+                (lt, Term::Var(rv)) => diseqs.push(Diseq::new(rv, lt)),
+                (Term::Const(a), Term::Const(b)) => {
+                    assert_ne!(a, b, "substitution produced unsatisfiable {a} != {b}");
+                    // Distinct constants: the disequality became vacuously
+                    // true; drop it.
+                }
+            }
+        }
+        ConjunctiveQuery::new(head, atoms, diseqs)
+            .expect("substitution preserved well-formedness")
+    }
+
+    /// Like [`ConjunctiveQuery::substitute`], but returns `None` when the
+    /// substitution makes a disequality unsatisfiable (`t ≠ t`) instead of
+    /// panicking — the "this case contributes nothing" outcome used by
+    /// unfolding and resolution.
+    pub fn try_substitute(&self, f: &mut impl FnMut(Variable) -> Term) -> Option<ConjunctiveQuery> {
+        let mut map = |t: Term| match t {
+            Term::Var(v) => f(v),
+            c @ Term::Const(_) => c,
+        };
+        let head = self.head.map_terms(&mut map);
+        let atoms: Vec<Atom> = self.atoms.iter().map(|a| a.map_terms(&mut map)).collect();
+        let mut diseqs: Vec<Diseq> = Vec::new();
+        for d in &self.diseqs {
+            let (l, r) = d.sides();
+            let (li, ri) = (map(l), map(r));
+            if li == ri {
+                return None; // t ≠ t: the whole conjunct is unsatisfiable.
+            }
+            match (li, ri) {
+                (Term::Var(lv), rt) => diseqs.push(Diseq::new(lv, rt)),
+                (lt, Term::Var(rv)) => diseqs.push(Diseq::new(rv, lt)),
+                (Term::Const(_), Term::Const(_)) => {
+                    // Distinct constants: vacuously true, drop.
+                }
+            }
+        }
+        ConjunctiveQuery::new(head, atoms, diseqs).ok()
+    }
+
+    /// Renames all variables to fresh ones, returning the renamed query.
+    /// Used to take two queries apart before a joint analysis.
+    pub fn rename_apart(&self) -> ConjunctiveQuery {
+        let mut mapping = std::collections::BTreeMap::new();
+        self.substitute(&mut |v| {
+            Term::Var(*mapping.entry(v).or_insert_with(Variable::fresh))
+        })
+    }
+
+    /// The head relation name.
+    pub fn head_relation(&self) -> RelName {
+        self.head.relation
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        for d in &self.diseqs {
+            write!(f, ", {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn example_2_3_completeness() {
+        // Q is not complete (missing x != 'c'); Q' is complete.
+        let q = parse_cq("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c'").unwrap();
+        let q_complete =
+            parse_cq("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c', x != 'c'").unwrap();
+        assert!(!q.is_complete());
+        assert!(q_complete.is_complete());
+        assert_eq!(q.class(), QueryClass::CqDiseq);
+        assert_eq!(q_complete.class(), QueryClass::CompleteCqDiseq);
+    }
+
+    #[test]
+    fn cq_class_detection() {
+        let q = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        assert!(q.is_cq());
+        assert_eq!(q.class(), QueryClass::Cq);
+    }
+
+    #[test]
+    fn safety_is_enforced_for_head() {
+        let head = Atom::of("ans", &[Term::var("zz_unsafe")]);
+        let body = vec![Atom::of("R", &[Term::var("x")])];
+        let err = ConjunctiveQuery::new(head, body, []).unwrap_err();
+        assert!(matches!(err, QueryError::UnsafeHeadVariable(_)));
+    }
+
+    #[test]
+    fn safety_is_enforced_for_diseqs() {
+        let head = Atom::of("ans", &[]);
+        let body = vec![Atom::of("R", &[Term::var("sx")])];
+        let d = Diseq::vars(Variable::new("sx"), Variable::new("sy_unsafe"));
+        let err = ConjunctiveQuery::new(head, body, [d]).unwrap_err();
+        assert!(matches!(err, QueryError::UnsafeDiseqVariable(_)));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let head = Atom::of("ans", &[]);
+        let err = ConjunctiveQuery::new(head, vec![], []).unwrap_err();
+        assert_eq!(err, QueryError::EmptyBody);
+    }
+
+    #[test]
+    fn variables_and_constants() {
+        let q = parse_cq("ans(x) :- R(x,y), S(y,'c'), x != 'd'").unwrap();
+        assert_eq!(q.variables().len(), 2);
+        let consts = q.constants();
+        assert!(consts.contains(&Value::new("c")));
+        // 'd' appears only in a disequality; Const(Q) per Def 2.1 is over
+        // the whole body, disequalities included.
+        assert!(consts.contains(&Value::new("d")));
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let q = parse_cq("ans() :- R(x,y)").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn without_atom_preserves_safety() {
+        let q = parse_cq("ans(x) :- R(x,y), S(x)").unwrap();
+        // Removing R(x,y) leaves S(x): head still safe.
+        assert!(q.without_atom(0).is_some());
+        let q2 = parse_cq("ans(y) :- R(x,y), S(x)").unwrap();
+        // Removing R(x,y) would strand head variable y.
+        assert!(q2.without_atom(0).is_none());
+        assert!(q2.without_atom(1).is_some());
+    }
+
+    #[test]
+    fn substitute_merges_variables() {
+        let q = parse_cq("ans(x) :- R(x,y)").unwrap();
+        let x = Variable::new("x");
+        let merged = q.substitute(&mut |v| {
+            if v == Variable::new("y") {
+                Term::Var(x)
+            } else {
+                Term::Var(v)
+            }
+        });
+        assert_eq!(merged.to_string(), "ans(x) :- R(x,x)");
+    }
+
+    #[test]
+    fn substitute_drops_vacuous_constant_diseqs() {
+        let q = parse_cq("ans(x) :- R(x,y), x != y").unwrap();
+        let subst = q.substitute(&mut |v| {
+            if v == Variable::new("y") {
+                Term::constant("b")
+            } else {
+                Term::Var(v)
+            }
+        });
+        // x != 'b' survives as a var-const diseq.
+        assert_eq!(subst.diseqs().len(), 1);
+        let both_const = subst.substitute(&mut |_| Term::constant("a"));
+        // x != 'b' became 'a' != 'b': vacuously true, dropped.
+        assert_eq!(both_const.diseqs().len(), 0);
+    }
+
+    #[test]
+    fn rename_apart_is_isomorphic_shape() {
+        let q = parse_cq("ans(x) :- R(x,y), R(y,x), x != y").unwrap();
+        let r = q.rename_apart();
+        assert_eq!(r.len(), q.len());
+        assert_eq!(r.diseqs().len(), q.diseqs().len());
+        assert!(q.variables().is_disjoint(&r.variables()));
+    }
+
+    #[test]
+    fn duplicate_atoms_are_preserved() {
+        // Essential for canonical rewritings: R(v1,v1), R(v1,v1), R(v1,v1).
+        let q = parse_cq("ans() :- R(v1,v1), R(v1,v1), R(v1,v1)").unwrap();
+        assert_eq!(q.len(), 3);
+    }
+}

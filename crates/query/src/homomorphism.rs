@@ -1,0 +1,510 @@
+//! Homomorphisms between conjunctive queries (paper Def 2.10), the engine
+//! of containment (Theorem 3.1) and provenance comparison (Theorem 3.3).
+//!
+//! A homomorphism `h : Q → Q'` maps the atoms of `Q` to atoms of `Q'`,
+//! inducing a consistent mapping on arguments, such that relation names are
+//! preserved, the head of `Q` maps to the head of `Q'`, constants map to
+//! themselves, and every disequality of `Q` maps to a disequality of `Q'`
+//! (or to a pair of distinct constants, which is vacuously disequal).
+
+use std::collections::{BTreeMap, HashMap};
+
+use prov_storage::RelName;
+
+use crate::atom::Diseq;
+use crate::cq::ConjunctiveQuery;
+use crate::term::{Term, Variable};
+
+/// A homomorphism between two conjunctive queries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Homomorphism {
+    /// `atom_map[i]` is the target atom index that source atom `i` maps to.
+    pub atom_map: Vec<usize>,
+    /// The induced mapping on source variables.
+    pub var_map: BTreeMap<Variable, Term>,
+}
+
+impl Homomorphism {
+    /// The image of a source term.
+    pub fn apply(&self, t: Term) -> Term {
+        match t {
+            Term::Var(v) => self.var_map.get(&v).copied().unwrap_or(Term::Var(v)),
+            c @ Term::Const(_) => c,
+        }
+    }
+
+    /// Whether the atom mapping covers every target atom (surjectivity on
+    /// relational atoms, the hypothesis of Theorem 3.3).
+    pub fn is_surjective_on_atoms(&self, target_len: usize) -> bool {
+        let mut covered = vec![false; target_len];
+        for &j in &self.atom_map {
+            covered[j] = true;
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// Whether the atom mapping is injective.
+    pub fn is_injective_on_atoms(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.atom_map.iter().all(|&j| seen.insert(j))
+    }
+
+    /// Whether the variable mapping is a bijection onto the target's
+    /// variables.
+    pub fn is_var_bijection(&self, target: &ConjunctiveQuery) -> bool {
+        let mut image = std::collections::BTreeSet::new();
+        for t in self.var_map.values() {
+            match t {
+                Term::Var(v) => {
+                    if !image.insert(*v) {
+                        return false;
+                    }
+                }
+                Term::Const(_) => return false,
+            }
+        }
+        image == target.variables()
+    }
+}
+
+/// Search configuration for homomorphism enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HomSearch {
+    /// Require surjectivity on relational atoms (Theorem 3.3 hypothesis).
+    pub surjective: bool,
+    /// Require injectivity on relational atoms (isomorphism search).
+    pub injective: bool,
+    /// Stop after this many homomorphisms (None = enumerate all).
+    pub limit: Option<usize>,
+}
+
+struct Searcher<'a> {
+    source: &'a ConjunctiveQuery,
+    target: &'a ConjunctiveQuery,
+    config: HomSearch,
+    /// Candidate target atom indices per relation.
+    by_relation: HashMap<RelName, Vec<usize>>,
+    /// Source atom processing order (most-constrained-first heuristic).
+    order: Vec<usize>,
+    results: Vec<Homomorphism>,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(source: &'a ConjunctiveQuery, target: &'a ConjunctiveQuery, config: HomSearch) -> Self {
+        let mut by_relation: HashMap<RelName, Vec<usize>> = HashMap::new();
+        for (j, atom) in target.atoms().iter().enumerate() {
+            by_relation.entry(atom.relation).or_default().push(j);
+        }
+        let order = plan_order(source);
+        Searcher { source, target, config, by_relation, order, results: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Homomorphism> {
+        // Seed the variable binding from the head constraint: the induced
+        // mapping must send head(Q) to head(Q') positionally.
+        let src_head = self.source.head();
+        let tgt_head = self.target.head();
+        if src_head.relation != tgt_head.relation || src_head.arity() != tgt_head.arity() {
+            return Vec::new();
+        }
+        let mut binding: BTreeMap<Variable, Term> = BTreeMap::new();
+        for (s, t) in src_head.args.iter().zip(&tgt_head.args) {
+            if !bind_term(&mut binding, *s, *t) {
+                return Vec::new();
+            }
+        }
+        let mut atom_map = vec![usize::MAX; self.source.atoms().len()];
+        let mut used = vec![false; self.target.atoms().len()];
+        let mut covered = vec![0usize; self.target.atoms().len()];
+        self.extend(0, &mut binding, &mut atom_map, &mut used, &mut covered);
+        self.results
+    }
+
+    fn done(&self) -> bool {
+        self.config
+            .limit
+            .is_some_and(|limit| self.results.len() >= limit)
+    }
+
+    fn extend(
+        &mut self,
+        step: usize,
+        binding: &mut BTreeMap<Variable, Term>,
+        atom_map: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        covered: &mut Vec<usize>,
+    ) {
+        if self.done() {
+            return;
+        }
+        if step == self.order.len() {
+            if self.check_diseqs(binding) {
+                self.results.push(Homomorphism {
+                    atom_map: atom_map.clone(),
+                    var_map: binding.clone(),
+                });
+            }
+            return;
+        }
+        // Surjectivity pruning: remaining source atoms must be able to
+        // cover the still-uncovered target atoms.
+        if self.config.surjective {
+            let uncovered = covered.iter().filter(|&&c| c == 0).count();
+            if self.order.len() - step < uncovered {
+                return;
+            }
+        }
+        let i = self.order[step];
+        let source_atom = &self.source.atoms()[i];
+        let candidates = match self.by_relation.get(&source_atom.relation) {
+            Some(c) => c.clone(),
+            None => return,
+        };
+        for j in candidates {
+            if self.config.injective && used[j] {
+                continue;
+            }
+            let target_atom = &self.target.atoms()[j];
+            if target_atom.arity() != source_atom.arity() {
+                continue;
+            }
+            // Attempt to extend the binding; remember what we added.
+            let mut added: Vec<Variable> = Vec::new();
+            let mut ok = true;
+            for (s, t) in source_atom.args.iter().zip(&target_atom.args) {
+                match s {
+                    Term::Const(c) => {
+                        if *t != Term::Const(*c) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(v) {
+                        Some(bound) => {
+                            if bound != t {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            binding.insert(*v, *t);
+                            added.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok {
+                atom_map[i] = j;
+                used[j] = true;
+                covered[j] += 1;
+                self.extend(step + 1, binding, atom_map, used, covered);
+                covered[j] -= 1;
+                used[j] = false;
+                atom_map[i] = usize::MAX;
+            }
+            for v in added {
+                binding.remove(&v);
+            }
+            if self.done() {
+                return;
+            }
+        }
+    }
+
+    /// Checks disequality preservation and (if required) surjectivity for a
+    /// complete candidate mapping.
+    fn check_diseqs(&self, binding: &BTreeMap<Variable, Term>) -> bool {
+        for d in self.source.diseqs() {
+            let (l, r) = d.sides();
+            let li = apply_binding(binding, l);
+            let ri = apply_binding(binding, r);
+            let preserved = match (li, ri) {
+                _ if li == ri => false,
+                (Term::Const(a), Term::Const(b)) => a != b,
+                (Term::Var(lv), rt) => self.target.diseqs().contains(&Diseq::new(lv, rt)),
+                (lt, Term::Var(rv)) => self.target.diseqs().contains(&Diseq::new(rv, lt)),
+            };
+            if !preserved {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn apply_binding(binding: &BTreeMap<Variable, Term>, t: Term) -> Term {
+    match t {
+        Term::Var(v) => *binding.get(&v).expect("all variables bound after atom mapping"),
+        c @ Term::Const(_) => c,
+    }
+}
+
+fn bind_term(binding: &mut BTreeMap<Variable, Term>, source: Term, target: Term) -> bool {
+    match source {
+        Term::Const(c) => target == Term::Const(c),
+        Term::Var(v) => match binding.get(&v) {
+            Some(bound) => *bound == target,
+            None => {
+                binding.insert(v, target);
+                true
+            }
+        },
+    }
+}
+
+/// Orders source atoms most-constrained-first: start from atoms sharing
+/// variables with the head, then grow along shared variables.
+fn plan_order(source: &ConjunctiveQuery) -> Vec<usize> {
+    let n = source.atoms().len();
+    let mut bound: std::collections::BTreeSet<Variable> =
+        source.head().variables().collect();
+    let mut order = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        // Pick the remaining atom with the most already-bound variables
+        // (ties: fewer unbound variables, then lowest index).
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let atom = &source.atoms()[i];
+                let bound_count = atom.variables().filter(|v| bound.contains(v)).count();
+                let unbound = atom.variables().filter(|v| !bound.contains(v)).count();
+                (bound_count, usize::MAX - unbound, usize::MAX - i)
+            })
+            .expect("remaining not empty");
+        order.push(best);
+        bound.extend(source.atoms()[best].variables());
+        remaining.remove(pos);
+    }
+    order
+}
+
+/// Finds one homomorphism `source → target`, if any.
+pub fn find_homomorphism(
+    source: &ConjunctiveQuery,
+    target: &ConjunctiveQuery,
+) -> Option<Homomorphism> {
+    Searcher::new(source, target, HomSearch { limit: Some(1), ..Default::default() })
+        .run()
+        .pop()
+}
+
+/// Finds a homomorphism `source → target` that is surjective on relational
+/// atoms (the hypothesis of Theorem 3.3), if any.
+pub fn find_surjective_homomorphism(
+    source: &ConjunctiveQuery,
+    target: &ConjunctiveQuery,
+) -> Option<Homomorphism> {
+    // Enumerate (with pruning) and filter; the searcher prunes branches
+    // that cannot cover the target.
+    let mut found = None;
+    for h in
+        Searcher::new(source, target, HomSearch { surjective: true, ..Default::default() }).run()
+    {
+        if h.is_surjective_on_atoms(target.atoms().len()) {
+            found = Some(h);
+            break;
+        }
+    }
+    found
+}
+
+/// Enumerates all homomorphisms `source → target` under `config`.
+pub fn all_homomorphisms(
+    source: &ConjunctiveQuery,
+    target: &ConjunctiveQuery,
+    config: HomSearch,
+) -> Vec<Homomorphism> {
+    let raw = Searcher::new(source, target, config).run();
+    if config.surjective {
+        raw.into_iter()
+            .filter(|h| h.is_surjective_on_atoms(target.atoms().len()))
+            .collect()
+    } else {
+        raw
+    }
+}
+
+/// Whether two queries are syntactically isomorphic: a homomorphism that is
+/// bijective on atoms and variables and maps the disequality set onto the
+/// target's.
+pub fn are_isomorphic(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    if q1.atoms().len() != q2.atoms().len()
+        || q1.diseqs().len() != q2.diseqs().len()
+        || q1.variables().len() != q2.variables().len()
+    {
+        return false;
+    }
+    all_homomorphisms(q1, q2, HomSearch { injective: true, ..Default::default() })
+        .into_iter()
+        .any(|h| h.is_var_bijection(q2) && diseq_image_onto(q1, q2, &h))
+}
+
+fn diseq_image_onto(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, h: &Homomorphism) -> bool {
+    let image: std::collections::BTreeSet<Diseq> = q1
+        .diseqs()
+        .iter()
+        .map(|d| {
+            let (l, r) = d.sides();
+            match (h.apply(l), h.apply(r)) {
+                (Term::Var(lv), rt) => Diseq::new(lv, rt),
+                (lt, Term::Var(rv)) => Diseq::new(rv, lt),
+                _ => unreachable!("var-bijective homomorphism maps variables to variables"),
+            }
+        })
+        .collect();
+    &image == q2.diseqs()
+}
+
+/// Enumerates the automorphisms of `q`: isomorphisms `q → q`.
+pub fn automorphisms(q: &ConjunctiveQuery) -> Vec<Homomorphism> {
+    all_homomorphisms(q, q, HomSearch { injective: true, ..Default::default() })
+        .into_iter()
+        .filter(|h| h.is_var_bijection(q) && diseq_image_onto(q, q, h))
+        .collect()
+}
+
+/// The number of automorphisms of `q` (paper Lemma 5.7's `k`).
+pub fn count_automorphisms(q: &ConjunctiveQuery) -> u64 {
+    automorphisms(q).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn example_2_11_qconj_to_q2() {
+        // There is a homomorphism Qconj → Q2 (both atoms onto the single
+        // atom), but none Q2 → Qconj.
+        let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let q2 = parse_cq("ans(x) :- R(x,x)").unwrap();
+        let h = find_homomorphism(&qconj, &q2).expect("hom exists");
+        assert_eq!(h.atom_map, vec![0, 0]);
+        assert!(find_homomorphism(&q2, &qconj).is_none());
+    }
+
+    #[test]
+    fn head_constants_must_match() {
+        let q1 = parse_cq("ans('a') :- R('a')").unwrap();
+        let q2 = parse_cq("ans('b') :- R('b')").unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_none());
+        assert!(find_homomorphism(&q1, &q1).is_some());
+    }
+
+    #[test]
+    fn example_3_4_surjectivity() {
+        // Q: ans():-R(x),R(y); Q': ans():-R(x).
+        // Hom Q'→Q exists but no surjective one; hom Q→Q' is surjective.
+        let q = parse_cq("ans() :- R(x), R(y)").unwrap();
+        let q_prime = parse_cq("ans() :- R(z)").unwrap();
+        assert!(find_homomorphism(&q_prime, &q).is_some());
+        assert!(find_surjective_homomorphism(&q_prime, &q).is_none());
+        assert!(find_surjective_homomorphism(&q, &q_prime).is_some());
+    }
+
+    #[test]
+    fn example_3_2_diseq_blocks_homomorphism() {
+        // Q: ans():-R(x,y),R(y,z),x!=z; Q': ans():-R(x2,y2),x2!=y2.
+        // No homomorphism Q' → Q (the disequality cannot map), despite
+        // Q ⊆ Q' semantically.
+        let q = parse_cq("ans() :- R(x,y), R(y,z), x != z").unwrap();
+        let q_prime = parse_cq("ans() :- R(x2,y2), x2 != y2").unwrap();
+        assert!(find_homomorphism(&q_prime, &q).is_none());
+    }
+
+    #[test]
+    fn diseq_image_may_be_distinct_constants() {
+        // Target uses distinct constants where source requires a diseq.
+        let source = parse_cq("ans() :- R(x,y), x != y").unwrap();
+        let target = parse_cq("ans() :- R('a','b')").unwrap();
+        assert!(find_homomorphism(&source, &target).is_some());
+        let target_same = parse_cq("ans() :- R('a','a')").unwrap();
+        assert!(find_homomorphism(&source, &target_same).is_none());
+    }
+
+    #[test]
+    fn constants_map_to_themselves() {
+        let source = parse_cq("ans() :- R('a',x)").unwrap();
+        let target_ok = parse_cq("ans() :- R('a','b')").unwrap();
+        let target_bad = parse_cq("ans() :- R('b','a')").unwrap();
+        assert!(find_homomorphism(&source, &target_ok).is_some());
+        assert!(find_homomorphism(&source, &target_bad).is_none());
+    }
+
+    #[test]
+    fn head_preservation_is_positional() {
+        let q1 = parse_cq("ans(x,y) :- R(x,y)").unwrap();
+        let q2 = parse_cq("ans(u,v) :- R(u,v)").unwrap();
+        let q3 = parse_cq("ans(v,u) :- R(u,v)").unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_some());
+        // Mapping x→v, y→u forces R(x,y)→R(v,u) which is not an atom of q3.
+        assert!(find_homomorphism(&q1, &q3).is_none());
+    }
+
+    #[test]
+    fn enumerates_all_homomorphisms() {
+        let source = parse_cq("ans() :- R(x)").unwrap();
+        let target = parse_cq("ans() :- R(a), R(b), R(c)").unwrap();
+        let homs = all_homomorphisms(&source, &target, HomSearch::default());
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn isomorphism_is_detected_up_to_renaming() {
+        let q1 = parse_cq("ans(x) :- R(x,y), R(y,x), x != y").unwrap();
+        let q2 = parse_cq("ans(u) :- R(v,u), R(u,v), u != v").unwrap();
+        assert!(are_isomorphic(&q1, &q2));
+        let q3 = parse_cq("ans(u) :- R(u,v), R(u,v), u != v").unwrap();
+        assert!(!are_isomorphic(&q1, &q3));
+    }
+
+    #[test]
+    fn isomorphism_distinguishes_diseq_sets() {
+        let q1 = parse_cq("ans() :- R(x,y)").unwrap();
+        let q2 = parse_cq("ans() :- R(x,y), x != y").unwrap();
+        assert!(!are_isomorphic(&q1, &q2));
+    }
+
+    #[test]
+    fn triangle_adjunct_has_three_automorphisms() {
+        // Q̂5 of Figure 3: the complete triangle query.
+        let q = parse_cq(
+            "ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3",
+        )
+        .unwrap();
+        assert_eq!(count_automorphisms(&q), 3);
+    }
+
+    #[test]
+    fn single_atom_has_identity_automorphism_only() {
+        let q = parse_cq("ans() :- R(v1,v1)").unwrap();
+        assert_eq!(count_automorphisms(&q), 1);
+    }
+
+    #[test]
+    fn symmetric_pair_has_two_automorphisms() {
+        // ans() :- R(x,y), R(y,x) with completeness: swap x/y is an
+        // automorphism.
+        let q = parse_cq("ans() :- R(x,y), R(y,x), x != y").unwrap();
+        assert_eq!(count_automorphisms(&q), 2);
+    }
+
+    #[test]
+    fn head_fixes_automorphisms() {
+        // Same body, but the head pins x: only the identity remains.
+        let q = parse_cq("ans(x) :- R(x,y), R(y,x), x != y").unwrap();
+        assert_eq!(count_automorphisms(&q), 1);
+    }
+
+    #[test]
+    fn surjective_hom_with_duplicated_atoms() {
+        // Qconj ans():-R(x,y),R(y,x) → Q2 ans():-R(z,z): surjective (both
+        // atoms cover the single target atom).
+        let qconj = parse_cq("ans() :- R(x,y), R(y,x)").unwrap();
+        let q2 = parse_cq("ans() :- R(z,z)").unwrap();
+        assert!(find_surjective_homomorphism(&qconj, &q2).is_some());
+    }
+}

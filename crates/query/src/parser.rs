@@ -1,0 +1,261 @@
+//! A parser for the paper's rule syntax.
+//!
+//! Grammar (one rule per line for unions):
+//!
+//! ```text
+//! rule   := head ":-" body
+//! head   := ident "(" terms? ")"
+//! body   := item ("," item)*
+//! item   := atom | diseq
+//! atom   := ident "(" terms? ")"
+//! diseq  := term "!=" term            (also accepts "≠")
+//! terms  := term ("," term)*
+//! term   := ident                      (a variable)
+//!         | "'" ident "'"              (a constant)
+//! ```
+//!
+//! Example: `ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c'`.
+
+use std::fmt;
+
+use prov_storage::Value;
+
+use crate::atom::{Atom, Diseq};
+use crate::cq::{ConjunctiveQuery, QueryError};
+use crate::term::{Term, Variable};
+use crate::ucq::{UnionError, UnionQuery};
+
+/// Parse errors with a human-readable description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<QueryError> for ParseError {
+    fn from(e: QueryError) -> Self {
+        ParseError(e.to_string())
+    }
+}
+
+impl From<UnionError> for ParseError {
+    fn from(e: UnionError) -> Self {
+        ParseError(e.to_string())
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parses a single conjunctive query rule.
+pub fn parse_cq(text: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let (head_text, body_text) = match text.split_once(":-") {
+        Some(parts) => parts,
+        None => return err(format!("missing ':-' in rule: {text}")),
+    };
+    let head = parse_atom(head_text.trim())?;
+    let mut atoms = Vec::new();
+    let mut diseqs = Vec::new();
+    for item in split_top_level(body_text) {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if item.contains("!=") || item.contains('≠') {
+            diseqs.push(parse_diseq(item)?);
+        } else {
+            atoms.push(parse_atom(item)?);
+        }
+    }
+    Ok(ConjunctiveQuery::new(head, atoms, diseqs)?)
+}
+
+/// Parses a union of conjunctive queries: one rule per non-empty line.
+pub fn parse_ucq(text: &str) -> Result<UnionQuery, ParseError> {
+    let mut adjuncts = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        adjuncts.push(parse_cq(line)?);
+    }
+    Ok(UnionQuery::new(adjuncts)?)
+}
+
+/// Splits a body on commas that are not inside parentheses.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_atom(text: &str) -> Result<Atom, ParseError> {
+    let text = text.trim();
+    let open = match text.find('(') {
+        Some(i) => i,
+        None => return err(format!("expected '(' in atom: {text}")),
+    };
+    if !text.ends_with(')') {
+        return err(format!("expected ')' at end of atom: {text}"));
+    }
+    let name = text[..open].trim();
+    if name.is_empty() {
+        return err(format!("missing relation name in atom: {text}"));
+    }
+    let inner = &text[open + 1..text.len() - 1];
+    let mut args = Vec::new();
+    if !inner.trim().is_empty() {
+        for part in inner.split(',') {
+            args.push(parse_term(part.trim())?);
+        }
+    }
+    Ok(Atom::of(name, &args))
+}
+
+fn parse_term(text: &str) -> Result<Term, ParseError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return err("empty term");
+    }
+    if let Some(stripped) = text.strip_prefix('\'') {
+        match stripped.strip_suffix('\'') {
+            Some(name) if !name.is_empty() => return Ok(Term::constant(name)),
+            _ => return err(format!("malformed constant: {text}")),
+        }
+    }
+    if text
+        .chars()
+        .all(|c| c.is_alphanumeric() || c == '_' || c == '#')
+    {
+        Ok(Term::var(text))
+    } else {
+        err(format!("malformed term: {text}"))
+    }
+}
+
+fn parse_diseq(text: &str) -> Result<Diseq, ParseError> {
+    let (l, r) = match text.split_once("!=").or_else(|| text.split_once('≠')) {
+        Some(parts) => parts,
+        None => return err(format!("expected '!=' in disequality: {text}")),
+    };
+    let left = parse_term(l)?;
+    let right = parse_term(r)?;
+    match (left, right) {
+        (Term::Var(lv), rt) => Ok(Diseq::new(lv, rt)),
+        (lt @ Term::Const(_), Term::Var(rv)) => Ok(Diseq::new(rv, lt)),
+        (Term::Const(_), Term::Const(_)) => err(format!(
+            "disequality must involve a variable (paper Def 2.1): {text}"
+        )),
+    }
+}
+
+/// Convenience: parses a variable name.
+pub fn var(name: &str) -> Variable {
+    Variable::new(name)
+}
+
+/// Convenience: parses a constant name.
+pub fn constant(name: &str) -> Value {
+    Value::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_2_3() {
+        let q = parse_cq("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c'").unwrap();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.diseqs().len(), 2);
+        assert_eq!(q.head().arity(), 2);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let text = "ans(x) :- R(x,y), R(y,x), x != y";
+        let q = parse_cq(text).unwrap();
+        let q2 = parse_cq(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_cq("ans() :- R(x,y), R(y,z), x != z").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.diseqs().len(), 1);
+    }
+
+    #[test]
+    fn parses_union_with_comments_and_blanks() {
+        let q = parse_ucq(
+            "-- Figure 1\n\
+             ans(x) :- R(x,y), R(y,x), x != y\n\
+             \n\
+             ans(x) :- R(x,x)",
+        )
+        .unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unicode_diseq_accepted() {
+        let q = parse_cq("ans() :- R(x,y), x ≠ y").unwrap();
+        assert_eq!(q.diseqs().len(), 1);
+    }
+
+    #[test]
+    fn const_on_left_of_diseq_normalizes() {
+        let q = parse_cq("ans(x) :- R(x), 'c' != x").unwrap();
+        let d = q.diseqs().iter().next().unwrap();
+        assert_eq!(d.left(), Variable::new("x"));
+        assert_eq!(d.right(), Term::constant("c"));
+    }
+
+    #[test]
+    fn rejects_const_const_diseq() {
+        assert!(parse_cq("ans(x) :- R(x), 'a' != 'b'").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_turnstile() {
+        assert!(parse_cq("ans(x) R(x)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_atom() {
+        assert!(parse_cq("ans(x) :- R x").is_err());
+        assert!(parse_cq("ans(x) :- (x)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_constant() {
+        assert!(parse_cq("ans(x) :- R(x,'')").is_err());
+        assert!(parse_cq("ans(x) :- R(x,'a)").is_err());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_via_query_error() {
+        assert!(parse_cq("ans(z) :- R(x,y)").is_err());
+    }
+}

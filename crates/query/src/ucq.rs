@@ -1,0 +1,224 @@
+//! Unions of conjunctive queries with disequalities (paper Def 2.4).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use prov_storage::Value;
+
+use crate::cq::{ConjunctiveQuery, QueryError};
+use crate::term::Variable;
+
+/// The union query classes of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnionClass {
+    /// Union of CQ adjuncts.
+    Ucq,
+    /// Union of CQ≠ adjuncts.
+    UcqDiseq,
+    /// Union of complete CQ≠ adjuncts (cUCQ≠).
+    CompleteUcqDiseq,
+}
+
+impl fmt::Display for UnionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnionClass::Ucq => "UCQ",
+            UnionClass::UcqDiseq => "UCQ≠",
+            UnionClass::CompleteUcqDiseq => "cUCQ≠",
+        })
+    }
+}
+
+/// A union of conjunctive queries `Q = Q1 ∪ ... ∪ Qm`; all adjunct heads
+/// share the same relation and arity (paper Def 2.4).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct UnionQuery {
+    adjuncts: Vec<ConjunctiveQuery>,
+}
+
+/// Errors raised by [`UnionQuery::new`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnionError {
+    /// The union has no adjuncts.
+    Empty,
+    /// Two adjunct heads differ in relation or arity.
+    HeadMismatch,
+    /// An adjunct was itself ill-formed.
+    Adjunct(QueryError),
+}
+
+impl fmt::Display for UnionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnionError::Empty => f.write_str("union query has no adjuncts"),
+            UnionError::HeadMismatch => {
+                f.write_str("adjunct heads differ in relation or arity")
+            }
+            UnionError::Adjunct(e) => write!(f, "ill-formed adjunct: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnionError {}
+
+impl From<QueryError> for UnionError {
+    fn from(e: QueryError) -> Self {
+        UnionError::Adjunct(e)
+    }
+}
+
+impl UnionQuery {
+    /// Builds a union query, validating head compatibility.
+    pub fn new(adjuncts: Vec<ConjunctiveQuery>) -> Result<Self, UnionError> {
+        let first = adjuncts.first().ok_or(UnionError::Empty)?;
+        let rel = first.head_relation();
+        let arity = first.head().arity();
+        for q in &adjuncts {
+            if q.head_relation() != rel || q.head().arity() != arity {
+                return Err(UnionError::HeadMismatch);
+            }
+        }
+        Ok(UnionQuery { adjuncts })
+    }
+
+    /// A union with a single adjunct.
+    pub fn single(q: ConjunctiveQuery) -> Self {
+        UnionQuery { adjuncts: vec![q] }
+    }
+
+    /// `Adj(Q)`: the adjuncts.
+    pub fn adjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.adjuncts
+    }
+
+    /// The number of adjuncts.
+    pub fn len(&self) -> usize {
+        self.adjuncts.len()
+    }
+
+    /// Always false (unions have at least one adjunct).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total number of relational atoms across adjuncts — the output-size
+    /// measure of Theorem 4.10.
+    pub fn total_atoms(&self) -> usize {
+        self.adjuncts.iter().map(ConjunctiveQuery::len).sum()
+    }
+
+    /// `Var(Q) = ∪ Var(Qi)` (paper §2.1).
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.adjuncts.iter().flat_map(|q| q.variables()).collect()
+    }
+
+    /// `Const(Q) = ∪ Const(Qi)` (paper §2.1).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        self.adjuncts.iter().flat_map(|q| q.constants()).collect()
+    }
+
+    /// Whether the union is boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.adjuncts[0].is_boolean()
+    }
+
+    /// The most specific union class (Table 1 row).
+    pub fn class(&self) -> UnionClass {
+        if self.adjuncts.iter().all(ConjunctiveQuery::is_cq) {
+            UnionClass::Ucq
+        } else if self.is_complete() {
+            UnionClass::CompleteUcqDiseq
+        } else {
+            UnionClass::UcqDiseq
+        }
+    }
+
+    /// Whether every adjunct is complete (cUCQ≠ membership, paper Def 2.4).
+    pub fn is_complete(&self) -> bool {
+        self.adjuncts.iter().all(ConjunctiveQuery::is_complete)
+    }
+
+    /// Returns the union extended with another adjunct.
+    pub fn union_with(&self, q: ConjunctiveQuery) -> Result<UnionQuery, UnionError> {
+        let mut adjuncts = self.adjuncts.clone();
+        adjuncts.push(q);
+        UnionQuery::new(adjuncts)
+    }
+}
+
+impl From<ConjunctiveQuery> for UnionQuery {
+    fn from(q: ConjunctiveQuery) -> Self {
+        UnionQuery::single(q)
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.adjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n  ∪ ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_cq, parse_ucq};
+
+    #[test]
+    fn figure_1_qunion_structure() {
+        let q = parse_ucq(
+            "ans(x) :- R(x,y), R(y,x), x != y\n\
+             ans(x) :- R(x,x)",
+        )
+        .unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_atoms(), 3);
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn head_mismatch_rejected() {
+        let q1 = parse_cq("ans(x) :- R(x)").unwrap();
+        let q2 = parse_cq("ans(x,y) :- R(x,y)").unwrap();
+        assert_eq!(
+            UnionQuery::new(vec![q1, q2]).unwrap_err(),
+            UnionError::HeadMismatch
+        );
+    }
+
+    #[test]
+    fn empty_union_rejected() {
+        assert_eq!(UnionQuery::new(vec![]).unwrap_err(), UnionError::Empty);
+    }
+
+    #[test]
+    fn class_detection() {
+        let ucq = parse_ucq("ans(x) :- R(x,y)\nans(x) :- S(x)").unwrap();
+        assert_eq!(ucq.class(), UnionClass::Ucq);
+        // R(x,y), x != y is in fact complete (single variable pair).
+        let complete = parse_ucq("ans(x) :- R(x,y), x != y\nans(x) :- S(x)").unwrap();
+        assert_eq!(complete.class(), UnionClass::CompleteUcqDiseq);
+        // A path with only the end-points disequated is not complete.
+        let incomplete =
+            parse_ucq("ans(x) :- R(x,y), R(y,z), x != z\nans(x) :- S(x)").unwrap();
+        assert_eq!(incomplete.class(), UnionClass::UcqDiseq);
+    }
+
+    #[test]
+    fn vars_and_consts_union() {
+        let q = parse_ucq("ans(x) :- R(x,y)\nans(x) :- S(x,'c'), x != 'c'").unwrap();
+        assert_eq!(q.variables().len(), 2);
+        assert_eq!(q.constants().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Provenance annotations: the variables `X` of the `N[X]` semiring.
+//!
+//! The paper annotates every input tuple with an element of a set `X` of
+//! provenance tokens (`s1`, `s2`, ...). Annotations are interned: each is a
+//! small copyable id, and the id-to-name mapping lives in a global registry
+//! so that polynomials display exactly as in the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned provenance annotation (an element of the variable set `X`).
+///
+/// Annotations are cheap to copy and compare; their human-readable name is
+/// held by the global registry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Annotation(u32);
+
+struct Registry {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry { names: Vec::new(), by_name: HashMap::new() }
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+impl Annotation {
+    /// Interns `name` and returns its annotation. Repeated calls with the
+    /// same name return the same annotation.
+    pub fn new(name: &str) -> Self {
+        let mut reg = registry().lock().expect("annotation registry poisoned");
+        if let Some(&id) = reg.by_name.get(name) {
+            return Annotation(id);
+        }
+        let id = u32::try_from(reg.names.len()).expect("annotation registry overflow");
+        reg.names.push(name.to_owned());
+        reg.by_name.insert(name.to_owned(), id);
+        Annotation(id)
+    }
+
+    /// Creates a fresh annotation with a unique generated name (`@k`).
+    ///
+    /// Used to abstractly tag generated databases: every call yields an
+    /// annotation distinct from every previously created one.
+    pub fn fresh() -> Self {
+        let mut reg = registry().lock().expect("annotation registry poisoned");
+        let id = u32::try_from(reg.names.len()).expect("annotation registry overflow");
+        let name = format!("@{id}");
+        reg.names.push(name.clone());
+        reg.by_name.insert(name, id);
+        Annotation(id)
+    }
+
+    /// The interned name of this annotation.
+    pub fn name(&self) -> String {
+        let reg = registry().lock().expect("annotation registry poisoned");
+        reg.names[self.0 as usize].clone()
+    }
+
+    /// The raw interned id. Stable within a process, useful as an index.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Annotation({})", self.name())
+    }
+}
+
+impl From<&str> for Annotation {
+    fn from(name: &str) -> Self {
+        Annotation::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Annotation::new("s1");
+        let b = Annotation::new("s1");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "s1");
+    }
+
+    #[test]
+    fn distinct_names_are_distinct() {
+        let a = Annotation::new("x_left");
+        let b = Annotation::new("x_right");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fresh_annotations_are_unique() {
+        let a = Annotation::fresh();
+        let b = Annotation::fresh();
+        assert_ne!(a, b);
+        assert_ne!(a.name(), b.name());
+    }
+
+    #[test]
+    fn display_uses_name() {
+        let a = Annotation::new("s42");
+        assert_eq!(a.to_string(), "s42");
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let a: Annotation = "token".into();
+        assert_eq!(a, Annotation::new("token"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Formal derivatives of provenance polynomials.
+//!
+//! `∂p/∂x` measures how a query result depends on one input tuple: it is
+//! the standard tool for incremental view maintenance deltas over
+//! `N[X]`-annotated relations (Green et al.), and the paper's §1 lists
+//! view maintenance among the provenance consumers that benefit from
+//! compact (core) provenance inputs.
+
+use crate::annotation::Annotation;
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+
+/// The formal partial derivative `∂p/∂x`.
+///
+/// For a monomial `m = x^k · r` (with `x ∤ r`), `∂m/∂x = k · x^(k-1) · r`;
+/// the derivative extends linearly to polynomials.
+pub fn derivative(p: &Polynomial, x: Annotation) -> Polynomial {
+    let mut out = Polynomial::zero_poly();
+    for (m, c) in p.iter() {
+        let k = m.multiplicity(x) as u64;
+        if k == 0 {
+            continue;
+        }
+        let reduced = Monomial::from_annotations(remove_one(m, x));
+        out.add_occurrences(reduced, c * k);
+    }
+    out
+}
+
+fn remove_one(m: &Monomial, x: Annotation) -> Vec<Annotation> {
+    let mut removed = false;
+    let mut factors = Vec::with_capacity(m.degree().saturating_sub(1));
+    for &a in m.factors() {
+        if a == x && !removed {
+            removed = true;
+            continue;
+        }
+        factors.push(a);
+    }
+    factors
+}
+
+/// The sensitivity of `p` to `x`: the number of derivation *slots* that
+/// use the tuple tagged `x` (the derivative evaluated at all-ones).
+pub fn sensitivity(p: &Polynomial, x: Annotation) -> u64 {
+    derivative(p, x)
+        .eval(&mut |_| crate::kinds::Natural(1))
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::CommutativeSemiring;
+
+    fn p(text: &str) -> Polynomial {
+        Polynomial::parse(text)
+    }
+
+    fn a(name: &str) -> Annotation {
+        Annotation::new(name)
+    }
+
+    #[test]
+    fn power_rule() {
+        // ∂(x³)/∂x = 3·x².
+        assert_eq!(derivative(&p("dx·dx·dx"), a("dx")), p("3·dx·dx"));
+    }
+
+    #[test]
+    fn product_terms() {
+        // ∂(x·y + 2·x·x·z)/∂x = y + 4·x·z.
+        let poly = p("dpx·dpy + 2·dpx·dpx·dpz");
+        assert_eq!(derivative(&poly, a("dpx")), p("dpy + 4·dpx·dpz"));
+    }
+
+    #[test]
+    fn derivative_of_absent_variable_is_zero() {
+        assert_eq!(derivative(&p("u·v"), a("not_in_poly")), Polynomial::zero_poly());
+    }
+
+    #[test]
+    fn linearity() {
+        let f = p("la·la + lb");
+        let g = p("la·lb");
+        let lhs = derivative(&f.add(&g), a("la"));
+        let rhs = derivative(&f, a("la")).add(&derivative(&g, a("la")));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn leibniz_rule() {
+        // ∂(f·g) = ∂f·g + f·∂g.
+        let f = p("pa·pb + pa");
+        let g = p("pa + pc");
+        let x = a("pa");
+        let lhs = derivative(&f.mul(&g), x);
+        let rhs = derivative(&f, x).mul(&g).add(&f.mul(&derivative(&g, x)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sensitivity_counts_usage_slots() {
+        // x·y + x·x: x appears in 1 + 2 slots.
+        let poly = p("sx·sy + sx·sx");
+        assert_eq!(sensitivity(&poly, a("sx")), 3);
+        assert_eq!(sensitivity(&poly, a("sy")), 1);
+        assert_eq!(sensitivity(&poly, a("sz")), 0);
+    }
+
+    #[test]
+    fn core_provenance_has_lower_sensitivity() {
+        // The core drops containing monomials and exponents, so no tuple
+        // can become *more* used.
+        use crate::direct::core_polynomial;
+        let full = p("cs1·cs1·cs1 + 3·cs1·cs2·cs3 + 3·cs2·cs4·cs5");
+        let core = core_polynomial(&full);
+        for name in ["cs1", "cs2", "cs3", "cs4", "cs5"] {
+            assert!(
+                sensitivity(&core, a(name)) <= sensitivity(&full, a(name)),
+                "sensitivity to {name} increased"
+            );
+        }
+    }
+}

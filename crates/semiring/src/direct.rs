@@ -1,0 +1,143 @@
+//! Direct core-provenance computation on raw polynomials — the PTIME part
+//! of paper Theorem 5.1, via Corollary 5.6:
+//!
+//! > Up to number of equal monomial occurrences, `p_III` may be obtained
+//! > from `p` by removing all the multiple occurrences of the same variable
+//! > in each monomial, and omitting every monomial `m_i` in `p` that
+//! > includes some monomial `m_j` in `p`.
+//!
+//! The exact coefficient computation (automorphism counting, Lemmas
+//! 5.7/5.9) needs the database and lives in `prov-core::direct`.
+
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+
+/// The PTIME core-provenance transformation (paper Corollary 5.6).
+///
+/// Returns the core provenance of `p` *up to coefficients*: monomials are
+/// the squarefree supports of `p`'s minimal monomials; each coefficient is
+/// whatever falls out of the transformation and is only guaranteed correct
+/// when it equals the automorphism count of the corresponding p-minimal
+/// adjunct (see [`Polynomial`] docs and `prov-core::direct::exact_core`).
+pub fn core_polynomial(p: &Polynomial) -> Polynomial {
+    // Step II effect (Lemma 5.3): squarefree every monomial, keeping
+    // occurrence counts.
+    let mut squarefree = Polynomial::zero_poly();
+    for (m, c) in p.iter() {
+        squarefree.add_occurrences(m.squarefree(), c);
+    }
+    // Step III effect (Lemma 5.5): drop every monomial that strictly
+    // includes another monomial of the polynomial.
+    let monomials: Vec<&Monomial> = squarefree.monomials().collect();
+    let mut result = Polynomial::zero_poly();
+    for (m, c) in squarefree.iter() {
+        let strictly_contains_smaller = monomials.iter().any(|other| Monomial::strict_leq(other, m));
+        if !strictly_contains_smaller {
+            result.add_occurrences(m.clone(), c);
+        }
+    }
+    result
+}
+
+/// Whether `p` is already a core polynomial shape: all monomials squarefree
+/// and no monomial strictly contains another. (Coefficients are not — and
+/// cannot be — validated without the database; Theorem 6.2.)
+pub fn is_core_shape(p: &Polynomial) -> bool {
+    let monomials: Vec<&Monomial> = p.monomials().collect();
+    monomials.iter().all(|m| m.is_squarefree())
+        && monomials
+            .iter()
+            .all(|m| !monomials.iter().any(|other| Monomial::strict_leq(other, m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{poly_leq, poly_lt};
+
+    fn p(text: &str) -> Polynomial {
+        Polynomial::parse(text)
+    }
+
+    #[test]
+    fn example_5_2_to_5_8_pipeline() {
+        // Provenance of Q̂ on D̂ (Example 5.2):
+        //   s1·s1·s1 + s2·s3·s1 + s3·s1·s2 + s1·s2·s3 + s2·s4·s5 + s4·s5·s2 + s5·s2·s4
+        // = s1³ + 3·s1·s2·s3 + 3·s2·s4·s5.
+        let full = p("s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5");
+        let core = core_polynomial(&full);
+        // Example 5.8: s1 + s2·s4·s5 + s4·s5·s2 + s5·s2·s4 = s1 + 3·s2·s4·s5.
+        assert_eq!(core, p("s1 + 3·s2·s4·s5"));
+    }
+
+    #[test]
+    fn squarefree_step_alone() {
+        // s1·s1 → s1 (Example 5.4's effect on the first adjunct's monomial).
+        assert_eq!(core_polynomial(&p("s1·s1")), p("s1"));
+    }
+
+    #[test]
+    fn containing_monomials_are_dropped() {
+        assert_eq!(core_polynomial(&p("s1 + s1·s2·s3")), p("s1"));
+    }
+
+    #[test]
+    fn equal_supports_are_kept_with_merged_counts() {
+        // No strict containment between equal monomials.
+        assert_eq!(core_polynomial(&p("x·y + x·y")), p("2·x·y"));
+    }
+
+    #[test]
+    fn incomparable_monomials_all_survive() {
+        let q = p("a·b + c·d + a·c");
+        assert_eq!(core_polynomial(&q), q);
+        assert!(is_core_shape(&q));
+    }
+
+    #[test]
+    fn core_is_leq_original() {
+        for text in [
+            "s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5",
+            "x·y·y + 2·z",
+            "a + a·b + a·b·c",
+            "m·n + n·o + m·m·o",
+        ] {
+            let original = p(text);
+            let core = core_polynomial(&original);
+            assert!(
+                poly_leq(&core, &original),
+                "core of {original} must be ≤ it, got {core}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let original = p("s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5");
+        let once = core_polynomial(&original);
+        let twice = core_polynomial(&once);
+        assert_eq!(once, twice);
+        assert!(is_core_shape(&once));
+    }
+
+    #[test]
+    fn zero_polynomial_core_is_zero() {
+        assert_eq!(core_polynomial(&Polynomial::zero_poly()), Polynomial::zero_poly());
+        assert!(is_core_shape(&Polynomial::zero_poly()));
+    }
+
+    #[test]
+    fn core_strictly_smaller_when_query_was_not_pminimal() {
+        let original = p("s2·s3 + s1·s1"); // Qconj on tuple (a), Example 2.14
+        let core = core_polynomial(&original); // = s2·s3 + s1, Qunion's provenance
+        assert_eq!(core, p("s2·s3 + s1"));
+        assert!(poly_lt(&core, &original));
+    }
+
+    #[test]
+    fn is_core_shape_rejects_non_squarefree() {
+        assert!(!is_core_shape(&p("x·x")));
+        assert!(!is_core_shape(&p("a + a·b")));
+        assert!(is_core_shape(&p("a + b·c")));
+    }
+}

@@ -1,0 +1,236 @@
+//! Dinic's maximum-flow algorithm on small integer-capacity networks.
+//!
+//! Used to decide the polynomial order relation (paper Def 2.15): the
+//! injective mapping of monomial occurrences is a bipartite b-matching
+//! between *distinct* monomials with coefficient capacities, which is a
+//! max-flow question. Working at the distinct-monomial level keeps the
+//! check polynomial even when coefficients are astronomically large.
+
+/// A directed flow network with integer capacities.
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    /// Per-node adjacency: indices into `edges`.
+    adj: Vec<Vec<usize>>,
+    /// Edge list; `edges[i ^ 1]` is the reverse edge of `edges[i]`.
+    edges: Vec<Edge>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    to: usize,
+    cap: u64,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// The number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` (and its
+    /// zero-capacity residual counterpart). Returns the edge id, usable
+    /// with [`FlowNetwork::flow_on`] after a max-flow run.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap });
+        self.edges.push(Edge { to: from, cap: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// The flow pushed through edge `id` (the reverse edge's residual).
+    pub fn flow_on(&self, id: usize) -> u64 {
+        self.edges[id ^ 1].cap
+    }
+
+    /// Computes the maximum flow from `source` to `sink` (Dinic).
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.adj.len();
+        let mut total = 0u64;
+        let mut level = vec![-1i32; n];
+        let mut it = vec![0usize; n];
+        loop {
+            // BFS: build the level graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[source] = 0;
+            let mut queue = std::collections::VecDeque::from([source]);
+            while let Some(v) = queue.pop_front() {
+                for &eid in &self.adj[v] {
+                    let e = self.edges[eid];
+                    if e.cap > 0 && level[e.to] < 0 {
+                        level[e.to] = level[v] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] < 0 {
+                return total;
+            }
+            it.iter_mut().for_each(|i| *i = 0);
+            // DFS blocking flow.
+            loop {
+                let pushed = self.dfs(source, sink, u64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, v: usize, sink: usize, limit: u64, level: &[i32], it: &mut [usize]) -> u64 {
+        if v == sink {
+            return limit;
+        }
+        while it[v] < self.adj[v].len() {
+            let eid = self.adj[v][it[v]];
+            let Edge { to, cap } = self.edges[eid];
+            if cap > 0 && level[to] == level[v] + 1 {
+                let pushed = self.dfs(to, sink, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.edges[eid].cap -= pushed;
+                    self.edges[eid ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[v] += 1;
+        }
+        0
+    }
+}
+
+/// Decides whether a bipartite b-matching saturating the left side exists.
+///
+/// `left[i]` and `right[j]` are supplies/capacities; `edges` lists
+/// admissible `(i, j)` pairs. Returns true iff there is an assignment of
+/// all left supply to admissible right nodes within their capacities.
+pub fn saturating_b_matching(left: &[u64], right: &[u64], edges: &[(usize, usize)]) -> bool {
+    saturating_b_matching_flows(left, right, edges).is_some()
+}
+
+/// Like [`saturating_b_matching`], but returns the witness: how much of
+/// each admissible `(i, j)` pair the matching uses (aligned with `edges`).
+/// `None` when no saturating matching exists.
+pub fn saturating_b_matching_flows(
+    left: &[u64],
+    right: &[u64],
+    edges: &[(usize, usize)],
+) -> Option<Vec<u64>> {
+    let total: u64 = left.iter().sum();
+    if total == 0 {
+        return Some(vec![0; edges.len()]);
+    }
+    if total > right.iter().sum::<u64>() {
+        return None;
+    }
+    let n_left = left.len();
+    let n_right = right.len();
+    // nodes: 0 = source, 1..=n_left = left, n_left+1..=n_left+n_right = right,
+    // last = sink.
+    let sink = n_left + n_right + 1;
+    let mut net = FlowNetwork::new(sink + 1);
+    for (i, &c) in left.iter().enumerate() {
+        if c > 0 {
+            net.add_edge(0, 1 + i, c);
+        }
+    }
+    for (j, &c) in right.iter().enumerate() {
+        if c > 0 {
+            net.add_edge(1 + n_left + j, sink, c);
+        }
+    }
+    let mut edge_ids = Vec::with_capacity(edges.len());
+    for &(i, j) in edges {
+        edge_ids.push(net.add_edge(1 + i, 1 + n_left + j, u64::MAX / 4));
+    }
+    if net.max_flow(0, sink) != total {
+        return None;
+    }
+    Some(edge_ids.into_iter().map(|id| net.flow_on(id)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 2);
+        assert_eq!(net.max_flow(0, 3), 4);
+    }
+
+    #[test]
+    fn classic_augmenting_case() {
+        // Requires flow rerouting through the cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 10);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn b_matching_saturates_when_possible() {
+        // 2 of left[0] and 1 of left[1] into right[0] (cap 2), right[1] (cap 1).
+        assert!(saturating_b_matching(
+            &[2, 1],
+            &[2, 1],
+            &[(0, 0), (0, 1), (1, 0), (1, 1)]
+        ));
+    }
+
+    #[test]
+    fn b_matching_fails_on_capacity() {
+        // left needs 3 but the only admissible right node has cap 2.
+        assert!(!saturating_b_matching(&[3], &[2, 5], &[(0, 0)]));
+    }
+
+    #[test]
+    fn b_matching_fails_on_structure() {
+        // Hall violation: two left nodes compete for one right unit.
+        assert!(!saturating_b_matching(&[1, 1], &[1, 1], &[(0, 0), (1, 0)]));
+    }
+
+    #[test]
+    fn b_matching_empty_left_is_trivially_ok() {
+        assert!(saturating_b_matching(&[], &[1], &[]));
+        assert!(saturating_b_matching(&[0], &[], &[]));
+    }
+
+    #[test]
+    fn b_matching_large_coefficients() {
+        // Coefficient magnitude must not affect feasibility cost.
+        let big = 1u64 << 40;
+        assert!(saturating_b_matching(&[big], &[big], &[(0, 0)]));
+        assert!(!saturating_b_matching(&[big + 1], &[big], &[(0, 0)]));
+    }
+}

@@ -1,0 +1,270 @@
+//! Concrete commutative semirings used by the data-management tools the
+//! paper motivates (§1, §7): counting, boolean lineage, cost/tropical,
+//! fuzzy/Viterbi confidence, and access-control levels.
+//!
+//! Each is a target of the specialization homomorphism from `N[X]`
+//! (see [`crate::polynomial::Polynomial::eval`]); computing on the *core*
+//! provenance instead of the full polynomial feeds these tools a smaller
+//! input, which is the practical payoff the paper argues for.
+
+use crate::semiring::{CommutativeSemiring, IdempotentSemiring};
+
+/// The counting semiring `(N, +, ·, 0, 1)`: evaluating a query's provenance
+/// here yields the number of derivations of each tuple (bag semantics).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, Default)]
+pub struct Natural(pub u64);
+
+impl CommutativeSemiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Natural(self.0.checked_add(other.0).expect("Natural overflow"))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Natural(self.0.checked_mul(other.0).expect("Natural overflow"))
+    }
+    fn from_natural(n: u64) -> Self {
+        Natural(n)
+    }
+}
+
+/// The boolean semiring `({false, true}, ∨, ∧, false, true)`: set-semantics
+/// presence/absence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, Default)]
+pub struct Boolean(pub bool);
+
+impl CommutativeSemiring for Boolean {
+    fn zero() -> Self {
+        Boolean(false)
+    }
+    fn one() -> Self {
+        Boolean(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Boolean(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Boolean(self.0 && other.0)
+    }
+    fn from_natural(n: u64) -> Self {
+        Boolean(n > 0)
+    }
+}
+
+impl IdempotentSemiring for Boolean {}
+
+/// The tropical (min, +) semiring over `N ∪ {∞}`: evaluating provenance here
+/// yields the cheapest derivation cost when each input tuple carries a cost.
+///
+/// `None` represents `∞` (the additive identity).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Tropical(pub Option<u64>);
+
+impl Tropical {
+    /// A finite cost.
+    pub fn cost(c: u64) -> Self {
+        Tropical(Some(c))
+    }
+    /// The infinite cost (no derivation).
+    pub fn infinity() -> Self {
+        Tropical(None)
+    }
+}
+
+impl CommutativeSemiring for Tropical {
+    fn zero() -> Self {
+        Tropical(None)
+    }
+    fn one() -> Self {
+        Tropical(Some(0))
+    }
+    fn add(&self, other: &Self) -> Self {
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => Tropical(Some(a.min(b))),
+            (Some(a), None) | (None, Some(a)) => Tropical(Some(a)),
+            (None, None) => Tropical(None),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => Tropical(Some(a.checked_add(b).expect("Tropical overflow"))),
+            _ => Tropical(None),
+        }
+    }
+    fn from_natural(n: u64) -> Self {
+        if n == 0 {
+            Tropical(None)
+        } else {
+            Tropical(Some(0))
+        }
+    }
+}
+
+impl IdempotentSemiring for Tropical {}
+
+/// The Viterbi / fuzzy semiring `([0,1], max, ·, 0, 1)`: confidence scores.
+///
+/// Stored as a fixed-point fraction out of `SCALE` so that `Eq`/`Hash` are
+/// exact and semiring laws hold without floating-point caveats.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct Confidence(u32);
+
+impl Confidence {
+    /// Fixed-point denominator.
+    pub const SCALE: u32 = 1_000_000;
+
+    /// Builds a confidence from a float in `[0, 1]`, clamping.
+    pub fn from_f64(p: f64) -> Self {
+        let clamped = p.clamp(0.0, 1.0);
+        Confidence((clamped * f64::from(Self::SCALE)).round() as u32)
+    }
+
+    /// This confidence as an `f64` in `[0, 1]`.
+    pub fn as_f64(&self) -> f64 {
+        f64::from(self.0) / f64::from(Self::SCALE)
+    }
+}
+
+impl CommutativeSemiring for Confidence {
+    fn zero() -> Self {
+        Confidence(0)
+    }
+    fn one() -> Self {
+        Confidence(Self::SCALE)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Confidence(self.0.max(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let prod = u64::from(self.0) * u64::from(other.0) / u64::from(Self::SCALE);
+        Confidence(prod as u32)
+    }
+    fn from_natural(n: u64) -> Self {
+        if n == 0 {
+            Self::zero()
+        } else {
+            Self::one()
+        }
+    }
+}
+
+impl IdempotentSemiring for Confidence {}
+
+/// The access-control / trust semiring: clearance levels ordered from most
+/// to least permissive, with `+` = min (an alternative derivation can only
+/// lower the required clearance) and `·` = max (a joint derivation needs the
+/// highest clearance of any part).
+///
+/// `NeverAllowed` is the additive identity (`0`), `Public` the
+/// multiplicative identity (`1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Clearance {
+    /// Anyone may see the tuple (the `1` of the semiring).
+    Public,
+    /// Requires confidential clearance.
+    Confidential,
+    /// Requires secret clearance.
+    Secret,
+    /// Requires top-secret clearance.
+    TopSecret,
+    /// No clearance suffices (the `0` of the semiring).
+    NeverAllowed,
+}
+
+impl CommutativeSemiring for Clearance {
+    fn zero() -> Self {
+        Clearance::NeverAllowed
+    }
+    fn one() -> Self {
+        Clearance::Public
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+    fn from_natural(n: u64) -> Self {
+        if n == 0 {
+            Clearance::NeverAllowed
+        } else {
+            Clearance::Public
+        }
+    }
+}
+
+impl IdempotentSemiring for Clearance {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::laws::check_semiring_laws;
+
+    #[test]
+    fn natural_laws() {
+        check_semiring_laws(&[Natural(0), Natural(1), Natural(2), Natural(7)]);
+    }
+
+    #[test]
+    fn boolean_laws() {
+        check_semiring_laws(&[Boolean(false), Boolean(true)]);
+    }
+
+    #[test]
+    fn tropical_laws() {
+        check_semiring_laws(&[
+            Tropical::infinity(),
+            Tropical::cost(0),
+            Tropical::cost(3),
+            Tropical::cost(10),
+        ]);
+    }
+
+    #[test]
+    fn confidence_laws_on_exact_values() {
+        // max/· with fixed-point values whose products are exact.
+        check_semiring_laws(&[
+            Confidence::zero(),
+            Confidence::one(),
+            Confidence::from_f64(0.5),
+            Confidence::from_f64(0.25),
+        ]);
+    }
+
+    #[test]
+    fn clearance_laws() {
+        check_semiring_laws(&[
+            Clearance::Public,
+            Clearance::Confidential,
+            Clearance::Secret,
+            Clearance::TopSecret,
+            Clearance::NeverAllowed,
+        ]);
+    }
+
+    #[test]
+    fn tropical_picks_cheapest_alternative() {
+        let a = Tropical::cost(5);
+        let b = Tropical::cost(3);
+        assert_eq!(a.add(&b), Tropical::cost(3));
+        assert_eq!(a.mul(&b), Tropical::cost(8));
+    }
+
+    #[test]
+    fn clearance_joint_use_is_most_restrictive() {
+        let joint = Clearance::Confidential.mul(&Clearance::Secret);
+        assert_eq!(joint, Clearance::Secret);
+        let alt = Clearance::Confidential.add(&Clearance::Secret);
+        assert_eq!(alt, Clearance::Confidential);
+    }
+
+    #[test]
+    fn confidence_round_trip() {
+        let c = Confidence::from_f64(0.75);
+        assert!((c.as_f64() - 0.75).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Provenance semirings and the terseness order on provenance polynomials.
+//!
+//! This crate is the algebraic substrate of `provmin`, a reproduction of
+//! *"On Provenance Minimization"* (Amsterdamer, Deutch, Milo, Tannen,
+//! PODS 2011). It provides:
+//!
+//! * the commutative-semiring abstraction and the concrete semirings that
+//!   downstream data-management tools evaluate provenance in
+//!   ([`CommutativeSemiring`], [`kinds`]);
+//! * the provenance semiring `N[X]` itself: interned [`Annotation`]s,
+//!   [`Monomial`]s (one per assignment) and [`Polynomial`]s (paper §2.3);
+//! * the terseness **order relation** `p ≤ p'` on polynomials
+//!   (paper Definition 2.15), decided by bipartite b-matching ([`order`]);
+//! * the PTIME **direct core-provenance** transformation of
+//!   Corollary 5.6 ([`direct`]);
+//! * the coarser provenance models the paper compares against in §7:
+//!   [`why::WhyProvenance`] and [`trio::TrioLineage`].
+
+#![warn(missing_docs)]
+
+mod annotation;
+mod flow;
+mod kinds;
+mod monomial;
+mod polynomial;
+mod semiring;
+
+pub mod derivative;
+pub mod direct;
+pub mod order;
+pub mod trio;
+pub mod why;
+
+pub use annotation::Annotation;
+pub use flow::{saturating_b_matching, saturating_b_matching_flows, FlowNetwork};
+pub use kinds::{Boolean, Clearance, Confidence, Natural, Tropical};
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;
+pub use semiring::{CommutativeSemiring, IdempotentSemiring};

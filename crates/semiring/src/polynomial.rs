@@ -1,0 +1,367 @@
+//! Provenance polynomials: elements of `N[X]`, the free commutative
+//! semiring over the annotation set `X` (paper §2.3, after Green et al.).
+//!
+//! A polynomial is a finite formal sum of monomials with natural
+//! coefficients. We store it as a coefficient map keyed by monomial, which
+//! keeps the paper's "all coefficients and exponents written as 1"
+//! presentation recoverable: a coefficient `c` stands for `c` monomial
+//! *occurrences*, each in bijection with one assignment (paper §2.3, Note).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::annotation::Annotation;
+use crate::monomial::Monomial;
+use crate::semiring::CommutativeSemiring;
+
+/// An element of `N[X]`: a finite sum `Σ cᵢ·mᵢ` of distinct monomials with
+/// positive natural coefficients. The zero polynomial is the empty sum.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    /// Coefficient per distinct monomial; invariant: no zero coefficients.
+    terms: BTreeMap<Monomial, u64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial (no derivations).
+    pub fn zero_poly() -> Self {
+        Polynomial { terms: BTreeMap::new() }
+    }
+
+    /// The polynomial consisting of a single occurrence of `m`.
+    pub fn from_monomial(m: Monomial) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(m, 1);
+        Polynomial { terms }
+    }
+
+    /// The polynomial `c·m`.
+    pub fn term(m: Monomial, c: u64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c > 0 {
+            terms.insert(m, c);
+        }
+        Polynomial { terms }
+    }
+
+    /// The polynomial that is a single annotation variable.
+    pub fn var(a: Annotation) -> Self {
+        Polynomial::from_monomial(Monomial::var(a))
+    }
+
+    /// Parses a `+`-separated sum of monomials with optional integer
+    /// coefficients, e.g. `"s1·s2 + 2·s3"` or `"s1*s1 + s2"`.
+    ///
+    /// A leading integer factor in a term is taken as its coefficient.
+    pub fn parse(text: &str) -> Self {
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed == "0" {
+            return Polynomial::zero_poly();
+        }
+        let mut poly = Polynomial::zero_poly();
+        for term in trimmed.split('+') {
+            let term = term.trim();
+            let mut coeff: u64 = 1;
+            let mut names: Vec<&str> = Vec::new();
+            for factor in term.split(['·', '*']) {
+                let factor = factor.trim();
+                if factor.is_empty() {
+                    continue;
+                }
+                if let Ok(n) = factor.parse::<u64>() {
+                    // `1` alone is the unit monomial; as a factor it is a
+                    // coefficient either way since m·1 = m.
+                    coeff = coeff.checked_mul(n).expect("coefficient overflow");
+                } else {
+                    names.push(factor);
+                }
+            }
+            let m = Monomial::from_annotations(names.into_iter().map(Annotation::new));
+            poly.add_occurrences(m, coeff);
+        }
+        poly
+    }
+
+    /// Adds `count` occurrences of monomial `m`.
+    pub fn add_occurrences(&mut self, m: Monomial, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.terms.entry(m).or_insert(0) += count;
+    }
+
+    /// Adds a single occurrence of monomial `m` (one assignment's worth).
+    pub fn add_monomial(&mut self, m: Monomial) {
+        self.add_occurrences(m, 1);
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero_poly(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The number of *distinct* monomials.
+    pub fn num_distinct_monomials(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The total number of monomial occurrences (= sum of coefficients
+    /// = number of assignments yielding the annotated tuple).
+    pub fn num_occurrences(&self) -> u64 {
+        self.terms.values().sum()
+    }
+
+    /// The size of the polynomial: total factor occurrences across all
+    /// monomial occurrences. This is the "size of provenance" measure the
+    /// paper's compactness argument refers to.
+    pub fn size(&self) -> u64 {
+        self.terms
+            .iter()
+            .map(|(m, &c)| c * m.degree() as u64)
+            .sum()
+    }
+
+    /// The coefficient of monomial `m` (0 if absent).
+    pub fn coefficient(&self, m: &Monomial) -> u64 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(monomial, coefficient)` pairs in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, u64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The distinct monomials, in order.
+    pub fn monomials(&self) -> impl Iterator<Item = &Monomial> {
+        self.terms.keys()
+    }
+
+    /// The set of annotations occurring anywhere in the polynomial.
+    pub fn annotations(&self) -> std::collections::BTreeSet<Annotation> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.factors().iter().copied())
+            .collect()
+    }
+
+    /// The maximum monomial degree (0 for the zero polynomial).
+    pub fn max_degree(&self) -> usize {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluates the polynomial in `K` under `valuation : X → K`; this is
+    /// the unique semiring homomorphism `N[X] → K` extending `valuation`
+    /// (the universal property of the free commutative semiring, which is
+    /// what makes `N[X]` the "most general" provenance of Green et al.).
+    pub fn eval<K: CommutativeSemiring>(&self, valuation: &mut impl FnMut(Annotation) -> K) -> K {
+        K::sum(self.terms.iter().map(|(m, &c)| {
+            let mv = m.eval(valuation);
+            K::from_natural(c).mul(&mv)
+        }))
+    }
+
+    /// Substitutes polynomials for annotations (composition in `N[X]`);
+    /// models provenance of queries over views (the §6 "result of some
+    /// previous computation" scenario).
+    pub fn substitute(&self, subst: &mut impl FnMut(Annotation) -> Polynomial) -> Polynomial {
+        self.eval(subst)
+    }
+}
+
+impl CommutativeSemiring for Polynomial {
+    fn zero() -> Self {
+        Polynomial::zero_poly()
+    }
+
+    fn one() -> Self {
+        Polynomial::from_monomial(Monomial::unit())
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut result = self.clone();
+        for (m, &c) in &other.terms {
+            result.add_occurrences(m.clone(), c);
+        }
+        result
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut result = Polynomial::zero_poly();
+        for (m1, &c1) in &self.terms {
+            for (m2, &c2) in &other.terms {
+                result.add_occurrences(m1.mul(m2), c1 * c2);
+            }
+        }
+        result
+    }
+
+    fn from_natural(n: u64) -> Self {
+        Polynomial::term(Monomial::unit(), n)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" + ")?;
+            }
+            if m.is_unit() {
+                write!(f, "{c}")?;
+            } else {
+                if *c != 1 {
+                    write!(f, "{c}·")?;
+                }
+                write!(f, "{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromIterator<Monomial> for Polynomial {
+    fn from_iter<I: IntoIterator<Item = Monomial>>(iter: I) -> Self {
+        let mut poly = Polynomial::zero_poly();
+        for m in iter {
+            poly.add_monomial(m);
+        }
+        poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::{Boolean, Natural};
+
+    fn p(text: &str) -> Polynomial {
+        Polynomial::parse(text)
+    }
+
+    #[test]
+    fn parse_collects_coefficients() {
+        // Paper §1: x·y·y + z + z = x·y² + 2z.
+        let poly = p("x·y·y + z + z");
+        assert_eq!(poly.coefficient(&Monomial::parse("x·y·y")), 1);
+        assert_eq!(poly.coefficient(&Monomial::parse("z")), 2);
+        assert_eq!(poly.num_occurrences(), 3);
+        assert_eq!(poly.num_distinct_monomials(), 2);
+    }
+
+    #[test]
+    fn parse_explicit_coefficient() {
+        assert_eq!(p("2·z + x"), p("z + z + x"));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let poly = p("s1·s1 + 2·s2 + s3·s4");
+        assert_eq!(Polynomial::parse(&poly.to_string()), poly);
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert_eq!(p("0"), Polynomial::zero_poly());
+        assert!(Polynomial::zero_poly().is_zero_poly());
+        assert_eq!(Polynomial::one().to_string(), "1");
+        assert_eq!(p("1").num_occurrences(), 1);
+        assert!(p("1").monomials().next().unwrap().is_unit());
+    }
+
+    #[test]
+    fn semiring_laws_on_samples() {
+        crate::semiring::laws::check_semiring_laws(&[
+            Polynomial::zero_poly(),
+            Polynomial::one(),
+            p("x + y"),
+            p("x·x"),
+            p("2·z"),
+        ]);
+    }
+
+    #[test]
+    fn multiplication_distributes_assignments() {
+        // (x + y)(x + z) = x² + xz + xy + yz
+        let prod = p("x + y").mul(&p("x + z"));
+        assert_eq!(prod, p("x·x + x·z + x·y + y·z"));
+    }
+
+    #[test]
+    fn eval_into_naturals_counts_derivations() {
+        // x·y² + 2z with x=y=z=1 gives 3 derivations.
+        let poly = p("x·y·y + 2·z");
+        let n = poly.eval(&mut |_| Natural(1));
+        assert_eq!(n, Natural(3));
+    }
+
+    #[test]
+    fn eval_into_boolean_is_satisfiability() {
+        let poly = p("x·y + z");
+        let z = Annotation::new("z");
+        // only z present
+        let b = poly.eval(&mut |a| Boolean(a == z));
+        assert_eq!(b, Boolean(true));
+        // nothing present
+        let b = poly.eval(&mut |_| Boolean(false));
+        assert_eq!(b, Boolean(false));
+    }
+
+    #[test]
+    fn eval_is_a_homomorphism() {
+        // Universal property spot-check: eval(p+q) = eval(p)+eval(q), etc.
+        let pp = p("x·y + z");
+        let qq = p("x + 2·w");
+        let mut val = |a: Annotation| Natural(u64::from(a.id() % 5) + 1);
+        let lhs = pp.add(&qq).eval(&mut val);
+        let rhs = pp.eval(&mut val).add(&qq.eval(&mut val));
+        assert_eq!(lhs, rhs);
+        let lhs = pp.mul(&qq).eval(&mut val);
+        let rhs = pp.eval(&mut val).mul(&qq.eval(&mut val));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn substitution_composes() {
+        // Provenance through views: replace z by (u + v).
+        let poly = p("x·z + z");
+        let z = Annotation::new("z");
+        let result = poly.substitute(&mut |a| {
+            if a == z {
+                p("u + v")
+            } else {
+                Polynomial::var(a)
+            }
+        });
+        assert_eq!(result, p("x·u + x·v + u + v"));
+    }
+
+    #[test]
+    fn size_counts_factor_occurrences() {
+        let poly = p("s1·s2·s2 + 2·s3");
+        assert_eq!(poly.size(), 3 + 2);
+        assert_eq!(poly.max_degree(), 3);
+    }
+
+    #[test]
+    fn annotations_collects_all() {
+        let poly = p("a1·b1 + c1");
+        assert_eq!(poly.annotations().len(), 3);
+    }
+
+    #[test]
+    fn from_iterator_of_monomials() {
+        let poly: Polynomial = vec![Monomial::parse("x"), Monomial::parse("x")]
+            .into_iter()
+            .collect();
+        assert_eq!(poly, p("2·x"));
+    }
+}

@@ -1,0 +1,118 @@
+//! The commutative-semiring abstraction of Green, Karvounarakis & Tannen
+//! ("Provenance semirings", PODS 2007), which the paper builds on.
+//!
+//! A semiring `(K, +, ·, 0, 1)` has a commutative monoid `(K, +, 0)`, a
+//! commutative monoid `(K, ·, 1)` (we restrict to commutative semirings, as
+//! the provenance semiring `N[X]` is), distributivity, and `0` annihilating
+//! `·`. Queries evaluated over `K`-relations combine annotations with `+`
+//! for alternative derivations and `·` for joint use.
+
+use std::fmt::Debug;
+
+/// A commutative semiring `(K, +, ·, 0, 1)`.
+pub trait CommutativeSemiring: Clone + PartialEq + Debug {
+    /// The additive identity (annihilates multiplication).
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Semiring addition (combines alternative derivations).
+    fn add(&self, other: &Self) -> Self;
+    /// Semiring multiplication (combines joint derivations).
+    fn mul(&self, other: &Self) -> Self;
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// The canonical image of `n ∈ N` in this semiring: `1 + 1 + ... + 1`
+    /// (`n` times). This is the unique semiring homomorphism `N → K`
+    /// restricted to naturals; it is what coefficients of `N[X]` map to
+    /// under polynomial evaluation.
+    fn from_natural(n: u64) -> Self {
+        // Double-and-add so that huge coefficients stay cheap.
+        let mut result = Self::zero();
+        let mut base = Self::one();
+        let mut k = n;
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.add(&base);
+            }
+            base = base.add(&base);
+            k >>= 1;
+        }
+        result
+    }
+
+    /// Sums an iterator of elements.
+    fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.add(&x))
+    }
+
+    /// Multiplies an iterator of elements.
+    fn product<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter().fold(Self::one(), |acc, x| acc.mul(&x))
+    }
+}
+
+/// Marker trait: semirings whose addition is idempotent (`a + a = a`).
+///
+/// On idempotent semirings, coefficient information of `N[X]` is lost under
+/// evaluation; this is the formal reason Why-provenance and boolean
+/// provenance are coarser than `N[X]` (paper §7).
+pub trait IdempotentSemiring: CommutativeSemiring {}
+
+#[cfg(test)]
+pub(crate) mod laws {
+    //! Reusable semiring-law assertions for concrete instances' tests.
+    use super::CommutativeSemiring;
+
+    pub fn check_semiring_laws<K: CommutativeSemiring>(elems: &[K]) {
+        let zero = K::zero();
+        let one = K::one();
+        for a in elems {
+            assert_eq!(a.add(&zero), *a, "additive identity");
+            assert_eq!(a.mul(&one), *a, "multiplicative identity");
+            assert_eq!(a.mul(&zero), zero, "zero annihilates");
+            for b in elems {
+                assert_eq!(a.add(b), b.add(a), "commutative +");
+                assert_eq!(a.mul(b), b.mul(a), "commutative ·");
+                for c in elems {
+                    assert_eq!(a.add(b).add(c), a.add(&b.add(c)), "associative +");
+                    assert_eq!(a.mul(b).mul(c), a.mul(&b.mul(c)), "associative ·");
+                    assert_eq!(
+                        a.mul(&b.add(c)),
+                        a.mul(b).add(&a.mul(c)),
+                        "distributivity"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::Natural;
+
+    #[test]
+    fn from_natural_matches_repeated_addition() {
+        for n in 0..20u64 {
+            let slow = (0..n).fold(Natural::zero(), |acc, _| acc.add(&Natural::one()));
+            assert_eq!(Natural::from_natural(n), slow);
+        }
+    }
+
+    #[test]
+    fn from_natural_large() {
+        assert_eq!(Natural::from_natural(1_000_000), Natural(1_000_000));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = vec![Natural(2), Natural(3), Natural(4)];
+        assert_eq!(Natural::sum(xs.clone()), Natural(9));
+        assert_eq!(Natural::product(xs), Natural(24));
+    }
+}

@@ -1,0 +1,81 @@
+//! Trio lineage (Benjelloun et al., VLDB J. 2008), as characterized in
+//! paper §7 via Green (ICDT 2009): polynomials *without exponents* but with
+//! coefficients. A second baseline: the paper observes the core provenance
+//! is more minimal than Trio (containing monomials are not omitted in Trio)
+//! and carries canonical "core coefficients" that Trio does not.
+
+use std::fmt;
+
+
+use crate::polynomial::Polynomial;
+
+/// A Trio lineage expression: a squarefree polynomial with coefficients.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct TrioLineage {
+    poly: Polynomial,
+}
+
+impl TrioLineage {
+    /// Extracts Trio lineage from an `N[X]` polynomial: drop exponents
+    /// (each monomial becomes its squarefree support), keep and merge
+    /// coefficients.
+    pub fn from_polynomial(p: &Polynomial) -> Self {
+        let mut poly = Polynomial::zero_poly();
+        for (m, c) in p.iter() {
+            poly.add_occurrences(m.squarefree(), c);
+        }
+        TrioLineage { poly }
+    }
+
+    /// The underlying squarefree polynomial.
+    pub fn as_polynomial(&self) -> &Polynomial {
+        &self.poly
+    }
+
+    /// Number of monomial occurrences.
+    pub fn num_occurrences(&self) -> u64 {
+        self.poly.num_occurrences()
+    }
+
+    /// Total size (factor occurrences).
+    pub fn size(&self) -> u64 {
+        self.poly.size()
+    }
+}
+
+impl fmt::Display for TrioLineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.poly, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(text: &str) -> Polynomial {
+        Polynomial::parse(text)
+    }
+
+    #[test]
+    fn drops_exponents_keeps_coefficients() {
+        // x·y² + 2z → x·y + 2z (Green ICDT'09 characterization).
+        let trio = TrioLineage::from_polynomial(&p("x·y·y + 2·z"));
+        assert_eq!(trio.as_polynomial(), &p("x·y + 2·z"));
+    }
+
+    #[test]
+    fn merges_monomials_that_collapse() {
+        // x·x·y + x·y·y → 2·x·y.
+        let trio = TrioLineage::from_polynomial(&p("x·x·y + x·y·y"));
+        assert_eq!(trio.as_polynomial(), &p("2·x·y"));
+    }
+
+    #[test]
+    fn keeps_containing_monomials_unlike_core() {
+        // s1 + s1·s2·s3: Trio keeps both monomials; the core would drop the
+        // containing one (see crate::direct).
+        let trio = TrioLineage::from_polynomial(&p("s1 + s1·s2·s3"));
+        assert_eq!(trio.num_occurrences(), 2);
+    }
+}

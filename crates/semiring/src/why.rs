@@ -1,0 +1,134 @@
+//! Why-provenance (Buneman, Khanna & Tan, ICDT 2001), as characterized in
+//! paper §7: "a set of sets", i.e. a polynomial with no exponents or
+//! coefficients. Provided as a baseline to compare compactness and
+//! informativeness against the core provenance.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::annotation::Annotation;
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+
+/// A why-provenance expression: a set of witnesses, each a set of
+/// annotations.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct WhyProvenance {
+    witnesses: BTreeSet<BTreeSet<Annotation>>,
+}
+
+impl WhyProvenance {
+    /// The empty why-provenance (no derivations).
+    pub fn empty() -> Self {
+        WhyProvenance::default()
+    }
+
+    /// Extracts why-provenance from an `N[X]` polynomial: each monomial
+    /// occurrence contributes its support set; duplicates collapse.
+    pub fn from_polynomial(p: &Polynomial) -> Self {
+        WhyProvenance {
+            witnesses: p.monomials().map(Monomial::support).collect(),
+        }
+    }
+
+    /// The witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<BTreeSet<Annotation>> {
+        &self.witnesses
+    }
+
+    /// Number of witnesses.
+    pub fn len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Whether there are no witnesses.
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// The *minimal witness basis*: witnesses not strictly containing
+    /// another witness. (This is why-provenance's analogue of the core; the
+    /// paper notes core provenance is strictly more informative because it
+    /// also carries core coefficients.)
+    pub fn minimal_witness_basis(&self) -> WhyProvenance {
+        let minimal = self
+            .witnesses
+            .iter()
+            .filter(|w| {
+                !self
+                    .witnesses
+                    .iter()
+                    .any(|other| other.len() < w.len() && other.is_subset(w))
+            })
+            .cloned()
+            .collect();
+        WhyProvenance { witnesses: minimal }
+    }
+
+    /// Total size: sum of witness cardinalities.
+    pub fn size(&self) -> usize {
+        self.witnesses.iter().map(BTreeSet::len).sum()
+    }
+}
+
+impl fmt::Display for WhyProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, w) in self.witnesses.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str("{")?;
+            for (j, a) in w.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            f.write_str("}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(text: &str) -> Polynomial {
+        Polynomial::parse(text)
+    }
+
+    #[test]
+    fn collapses_exponents_and_coefficients() {
+        // x·y² + 2z → {{x,y},{z}}
+        let why = WhyProvenance::from_polynomial(&p("x·y·y + 2·z"));
+        assert_eq!(why.len(), 2);
+        assert_eq!(why.to_string(), "{{x,y}, {z}}");
+    }
+
+    #[test]
+    fn distinct_monomials_same_support_collapse() {
+        let why = WhyProvenance::from_polynomial(&p("x·x·y + x·y·y"));
+        assert_eq!(why.len(), 1);
+    }
+
+    #[test]
+    fn minimal_witness_basis_drops_supersets() {
+        let why = WhyProvenance::from_polynomial(&p("s1 + s1·s2·s3 + s2·s4"));
+        let basis = why.minimal_witness_basis();
+        assert_eq!(basis.len(), 2);
+        assert_eq!(basis.to_string(), "{{s1}, {s2,s4}}");
+    }
+
+    #[test]
+    fn empty_from_zero() {
+        assert!(WhyProvenance::from_polynomial(&Polynomial::zero_poly()).is_empty());
+    }
+
+    #[test]
+    fn size_measures_tuples_referenced() {
+        let why = WhyProvenance::from_polynomial(&p("x·y + z"));
+        assert_eq!(why.size(), 3);
+    }
+}

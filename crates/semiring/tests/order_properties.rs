@@ -1,0 +1,108 @@
+//! Property tests for the terseness order (paper Def 2.15): preorder laws
+//! and compatibility with the semiring operations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prov_semiring::order::{compare, poly_leq, PolyOrder};
+use prov_semiring::{Annotation, CommutativeSemiring, Monomial, Polynomial};
+
+fn poly(seed: u64, monomials: usize, degree: usize, vars: usize) -> Polynomial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Polynomial::zero_poly();
+    for _ in 0..monomials {
+        let d = rng.random_range(1..=degree.max(1));
+        let m = Monomial::from_annotations(
+            (0..d).map(|_| Annotation::new(&format!("op{}", rng.random_range(0..vars.max(1))))),
+        );
+        p.add_monomial(m);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn reflexivity(seed in 0u64..1000) {
+        let p = poly(seed, 4, 4, 5);
+        prop_assert!(poly_leq(&p, &p));
+        prop_assert_eq!(compare(&p, &p), PolyOrder::Equivalent);
+    }
+
+    #[test]
+    fn zero_is_least(seed in 0u64..1000) {
+        let p = poly(seed, 3, 3, 4);
+        prop_assert!(poly_leq(&Polynomial::zero_poly(), &p));
+        if !p.is_zero_poly() {
+            prop_assert!(!poly_leq(&p, &Polynomial::zero_poly()));
+        }
+    }
+
+    #[test]
+    fn addition_is_monotone(sa in 0u64..300, sb in 0u64..300, sc in 0u64..300) {
+        // p ≤ p + r, and p ≤ q implies p + r ≤ q + r.
+        let p = poly(sa, 3, 3, 4);
+        let q = poly(sb, 3, 3, 4);
+        let r = poly(sc, 2, 2, 4);
+        prop_assert!(poly_leq(&p, &p.add(&r)) || r.is_zero_poly());
+        if poly_leq(&p, &q) {
+            prop_assert!(poly_leq(&p.add(&r), &q.add(&r)));
+        }
+    }
+
+    #[test]
+    fn multiplication_is_monotone(sa in 0u64..300, sb in 0u64..300, sc in 0u64..300) {
+        // p ≤ q implies p·r ≤ q·r.
+        let p = poly(sa, 2, 2, 3);
+        let q = poly(sb, 2, 2, 3);
+        let r = poly(sc, 2, 2, 3);
+        if poly_leq(&p, &q) {
+            prop_assert!(poly_leq(&p.mul(&r), &q.mul(&r)));
+        }
+    }
+
+    #[test]
+    fn padding_a_monomial_grows(seed in 0u64..500) {
+        // Multiplying one monomial by an extra factor produces a strictly
+        // larger polynomial (when the rest stays fixed).
+        let p = poly(seed, 3, 3, 4);
+        if p.is_zero_poly() { return Ok(()); }
+        let pad = Monomial::parse("op_pad_unique");
+        let mut grown = Polynomial::zero_poly();
+        for (i, (m, c)) in p.iter().enumerate() {
+            if i == 0 {
+                grown.add_occurrences(m.mul(&pad), c);
+            } else {
+                grown.add_occurrences(m.clone(), c);
+            }
+        }
+        prop_assert!(poly_leq(&p, &grown));
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric_on_verdicts(sa in 0u64..200, sb in 0u64..200) {
+        let p = poly(sa, 3, 3, 4);
+        let q = poly(sb, 3, 3, 4);
+        let pq = compare(&p, &q);
+        let qp = compare(&q, &p);
+        let expected = match pq {
+            PolyOrder::Equivalent => PolyOrder::Equivalent,
+            PolyOrder::Less => PolyOrder::Greater,
+            PolyOrder::Greater => PolyOrder::Less,
+            PolyOrder::Incomparable => PolyOrder::Incomparable,
+        };
+        prop_assert_eq!(qp, expected);
+    }
+
+    #[test]
+    fn monomial_order_agrees_with_polynomial_order(sa in 0u64..300, sb in 0u64..300) {
+        // Singleton polynomials compare exactly as their monomials.
+        let ma = poly(sa, 1, 4, 4);
+        let mb = poly(sb, 1, 4, 4);
+        let (m1, _) = ma.iter().next().unwrap();
+        let (m2, _) = mb.iter().next().unwrap();
+        prop_assert_eq!(poly_leq(&ma, &mb), m1.leq(m2));
+    }
+}

@@ -1,0 +1,107 @@
+//! The universal property of `N[X]` as executable properties: evaluation
+//! under any valuation is a semiring homomorphism, and the coarser
+//! provenance models factor through it.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prov_semiring::trio::TrioLineage;
+use prov_semiring::why::WhyProvenance;
+use prov_semiring::{
+    Annotation, Boolean, Clearance, CommutativeSemiring, Monomial, Natural, Polynomial, Tropical,
+};
+
+fn poly(seed: u64, monomials: usize, degree: usize, vars: usize) -> Polynomial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Polynomial::zero_poly();
+    for _ in 0..monomials {
+        let d = rng.random_range(1..=degree.max(1));
+        let m = Monomial::from_annotations(
+            (0..d).map(|_| Annotation::new(&format!("sp{}", rng.random_range(0..vars.max(1))))),
+        );
+        p.add_monomial(m);
+    }
+    p
+}
+
+fn check_homomorphism<K: CommutativeSemiring>(
+    p: &Polynomial,
+    q: &Polynomial,
+    val: &mut impl FnMut(Annotation) -> K,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(p.add(q).eval(val), p.eval(val).add(&q.eval(val)));
+    prop_assert_eq!(p.mul(q).eval(val), p.eval(val).mul(&q.eval(val)));
+    prop_assert_eq!(Polynomial::zero_poly().eval(val), K::zero());
+    prop_assert_eq!(Polynomial::one().eval(val), K::one());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boolean_specialization_is_a_homomorphism(sa in 0u64..200, sb in 0u64..200) {
+        let p = poly(sa, 3, 3, 4);
+        let q = poly(sb, 3, 3, 4);
+        check_homomorphism(&p, &q, &mut |a: Annotation| Boolean(a.id().is_multiple_of(2)))?;
+    }
+
+    #[test]
+    fn natural_specialization_is_a_homomorphism(sa in 0u64..200, sb in 0u64..200) {
+        let p = poly(sa, 3, 3, 4);
+        let q = poly(sb, 3, 3, 4);
+        check_homomorphism(&p, &q, &mut |a: Annotation| Natural(u64::from(a.id() % 4)))?;
+    }
+
+    #[test]
+    fn tropical_specialization_is_a_homomorphism(sa in 0u64..200, sb in 0u64..200) {
+        let p = poly(sa, 3, 3, 4);
+        let q = poly(sb, 3, 3, 4);
+        check_homomorphism(&p, &q, &mut |a: Annotation| {
+            if a.id().is_multiple_of(5) {
+                Tropical::infinity()
+            } else {
+                Tropical::cost(u64::from(a.id() % 7))
+            }
+        })?;
+    }
+
+    #[test]
+    fn clearance_specialization_is_a_homomorphism(sa in 0u64..200, sb in 0u64..200) {
+        let p = poly(sa, 3, 3, 4);
+        let q = poly(sb, 3, 3, 4);
+        let levels = [
+            Clearance::Public,
+            Clearance::Confidential,
+            Clearance::Secret,
+            Clearance::TopSecret,
+            Clearance::NeverAllowed,
+        ];
+        check_homomorphism(&p, &q, &mut |a: Annotation| levels[(a.id() % 5) as usize])?;
+    }
+
+    #[test]
+    fn idempotent_semirings_cannot_see_exponents(seed in 0u64..300) {
+        // Trio's "drop exponents" is invisible to idempotent targets.
+        let p = poly(seed, 4, 4, 4);
+        let trio = TrioLineage::from_polynomial(&p);
+        let mut val = |a: Annotation| Boolean(!a.id().is_multiple_of(3));
+        prop_assert_eq!(p.eval(&mut val), trio.as_polynomial().eval(&mut val));
+    }
+
+    #[test]
+    fn why_provenance_matches_boolean_satisfiability(seed in 0u64..300, mask in 0u32..64) {
+        // A witness survives a deletion mask iff all its members do; the
+        // polynomial is satisfied iff some witness survives.
+        let p = poly(seed, 4, 3, 5);
+        let why = WhyProvenance::from_polynomial(&p);
+        let alive = |a: Annotation| (mask >> (a.id() % 32)) & 1 == 1;
+        let by_poly = p.eval(&mut |a| Boolean(alive(a)));
+        let by_why = why
+            .witnesses()
+            .iter()
+            .any(|w| w.iter().all(|&a| alive(a)));
+        prop_assert_eq!(by_poly.0, by_why);
+    }
+}

@@ -1,0 +1,183 @@
+//! Database instances: named annotated relations with a database-wide
+//! annotation index (abstract tagging means annotations identify tuples).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use prov_semiring::Annotation;
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{RelName, Value};
+
+/// A database instance of abstractly-tagged `N[X]`-relations.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<RelName, Relation>,
+    /// Reverse index: annotation → (relation, tuple). Well-defined because
+    /// the database is abstractly tagged.
+    by_annotation: BTreeMap<Annotation, (RelName, Tuple)>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts a tuple with an explicit annotation, creating the relation
+    /// on first use.
+    ///
+    /// Panics if the annotation already tags a *different* tuple (which
+    /// would break abstract tagging, paper §2.3) or on arity mismatch.
+    pub fn insert(&mut self, rel: RelName, tuple: Tuple, annotation: Annotation) {
+        if let Some((r0, t0)) = self.by_annotation.get(&annotation) {
+            assert!(
+                *r0 == rel && *t0 == tuple,
+                "annotation {annotation} already tags {r0}{t0}; database must be abstractly tagged"
+            );
+            return;
+        }
+        let relation = self
+            .relations
+            .entry(rel)
+            .or_insert_with(|| Relation::new(rel, tuple.arity()));
+        if relation.contains(&tuple) {
+            return;
+        }
+        relation.insert(tuple.clone(), annotation);
+        self.by_annotation.insert(annotation, (rel, tuple));
+    }
+
+    /// Inserts a tuple with a named annotation (convenience for tests and
+    /// paper examples): `db.add("R", &["a", "b"], "s1")`.
+    pub fn add(&mut self, rel: &str, values: &[&str], annotation: &str) {
+        self.insert(
+            RelName::new(rel),
+            Tuple::of(values),
+            Annotation::new(annotation),
+        );
+    }
+
+    /// Inserts a tuple with a fresh abstract annotation.
+    pub fn insert_fresh(&mut self, rel: RelName, tuple: Tuple) -> Annotation {
+        if let Some(r) = self.relations.get(&rel) {
+            if let Some(a) = r.annotation_of(&tuple) {
+                return a;
+            }
+        }
+        let a = Annotation::fresh();
+        self.insert(rel, tuple, a);
+        a
+    }
+
+    /// The relation named `rel`, if present.
+    pub fn relation(&self, rel: RelName) -> Option<&Relation> {
+        self.relations.get(&rel)
+    }
+
+    /// Iterates all relations.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Looks up the tuple an annotation tags (the inverse of tagging).
+    pub fn tuple_of(&self, annotation: Annotation) -> Option<&(RelName, Tuple)> {
+        self.by_annotation.get(&annotation)
+    }
+
+    /// The annotation of a tuple, if present.
+    pub fn annotation_of(&self, rel: RelName, tuple: &Tuple) -> Option<Annotation> {
+        self.relations.get(&rel)?.annotation_of(tuple)
+    }
+
+    /// Total number of tuples across relations.
+    pub fn num_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The active domain: every value appearing in any tuple.
+    pub fn active_domain(&self) -> std::collections::BTreeSet<Value> {
+        self.relations
+            .values()
+            .flat_map(|r| r.iter().flat_map(|(t, _)| t.values().iter().copied()))
+            .collect()
+    }
+
+    /// Removes a tuple, returning its annotation.
+    pub fn remove(&mut self, rel: RelName, tuple: &Tuple) -> Option<Annotation> {
+        let annotation = self.relations.get_mut(&rel)?.remove(tuple)?;
+        self.by_annotation.remove(&annotation);
+        Some(annotation)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.relations.values() {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_2_relation_r() {
+        // Table 2: R = {(a,a):s1, (a,b):s2, (b,a):s3, (b,b):s4}.
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        assert_eq!(db.num_tuples(), 4);
+        assert_eq!(
+            db.annotation_of(RelName::new("R"), &Tuple::of(&["a", "b"])),
+            Some(Annotation::new("s2"))
+        );
+        let (rel, tuple) = db.tuple_of(Annotation::new("s3")).unwrap();
+        assert_eq!(*rel, RelName::new("R"));
+        assert_eq!(*tuple, Tuple::of(&["b", "a"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "abstractly tagged")]
+    fn abstract_tagging_is_enforced() {
+        let mut db = Database::new();
+        db.add("R", &["a"], "shared_tag");
+        db.add("R", &["b"], "shared_tag");
+    }
+
+    #[test]
+    fn reinserting_same_row_is_idempotent() {
+        let mut db = Database::new();
+        db.add("R", &["a"], "idem1");
+        db.add("R", &["a"], "idem1");
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let mut db = Database::new();
+        db.add("R", &["a", "b"], "ad1");
+        db.add("S", &["c"], "ad2");
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Value::new("a")));
+        assert!(dom.contains(&Value::new("c")));
+    }
+
+    #[test]
+    fn remove_clears_reverse_index() {
+        let mut db = Database::new();
+        db.add("R", &["a"], "rm1");
+        let a = Annotation::new("rm1");
+        assert!(db.tuple_of(a).is_some());
+        db.remove(RelName::new("R"), &Tuple::of(&["a"]));
+        assert!(db.tuple_of(a).is_none());
+        assert_eq!(db.num_tuples(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Random database generation: the synthetic workload substitute for the
+//! paper's (absent) experimental datasets. See DESIGN.md §3.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::database::Database;
+use crate::tuple::Tuple;
+use crate::value::{RelName, Value};
+
+/// Configuration for random database generation.
+#[derive(Clone, Debug)]
+pub struct DatabaseSpec {
+    /// `(name, arity, tuple count)` per relation.
+    pub relations: Vec<(String, usize, usize)>,
+    /// Size of the value domain tuples draw from.
+    pub domain_size: usize,
+    /// Prefix for generated domain values (kept distinct per prefix).
+    pub value_prefix: String,
+}
+
+impl DatabaseSpec {
+    /// A single binary relation `R` with `tuples` rows over `domain_size`
+    /// values — the workload shape of the paper's running examples.
+    pub fn single_binary(tuples: usize, domain_size: usize) -> Self {
+        DatabaseSpec {
+            relations: vec![("R".to_owned(), 2, tuples)],
+            domain_size,
+            value_prefix: "d".to_owned(),
+        }
+    }
+}
+
+/// Generates a random abstractly-tagged database from a seed
+/// (deterministic for reproducible experiments).
+pub fn random_database(spec: &DatabaseSpec, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain: Vec<Value> = (0..spec.domain_size)
+        .map(|i| Value::new(&format!("{}{}", spec.value_prefix, i)))
+        .collect();
+    let mut db = Database::new();
+    for (name, arity, count) in &spec.relations {
+        let rel = RelName::new(name);
+        let mut inserted = 0usize;
+        let mut attempts = 0usize;
+        // Distinct tuples; cap attempts in case count exceeds domain^arity.
+        let capacity = spec.domain_size.checked_pow(*arity as u32).unwrap_or(usize::MAX);
+        let target = (*count).min(capacity);
+        while inserted < target && attempts < target * 20 + 100 {
+            attempts += 1;
+            let tuple: Tuple = (0..*arity)
+                .map(|_| domain[rng.random_range(0..domain.len())])
+                .collect();
+            if db.annotation_of(rel, &tuple).is_none() {
+                db.insert_fresh(rel, tuple);
+                inserted += 1;
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatabaseSpec::single_binary(10, 4);
+        let d1 = random_database(&spec, 7);
+        let d2 = random_database(&spec, 7);
+        assert_eq!(d1.num_tuples(), d2.num_tuples());
+        let r1 = d1.relation(RelName::new("R")).unwrap();
+        let r2 = d2.relation(RelName::new("R")).unwrap();
+        let t1: Vec<_> = r1.iter().map(|(t, _)| t.clone()).collect();
+        let t2: Vec<_> = r2.iter().map(|(t, _)| t.clone()).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn respects_requested_size() {
+        let spec = DatabaseSpec::single_binary(12, 10);
+        let db = random_database(&spec, 1);
+        assert_eq!(db.num_tuples(), 12);
+    }
+
+    #[test]
+    fn caps_at_domain_capacity() {
+        // 2 values, arity 1 → at most 2 distinct tuples.
+        let spec = DatabaseSpec {
+            relations: vec![("U".to_owned(), 1, 50)],
+            domain_size: 2,
+            value_prefix: "cap".to_owned(),
+        };
+        let db = random_database(&spec, 3);
+        assert_eq!(db.num_tuples(), 2);
+    }
+
+    #[test]
+    fn all_annotations_distinct() {
+        let spec = DatabaseSpec::single_binary(20, 5);
+        let db = random_database(&spec, 9);
+        let rel = db.relation(RelName::new("R")).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, a) in rel.iter() {
+            assert!(seen.insert(*a), "annotation reused");
+        }
+    }
+}

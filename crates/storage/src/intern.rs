@@ -1,0 +1,104 @@
+//! A small thread-safe string interner, shared by the symbol types of the
+//! workspace (database values, relation names, query variables).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// A string interner: maps strings to dense `u32` ids and back.
+///
+/// `const`-constructible so that each symbol type can own a `static` pool.
+#[derive(Default)]
+pub struct Interner {
+    inner: OnceLock<Mutex<InternerInner>>,
+}
+
+#[derive(Default)]
+struct InternerInner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub const fn new() -> Self {
+        Interner { inner: OnceLock::new() }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, InternerInner> {
+        self.inner
+            .get_or_init(Default::default)
+            .lock()
+            .expect("interner poisoned")
+    }
+
+    /// Interns `name`, returning its id.
+    pub fn intern(&self, name: &str) -> u32 {
+        let mut inner = self.lock();
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(inner.names.len()).expect("interner overflow");
+        inner.names.push(name.to_owned());
+        inner.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a fresh generated name starting with the given prefix.
+    ///
+    /// The generated name is guaranteed not to collide with any name
+    /// interned before or after.
+    pub fn fresh(&self, prefix: &str) -> u32 {
+        let mut inner = self.lock();
+        loop {
+            let id = u32::try_from(inner.names.len()).expect("interner overflow");
+            let name = format!("{prefix}{id}");
+            if inner.by_name.contains_key(&name) {
+                // Someone interned this exact name already; burn a slot to
+                // advance the counter and retry.
+                inner.names.push(String::new());
+                continue;
+            }
+            inner.names.push(name.clone());
+            inner.by_name.insert(name, id);
+            return id;
+        }
+    }
+
+    /// The name for `id`. Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: u32) -> String {
+        self.lock().names[id as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trip() {
+        static POOL: Interner = Interner::new();
+        let a = POOL.intern("alpha");
+        let b = POOL.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(POOL.intern("alpha"), a);
+        assert_eq!(POOL.name(a), "alpha");
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        static POOL: Interner = Interner::new();
+        let a = POOL.fresh("g");
+        let b = POOL.fresh("g");
+        assert_ne!(a, b);
+        assert_ne!(POOL.name(a), POOL.name(b));
+    }
+
+    #[test]
+    fn fresh_skips_colliding_names() {
+        static POOL: Interner = Interner::new();
+        // Pre-intern the name fresh() would generate next ("p0").
+        POOL.intern("p0");
+        let id = POOL.fresh("p");
+        assert_ne!(POOL.name(id), "p0");
+    }
+}

@@ -1,0 +1,26 @@
+//! Abstractly-tagged annotated relations and database instances — the
+//! storage substrate of `provmin` (paper §2.3 data model).
+//!
+//! Every tuple of every relation carries a distinct [`prov_semiring::Annotation`];
+//! general `K`-relations are recovered by applying a [`Valuation`] to
+//! computed provenance, and the non-abstractly-tagged databases of paper §6
+//! are modeled by collapsing [`Renaming`]s.
+
+#![warn(missing_docs)]
+
+mod database;
+mod intern;
+mod relation;
+mod tuple;
+mod valuation;
+mod value;
+
+pub mod generator;
+pub mod textio;
+
+pub use database::Database;
+pub use intern::Interner;
+pub use relation::Relation;
+pub use tuple::Tuple;
+pub use valuation::{Renaming, Valuation};
+pub use value::{RelName, Value};

@@ -1,0 +1,186 @@
+//! A plain-text database format, for the CLI and for shipping instances
+//! between tools.
+//!
+//! One tuple per line:
+//!
+//! ```text
+//! # comment
+//! R(a, b) : s2        -- explicit annotation
+//! R(b, c)             -- fresh abstract annotation
+//! ```
+
+use std::fmt;
+
+use prov_semiring::Annotation;
+
+use crate::database::Database;
+use crate::tuple::Tuple;
+use crate::value::{RelName, Value};
+
+/// Errors from parsing the text database format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TextFormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextFormatError {}
+
+/// Parses a database from the text format.
+pub fn parse_database(text: &str) -> Result<Database, TextFormatError> {
+    let mut db = Database::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+            continue;
+        }
+        let err = |message: String| TextFormatError { line: line_no, message };
+        let (atom_part, annotation) = match line.split_once(':') {
+            Some((a, ann)) => {
+                let ann = ann.trim();
+                if ann.is_empty() {
+                    return Err(err("empty annotation after ':'".to_owned()));
+                }
+                (a.trim(), Some(ann))
+            }
+            None => (line, None),
+        };
+        let open = atom_part
+            .find('(')
+            .ok_or_else(|| err(format!("expected '(' in tuple: {atom_part}")))?;
+        if !atom_part.ends_with(')') {
+            return Err(err(format!("expected ')' at end of tuple: {atom_part}")));
+        }
+        let rel_name = atom_part[..open].trim();
+        if rel_name.is_empty() {
+            return Err(err("missing relation name".to_owned()));
+        }
+        let inner = &atom_part[open + 1..atom_part.len() - 1];
+        let values: Vec<Value> = if inner.trim().is_empty() {
+            Vec::new()
+        } else {
+            inner
+                .split(',')
+                .map(|v| {
+                    let v = v.trim().trim_matches('\'');
+                    if v.is_empty() {
+                        Err(err("empty value".to_owned()))
+                    } else {
+                        Ok(Value::new(v))
+                    }
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let rel = RelName::new(rel_name);
+        let tuple = Tuple::new(values);
+        match annotation {
+            Some(name) => db.insert(rel, tuple, Annotation::new(name)),
+            None => {
+                db.insert_fresh(rel, tuple);
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// Serializes a database to the text format (round-trips through
+/// [`parse_database`]).
+pub fn format_database(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.relations() {
+        for (tuple, annotation) in rel.iter() {
+            out.push_str(&rel.name().name());
+            out.push('(');
+            for (i, v) in tuple.values().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&v.name());
+            }
+            out.push_str(") : ");
+            out.push_str(&annotation.name());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_table_2() {
+        let db = parse_database(
+            "# Table 2\n\
+             R(a, a) : s1\n\
+             R(a, b) : s2\n\
+             R(b, a) : s3\n\
+             R(b, b) : s4\n",
+        )
+        .unwrap();
+        assert_eq!(db.num_tuples(), 4);
+        assert_eq!(
+            db.annotation_of(RelName::new("R"), &Tuple::of(&["a", "b"])),
+            Some(Annotation::new("s2"))
+        );
+    }
+
+    #[test]
+    fn fresh_annotations_when_omitted() {
+        let db = parse_database("U(x1)\nU(x2)\n").unwrap();
+        assert_eq!(db.num_tuples(), 2);
+        let rel = db.relation(RelName::new("U")).unwrap();
+        let tags: Vec<_> = rel.iter().map(|(_, a)| *a).collect();
+        assert_ne!(tags[0], tags[1]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = parse_database("R(a, b) : rt1\nS(c) : rt2\n").unwrap();
+        let text = format_database(&original);
+        let reparsed = parse_database(&text).unwrap();
+        assert_eq!(reparsed.num_tuples(), original.num_tuples());
+        assert_eq!(
+            reparsed.annotation_of(RelName::new("S"), &Tuple::of(&["c"])),
+            Some(Annotation::new("rt2"))
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let db = parse_database("\n# hi\n-- also a comment\nR(a) : c1\n\n").unwrap();
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse_database("R(a) : e1\nnot a tuple\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_database("R(a) :\n").unwrap_err();
+        assert!(err.message.contains("empty annotation"));
+        let err = parse_database("R(a\n").unwrap_err();
+        assert!(err.message.contains("')'"));
+        let err = parse_database("(a)\n").unwrap_err();
+        assert!(err.message.contains("relation name"));
+        let err = parse_database("R(a,,b)\n").unwrap_err();
+        assert!(err.message.contains("empty value"));
+    }
+
+    #[test]
+    fn quoted_values_accepted() {
+        let db = parse_database("R('a', b) : q1\n").unwrap();
+        assert!(db
+            .annotation_of(RelName::new("R"), &Tuple::of(&["a", "b"]))
+            .is_some());
+    }
+}

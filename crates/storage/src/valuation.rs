@@ -1,0 +1,137 @@
+//! Valuations: maps from annotations into a semiring `K`.
+//!
+//! Databases here are always abstractly tagged; evaluating provenance
+//! polynomials under a valuation recovers query answering over general
+//! `K`-relations (the commutation-with-homomorphisms property of semiring
+//! provenance), and a *collapsing* valuation `X → X` models the
+//! non-abstractly-tagged databases of paper §6.
+
+use std::collections::BTreeMap;
+
+use prov_semiring::{Annotation, CommutativeSemiring, Polynomial};
+
+/// A total valuation `X → K` with a default for unmapped annotations.
+#[derive(Clone, Debug)]
+pub struct Valuation<K: CommutativeSemiring> {
+    map: BTreeMap<Annotation, K>,
+    default: K,
+}
+
+impl<K: CommutativeSemiring> Valuation<K> {
+    /// A valuation sending every annotation to `default`.
+    pub fn constant(default: K) -> Self {
+        Valuation { map: BTreeMap::new(), default }
+    }
+
+    /// A valuation sending every annotation to `1` (pure set-semantics
+    /// presence).
+    pub fn all_one() -> Self {
+        Valuation::constant(K::one())
+    }
+
+    /// Sets the value of one annotation.
+    pub fn set(&mut self, a: Annotation, k: K) -> &mut Self {
+        self.map.insert(a, k);
+        self
+    }
+
+    /// Builder-style [`Valuation::set`].
+    pub fn with(mut self, a: Annotation, k: K) -> Self {
+        self.map.insert(a, k);
+        self
+    }
+
+    /// The value of annotation `a`.
+    pub fn get(&self, a: Annotation) -> K {
+        self.map.get(&a).cloned().unwrap_or_else(|| self.default.clone())
+    }
+
+    /// Evaluates a polynomial under this valuation (the semiring
+    /// homomorphism `N[X] → K`).
+    pub fn eval(&self, p: &Polynomial) -> K {
+        p.eval(&mut |a| self.get(a))
+    }
+}
+
+/// A renaming of annotations `X → X`, possibly non-injective: applying it
+/// to provenance polynomials produces the provenance the same query would
+/// have on a non-abstractly-tagged database (paper §6).
+#[derive(Clone, Debug, Default)]
+pub struct Renaming {
+    map: BTreeMap<Annotation, Annotation>,
+}
+
+impl Renaming {
+    /// The identity renaming.
+    pub fn identity() -> Self {
+        Renaming::default()
+    }
+
+    /// Maps annotation `from` to `to`. Mapping several annotations to the
+    /// same target collapses them (non-abstract tagging).
+    pub fn rename(mut self, from: Annotation, to: Annotation) -> Self {
+        self.map.insert(from, to);
+        self
+    }
+
+    /// The image of `a`.
+    pub fn apply(&self, a: Annotation) -> Annotation {
+        self.map.get(&a).copied().unwrap_or(a)
+    }
+
+    /// Applies the renaming to a polynomial.
+    pub fn apply_poly(&self, p: &Polynomial) -> Polynomial {
+        p.substitute(&mut |a| Polynomial::var(self.apply(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_semiring::{Natural, Tropical};
+
+    #[test]
+    fn valuation_evaluates_polynomials() {
+        let x = Annotation::new("val_x");
+        let y = Annotation::new("val_y");
+        let p = Polynomial::parse("val_x·val_y + val_x");
+        let v = Valuation::constant(Natural(1)).with(x, Natural(2)).with(y, Natural(3));
+        assert_eq!(v.eval(&p), Natural(8));
+    }
+
+    #[test]
+    fn all_one_counts_derivations() {
+        let p = Polynomial::parse("a·b + 2·c");
+        let v: Valuation<Natural> = Valuation::all_one();
+        assert_eq!(v.eval(&p), Natural(3));
+    }
+
+    #[test]
+    fn tropical_valuation_finds_min_cost() {
+        let x = Annotation::new("trop_x");
+        let y = Annotation::new("trop_y");
+        let p = Polynomial::parse("trop_x·trop_y + trop_x");
+        let v = Valuation::constant(Tropical::cost(0))
+            .with(x, Tropical::cost(4))
+            .with(y, Tropical::cost(2));
+        // min(4 + 2, 4) = 4.
+        assert_eq!(v.eval(&p), Tropical::cost(4));
+    }
+
+    #[test]
+    fn renaming_collapses_annotations() {
+        // Paper §6 / Theorem 6.2 setup: both tuples annotated `s`.
+        let s = Annotation::new("ren_s");
+        let a1 = Annotation::new("ren_a1");
+        let a2 = Annotation::new("ren_a2");
+        let renaming = Renaming::identity().rename(a1, s).rename(a2, s);
+        let p = Polynomial::parse("ren_a1·ren_a2");
+        assert_eq!(renaming.apply_poly(&p), Polynomial::parse("ren_s·ren_s"));
+    }
+
+    #[test]
+    fn identity_renaming_is_noop() {
+        let p = Polynomial::parse("id_a + id_b·id_b");
+        assert_eq!(Renaming::identity().apply_poly(&p), p);
+    }
+}

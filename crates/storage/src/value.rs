@@ -1,0 +1,119 @@
+//! Database values and relation names (interned symbols).
+
+use std::fmt;
+
+use crate::intern::Interner;
+
+static VALUE_POOL: Interner = Interner::new();
+static REL_POOL: Interner = Interner::new();
+
+/// A database value: an element of the value domain, interned.
+///
+/// The paper's examples use symbolic constants (`a`, `b`, `c`); values and
+/// query constants share this type so that assignments can compare them
+/// directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(u32);
+
+impl Value {
+    /// Interns a value by name.
+    pub fn new(name: &str) -> Self {
+        Value(VALUE_POOL.intern(name))
+    }
+
+    /// A fresh value distinct from all existing ones (for canonical
+    /// databases and generators).
+    pub fn fresh() -> Self {
+        Value(VALUE_POOL.fresh("#v"))
+    }
+
+    /// The value's name.
+    pub fn name(&self) -> String {
+        VALUE_POOL.name(self.0)
+    }
+
+    /// The raw interned id.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(name: &str) -> Self {
+        Value::new(name)
+    }
+}
+
+/// An interned relation name (`R`, `S`, ..., and the reserved head `ans`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelName(u32);
+
+impl RelName {
+    /// Interns a relation name.
+    pub fn new(name: &str) -> Self {
+        RelName(REL_POOL.intern(name))
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> String {
+        REL_POOL.name(self.0)
+    }
+
+    /// The raw interned id.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(name: &str) -> Self {
+        RelName::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_intern() {
+        assert_eq!(Value::new("a"), Value::new("a"));
+        assert_ne!(Value::new("a"), Value::new("b"));
+        assert_eq!(Value::new("a").to_string(), "a");
+    }
+
+    #[test]
+    fn rel_names_intern() {
+        assert_eq!(RelName::new("R"), RelName::new("R"));
+        assert_ne!(RelName::new("R"), RelName::new("S"));
+    }
+
+    #[test]
+    fn fresh_values_unique() {
+        assert_ne!(Value::fresh(), Value::fresh());
+    }
+}

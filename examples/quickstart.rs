@@ -1,0 +1,49 @@
+//! Quickstart: evaluate a query with provenance, find its p-minimal
+//! equivalent, and compute the core provenance — the paper's Figure 1 /
+//! Table 2 running example, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use provmin::prelude::*;
+
+fn main() {
+    // ── 1. An abstractly-tagged database (paper Table 2) ──────────────
+    let mut db = Database::new();
+    db.add("R", &["a", "a"], "s1");
+    db.add("R", &["a", "b"], "s2");
+    db.add("R", &["b", "a"], "s3");
+    db.add("R", &["b", "b"], "s4");
+    println!("Input database:\n{db}");
+
+    // ── 2. A conjunctive query (Figure 1's Qconj) ─────────────────────
+    let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").expect("query parses");
+    println!("Query: {qconj}\n");
+
+    // ── 3. Provenance-annotated evaluation (Def 2.12) ─────────────────
+    let result = eval_cq(&qconj, &db);
+    println!("Annotated result:");
+    for (tuple, provenance) in result.iter() {
+        println!("  {tuple}  [{provenance}]");
+    }
+
+    // ── 4. p-minimization: the core provenance via MinProv (Thm 4.6) ──
+    let minimal = minprov_cq(&qconj);
+    println!("\np-minimal equivalent (realizes the core provenance):\n{minimal}");
+    let core_result = eval_ucq(&minimal, &db);
+    println!("\nCore provenance:");
+    for (tuple, provenance) in core_result.iter() {
+        println!("  {tuple}  [{provenance}]");
+    }
+
+    // ── 5. The same core, directly from the polynomial (Thm 5.1) ──────
+    let t = Tuple::of(&["a"]);
+    let p = result.provenance(&t);
+    let direct = core_polynomial(&p);
+    println!("\nDirect computation for {t}: {p}  →  {direct}");
+    assert_eq!(direct, core_result.provenance(&t));
+
+    // ── 6. The order relation certifies the improvement (Def 2.17) ────
+    assert!(poly_lt(&direct, &p), "core provenance is strictly terser");
+    println!("\ncore ≤ original: {}", poly_leq(&direct, &p));
+    println!("original ≤ core: {} (strictly terser!)", poly_leq(&p, &direct));
+}

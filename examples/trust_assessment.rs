@@ -1,0 +1,82 @@
+//! Trust assessment on core provenance (paper §1's motivating use case).
+//!
+//! Each source tuple carries a clearance level; the clearance required to
+//! trust an output tuple is its provenance evaluated in the access-control
+//! semiring (alternative derivations take the min, joint use the max).
+//! Because the core provenance keeps only derivations every equivalent
+//! query must perform, feeding the tool the *core* instead of the full
+//! polynomial gives the same answer for p-minimal-realizable queries while
+//! being smaller — and never reports a clearance that depends on how the
+//! optimizer happened to phrase the query.
+//!
+//! Run with: `cargo run --example trust_assessment`
+
+use provmin::prelude::*;
+
+fn main() {
+    // Intelligence reports: who met whom, per source, with a clearance.
+    let mut db = Database::new();
+    db.add("Met", &["ana", "boris"], "field_report");
+    db.add("Met", &["boris", "ana"], "satellite");
+    db.add("Met", &["ana", "ana"], "self_evident");
+
+    let clearance = Valuation::constant(Clearance::TopSecret)
+        .with(Annotation::new("field_report"), Clearance::Secret)
+        .with(Annotation::new("satellite"), Clearance::Confidential)
+        .with(Annotation::new("self_evident"), Clearance::Public);
+
+    // "Who met someone who met them back?" — as an analyst wrote it.
+    let query = parse_cq("ans(x) :- Met(x,y), Met(y,x)").expect("query parses");
+    println!("Query: {query}\n");
+
+    let result = eval_cq(&query, &db);
+    println!("{:<8} {:<40} {:<15} {:<15}", "tuple", "provenance", "full clearance", "core clearance");
+    for (tuple, provenance) in result.iter() {
+        let full = clearance.eval(provenance);
+        let core = core_polynomial(provenance);
+        let core_clearance = clearance.eval(&core);
+        println!(
+            "{:<8} {:<40} {:<15?} {:<15?}",
+            tuple.to_string(),
+            provenance.to_string(),
+            full,
+            core_clearance
+        );
+        // The core never *raises* the required clearance: it keeps a
+        // subset of derivations, each using a subset of the tuples, and in
+        // this semiring fewer/terser derivations can only help or tie...
+        // but interestingly it can LOWER it: (ana) derives via
+        // self_evident·self_evident in the full provenance, which the core
+        // reduces to a single use.
+        assert_eq!(
+            core_clearance, full,
+            "idempotent semirings are insensitive to exponents"
+        );
+    }
+
+    // Where the core genuinely matters: size of the input to the tool.
+    let p_ana = result.provenance(&Tuple::of(&["ana"]));
+    let core_ana = core_polynomial(&p_ana);
+    println!(
+        "\nInput size for (ana): full = {} factor occurrences, core = {}",
+        p_ana.size(),
+        core_ana.size()
+    );
+
+    // And stability: an equivalent query the optimizer might prefer.
+    let rewritten = parse_ucq(
+        "ans(x) :- Met(x,y), Met(y,x), x != y\n\
+         ans(x) :- Met(x,x)",
+    )
+    .expect("rewritten query parses");
+    let rewritten_result = eval_ucq(&rewritten, &db);
+    let p2 = rewritten_result.provenance(&Tuple::of(&["ana"]));
+    println!("\nEquivalent rewritten query's provenance for (ana): {p2}");
+    println!("Its core: {}", core_polynomial(&p2));
+    assert_eq!(
+        core_polynomial(&p2),
+        core_ana,
+        "the core provenance is query-plan independent"
+    );
+    println!("→ identical cores: trust scores no longer depend on the query plan.");
+}

@@ -1,0 +1,135 @@
+//! `provmin` — command-line front end: evaluate queries with provenance,
+//! minimize them, and compute core provenance.
+//!
+//! ```text
+//! provmin eval     <db-file> '<query>'        annotated evaluation
+//! provmin minimize '<query>'                  p-minimal equivalent (MinProv)
+//! provmin core     <db-file> '<query>'        core provenance per tuple
+//! provmin trace    '<query>'                  MinProv step-by-step
+//! provmin datalog  <db-file> <program> <pred> evaluate + core a pipeline
+//! ```
+//!
+//! Queries use the rule syntax (unions: join rules with ';'):
+//! `ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)`.
+//! Databases use the text format: one `R(a, b) : s1` per line.
+
+use std::process::ExitCode;
+
+use provmin::datalog::{core_query, evaluate, Program};
+use provmin::prelude::*;
+use provmin::storage::textio::parse_database;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  provmin eval <db-file> '<query>'\n  provmin minimize '<query>'\n  \
+         provmin core <db-file> '<query>'\n  provmin trace '<query>'\n  \
+         provmin datalog <db-file> <program-file> <predicate>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_query(text: &str) -> Result<UnionQuery, String> {
+    let rules = text.replace(';', "\n");
+    parse_ucq(&rules).map_err(|e| e.to_string())
+}
+
+fn load_db(path: &str) -> Result<Database, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_database(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
+            run_with_db(cmd, db_path, query)
+        }
+        [cmd, query] if cmd == "minimize" => run_minimize(query),
+        [cmd, query] if cmd == "trace" => run_trace(query),
+        [cmd, db_path, program_path, pred] if cmd == "datalog" => {
+            run_datalog(db_path, program_path, pred)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_with_db(cmd: &str, db_path: &str, query: &str) -> Result<(), String> {
+    let db = load_db(db_path)?;
+    let q = parse_query(query)?;
+    let result = eval_ucq(&q, &db);
+    if result.is_empty() {
+        println!("(empty result)");
+        return Ok(());
+    }
+    for (tuple, p) in result.iter() {
+        match cmd {
+            "eval" => println!("{tuple}  [{p}]"),
+            _core => {
+                let consts = q.constants();
+                let core = exact_core(p, &db, tuple, &consts)
+                    .map_err(|e| format!("core of {tuple}: {e}"))?;
+                println!("{tuple}  [{core}]   (from [{p}])");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_minimize(query: &str) -> Result<(), String> {
+    let q = parse_query(query)?;
+    let minimal = minprov(&q);
+    println!("{minimal}");
+    Ok(())
+}
+
+fn run_trace(query: &str) -> Result<(), String> {
+    let q = parse_query(query)?;
+    let trace = minprov_trace(&q);
+    println!("input ({} adjuncts):\n{}\n", trace.input.len(), trace.input);
+    println!(
+        "step I — canonical rewriting ({} adjuncts):\n{}\n",
+        trace.canonical.len(),
+        trace.canonical
+    );
+    println!(
+        "step II — per-adjunct minimization ({} adjuncts):\n{}\n",
+        trace.minimized.len(),
+        trace.minimized
+    );
+    println!(
+        "step III — containment pruning ({} adjuncts):\n{}",
+        trace.output.len(),
+        trace.output
+    );
+    Ok(())
+}
+
+fn run_datalog(db_path: &str, program_path: &str, pred: &str) -> Result<(), String> {
+    let db = load_db(db_path)?;
+    let text =
+        std::fs::read_to_string(program_path).map_err(|e| format!("{program_path}: {e}"))?;
+    let program = Program::parse(&text).map_err(|e| e.to_string())?;
+    let predicate = RelName::new(pred);
+    if program.is_edb(predicate) {
+        return Err(format!("{pred} is not defined by the program"));
+    }
+    let result = evaluate(&program, &db);
+    println!("{pred} with provenance over source annotations:");
+    for (tuple, p) in result.tuples(predicate) {
+        println!("  {tuple}  [{p}]");
+    }
+    match core_query(&program, predicate) {
+        Some(core) => {
+            println!("\np-minimal unfolded definition ({} adjuncts):\n{core}", core.len());
+        }
+        None => println!("\n{pred} is unsatisfiable"),
+    }
+    Ok(())
+}

@@ -1,0 +1,209 @@
+//! Theorem-by-theorem verification on concrete instances, through the
+//! public facade.
+
+use std::collections::BTreeSet;
+
+use provmin::paper::artifacts;
+use provmin::prelude::*;
+use provmin::semiring::order::PolyOrder;
+
+#[test]
+fn theorem_3_1_homomorphism_theorem_for_complete_queries() {
+    use provmin::query::homomorphism::find_homomorphism;
+    // Q complete, Q' arbitrary: Q ⊆ Q' iff hom Q' → Q.
+    let q = parse_cq("ans() :- R(v1,v2), v1 != v2").unwrap();
+    let q_prime = parse_cq("ans() :- R(x,y)").unwrap();
+    assert!(q.is_complete());
+    assert_eq!(
+        find_homomorphism(&q_prime, &q).is_some(),
+        contained_in(&UnionQuery::single(q.clone()), &UnionQuery::single(q_prime))
+    );
+}
+
+#[test]
+fn theorem_3_3_surjective_hom_implies_leq_p() {
+    use provmin::core::order::leq_p_by_surjective_hom;
+    use provmin::storage::generator::{random_database, DatabaseSpec};
+    // Qunion adjuncts... use Q=R(x),R(y) vs Q'=R(z): surjective hom Q→Q'.
+    let q = parse_cq("ans() :- R(x), R(y)").unwrap();
+    let q_prime = parse_cq("ans() :- R(z)").unwrap();
+    assert!(leq_p_by_surjective_hom(&q_prime, &q));
+    // Consequence on instances: P(Q') ≤ P(Q) everywhere.
+    let spec = DatabaseSpec {
+        relations: vec![("R".to_owned(), 1, 5)],
+        domain_size: 4,
+        value_prefix: "t33".to_owned(),
+    };
+    for seed in 0..6 {
+        let db = random_database(&spec, seed);
+        assert!(leq_p_on(
+            &db,
+            &UnionQuery::single(q_prime.clone()),
+            &UnionQuery::single(q.clone())
+        ));
+    }
+}
+
+#[test]
+fn theorem_3_5_no_pminimal_in_cq_diseq() {
+    use provmin::core::order::compare_on;
+    let qnopmin = UnionQuery::single(artifacts::fig2_qnopmin());
+    let qalt = UnionQuery::single(artifacts::fig2_qalt());
+    let d = artifacts::table_4_database();
+    let d_prime = artifacts::table_5_database();
+    assert_eq!(compare_on(&d, &qalt, &qnopmin), PolyOrder::Less);
+    assert_eq!(compare_on(&d_prime, &qnopmin, &qalt), PolyOrder::Less);
+}
+
+#[test]
+fn lemma_3_8_non_unique_standard_minimal_queries() {
+    // QnoPmin and Qalt are equivalent, both standard-minimal (6 atoms,
+    // none removable), yet not isomorphic — settling the open problem of
+    // Klug [22] the paper mentions.
+    use provmin::query::homomorphism::are_isomorphic;
+    let a = artifacts::fig2_qnopmin();
+    let b = artifacts::fig2_qalt();
+    assert!(cq_equivalent(&a, &b));
+    assert!(!are_isomorphic(&a, &b));
+}
+
+#[test]
+fn theorem_3_9_standard_minimal_iff_pminimal_in_cq() {
+    use provmin::core::pminimal::is_p_minimal_in_cq;
+    use provmin::core::standard::is_minimal_cq;
+    for text in [
+        "ans(x) :- R(x,y), R(y,x)",
+        "ans(x) :- R(x,y), R(x,z)",
+        "ans() :- R(x,y), R(y,z), R(z,x)",
+    ] {
+        let q = parse_cq(text).unwrap();
+        assert_eq!(is_minimal_cq(&q), is_p_minimal_in_cq(&q), "{text}");
+    }
+}
+
+#[test]
+fn theorem_3_11_ucq_beats_pminimal_cq() {
+    let db = artifacts::table_2_database();
+    let qconj = UnionQuery::single(artifacts::fig1_qconj());
+    let qunion = artifacts::fig1_qunion();
+    assert!(equivalent(&qconj, &qunion));
+    assert!(leq_p_on(&db, &qunion, &qconj));
+    assert!(!leq_p_on(&db, &qconj, &qunion));
+}
+
+#[test]
+fn theorem_3_12_complete_minimization() {
+    let q = parse_cq("ans() :- R(v1,v1), R(v1,v1), R(v1,v1)").unwrap();
+    let min = minimize_complete(&q);
+    assert_eq!(min.len(), 1);
+    assert!(cq_equivalent(&q, &min));
+    // And it is p-minimal overall: MinProv does not improve on it.
+    let db = artifacts::table_2_database();
+    let via_minprov = minprov_cq(&q);
+    assert!(leq_p_on(&db, &UnionQuery::single(min.clone()), &via_minprov));
+    assert!(leq_p_on(&db, &via_minprov, &UnionQuery::single(min)));
+}
+
+#[test]
+fn theorem_4_3_and_4_4_canonical_rewriting() {
+    use provmin::query::canonical::canonical_rewriting;
+    let q = artifacts::fig3_qhat();
+    let can = canonical_rewriting(&q, &BTreeSet::new());
+    assert!(equivalent(&UnionQuery::single(q.clone()), &can));
+    // Provenance equality on both paper databases.
+    for db in [artifacts::table_2_database(), artifacts::table_6_database()] {
+        let p = eval_cq(&q, &db).boolean_provenance();
+        let p_can = eval_ucq(&can, &db).boolean_provenance();
+        assert_eq!(p, p_can, "Thm 4.4: Can(Q) ≡_P Q");
+    }
+}
+
+#[test]
+fn theorem_4_6_minprov_is_pminimal() {
+    use provmin::storage::generator::{random_database, DatabaseSpec};
+    // MinProv's output is ≤_P every equivalent query we can name.
+    let q = artifacts::fig1_qconj();
+    let minimal = minprov_cq(&q);
+    let rivals = [
+        UnionQuery::single(q.clone()),
+        artifacts::fig1_qunion(),
+    ];
+    let spec = DatabaseSpec::single_binary(8, 3);
+    for rival in &rivals {
+        for seed in 0..5 {
+            let db = random_database(&spec, seed);
+            assert!(
+                leq_p_on(&db, &minimal, rival),
+                "MinProv output must be ≤_P {rival} on seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_4_10_exponential_output() {
+    use provmin::query::generate::qn_family;
+    let sizes: Vec<usize> = (1..=3)
+        .map(|n| minprov_cq(&qn_family(n)).total_atoms())
+        .collect();
+    assert!(sizes[1] as f64 >= 1.9 * sizes[0] as f64);
+    assert!(sizes[2] as f64 >= 1.9 * sizes[1] as f64);
+}
+
+#[test]
+fn theorem_5_1_direct_computation() {
+    let db = artifacts::table_6_database();
+    let q = artifacts::fig3_qhat();
+    let p = eval_cq(&q, &db).boolean_provenance();
+    // Part 1: PTIME, polynomial only.
+    let shape = core_polynomial(&p);
+    // Part 2: exact with db, tuple, constants.
+    let exact = exact_core(&p, &db, &Tuple::empty(), &BTreeSet::new()).unwrap();
+    assert_eq!(shape.monomials().count(), exact.monomials().count());
+    let via_query = eval_ucq(&minprov_cq(&q), &db).boolean_provenance();
+    assert_eq!(exact, via_query);
+}
+
+#[test]
+fn theorem_6_1_pminimality_transfers_to_general_annotations() {
+    // Collapse annotations and check the order still holds.
+    let db = artifacts::table_2_database();
+    let q = artifacts::fig1_qconj();
+    let minimal = minprov_cq(&q);
+    let t = Tuple::of(&["a"]);
+    let p_min = eval_ucq(&minimal, &db).provenance(&t);
+    let p_q = eval_cq(&q, &db).provenance(&t);
+    let collapse = Renaming::identity()
+        .rename(Annotation::new("s2"), Annotation::new("s1"))
+        .rename(Annotation::new("s3"), Annotation::new("s1"));
+    assert!(poly_leq(
+        &collapse.apply_poly(&p_min),
+        &collapse.apply_poly(&p_q)
+    ));
+}
+
+#[test]
+fn theorem_6_2_direct_computation_needs_abstract_tags() {
+    let (q, q_prime) = artifacts::theorem_6_2_queries();
+    let db = artifacts::theorem_6_2_database();
+    assert!(!cq_equivalent(&q, &q_prime));
+    let s = Annotation::new("t62s_shared");
+    let collapse = Renaming::identity()
+        .rename(Annotation::new("t62_a"), s)
+        .rename(Annotation::new("t62_b"), s);
+    let t = Tuple::of(&["a"]);
+    let p_q = collapse.apply_poly(&eval_cq(&q, &db).provenance(&t));
+    let p_qp = collapse.apply_poly(&eval_cq(&q_prime, &db).provenance(&t));
+    assert_eq!(p_q, p_qp, "identical polynomials under collapsed tags");
+    let core_q = collapse.apply_poly(&eval_ucq(&minprov_cq(&q), &db).provenance(&t));
+    let core_qp = collapse.apply_poly(&eval_ucq(&minprov_cq(&q_prime), &db).provenance(&t));
+    assert_ne!(core_q, core_qp, "different cores: direct computation impossible");
+}
+
+#[test]
+fn corollary_3_10_decision_problem_roundtrip() {
+    use provmin::core::pminimal::decide_p_minimal_cq;
+    let q = parse_cq("ans(x) :- R(x,y), R(x,z)").unwrap();
+    let good = parse_cq("ans(x) :- R(x,y)").unwrap();
+    assert!(decide_p_minimal_cq(&q, &good));
+}
