@@ -250,8 +250,7 @@ mod tests {
 
     #[test]
     fn eq_then_neq_on_same_columns_is_unsatisfiable() {
-        let e = Expr::scan("R", 2)
-            .select(vec![Condition::EqCols(0, 1), Condition::NeqCols(0, 1)]);
+        let e = Expr::scan("R", 2).select(vec![Condition::EqCols(0, 1), Condition::NeqCols(0, 1)]);
         assert!(to_query(&e).unwrap().is_none());
     }
 
@@ -321,8 +320,9 @@ mod tests {
             2 => {
                 let input = random_expr(rng, depth - 1);
                 let arity = input.arity().unwrap();
-                let keep: Vec<usize> =
-                    (0..arity).filter(|_| rng.random_range(0..2u8) == 0).collect();
+                let keep: Vec<usize> = (0..arity)
+                    .filter(|_| rng.random_range(0..2u8) == 0)
+                    .collect();
                 let keep = if keep.is_empty() { vec![0] } else { keep };
                 input.project(keep)
             }

@@ -57,12 +57,7 @@ fn eval_unchecked(expr: &Expr, db: &Database) -> AnnotatedRows {
             let mut out = AnnotatedRows::new();
             for (lt, lp) in &left {
                 for (rt, rp) in &right {
-                    let tuple: Tuple = lt
-                        .values()
-                        .iter()
-                        .chain(rt.values())
-                        .copied()
-                        .collect();
+                    let tuple: Tuple = lt.values().iter().chain(rt.values()).copied().collect();
                     let p = lp.mul(rp);
                     match out.entry(tuple) {
                         std::collections::btree_map::Entry::Vacant(e) => {
@@ -155,7 +150,10 @@ mod tests {
         // π over no columns (boolean): sums all four annotations.
         let e = Expr::scan("R", 2).project(vec![]);
         let rows = eval(&e, &table_2_database()).unwrap();
-        assert_eq!(rows[&Tuple::empty()], Polynomial::parse("s1 + s2 + s3 + s4"));
+        assert_eq!(
+            rows[&Tuple::empty()],
+            Polynomial::parse("s1 + s2 + s3 + s4")
+        );
     }
 
     #[test]

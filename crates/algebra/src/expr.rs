@@ -103,17 +103,26 @@ impl std::error::Error for AlgebraError {}
 impl Expr {
     /// A base relation scan.
     pub fn scan(relation: &str, arity: usize) -> Expr {
-        Expr::Scan { relation: RelName::new(relation), arity }
+        Expr::Scan {
+            relation: RelName::new(relation),
+            arity,
+        }
     }
 
     /// Wraps in a selection.
     pub fn select(self, conditions: Vec<Condition>) -> Expr {
-        Expr::Select { conditions, input: Box::new(self) }
+        Expr::Select {
+            conditions,
+            input: Box::new(self),
+        }
     }
 
     /// Wraps in a projection.
     pub fn project(self, columns: Vec<usize>) -> Expr {
-        Expr::Project { columns, input: Box::new(self) }
+        Expr::Project {
+            columns,
+            input: Box::new(self),
+        }
     }
 
     /// Cartesian product.
@@ -220,7 +229,10 @@ mod tests {
         let bad = Expr::scan("R", 2).project(vec![5]);
         assert!(matches!(
             bad.arity(),
-            Err(AlgebraError::ColumnOutOfRange { column: 5, arity: 2 })
+            Err(AlgebraError::ColumnOutOfRange {
+                column: 5,
+                arity: 2
+            })
         ));
         let bad_sel = Expr::scan("R", 2).select(vec![Condition::EqCols(0, 3)]);
         assert!(bad_sel.arity().is_err());
@@ -229,12 +241,17 @@ mod tests {
     #[test]
     fn union_arity_mismatch_detected() {
         let bad = Expr::scan("R", 2).union(Expr::scan("S", 1));
-        assert!(matches!(bad.arity(), Err(AlgebraError::UnionArityMismatch(2, 1))));
+        assert!(matches!(
+            bad.arity(),
+            Err(AlgebraError::UnionArityMismatch(2, 1))
+        ));
     }
 
     #[test]
     fn join_on_builds_product_select() {
-        let e = Expr::scan("R", 2).join_on(Expr::scan("R", 2), &[(1, 0)]).unwrap();
+        let e = Expr::scan("R", 2)
+            .join_on(Expr::scan("R", 2), &[(1, 0)])
+            .unwrap();
         assert_eq!(e.arity().unwrap(), 4);
         assert!(matches!(e, Expr::Select { .. }));
     }

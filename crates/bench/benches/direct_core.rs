@@ -32,17 +32,9 @@ fn bench_direct(c: &mut Criterion) {
     for &n in &[20usize, 60] {
         let db = binary_db(n, 6, 5);
         let p = eval_cq(&triangle, &db).boolean_provenance();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(p, db),
-            |b, (p, db)| {
-                b.iter(|| {
-                    black_box(
-                        exact_core(p, db, &Tuple::empty(), &BTreeSet::new()).unwrap(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(p, db), |b, (p, db)| {
+            b.iter(|| black_box(exact_core(p, db, &Tuple::empty(), &BTreeSet::new()).unwrap()))
+        });
     }
     group.finish();
 

@@ -68,7 +68,10 @@ fn bench_strategy_ablation(c: &mut Criterion) {
                 black_box(eval_cq_with(
                     &selective,
                     db,
-                    EvalOptions { reorder_atoms: false, use_index: true },
+                    EvalOptions {
+                        reorder_atoms: false,
+                        use_index: true,
+                    },
                 ))
             })
         });

@@ -29,11 +29,9 @@ fn bench_ccq(c: &mut Criterion) {
     let mut group = c.benchmark_group("minimize_complete_ptime");
     for &n in &[8usize, 32, 128] {
         let q = complete_query(n, 3);
-        group.bench_with_input(
-            BenchmarkId::new("vars", n),
-            &q,
-            |b, q| b.iter(|| black_box(minimize_complete(q))),
-        );
+        group.bench_with_input(BenchmarkId::new("vars", n), &q, |b, q| {
+            b.iter(|| black_box(minimize_complete(q)))
+        });
     }
     group.finish();
 }

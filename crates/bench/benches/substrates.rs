@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use prov_bench::binary_db;
 use prov_algebra::{eval as alg_eval, to_query, Condition, Expr};
+use prov_bench::binary_db;
 use prov_datalog::{evaluate, unfold, Program};
 use prov_engine::eval_ucq;
 use prov_storage::RelName;

@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn fixtures_are_deterministic() {
-        assert_eq!(random_polynomial(5, 3, 8, 42), random_polynomial(5, 3, 8, 42));
+        assert_eq!(
+            random_polynomial(5, 3, 8, 42),
+            random_polynomial(5, 3, 8, 42)
+        );
         assert_eq!(
             binary_db(10, 4, 7).num_tuples(),
             binary_db(10, 4, 7).num_tuples()

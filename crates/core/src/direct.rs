@@ -14,10 +14,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 pub use prov_semiring::direct::{core_polynomial, is_core_shape};
 
-use prov_semiring::{Monomial, Polynomial};
-use prov_storage::{Database, Tuple, Value};
 use prov_query::homomorphism::count_automorphisms;
 use prov_query::{Atom, ConjunctiveQuery, Diseq, Term, Variable};
+use prov_semiring::{Monomial, Polynomial};
+use prov_storage::{Database, Tuple, Value};
 
 /// Errors raised by adjunct reconstruction.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -38,7 +38,10 @@ impl std::fmt::Display for DirectError {
                 write!(f, "annotation {a} tags no tuple of the database")
             }
             DirectError::UnboundHeadValue(v) => {
-                write!(f, "head value {v} is neither a constant nor a witness value")
+                write!(
+                    f,
+                    "head value {v} is neither a constant nor a witness value"
+                )
             }
         }
     }
@@ -165,10 +168,7 @@ mod tests {
         let db = table_6_database();
         let q = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
         let p = eval_cq(&q, &db).boolean_provenance();
-        assert_eq!(
-            p,
-            Polynomial::parse("s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5")
-        );
+        assert_eq!(p, Polynomial::parse("s1·s1·s1 + 3·s1·s2·s3 + 3·s2·s4·s5"));
     }
 
     #[test]
@@ -186,8 +186,7 @@ mod tests {
     fn adjunct_reconstruction_of_triangle_monomial() {
         let db = table_6_database();
         let m = Monomial::parse("s2·s4·s5"); // tuples (a,b),(b,c),(c,a)
-        let adjunct =
-            adjunct_of_monomial(&m, &db, &Tuple::empty(), &BTreeSet::new()).unwrap();
+        let adjunct = adjunct_of_monomial(&m, &db, &Tuple::empty(), &BTreeSet::new()).unwrap();
         assert_eq!(adjunct.len(), 3);
         assert_eq!(adjunct.variables().len(), 3);
         assert_eq!(adjunct.diseqs().len(), 3); // complete on 3 variables
@@ -198,8 +197,7 @@ mod tests {
     fn adjunct_reconstruction_of_loop_monomial() {
         let db = table_6_database();
         let m = Monomial::parse("s1"); // tuple (a,a)
-        let adjunct =
-            adjunct_of_monomial(&m, &db, &Tuple::empty(), &BTreeSet::new()).unwrap();
+        let adjunct = adjunct_of_monomial(&m, &db, &Tuple::empty(), &BTreeSet::new()).unwrap();
         assert_eq!(adjunct.len(), 1);
         assert_eq!(adjunct.variables().len(), 1);
         assert_eq!(count_automorphisms(&adjunct), 1);
@@ -222,8 +220,7 @@ mod tests {
     fn head_values_must_be_witnessed() {
         let db = table_6_database();
         let m = Monomial::parse("s1");
-        let err = adjunct_of_monomial(&m, &db, &Tuple::of(&["zzz"]), &BTreeSet::new())
-            .unwrap_err();
+        let err = adjunct_of_monomial(&m, &db, &Tuple::of(&["zzz"]), &BTreeSet::new()).unwrap_err();
         assert!(matches!(err, DirectError::UnboundHeadValue(_)));
     }
 
@@ -231,8 +228,7 @@ mod tests {
     fn unknown_annotation_is_reported() {
         let db = table_6_database();
         let m = Monomial::parse("not_a_tag_anywhere");
-        let err =
-            adjunct_of_monomial(&m, &db, &Tuple::empty(), &BTreeSet::new()).unwrap_err();
+        let err = adjunct_of_monomial(&m, &db, &Tuple::empty(), &BTreeSet::new()).unwrap_err();
         assert!(matches!(err, DirectError::UnknownAnnotation(_)));
     }
 

@@ -5,7 +5,7 @@
 //!   atom dedup for complete queries, Sagiv–Yannakakis for unions);
 //! * [`order`] — the provenance order on queries `Q ≤_P Q'` (Def 2.17),
 //!   with the Theorem 3.3 sufficient condition and empirical comparison;
-//! * [`minprov`] — Algorithm 1, computing a p-minimal equivalent in UCQ≠
+//! * [`minprov`](mod@minprov) — Algorithm 1, computing a p-minimal equivalent in UCQ≠
 //!   that realizes the **core provenance** (Theorem 4.6);
 //! * [`direct`] — direct core-provenance computation from polynomials
 //!   (Theorem 5.1), including exact coefficients via automorphism counting

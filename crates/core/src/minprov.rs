@@ -58,7 +58,12 @@ pub fn minprov_trace(q: &UnionQuery) -> MinProvTrace {
     });
     let output = UnionQuery::new(kept).expect("step III keeps at least one adjunct");
 
-    MinProvTrace { input: q.clone(), canonical, minimized, output }
+    MinProvTrace {
+        input: q.clone(),
+        canonical,
+        minimized,
+        output,
+    }
 }
 
 /// Computes a p-minimal equivalent of `q` in UCQ≠ (paper Theorem 4.6).
@@ -96,10 +101,14 @@ mod tests {
             .iter()
             .any(|a| a.len() == 1 && a.variables().len() == 1));
         // Step III: only R(v,v) and the complete triangle survive.
-        assert_eq!(trace.output.len(), 2, "Q̂_III = Q̂_min1 ∪ Q̂_5, got:\n{}", trace.output);
+        assert_eq!(
+            trace.output.len(),
+            2,
+            "Q̂_III = Q̂_min1 ∪ Q̂_5, got:\n{}",
+            trace.output
+        );
         let sizes: Vec<usize> = {
-            let mut s: Vec<usize> =
-                trace.output.adjuncts().iter().map(|a| a.len()).collect();
+            let mut s: Vec<usize> = trace.output.adjuncts().iter().map(|a| a.len()).collect();
             s.sort_unstable();
             s
         };
@@ -115,7 +124,10 @@ mod tests {
         ] {
             let q = parse_ucq(text).unwrap();
             let min = minprov(&q);
-            assert!(equivalent(&q, &min), "MinProv must preserve equivalence for {text}");
+            assert!(
+                equivalent(&q, &min),
+                "MinProv must preserve equivalence for {text}"
+            );
         }
     }
 

@@ -2,12 +2,12 @@
 //! to test it: the sufficient homomorphism condition of Theorem 3.3 and
 //! empirical comparison over generated database families.
 
+use prov_engine::eval_ucq;
+use prov_query::homomorphism::find_surjective_homomorphism;
+use prov_query::{ConjunctiveQuery, UnionQuery};
 use prov_semiring::order::{self, PolyOrder};
 use prov_storage::generator::{random_database, DatabaseSpec};
 use prov_storage::Database;
-use prov_query::homomorphism::find_surjective_homomorphism;
-use prov_query::{ConjunctiveQuery, UnionQuery};
-use prov_engine::eval_ucq;
 
 /// Checks `P(t, q, db) ≤ P(t, q2, db)` for every output tuple `t` on one
 /// database (the per-instance slice of Def 2.17, which is stated for
@@ -16,7 +16,8 @@ use prov_engine::eval_ucq;
 pub fn leq_p_on(db: &Database, q: &UnionQuery, q2: &UnionQuery) -> bool {
     let r1 = eval_ucq(q, db);
     let r2 = eval_ucq(q2, db);
-    r1.iter().all(|(t, p)| order::poly_leq(p, &r2.provenance(t)))
+    r1.iter()
+        .all(|(t, p)| order::poly_leq(p, &r2.provenance(t)))
         && r2.iter().all(|(t, _)| r1.contains(t))
 }
 
@@ -104,8 +105,8 @@ pub fn leq_p_by_surjective_hom(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> b
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prov_storage::Tuple;
     use prov_query::{parse_cq, parse_ucq};
+    use prov_storage::Tuple;
 
     fn table_2_database() -> Database {
         let mut db = Database::new();
@@ -157,14 +158,12 @@ mod tests {
     #[test]
     fn lemma_3_6_incomparability_is_witnessed() {
         // QnoPmin vs Qalt on the two hand-built databases D and D'.
-        let qnopmin = parse_ucq(
-            "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2",
-        )
-        .unwrap();
-        let qalt = parse_ucq(
-            "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3",
-        )
-        .unwrap();
+        let qnopmin =
+            parse_ucq("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+                .unwrap();
+        let qalt =
+            parse_ucq("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+                .unwrap();
 
         // D (Table 4): R = {(a,b):s1, (b,a):s2, (a,a):s3}, S = {(a):s0}.
         let mut d = Database::new();

@@ -209,7 +209,8 @@ mod tests {
     fn table_1_has_four_rows() {
         let rows = table_1();
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|r| r.class == "cCQ≠"
-            && r.p_minimal_overall.contains("PTIME")));
+        assert!(rows
+            .iter()
+            .any(|r| r.class == "cCQ≠" && r.p_minimal_overall.contains("PTIME")));
     }
 }

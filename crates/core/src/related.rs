@@ -46,7 +46,12 @@ impl ModelComparison {
     /// Sizes (total factor occurrences / tuple references) per model, in
     /// the order `(full, trio, core, why)`.
     pub fn sizes(&self) -> (u64, u64, u64, usize) {
-        (self.full.size(), self.trio.size(), self.core.size(), self.why.size())
+        (
+            self.full.size(),
+            self.trio.size(),
+            self.core.size(),
+            self.why.size(),
+        )
     }
 
     /// §7 claim: the core keeps a subset of Trio's monomials (Trio does
@@ -82,7 +87,10 @@ mod tests {
         let (full, trio, core, why) = cmp.sizes();
         assert!(core <= trio, "core must be at most Trio-sized");
         assert!(trio <= full, "Trio must be at most N[X]-sized");
-        assert!((why as u64) <= core, "Why forgets coefficients, so it is smallest");
+        assert!(
+            (why as u64) <= core,
+            "Why forgets coefficients, so it is smallest"
+        );
     }
 
     #[test]
@@ -90,7 +98,12 @@ mod tests {
         let cmp = ModelComparison::of(&triangle_provenance());
         assert!(cmp.core_monomials_subset_of_trio());
         // And strictly: Trio keeps s1·s2·s3, the core drops it.
-        assert!(cmp.trio.as_polynomial().coefficient(&Monomial::parse("s1·s2·s3")) > 0);
+        assert!(
+            cmp.trio
+                .as_polynomial()
+                .coefficient(&Monomial::parse("s1·s2·s3"))
+                > 0
+        );
         assert_eq!(cmp.core.coefficient(&Monomial::parse("s1·s2·s3")), 0);
     }
 

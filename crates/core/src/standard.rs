@@ -1,6 +1,6 @@
 //! "Standard" query minimization — minimizing the number of relational
 //! atoms (joins) — the baseline the paper contrasts p-minimization with
-//! (paper §2.4 Note; Chandra–Merlin [9] for CQ, Sagiv–Yannakakis [26] for
+//! (paper §2.4 Note; Chandra–Merlin \[9\] for CQ, Sagiv–Yannakakis \[26\] for
 //! unions, Lemma 3.13 for complete queries).
 
 use prov_query::homomorphism::find_homomorphism;
@@ -87,8 +87,7 @@ pub fn is_minimal_complete(q: &ConjunctiveQuery) -> bool {
 ///
 /// Panics if any adjunct has disequalities.
 pub fn minimize_ucq(q: &UnionQuery) -> UnionQuery {
-    let minimized: Vec<ConjunctiveQuery> =
-        q.adjuncts().iter().map(minimize_cq).collect();
+    let minimized: Vec<ConjunctiveQuery> = q.adjuncts().iter().map(minimize_cq).collect();
     let kept = prune_contained(minimized, |small, big| {
         // CQ containment: small ⊆ big iff hom big → small.
         find_homomorphism(big, small).is_some()

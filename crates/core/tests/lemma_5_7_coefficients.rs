@@ -17,8 +17,7 @@ fn check_lemma_5_7(query_text: &str, db: &Database) {
     let consts = q.constants();
     for (t, p) in result.iter() {
         for (m, coeff) in p.iter() {
-            let aut = monomial_automorphisms(m, db, t, &consts)
-                .expect("adjunct reconstructable");
+            let aut = monomial_automorphisms(m, db, t, &consts).expect("adjunct reconstructable");
             assert_eq!(
                 coeff, aut,
                 "Lemma 5.7 violated for {query_text}, tuple {t}, monomial {m}: \

@@ -19,7 +19,10 @@ fn single_atom_queries_are_minimal() {
 fn chains_are_their_own_cores() {
     for n in 1..=5 {
         let q = chain(n);
-        assert!(is_minimal_cq(&q), "chain({n}) must be minimal (head pins endpoints)");
+        assert!(
+            is_minimal_cq(&q),
+            "chain({n}) must be minimal (head pins endpoints)"
+        );
     }
 }
 
@@ -92,9 +95,18 @@ fn empirical_verdict_detects_equivalence_and_strictness() {
     )
     .unwrap();
     let spec = DatabaseSpec::single_binary(6, 3);
-    assert_eq!(compare_empirically(&qunion, &qconj, &spec, 6), Verdict::Less);
-    assert_eq!(compare_empirically(&qconj, &qunion, &spec, 6), Verdict::Greater);
-    assert_eq!(compare_empirically(&qconj, &qconj, &spec, 6), Verdict::Equivalent);
+    assert_eq!(
+        compare_empirically(&qunion, &qconj, &spec, 6),
+        Verdict::Less
+    );
+    assert_eq!(
+        compare_empirically(&qconj, &qunion, &spec, 6),
+        Verdict::Greater
+    );
+    assert_eq!(
+        compare_empirically(&qconj, &qconj, &spec, 6),
+        Verdict::Equivalent
+    );
 }
 
 #[test]

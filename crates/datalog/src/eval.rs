@@ -9,10 +9,10 @@
 
 use std::collections::BTreeMap;
 
+use prov_engine::eval_ucq;
+use prov_query::UnionQuery;
 use prov_semiring::{Annotation, Polynomial};
 use prov_storage::{Database, RelName, Tuple};
-use prov_query::UnionQuery;
-use prov_engine::eval_ucq;
 
 use crate::program::Program;
 use crate::unfold::unfold;

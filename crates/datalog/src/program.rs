@@ -9,8 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use prov_storage::RelName;
 use prov_query::{parse_cq, ConjunctiveQuery, ParseError};
+use prov_storage::RelName;
 
 /// A non-recursive Datalog program: a list of rules, grouped by the IDB
 /// predicate they define.
@@ -36,7 +36,10 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::Recursive(p) => {
-                write!(f, "recursion through predicate {p} (only non-recursive programs are supported)")
+                write!(
+                    f,
+                    "recursion through predicate {p} (only non-recursive programs are supported)"
+                )
             }
             ProgramError::Parse(e) => write!(f, "{e}"),
             ProgramError::Empty => f.write_str("program has no rules"),
@@ -185,7 +188,10 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(Program::parse("-- nothing\n").unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            Program::parse("-- nothing\n").unwrap_err(),
+            ProgramError::Empty
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use std::collections::BTreeMap;
 
-use prov_storage::RelName;
 use prov_query::{ConjunctiveQuery, Term, UnionQuery, Variable};
+use prov_storage::RelName;
 
 use crate::program::Program;
 

@@ -2,9 +2,9 @@
 
 use std::collections::BTreeMap;
 
+use prov_query::{ConjunctiveQuery, Term, Variable};
 use prov_semiring::Monomial;
 use prov_storage::{Database, Tuple, Value};
-use prov_query::{ConjunctiveQuery, Term, Variable};
 
 /// An assignment: a mapping of the relational atoms of a query to tuples of
 /// a database that respects relation names, induces a consistent argument

@@ -9,9 +9,9 @@
 
 use std::collections::BTreeMap;
 
+use prov_query::{ConjunctiveQuery, Term, UnionQuery, Variable};
 use prov_semiring::{CommutativeSemiring, Polynomial};
 use prov_storage::{Database, Tuple, Valuation, Value};
-use prov_query::{ConjunctiveQuery, Term, UnionQuery, Variable};
 
 use crate::assignment::Assignment;
 use crate::index::DatabaseIndex;
@@ -27,7 +27,10 @@ impl AnnotatedResult {
     /// The provenance of `t`, or the zero polynomial if `t` is not in the
     /// result.
     pub fn provenance(&self, t: &Tuple) -> Polynomial {
-        self.tuples.get(t).cloned().unwrap_or_else(Polynomial::zero_poly)
+        self.tuples
+            .get(t)
+            .cloned()
+            .unwrap_or_else(Polynomial::zero_poly)
     }
 
     /// For boolean queries: the provenance of the empty tuple
@@ -95,14 +98,20 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_atoms: true, use_index: true }
+        EvalOptions {
+            reorder_atoms: true,
+            use_index: true,
+        }
     }
 }
 
 impl EvalOptions {
     /// The naive reference strategy: written order, full scans.
     pub fn naive() -> Self {
-        EvalOptions { reorder_atoms: false, use_index: false }
+        EvalOptions {
+            reorder_atoms: false,
+            use_index: false,
+        }
     }
 }
 
@@ -128,7 +137,16 @@ pub fn assignments_with(
     let mut out = Vec::new();
     let mut tuples: Vec<Tuple> = vec![Tuple::empty(); n];
     let mut bindings: BTreeMap<Variable, Value> = BTreeMap::new();
-    extend(q, db, index.as_ref(), &order, 0, &mut tuples, &mut bindings, &mut out);
+    extend(
+        q,
+        db,
+        index.as_ref(),
+        &order,
+        0,
+        &mut tuples,
+        &mut bindings,
+        &mut out,
+    );
     out
 }
 
@@ -170,7 +188,10 @@ fn extend(
     out: &mut Vec<Assignment>,
 ) {
     if step == order.len() {
-        out.push(Assignment { tuples: tuples.clone(), bindings: bindings.clone() });
+        out.push(Assignment {
+            tuples: tuples.clone(),
+            bindings: bindings.clone(),
+        });
         return;
     }
     let atom_idx = order[step];
@@ -184,29 +205,28 @@ fn extend(
 
     // Candidate rows: via the most selective posting list when some
     // argument is already bound, else a full scan.
-    let rows: Vec<&(Tuple, prov_semiring::Annotation)> = match index
-        .and_then(|ix| ix.relation(atom.relation))
-    {
-        Some(rel_index) => {
-            let constraints: Vec<(usize, Value)> = atom
-                .args
-                .iter()
-                .enumerate()
-                .filter_map(|(pos, term)| match term {
-                    Term::Const(c) => Some((pos, *c)),
-                    Term::Var(v) => bindings.get(v).map(|&val| (pos, val)),
-                })
-                .collect();
-            match rel_index.most_selective(&constraints) {
-                Some(posting) => {
-                    let all: Vec<_> = relation.iter().collect();
-                    posting.iter().map(|&row| all[row]).collect()
+    let rows: Vec<&(Tuple, prov_semiring::Annotation)> =
+        match index.and_then(|ix| ix.relation(atom.relation)) {
+            Some(rel_index) => {
+                let constraints: Vec<(usize, Value)> = atom
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pos, term)| match term {
+                        Term::Const(c) => Some((pos, *c)),
+                        Term::Var(v) => bindings.get(v).map(|&val| (pos, val)),
+                    })
+                    .collect();
+                match rel_index.most_selective(&constraints) {
+                    Some(posting) => {
+                        let all: Vec<_> = relation.iter().collect();
+                        posting.iter().map(|&row| all[row]).collect()
+                    }
+                    None => relation.iter().collect(),
                 }
-                None => relation.iter().collect(),
             }
-        }
-        None => relation.iter().collect(),
-    };
+            None => relation.iter().collect(),
+        };
 
     'candidates: for (tuple, _) in rows {
         let mut added: Vec<Variable> = Vec::new();
@@ -365,7 +385,10 @@ mod tests {
         db.add("R", &["a"], "e34_s");
         let q = parse_cq("ans() :- R(x), R(y)").unwrap();
         let result = eval_cq(&q, &db);
-        assert_eq!(result.boolean_provenance(), Polynomial::parse("e34_s·e34_s"));
+        assert_eq!(
+            result.boolean_provenance(),
+            Polynomial::parse("e34_s·e34_s")
+        );
         let q_single = parse_cq("ans() :- R(x)").unwrap();
         assert_eq!(
             eval_cq(&q_single, &db).boolean_provenance(),
@@ -379,7 +402,10 @@ mod tests {
         let q = parse_cq("ans(x) :- R(x,'b')").unwrap();
         let result = eval_cq(&q, &db);
         assert_eq!(result.len(), 2); // (a) from s2, (b) from s4
-        assert_eq!(result.provenance(&Tuple::of(&["a"])), Polynomial::parse("s2"));
+        assert_eq!(
+            result.provenance(&Tuple::of(&["a"])),
+            Polynomial::parse("s2")
+        );
     }
 
     #[test]
@@ -443,8 +469,8 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_random_instances() {
-        use prov_storage::generator::{random_database, DatabaseSpec};
         use prov_query::generate::{random_cq, QuerySpec};
+        use prov_storage::generator::{random_database, DatabaseSpec};
         let spec = QuerySpec {
             diseq_percent: 30,
             ..QuerySpec::binary(3, 3)
@@ -464,8 +490,14 @@ mod tests {
         let q = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
         let reference = eval_cq_with(&q, &db, EvalOptions::naive());
         for options in [
-            EvalOptions { reorder_atoms: true, use_index: false },
-            EvalOptions { reorder_atoms: false, use_index: true },
+            EvalOptions {
+                reorder_atoms: true,
+                use_index: false,
+            },
+            EvalOptions {
+                reorder_atoms: false,
+                use_index: true,
+            },
         ] {
             assert_eq!(eval_cq_with(&q, &db, options), reference);
         }

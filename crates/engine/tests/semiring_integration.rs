@@ -2,9 +2,9 @@
 //! counting, cost and clearance queries end-to-end.
 
 use prov_engine::{eval_in_semiring, eval_ucq};
+use prov_query::parse_ucq;
 use prov_semiring::{Annotation, Boolean, Clearance, Natural, Tropical};
 use prov_storage::{Database, Tuple, Valuation};
-use prov_query::parse_ucq;
 
 fn graph() -> Database {
     let mut db = Database::new();
@@ -20,7 +20,8 @@ fn zero_valued_tuples_vanish_from_results() {
     // two-step path but the direct edge remains.
     let db = graph();
     let two_step = parse_ucq("ans(x,z) :- G(x,y), G(y,z)").unwrap();
-    let valuation = Valuation::constant(Boolean(true)).with(Annotation::new("g_ab"), Boolean(false));
+    let valuation =
+        Valuation::constant(Boolean(true)).with(Annotation::new("g_ab"), Boolean(false));
     let result = eval_in_semiring(&two_step, &db, &valuation);
     assert!(!result.contains_key(&Tuple::of(&["a", "c"])));
 }

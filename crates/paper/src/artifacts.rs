@@ -1,8 +1,8 @@
 //! Every query, relation and database instance appearing in the paper,
 //! constructed exactly as printed (Figures 1–3, Tables 2–6).
 
-use prov_storage::Database;
 use prov_query::{parse_cq, parse_ucq, ConjunctiveQuery, UnionQuery};
+use prov_storage::Database;
 
 /// Figure 1, `Q1`: `ans(x) :- R(x,y), R(y,x), x ≠ y`.
 pub fn fig1_q1() -> ConjunctiveQuery {
@@ -37,34 +37,26 @@ pub fn table_2_database() -> Database {
 
 /// Figure 2, `QnoPmin` (the query with no p-minimal equivalent in CQ≠).
 pub fn fig2_qnopmin() -> ConjunctiveQuery {
-    parse_cq(
-        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2",
-    )
-    .expect("Figure 2 QnoPmin parses")
+    parse_cq("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+        .expect("Figure 2 QnoPmin parses")
 }
 
 /// Figure 2, `Qalt` (equivalent to `QnoPmin`, incomparable provenance).
 pub fn fig2_qalt() -> ConjunctiveQuery {
-    parse_cq(
-        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3",
-    )
-    .expect("Figure 2 Qalt parses")
+    parse_cq("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+        .expect("Figure 2 Qalt parses")
 }
 
 /// Figure 2, `Qalt2` (`x1 ≠ x4` variant).
 pub fn fig2_qalt2() -> ConjunctiveQuery {
-    parse_cq(
-        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x4",
-    )
-    .expect("Figure 2 Qalt2 parses")
+    parse_cq("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x4")
+        .expect("Figure 2 Qalt2 parses")
 }
 
 /// Figure 2, `Qalt3` (`x1 ≠ x5` variant).
 pub fn fig2_qalt3() -> ConjunctiveQuery {
-    parse_cq(
-        "ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x5",
-    )
-    .expect("Figure 2 Qalt3 parses")
+    parse_cq("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x5")
+        .expect("Figure 2 Qalt3 parses")
 }
 
 /// Table 4: database `D` with `R = {(a,b):s1, (b,a):s2, (a,a):s3}` and

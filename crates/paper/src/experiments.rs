@@ -5,21 +5,21 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use prov_semiring::order::{compare, poly_leq, poly_lt, PolyOrder};
-use prov_semiring::why::WhyProvenance;
-use prov_semiring::trio::TrioLineage;
-use prov_semiring::{Annotation, Polynomial};
-use prov_storage::{Renaming, Tuple};
-use prov_query::canonical::{bell_number, canonical_rewriting};
-use prov_query::containment::{cq_equivalent, equivalent};
-use prov_query::generate::qn_family;
-use prov_query::UnionQuery;
-use prov_engine::{eval_cq, eval_ucq};
 use prov_core::direct::{core_polynomial, exact_core};
 use prov_core::minprov::{minprov_cq, minprov_trace};
 use prov_core::order::compare_on;
 use prov_core::pminimal::table_1;
 use prov_core::standard::minimize_cq;
+use prov_engine::{eval_cq, eval_ucq};
+use prov_query::canonical::{bell_number, canonical_rewriting};
+use prov_query::containment::{cq_equivalent, equivalent};
+use prov_query::generate::qn_family;
+use prov_query::UnionQuery;
+use prov_semiring::order::{compare, poly_leq, poly_lt, PolyOrder};
+use prov_semiring::trio::TrioLineage;
+use prov_semiring::why::WhyProvenance;
+use prov_semiring::{Annotation, Polynomial};
+use prov_storage::{Renaming, Tuple};
 
 use crate::artifacts::*;
 
@@ -38,7 +38,12 @@ pub struct ExperimentReport {
 
 impl ExperimentReport {
     fn new(id: &'static str, title: &'static str) -> Self {
-        ExperimentReport { id, title, output: String::new(), pass: true }
+        ExperimentReport {
+            id,
+            title,
+            output: String::new(),
+            pass: true,
+        }
     }
 
     fn line(&mut self, text: impl AsRef<str>) {
@@ -88,7 +93,10 @@ pub fn e2_order_relation() -> ExperimentReport {
     // Example 2.16.
     let p1 = Polynomial::parse("s1·s2 + s3 + s3");
     let p2 = Polynomial::parse("s1·s2·s2 + s2·s3 + s3·s4 + s5");
-    r.check(poly_lt(&p1, &p2), "Ex 2.16: s1·s2 + 2·s3 < s1·s2² + s2·s3 + s3·s4 + s5");
+    r.check(
+        poly_lt(&p1, &p2),
+        "Ex 2.16: s1·s2 + 2·s3 < s1·s2² + s2·s3 + s3·s4 + s5",
+    );
     // Example 2.18 on the Table 2 instance.
     let union_result = eval_ucq(&fig1_qunion(), &db);
     let pa_union = union_result.provenance(&Tuple::of(&["a"]));
@@ -98,7 +106,10 @@ pub fn e2_order_relation() -> ExperimentReport {
     );
     // Query-level comparison on this instance.
     let verdict = compare_on(&db, &fig1_qunion(), &UnionQuery::single(qconj));
-    r.check(verdict == PolyOrder::Less, "Qunion <_P Qconj on Table 2's database");
+    r.check(
+        verdict == PolyOrder::Less,
+        "Qunion <_P Qconj on Table 2's database",
+    );
     r
 }
 
@@ -158,13 +169,22 @@ pub fn e4_minprov_walkthrough() -> ExperimentReport {
     let db = table_6_database();
     let trace = minprov_trace(&UnionQuery::single(q.clone()));
     r.line(format!("Q̂     : {q}"));
-    r.line(format!("Q̂_I   : {} adjuncts (canonical rewriting)", trace.canonical.len()));
-    r.line(format!("Q̂_II  : {} adjuncts (each minimized)", trace.minimized.len()));
+    r.line(format!(
+        "Q̂_I   : {} adjuncts (canonical rewriting)",
+        trace.canonical.len()
+    ));
+    r.line(format!(
+        "Q̂_II  : {} adjuncts (each minimized)",
+        trace.minimized.len()
+    ));
     r.line(format!("Q̂_III : {} adjuncts:", trace.output.len()));
     for adj in trace.output.adjuncts() {
         r.line(format!("        {adj}"));
     }
-    r.check(trace.canonical.len() == 5, "Ex 4.7: Q̂_I has 5 adjuncts (Q̂1..Q̂5)");
+    r.check(
+        trace.canonical.len() == 5,
+        "Ex 4.7: Q̂_I has 5 adjuncts (Q̂1..Q̂5)",
+    );
     r.check(trace.output.len() == 2, "Ex 4.7: Q̂_III = Q̂min1 ∪ Q̂5");
     r.check(
         equivalent(&trace.output, &fig3_qhat_expected_output()),
@@ -189,9 +209,12 @@ pub fn e4_minprov_walkthrough() -> ExperimentReport {
         "Ex 5.8: step III drops containing monomials; coefficient 3 = |Aut|",
     );
     // Direct computation (Theorem 5.1) agrees.
-    let direct = exact_core(&p, &db, &Tuple::empty(), &BTreeSet::new())
-        .expect("exact core computable");
-    r.check(direct == p_iii, "Thm 5.1: direct core = query-based core provenance");
+    let direct =
+        exact_core(&p, &db, &Tuple::empty(), &BTreeSet::new()).expect("exact core computable");
+    r.check(
+        direct == p_iii,
+        "Thm 5.1: direct core = query-based core provenance",
+    );
     let ptime = core_polynomial(&p);
     r.check(
         ptime == p_iii,
@@ -214,7 +237,10 @@ pub fn e5_table_1() -> ExperimentReport {
     // UCQ≠ can be terser (Thm 3.11) — witnessed by Qconj/Qunion.
     let qconj = fig1_qconj();
     let std_min = minimize_cq(&qconj);
-    r.check(std_min.len() == qconj.len(), "Qconj is standard-minimal (its own core)");
+    r.check(
+        std_min.len() == qconj.len(),
+        "Qconj is standard-minimal (its own core)",
+    );
     let db = table_2_database();
     let verdict = compare_on(&db, &fig1_qunion(), &UnionQuery::single(qconj.clone()));
     r.check(
@@ -225,10 +251,16 @@ pub fn e5_table_1() -> ExperimentReport {
     // adjunct stays a single complete query.
     let complete = prov_query::parse_cq("ans() :- R(v,v), R(v,v)").expect("parses");
     let min = prov_core::pminimal::p_minimize_complete(&complete);
-    r.check(min.len() == 1, "Thm 3.12: cCQ≠ minimization = atom dedup (PTIME)");
+    r.check(
+        min.len() == 1,
+        "Thm 3.12: cCQ≠ minimization = atom dedup (PTIME)",
+    );
     // CQ≠ row: no p-minimal equivalent in class — E3's incomparability.
     let e3 = e3_no_pminimal_in_cq_diseq();
-    r.check(e3.pass, "Thm 3.5: CQ≠ has queries with no in-class p-minimal equivalent");
+    r.check(
+        e3.pass,
+        "Thm 3.5: CQ≠ has queries with no in-class p-minimal equivalent",
+    );
     r
 }
 
@@ -270,10 +302,13 @@ pub fn e7_direct_computation() -> ExperimentReport {
     let q = fig3_qhat();
     let p = eval_cq(&q, &db).boolean_provenance();
     let ptime = core_polynomial(&p);
-    let exact = exact_core(&p, &db, &Tuple::empty(), &BTreeSet::new())
-        .expect("exact core computable");
+    let exact =
+        exact_core(&p, &db, &Tuple::empty(), &BTreeSet::new()).expect("exact core computable");
     r.line(format!("input polynomial : {p}  (size {})", p.size()));
-    r.line(format!("PTIME core shape : {ptime}  (size {})", ptime.size()));
+    r.line(format!(
+        "PTIME core shape : {ptime}  (size {})",
+        ptime.size()
+    ));
     r.line(format!("exact core       : {exact}"));
     r.check(poly_leq(&exact, &p), "core ≤ original provenance");
     r.check(
@@ -317,7 +352,10 @@ pub fn e8_general_annotations() -> ExperimentReport {
     let p_qp = renaming.apply_poly(&eval_cq(&q_prime, &db).provenance(&t));
     r.line(format!("collapsed P((a), Q)  = {p_q}"));
     r.line(format!("collapsed P((a), Q') = {p_qp}"));
-    r.check(p_q == p_qp, "Thm 6.2: both queries yield s·s on the collapsed database");
+    r.check(
+        p_q == p_qp,
+        "Thm 6.2: both queries yield s·s on the collapsed database",
+    );
     r.check(
         !cq_equivalent(&q, &q_prime),
         "yet Q and Q' are not equivalent",
@@ -387,13 +425,19 @@ pub fn x1_datalog_extension() -> ExperimentReport {
     let mutual = RelName::new("mutual");
     let result = evaluate(&program, &db);
     let unfolded = unfold(&program, mutual).expect("satisfiable");
-    r.line(format!("unfolded mutual/1 into {} UCQ≠ adjuncts", unfolded.len()));
+    r.line(format!(
+        "unfolded mutual/1 into {} UCQ≠ adjuncts",
+        unfolded.len()
+    ));
     let direct = eval_ucq(&unfolded, &db);
     let mut all_equal = true;
     for (t, p) in result.tuples(mutual) {
         all_equal &= *p == direct.provenance(t);
     }
-    r.check(all_equal, "bottom-up evaluation = unfolded-query evaluation (composition)");
+    r.check(
+        all_equal,
+        "bottom-up evaluation = unfolded-query evaluation (composition)",
+    );
     let core = core_query(&program, mutual).expect("core exists");
     r.line(format!("core pipeline has {} adjuncts:", core.len()));
     for adj in core.adjuncts() {
@@ -404,7 +448,10 @@ pub fn x1_datalog_extension() -> ExperimentReport {
     for (t, p) in result.tuples(mutual) {
         all_leq &= poly_leq(&core_result.provenance(t), p);
     }
-    r.check(all_leq, "core provenance ≤ pipeline provenance per derived fact");
+    r.check(
+        all_leq,
+        "core provenance ≤ pipeline provenance per derived fact",
+    );
     r
 }
 
@@ -422,11 +469,12 @@ pub fn x2_algebra_extension() -> ExperimentReport {
     let rows = alg_eval(&plan, &db).expect("well-formed");
     let compiled = to_query(&plan).expect("well-formed").expect("satisfiable");
     let via_query = eval_ucq(&compiled, &db);
-    let faithful = rows
-        .iter()
-        .all(|(t, p)| *p == via_query.provenance(t))
-        && rows.len() == via_query.len();
-    r.check(faithful, "algebra evaluation = compiled UCQ≠ evaluation (exact provenance)");
+    let faithful =
+        rows.iter().all(|(t, p)| *p == via_query.provenance(t)) && rows.len() == via_query.len();
+    r.check(
+        faithful,
+        "algebra evaluation = compiled UCQ≠ evaluation (exact provenance)",
+    );
     let core = core_plan(&plan).expect("well-formed").expect("satisfiable");
     let core_rows = eval_ucq(&core, &db);
     let expected = Polynomial::parse("s1 + s2·s3");

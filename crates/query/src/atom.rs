@@ -23,7 +23,10 @@ impl Atom {
 
     /// Convenience constructor: `Atom::of("R", &[Term::var("x"), ...])`.
     pub fn of(relation: &str, args: &[Term]) -> Self {
-        Atom { relation: RelName::new(relation), args: args.to_vec() }
+        Atom {
+            relation: RelName::new(relation),
+            args: args.to_vec(),
+        }
     }
 
     /// The atom's arity.
@@ -88,7 +91,10 @@ impl Diseq {
             Term::Var(rv) => {
                 assert_ne!(left, rv, "disequality x ≠ x is unsatisfiable");
                 if rv < left {
-                    Diseq { left: rv, right: Term::Var(left) }
+                    Diseq {
+                        left: rv,
+                        right: Term::Var(left),
+                    }
                 } else {
                     Diseq { left, right }
                 }

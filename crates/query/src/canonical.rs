@@ -132,7 +132,16 @@ fn enumerate_const_assignments(
     }
     // Block stays a fresh variable.
     assignment[block] = None;
-    enumerate_const_assignments(q, vars, rgs, const_list, block + 1, assignment, out, all_consts);
+    enumerate_const_assignments(
+        q,
+        vars,
+        rgs,
+        const_list,
+        block + 1,
+        assignment,
+        out,
+        all_consts,
+    );
     // Or the block is identified with one constant not used by an earlier
     // block (the partition of Var ∪ C puts each constant in one block).
     for &c in const_list {
@@ -220,8 +229,8 @@ fn build_completion(
             diseqs.push(Diseq::var_const(x, c));
         }
     }
-    let query = ConjunctiveQuery::new(head, atoms, diseqs)
-        .expect("completion preserves well-formedness");
+    let query =
+        ConjunctiveQuery::new(head, atoms, diseqs).expect("completion preserves well-formedness");
     Some(Completion { query, replacement })
 }
 
@@ -234,10 +243,7 @@ fn replace(t: Term, replacement: &BTreeMap<Variable, Term>) -> Term {
 
 /// The canonical rewriting `Can(Q, C)` of a conjunctive query (Def 4.1):
 /// the union of its possible completions w.r.t. `C ∪ Const(Q)`.
-pub fn canonical_rewriting(
-    q: &ConjunctiveQuery,
-    consts: &BTreeSet<Value>,
-) -> UnionQuery {
+pub fn canonical_rewriting(q: &ConjunctiveQuery, consts: &BTreeSet<Value>) -> UnionQuery {
     let completions = completions(q, consts);
     UnionQuery::new(completions.into_iter().map(|c| c.query).collect())
         .expect("canonical rewriting is a well-formed union")

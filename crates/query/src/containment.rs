@@ -108,7 +108,10 @@ mod tests {
         // Q ⊆ Q' holds semantically although no homomorphism Q' → Q exists.
         let q = parse_cq("ans() :- R(x,y), R(y,z), x != z").unwrap();
         let q_prime = parse_cq("ans() :- R(x2,y2), x2 != y2").unwrap();
-        assert!(!contained_via_homomorphism(&q, &q_prime), "no hom (Example 3.2)");
+        assert!(
+            !contained_via_homomorphism(&q, &q_prime),
+            "no hom (Example 3.2)"
+        );
         assert!(cq_diseq_contained_in(&q, &q_prime), "yet Q ⊆ Q'");
         assert!(!cq_diseq_contained_in(&q_prime, &q));
     }

@@ -62,7 +62,10 @@ impl fmt::Display for QueryError {
                 write!(f, "head variable {v} does not appear in the body")
             }
             QueryError::UnsafeDiseqVariable(v) => {
-                write!(f, "disequality variable {v} does not appear in a relational atom")
+                write!(
+                    f,
+                    "disequality variable {v} does not appear in a relational atom"
+                )
             }
             QueryError::EmptyBody => f.write_str("query body has no relational atoms"),
         }
@@ -82,8 +85,7 @@ impl ConjunctiveQuery {
             return Err(QueryError::EmptyBody);
         }
         let diseqs: BTreeSet<Diseq> = diseqs.into_iter().collect();
-        let body_vars: BTreeSet<Variable> =
-            atoms.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<Variable> = atoms.iter().flat_map(|a| a.variables()).collect();
         for v in head.variables() {
             if !body_vars.contains(&v) {
                 return Err(QueryError::UnsafeHeadVariable(v));
@@ -96,7 +98,11 @@ impl ConjunctiveQuery {
                 }
             }
         }
-        Ok(ConjunctiveQuery { head, atoms, diseqs })
+        Ok(ConjunctiveQuery {
+            head,
+            atoms,
+            diseqs,
+        })
     }
 
     /// The rule head `ans(u0)`.
@@ -224,8 +230,7 @@ impl ConjunctiveQuery {
                 }
             }
         }
-        ConjunctiveQuery::new(head, atoms, diseqs)
-            .expect("substitution preserved well-formedness")
+        ConjunctiveQuery::new(head, atoms, diseqs).expect("substitution preserved well-formedness")
     }
 
     /// Like [`ConjunctiveQuery::substitute`], but returns `None` when the
@@ -261,9 +266,7 @@ impl ConjunctiveQuery {
     /// Used to take two queries apart before a joint analysis.
     pub fn rename_apart(&self) -> ConjunctiveQuery {
         let mut mapping = std::collections::BTreeMap::new();
-        self.substitute(&mut |v| {
-            Term::Var(*mapping.entry(v).or_insert_with(Variable::fresh))
-        })
+        self.substitute(&mut |v| Term::Var(*mapping.entry(v).or_insert_with(Variable::fresh)))
     }
 
     /// The head relation name.

@@ -96,7 +96,14 @@ impl<'a> Searcher<'a> {
             by_relation.entry(atom.relation).or_default().push(j);
         }
         let order = plan_order(source);
-        Searcher { source, target, config, by_relation, order, results: Vec::new() }
+        Searcher {
+            source,
+            target,
+            config,
+            by_relation,
+            order,
+            results: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Vec<Homomorphism> {
@@ -234,7 +241,9 @@ impl<'a> Searcher<'a> {
 
 fn apply_binding(binding: &BTreeMap<Variable, Term>, t: Term) -> Term {
     match t {
-        Term::Var(v) => *binding.get(&v).expect("all variables bound after atom mapping"),
+        Term::Var(v) => *binding
+            .get(&v)
+            .expect("all variables bound after atom mapping"),
         c @ Term::Const(_) => c,
     }
 }
@@ -256,8 +265,7 @@ fn bind_term(binding: &mut BTreeMap<Variable, Term>, source: Term, target: Term)
 /// variables with the head, then grow along shared variables.
 fn plan_order(source: &ConjunctiveQuery) -> Vec<usize> {
     let n = source.atoms().len();
-    let mut bound: std::collections::BTreeSet<Variable> =
-        source.head().variables().collect();
+    let mut bound: std::collections::BTreeSet<Variable> = source.head().variables().collect();
     let mut order = Vec::with_capacity(n);
     let mut remaining: Vec<usize> = (0..n).collect();
     while !remaining.is_empty() {
@@ -285,9 +293,16 @@ pub fn find_homomorphism(
     source: &ConjunctiveQuery,
     target: &ConjunctiveQuery,
 ) -> Option<Homomorphism> {
-    Searcher::new(source, target, HomSearch { limit: Some(1), ..Default::default() })
-        .run()
-        .pop()
+    Searcher::new(
+        source,
+        target,
+        HomSearch {
+            limit: Some(1),
+            ..Default::default()
+        },
+    )
+    .run()
+    .pop()
 }
 
 /// Finds a homomorphism `source → target` that is surjective on relational
@@ -299,8 +314,15 @@ pub fn find_surjective_homomorphism(
     // Enumerate (with pruning) and filter; the searcher prunes branches
     // that cannot cover the target.
     let mut found = None;
-    for h in
-        Searcher::new(source, target, HomSearch { surjective: true, ..Default::default() }).run()
+    for h in Searcher::new(
+        source,
+        target,
+        HomSearch {
+            surjective: true,
+            ..Default::default()
+        },
+    )
+    .run()
     {
         if h.is_surjective_on_atoms(target.atoms().len()) {
             found = Some(h);
@@ -336,9 +358,16 @@ pub fn are_isomorphic(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
     {
         return false;
     }
-    all_homomorphisms(q1, q2, HomSearch { injective: true, ..Default::default() })
-        .into_iter()
-        .any(|h| h.is_var_bijection(q2) && diseq_image_onto(q1, q2, &h))
+    all_homomorphisms(
+        q1,
+        q2,
+        HomSearch {
+            injective: true,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .any(|h| h.is_var_bijection(q2) && diseq_image_onto(q1, q2, &h))
 }
 
 fn diseq_image_onto(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, h: &Homomorphism) -> bool {
@@ -359,10 +388,17 @@ fn diseq_image_onto(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, h: &Homomorphi
 
 /// Enumerates the automorphisms of `q`: isomorphisms `q → q`.
 pub fn automorphisms(q: &ConjunctiveQuery) -> Vec<Homomorphism> {
-    all_homomorphisms(q, q, HomSearch { injective: true, ..Default::default() })
-        .into_iter()
-        .filter(|h| h.is_var_bijection(q) && diseq_image_onto(q, q, h))
-        .collect()
+    all_homomorphisms(
+        q,
+        q,
+        HomSearch {
+            injective: true,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .filter(|h| h.is_var_bijection(q) && diseq_image_onto(q, q, h))
+    .collect()
 }
 
 /// The number of automorphisms of `q` (paper Lemma 5.7's `k`).
@@ -471,10 +507,8 @@ mod tests {
     #[test]
     fn triangle_adjunct_has_three_automorphisms() {
         // Q̂5 of Figure 3: the complete triangle query.
-        let q = parse_cq(
-            "ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3",
-        )
-        .unwrap();
+        let q = parse_cq("ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3")
+            .unwrap();
         assert_eq!(count_automorphisms(&q), 3);
     }
 

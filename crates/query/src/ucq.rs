@@ -51,9 +51,7 @@ impl fmt::Display for UnionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UnionError::Empty => f.write_str("union query has no adjuncts"),
-            UnionError::HeadMismatch => {
-                f.write_str("adjunct heads differ in relation or arity")
-            }
+            UnionError::HeadMismatch => f.write_str("adjunct heads differ in relation or arity"),
             UnionError::Adjunct(e) => write!(f, "ill-formed adjunct: {e}"),
         }
     }
@@ -210,8 +208,7 @@ mod tests {
         let complete = parse_ucq("ans(x) :- R(x,y), x != y\nans(x) :- S(x)").unwrap();
         assert_eq!(complete.class(), UnionClass::CompleteUcqDiseq);
         // A path with only the end-points disequated is not complete.
-        let incomplete =
-            parse_ucq("ans(x) :- R(x,y), R(y,z), x != z\nans(x) :- S(x)").unwrap();
+        let incomplete = parse_ucq("ans(x) :- R(x,y), R(y,z), x != z\nans(x) :- S(x)").unwrap();
         assert_eq!(incomplete.class(), UnionClass::UcqDiseq);
     }
 

@@ -14,11 +14,25 @@ use prov_storage::Value;
 fn parser_never_panics_on_garbage() {
     // Fuzz-lite: structured garbage must produce Err, not a panic.
     let garbage = [
-        "", ":-", "ans", "ans()", "ans() :-", "ans(x,) :- R(x)", "ans(x) :- R(x,)",
-        "ans(x) :- R((x))", "ans(x) :- R(x) :- S(x)", "ans(x) :- x != y",
-        "ans(x) :- R(x), !=", "ans(x) :- R(x), x !=", "ans(x) :- R(x), != x",
-        "ans('') :- R(x)", "ans(x) :- 'R'(x)", "((((", "ans(x) :- R(x), x ≠ ≠ y",
-        "ans(x)::-R(x)", "ans(x) : - R(x)",
+        "",
+        ":-",
+        "ans",
+        "ans()",
+        "ans() :-",
+        "ans(x,) :- R(x)",
+        "ans(x) :- R(x,)",
+        "ans(x) :- R((x))",
+        "ans(x) :- R(x) :- S(x)",
+        "ans(x) :- x != y",
+        "ans(x) :- R(x), !=",
+        "ans(x) :- R(x), x !=",
+        "ans(x) :- R(x), != x",
+        "ans('') :- R(x)",
+        "ans(x) :- 'R'(x)",
+        "((((",
+        "ans(x) :- R(x), x ≠ ≠ y",
+        "ans(x)::-R(x)",
+        "ans(x) : - R(x)",
     ];
     for text in garbage {
         let _ = parse_cq(text); // must not panic
@@ -41,7 +55,14 @@ fn multi_relation_homomorphisms() {
 fn hom_search_limit_is_respected() {
     let source = parse_cq("ans() :- R(x)").unwrap();
     let target = parse_cq("ans() :- R(a), R(b), R(c), R(d)").unwrap();
-    let limited = all_homomorphisms(&source, &target, HomSearch { limit: Some(2), ..Default::default() });
+    let limited = all_homomorphisms(
+        &source,
+        &target,
+        HomSearch {
+            limit: Some(2),
+            ..Default::default()
+        },
+    );
     assert_eq!(limited.len(), 2);
 }
 

@@ -25,7 +25,10 @@ fn small_query(seed: u64, diseq_percent: u8) -> prov_query::ConjunctiveQuery {
 /// Provenance-free evaluation via the assignment semantics (duplicated
 /// tiny evaluator to avoid depending on prov-engine from prov-query's
 /// tests — also acts as a differential check of the engine).
-fn result_set(q: &prov_query::ConjunctiveQuery, db: &Database) -> std::collections::BTreeSet<Tuple> {
+fn result_set(
+    q: &prov_query::ConjunctiveQuery,
+    db: &Database,
+) -> std::collections::BTreeSet<Tuple> {
     use prov_query::Term;
     fn extend(
         q: &prov_query::ConjunctiveQuery,
@@ -58,7 +61,9 @@ fn result_set(q: &prov_query::ConjunctiveQuery, db: &Database) -> std::collectio
             return;
         }
         let atom = &q.atoms()[i];
-        let Some(rel) = db.relation(atom.relation) else { return };
+        let Some(rel) = db.relation(atom.relation) else {
+            return;
+        };
         'rows: for (tuple, _) in rel.iter() {
             if tuple.arity() != atom.arity() {
                 continue;

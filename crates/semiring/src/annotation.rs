@@ -23,7 +23,10 @@ struct Registry {
 
 impl Registry {
     fn new() -> Self {
-        Registry { names: Vec::new(), by_name: HashMap::new() }
+        Registry {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 }
 

@@ -43,9 +43,7 @@ fn remove_one(m: &Monomial, x: Annotation) -> Vec<Annotation> {
 /// The sensitivity of `p` to `x`: the number of derivation *slots* that
 /// use the tuple tagged `x` (the derivative evaluated at all-ones).
 pub fn sensitivity(p: &Polynomial, x: Annotation) -> u64 {
-    derivative(p, x)
-        .eval(&mut |_| crate::kinds::Natural(1))
-        .0
+    derivative(p, x).eval(&mut |_| crate::kinds::Natural(1)).0
 }
 
 #[cfg(test)]
@@ -76,7 +74,10 @@ mod tests {
 
     #[test]
     fn derivative_of_absent_variable_is_zero() {
-        assert_eq!(derivative(&p("u·v"), a("not_in_poly")), Polynomial::zero_poly());
+        assert_eq!(
+            derivative(&p("u·v"), a("not_in_poly")),
+            Polynomial::zero_poly()
+        );
     }
 
     #[test]

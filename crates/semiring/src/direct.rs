@@ -31,7 +31,8 @@ pub fn core_polynomial(p: &Polynomial) -> Polynomial {
     let monomials: Vec<&Monomial> = squarefree.monomials().collect();
     let mut result = Polynomial::zero_poly();
     for (m, c) in squarefree.iter() {
-        let strictly_contains_smaller = monomials.iter().any(|other| Monomial::strict_leq(other, m));
+        let strictly_contains_smaller =
+            monomials.iter().any(|other| Monomial::strict_leq(other, m));
         if !strictly_contains_smaller {
             result.add_occurrences(m.clone(), c);
         }
@@ -122,7 +123,10 @@ mod tests {
 
     #[test]
     fn zero_polynomial_core_is_zero() {
-        assert_eq!(core_polynomial(&Polynomial::zero_poly()), Polynomial::zero_poly());
+        assert_eq!(
+            core_polynomial(&Polynomial::zero_poly()),
+            Polynomial::zero_poly()
+        );
         assert!(is_core_shape(&Polynomial::zero_poly()));
     }
 

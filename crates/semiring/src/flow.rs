@@ -24,7 +24,10 @@ struct Edge {
 impl FlowNetwork {
     /// Creates a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// The number of nodes.
@@ -36,7 +39,10 @@ impl FlowNetwork {
     /// zero-capacity residual counterpart). Returns the edge id, usable
     /// with [`FlowNetwork::flow_on`] after a max-flow run.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         let id = self.edges.len();
         self.edges.push(Edge { to, cap });
         self.edges.push(Edge { to: from, cap: 0 });

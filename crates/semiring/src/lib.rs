@@ -6,7 +6,8 @@
 //!
 //! * the commutative-semiring abstraction and the concrete semirings that
 //!   downstream data-management tools evaluate provenance in
-//!   ([`CommutativeSemiring`], [`kinds`]);
+//!   ([`CommutativeSemiring`] and the concrete semirings re-exported at
+//!   the crate root: [`Natural`], [`Boolean`], [`Tropical`], …);
 //! * the provenance semiring `N[X]` itself: interned [`Annotation`]s,
 //!   [`Monomial`]s (one per assignment) and [`Polynomial`]s (paper §2.3);
 //! * the terseness **order relation** `p ≤ p'` on polynomials

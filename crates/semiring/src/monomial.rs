@@ -24,7 +24,9 @@ pub struct Monomial {
 impl Monomial {
     /// The unit monomial `1` (empty product).
     pub fn unit() -> Self {
-        Monomial { factors: Vec::new() }
+        Monomial {
+            factors: Vec::new(),
+        }
     }
 
     /// A monomial consisting of a single annotation.

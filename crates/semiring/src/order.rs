@@ -75,7 +75,9 @@ pub struct OrderWitness {
 /// mapping of Def 2.15 explicitly.
 pub fn leq_witness(p: &Polynomial, p_prime: &Polynomial) -> Option<OrderWitness> {
     if p.is_zero_poly() {
-        return Some(OrderWitness { assignments: Vec::new() });
+        return Some(OrderWitness {
+            assignments: Vec::new(),
+        });
     }
     let left: Vec<_> = p.iter().collect();
     let right: Vec<_> = p_prime.iter().collect();

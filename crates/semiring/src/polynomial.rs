@@ -25,7 +25,9 @@ pub struct Polynomial {
 impl Polynomial {
     /// The zero polynomial (no derivations).
     pub fn zero_poly() -> Self {
-        Polynomial { terms: BTreeMap::new() }
+        Polynomial {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The polynomial consisting of a single occurrence of `m`.
@@ -115,10 +117,7 @@ impl Polynomial {
     /// monomial occurrences. This is the "size of provenance" measure the
     /// paper's compactness argument refers to.
     pub fn size(&self) -> u64 {
-        self.terms
-            .iter()
-            .map(|(m, &c)| c * m.degree() as u64)
-            .sum()
+        self.terms.iter().map(|(m, &c)| c * m.degree() as u64).sum()
     }
 
     /// The coefficient of monomial `m` (0 if absent).

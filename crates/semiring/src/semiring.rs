@@ -80,11 +80,7 @@ pub(crate) mod laws {
                 for c in elems {
                     assert_eq!(a.add(b).add(c), a.add(&b.add(c)), "associative +");
                     assert_eq!(a.mul(b).mul(c), a.mul(&b.mul(c)), "associative ·");
-                    assert_eq!(
-                        a.mul(&b.add(c)),
-                        a.mul(b).add(&a.mul(c)),
-                        "distributivity"
-                    );
+                    assert_eq!(a.mul(&b.add(c)), a.mul(b).add(&a.mul(c)), "distributivity");
                 }
             }
         }

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-
 use crate::polynomial::Polynomial;
 
 /// A Trio lineage expression: a squarefree polynomial with coefficients.

@@ -44,7 +44,10 @@ pub fn random_database(spec: &DatabaseSpec, seed: u64) -> Database {
         let mut inserted = 0usize;
         let mut attempts = 0usize;
         // Distinct tuples; cap attempts in case count exceeds domain^arity.
-        let capacity = spec.domain_size.checked_pow(*arity as u32).unwrap_or(usize::MAX);
+        let capacity = spec
+            .domain_size
+            .checked_pow(*arity as u32)
+            .unwrap_or(usize::MAX);
         let target = (*count).min(capacity);
         while inserted < target && attempts < target * 20 + 100 {
             attempts += 1;

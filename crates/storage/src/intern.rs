@@ -21,7 +21,9 @@ struct InternerInner {
 impl Interner {
     /// Creates an empty interner.
     pub const fn new() -> Self {
-        Interner { inner: OnceLock::new() }
+        Interner {
+            inner: OnceLock::new(),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, InternerInner> {

@@ -22,7 +22,12 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation.
     pub fn new(name: RelName, arity: usize) -> Self {
-        Relation { name, arity, rows: Vec::new(), index: HashMap::new() }
+        Relation {
+            name,
+            arity,
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// The relation name.

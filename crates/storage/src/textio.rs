@@ -43,7 +43,10 @@ pub fn parse_database(text: &str) -> Result<Database, TextFormatError> {
         if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
             continue;
         }
-        let err = |message: String| TextFormatError { line: line_no, message };
+        let err = |message: String| TextFormatError {
+            line: line_no,
+            message,
+        };
         let (atom_part, annotation) = match line.split_once(':') {
             Some((a, ann)) => {
                 let ann = ann.trim();

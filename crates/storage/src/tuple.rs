@@ -18,7 +18,9 @@ impl Tuple {
 
     /// Builds a tuple by interning value names, e.g. `Tuple::of(&["a", "b"])`.
     pub fn of(names: &[&str]) -> Self {
-        Tuple { values: names.iter().map(|n| Value::new(n)).collect() }
+        Tuple {
+            values: names.iter().map(|n| Value::new(n)).collect(),
+        }
     }
 
     /// The empty tuple (result of a boolean query).
@@ -63,7 +65,9 @@ impl fmt::Debug for Tuple {
 
 impl FromIterator<Value> for Tuple {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
-        Tuple { values: iter.into_iter().collect() }
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

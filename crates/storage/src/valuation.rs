@@ -20,7 +20,10 @@ pub struct Valuation<K: CommutativeSemiring> {
 impl<K: CommutativeSemiring> Valuation<K> {
     /// A valuation sending every annotation to `default`.
     pub fn constant(default: K) -> Self {
-        Valuation { map: BTreeMap::new(), default }
+        Valuation {
+            map: BTreeMap::new(),
+            default,
+        }
     }
 
     /// A valuation sending every annotation to `1` (pure set-semantics
@@ -43,7 +46,10 @@ impl<K: CommutativeSemiring> Valuation<K> {
 
     /// The value of annotation `a`.
     pub fn get(&self, a: Annotation) -> K {
-        self.map.get(&a).cloned().unwrap_or_else(|| self.default.clone())
+        self.map
+            .get(&a)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
     }
 
     /// Evaluates a polynomial under this valuation (the semiring
@@ -95,7 +101,9 @@ mod tests {
         let x = Annotation::new("val_x");
         let y = Annotation::new("val_y");
         let p = Polynomial::parse("val_x·val_y + val_x");
-        let v = Valuation::constant(Natural(1)).with(x, Natural(2)).with(y, Natural(3));
+        let v = Valuation::constant(Natural(1))
+            .with(x, Natural(2))
+            .with(y, Natural(3));
         assert_eq!(v.eval(&p), Natural(8));
     }
 

@@ -41,7 +41,10 @@ fn main() {
     // The unfolded definition of `mutual` is a plain UCQ over Link —
     // the reduction that makes the paper's theory apply.
     let unfolded = unfold(&program, mutual).expect("mutual is satisfiable");
-    println!("\nUnfolded definition ({} adjuncts over Link)", unfolded.len());
+    println!(
+        "\nUnfolded definition ({} adjuncts over Link)",
+        unfolded.len()
+    );
 
     // Core provenance of the whole pipeline: MinProv on the unfolding.
     let core = core_query(&program, mutual).expect("core exists");

@@ -28,7 +28,10 @@ fn main() {
     let q = parse_cq("ans(x) :- Cites(x,y), Cites(y,x)").expect("parses");
     let result = eval_cq(&q, &db);
 
-    println!("{:<8} {:<28} {:>10} {:>10}", "paper", "provenance", "full conf", "core conf");
+    println!(
+        "{:<8} {:<28} {:>10} {:>10}",
+        "paper", "provenance", "full conf", "core conf"
+    );
     for (tuple, p) in result.iter() {
         let full = confidence.eval(p);
         let core = core_polynomial(p);

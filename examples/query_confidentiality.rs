@@ -48,8 +48,8 @@ fn main() {
 
     // Peek at the reconstruction machinery: the adjunct behind s2·s4·s5.
     let m = Monomial::parse("s2·s4·s5");
-    let adjunct = adjunct_of_monomial(&m, &db, &output_tuple, &consts)
-        .expect("adjunct reconstructable");
+    let adjunct =
+        adjunct_of_monomial(&m, &db, &output_tuple, &consts).expect("adjunct reconstructable");
     println!("\nReconstructed adjunct for {m}:\n  {adjunct}");
     println!(
         "  (3 automorphisms → coefficient 3; this is the hidden query's\n   \

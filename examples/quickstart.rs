@@ -45,5 +45,8 @@ fn main() {
     // ── 6. The order relation certifies the improvement (Def 2.17) ────
     assert!(poly_lt(&direct, &p), "core provenance is strictly terser");
     println!("\ncore ≤ original: {}", poly_leq(&direct, &p));
-    println!("original ≤ core: {} (strictly terser!)", poly_leq(&p, &direct));
+    println!(
+        "original ≤ core: {} (strictly terser!)",
+        poly_leq(&p, &direct)
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
     println!("Query: {query}\n");
 
     let result = eval_cq(&query, &db);
-    println!("{:<8} {:<40} {:<15} {:<15}", "tuple", "provenance", "full clearance", "core clearance");
+    println!(
+        "{:<8} {:<40} {:<15} {:<15}",
+        "tuple", "provenance", "full clearance", "core clearance"
+    );
     for (tuple, provenance) in result.iter() {
         let full = clearance.eval(provenance);
         let core = core_polynomial(provenance);

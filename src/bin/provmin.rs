@@ -41,9 +41,7 @@ fn load_db(path: &str) -> Result<Database, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
-        [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
-            run_with_db(cmd, db_path, query)
-        }
+        [cmd, db_path, query] if cmd == "eval" || cmd == "core" => run_with_db(cmd, db_path, query),
         [cmd, query] if cmd == "minimize" => run_minimize(query),
         [cmd, query] if cmd == "trace" => run_trace(query),
         [cmd, db_path, program_path, pred] if cmd == "datalog" => {
@@ -113,8 +111,7 @@ fn run_trace(query: &str) -> Result<(), String> {
 
 fn run_datalog(db_path: &str, program_path: &str, pred: &str) -> Result<(), String> {
     let db = load_db(db_path)?;
-    let text =
-        std::fs::read_to_string(program_path).map_err(|e| format!("{program_path}: {e}"))?;
+    let text = std::fs::read_to_string(program_path).map_err(|e| format!("{program_path}: {e}"))?;
     let program = Program::parse(&text).map_err(|e| e.to_string())?;
     let predicate = RelName::new(pred);
     if program.is_edb(predicate) {
@@ -127,7 +124,10 @@ fn run_datalog(db_path: &str, program_path: &str, pred: &str) -> Result<(), Stri
     }
     match core_query(&program, predicate) {
         Some(core) => {
-            println!("\np-minimal unfolded definition ({} adjuncts):\n{core}", core.len());
+            println!(
+                "\np-minimal unfolded definition ({} adjuncts):\n{core}",
+                core.len()
+            );
         }
         None => println!("\n{pred} is unsatisfiable"),
     }

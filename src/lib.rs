@@ -62,22 +62,24 @@ pub use prov_storage as storage;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use prov_semiring::derivative::{derivative, sensitivity};
-    pub use prov_semiring::direct::{core_polynomial, is_core_shape};
-    pub use prov_semiring::order::{compare, leq_witness, poly_leq, poly_lt, OrderWitness, PolyOrder};
-    pub use prov_semiring::{
-        Annotation, Boolean, Clearance, CommutativeSemiring, Confidence, Monomial, Natural,
-        Polynomial, Tropical,
-    };
-    pub use prov_storage::{Database, RelName, Renaming, Tuple, Valuation, Value};
-    pub use prov_query::containment::{contained_in, cq_equivalent, equivalent};
-    pub use prov_query::{
-        parse_cq, parse_ucq, Atom, ConjunctiveQuery, Diseq, Term, UnionQuery, Variable,
-    };
-    pub use prov_engine::{eval_cq, eval_in_semiring, eval_ucq, AnnotatedResult};
     pub use prov_core::direct::exact_core;
     pub use prov_core::minprov::{minprov, minprov_cq, minprov_trace};
     pub use prov_core::order::{compare_on, leq_p_on};
     pub use prov_core::pminimal::{p_minimize_auto, p_minimize_overall};
     pub use prov_core::standard::{minimize_complete, minimize_cq, minimize_ucq};
+    pub use prov_engine::{eval_cq, eval_in_semiring, eval_ucq, AnnotatedResult};
+    pub use prov_query::containment::{contained_in, cq_equivalent, equivalent};
+    pub use prov_query::{
+        parse_cq, parse_ucq, Atom, ConjunctiveQuery, Diseq, Term, UnionQuery, Variable,
+    };
+    pub use prov_semiring::derivative::{derivative, sensitivity};
+    pub use prov_semiring::direct::{core_polynomial, is_core_shape};
+    pub use prov_semiring::order::{
+        compare, leq_witness, poly_leq, poly_lt, OrderWitness, PolyOrder,
+    };
+    pub use prov_semiring::{
+        Annotation, Boolean, Clearance, CommutativeSemiring, Confidence, Monomial, Natural,
+        Polynomial, Tropical,
+    };
+    pub use prov_storage::{Database, RelName, Renaming, Tuple, Valuation, Value};
 }

@@ -1,14 +1,13 @@
 //! End-to-end checks of every numbered example in the paper, through the
 //! public `provmin` facade.
 
-use provmin::prelude::*;
 use provmin::paper::artifacts;
+use provmin::prelude::*;
 
 #[test]
 fn example_2_3_completeness() {
     let q = parse_cq("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c'").unwrap();
-    let q_complete =
-        parse_cq("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c', x != 'c'").unwrap();
+    let q_complete = parse_cq("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c', x != 'c'").unwrap();
     assert!(!q.is_complete());
     assert!(q_complete.is_complete());
 }

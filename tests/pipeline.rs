@@ -36,11 +36,15 @@ fn provenance_composes_through_views() {
     let over_view = parse_cq("ans() :- V(x), V(y)").unwrap();
     let composed = eval_cq(&over_view, &materialized)
         .boolean_provenance()
-        .substitute(&mut |a| definition.get(&a).cloned().unwrap_or_else(|| Polynomial::var(a)));
+        .substitute(&mut |a| {
+            definition
+                .get(&a)
+                .cloned()
+                .unwrap_or_else(|| Polynomial::var(a))
+        });
 
     // Unfolded query over the base database.
-    let unfolded =
-        parse_cq("ans() :- R(x,y), R(y,x), R(x2,y2), R(y2,x2)").unwrap();
+    let unfolded = parse_cq("ans() :- R(x,y), R(y,x), R(x2,y2), R(y2,x2)").unwrap();
     let direct = eval_cq(&unfolded, &base).boolean_provenance();
 
     assert_eq!(composed, direct, "substitution must equal unfolding");
@@ -136,10 +140,8 @@ fn deletion_answers_agree_between_full_and_core() {
     for (_t, p) in result.iter() {
         let core = core_polynomial(p);
         for &victim in &annotations {
-            let survive_full =
-                p.eval(&mut |a| Boolean(a != victim));
-            let survive_core =
-                core.eval(&mut |a| Boolean(a != victim));
+            let survive_full = p.eval(&mut |a| Boolean(a != victim));
+            let survive_core = core.eval(&mut |a| Boolean(a != victim));
             assert_eq!(survive_full, survive_core);
         }
     }

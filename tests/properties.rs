@@ -38,12 +38,7 @@ fn brute_force_leq(p: &Polynomial, q: &Polynomial) -> bool {
         .iter()
         .flat_map(|(m, c)| std::iter::repeat_n(m, c as usize))
         .collect();
-    fn assign(
-        i: usize,
-        left: &[&Monomial],
-        right: &[&Monomial],
-        used: &mut Vec<bool>,
-    ) -> bool {
+    fn assign(i: usize, left: &[&Monomial], right: &[&Monomial], used: &mut Vec<bool>) -> bool {
         if i == left.len() {
             return true;
         }

@@ -1,0 +1,61 @@
+//! Facade smoke test: the `provmin::prelude` alone is enough to run the
+//! paper's core pipeline — parse a query, evaluate it with provenance,
+//! rewrite it to p-minimal form, and cross-check the direct core
+//! computation — without reaching into any `prov_*` crate directly.
+
+use provmin::prelude::*;
+
+/// The paper's running example end-to-end (Table 2 + Figure 1): every
+/// step uses only prelude exports.
+#[test]
+fn prelude_covers_parse_eval_minimize() {
+    // Table 2: the abstractly-tagged relation R.
+    let mut db = Database::new();
+    db.add("R", &["a", "a"], "s1");
+    db.add("R", &["a", "b"], "s2");
+    db.add("R", &["b", "a"], "s3");
+    db.add("R", &["b", "b"], "s4");
+
+    // Parse (Figure 1's Qconj) …
+    let q = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+
+    // … evaluate with provenance (Def 2.12) …
+    let result = eval_cq(&q, &db);
+    let p = result.provenance(&Tuple::of(&["a"]));
+    assert_eq!(p.to_string(), "s1·s1 + s2·s3");
+
+    // … rewrite to the p-minimal equivalent (Thm 4.6) and re-evaluate …
+    let minimal = minprov_cq(&q);
+    assert!(equivalent(&UnionQuery::single(q.clone()), &minimal));
+    let core = eval_ucq(&minimal, &db).provenance(&Tuple::of(&["a"]));
+    assert_eq!(core.to_string(), "s1 + s2·s3");
+
+    // … and the core is strictly terser than the original provenance.
+    assert!(poly_leq(&core, &p));
+    assert!(!poly_leq(&p, &core));
+
+    // Direct core computation (Cor 5.6) agrees with the query rewriting.
+    assert_eq!(core_polynomial(&p), core);
+}
+
+/// The UCQ path and the standard-minimization baseline are reachable from
+/// the prelude too.
+#[test]
+fn prelude_covers_union_queries_and_baselines() {
+    let mut db = Database::new();
+    db.add("R", &["a", "b"], "t1");
+    db.add("R", &["b", "b"], "t2");
+
+    let u = parse_ucq("ans(x) :- R(x,y), R(y,y)\nans(x) :- R(x,x)").unwrap();
+    let annotated = eval_ucq(&u, &db);
+    assert_eq!(
+        annotated.provenance(&Tuple::of(&["a"])).to_string(),
+        "t1·t2"
+    );
+
+    // Standard (join) minimization keeps equivalence and never grows.
+    let q = parse_cq("ans(x) :- R(x,y), R(y,z), R(y,z)").unwrap();
+    let min = minimize_cq(&q);
+    assert!(cq_equivalent(&q, &min));
+    assert!(min.len() <= q.len());
+}

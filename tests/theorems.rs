@@ -100,7 +100,11 @@ fn theorem_3_12_complete_minimization() {
     // And it is p-minimal overall: MinProv does not improve on it.
     let db = artifacts::table_2_database();
     let via_minprov = minprov_cq(&q);
-    assert!(leq_p_on(&db, &UnionQuery::single(min.clone()), &via_minprov));
+    assert!(leq_p_on(
+        &db,
+        &UnionQuery::single(min.clone()),
+        &via_minprov
+    ));
     assert!(leq_p_on(&db, &via_minprov, &UnionQuery::single(min)));
 }
 
@@ -124,10 +128,7 @@ fn theorem_4_6_minprov_is_pminimal() {
     // MinProv's output is ≤_P every equivalent query we can name.
     let q = artifacts::fig1_qconj();
     let minimal = minprov_cq(&q);
-    let rivals = [
-        UnionQuery::single(q.clone()),
-        artifacts::fig1_qunion(),
-    ];
+    let rivals = [UnionQuery::single(q.clone()), artifacts::fig1_qunion()];
     let spec = DatabaseSpec::single_binary(8, 3);
     for rival in &rivals {
         for seed in 0..5 {
@@ -197,7 +198,10 @@ fn theorem_6_2_direct_computation_needs_abstract_tags() {
     assert_eq!(p_q, p_qp, "identical polynomials under collapsed tags");
     let core_q = collapse.apply_poly(&eval_ucq(&minprov_cq(&q), &db).provenance(&t));
     let core_qp = collapse.apply_poly(&eval_ucq(&minprov_cq(&q_prime), &db).provenance(&t));
-    assert_ne!(core_q, core_qp, "different cores: direct computation impossible");
+    assert_ne!(
+        core_q, core_qp,
+        "different cores: direct computation impossible"
+    );
 }
 
 #[test]

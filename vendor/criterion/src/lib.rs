@@ -1,0 +1,183 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the criterion 0.5 API subset the `prov-bench` targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it runs a short calibrated
+//! loop per benchmark and prints mean wall-clock time per iteration — enough
+//! for coarse perf tracking offline; swap in the real crate for rigorous
+//! measurements.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Minimum measured iterations per benchmark.
+const MIN_ITERS: u64 = 10;
+/// Wall-clock budget per benchmark, in milliseconds.
+const BUDGET_MS: u128 = 200;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure under a plain string id.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times the routine under benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly inside a calibrated timing loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: run until the budget or MIN_ITERS.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if iters >= MIN_ITERS && elapsed.as_millis() >= BUDGET_MS {
+                self.iters = iters;
+                self.nanos = elapsed.as_nanos();
+                break;
+            }
+            if iters >= 10_000 {
+                self.iters = iters;
+                self.nanos = elapsed.as_nanos();
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher { iters: 0, nanos: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {id:<40} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.nanos / u128::from(b.iters);
+    println!("  {id:<40} {:>12} ns/iter ({} iters)", per_iter, b.iters);
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("eval", 32).0, "eval/32");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= MIN_ITERS);
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the subset of proptest 1.x that the workspace's property tests
+//! use: the [`proptest!`] macro with a `#![proptest_config(..)]` header,
+//! integer-range strategies (`0u64..500`, `1usize..=6`, …),
+//! [`test_runner::Config::with_cases`], the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros, and [`test_runner::TestCaseError`]
+//! so helper functions can early-return with `?` exactly as under the real
+//! crate.
+//!
+//! Differences from the real crate: cases are drawn from a deterministic
+//! SplitMix64 stream seeded per test (every run explores the same inputs),
+//! and there is **no shrinking** — a failing case panics with the sampled
+//! arguments printed, but is not reduced to a minimal counterexample.
+
+#![warn(missing_docs)]
+
+/// Test-runner configuration and failure types, mirroring
+/// `proptest::test_runner`.
+pub mod test_runner {
+    /// How a [`crate::proptest!`] block runs its tests.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single test case failed; produced by `prop_assert!` and
+    /// propagated with `?` through helper functions.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Input-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use core::ops::{Range, RangeInclusive};
+
+    /// Deterministic SplitMix64 stream driving case generation.
+    #[derive(Debug, Clone)]
+    pub struct SampleRng {
+        state: u64,
+    }
+
+    impl SampleRng {
+        /// Creates a stream from a seed (derived per test by [`crate::proptest!`]).
+        pub fn new(seed: u64) -> Self {
+            SampleRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A source of generated values for one property argument.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: core::fmt::Debug;
+
+        /// Draws one value for the current test case.
+        fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// One-stop imports for test modules, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..)` body
+/// is run against `cases` deterministic samples of its argument strategies.
+/// The body runs inside a `Result<(), TestCaseError>` context, so it may use
+/// `?` on helpers and `prop_assert!` early-returns on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            // Stable per-test seed (FNV-1a of the name) so failures
+            // reproduce across runs.
+            let mut __seed = 0xcbf2_9ce4_8422_2325u64;
+            for __b in stringify!($name).bytes() {
+                __seed = (__seed ^ __b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut __rng = $crate::strategy::SampleRng::new(__seed);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __case_desc = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)+),
+                    __case $(, $arg)+
+                );
+                let mut __run = ||
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(&mut __run)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(__err)) => {
+                        panic!("proptest failure in {} [{}]: {}", stringify!($name), __case_desc, __err);
+                    }
+                    Err(__panic) => {
+                        eprintln!("proptest panic in {} [{}]", stringify!($name), __case_desc);
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure returns
+/// `Err(TestCaseError)` from the enclosing `Result` context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body; on failure returns
+/// `Err(TestCaseError)` from the enclosing `Result` context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper_uses_question_mark(x: u64) -> Result<(), TestCaseError> {
+        prop_assert!(x < 10, "x too big: {}", x);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 1usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            helper_uses_question_mark(x)?;
+        }
+
+        #[test]
+        fn multiple_tests_per_block_compile(a in 0u8..5) {
+            prop_assert_eq!(a as u64, u64::from(a));
+        }
+    }
+
+    #[test]
+    fn config_carries_cases() {
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+    }
+
+    #[test]
+    fn prop_assert_failure_is_err_not_panic() {
+        assert!(helper_uses_question_mark(99).is_err());
+    }
+}
