@@ -45,14 +45,19 @@ fn bench_eval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eval, bench_strategy_ablation);
+criterion_group!(
+    benches,
+    bench_eval,
+    bench_strategy_ablation,
+    bench_parallel_eval
+);
 criterion_main!(benches);
 
 // Ablation (DESIGN.md B1): naive written-order full-scan evaluation vs the
-// planned (most-bound-first + indexed) strategy, on a selective query
-// where planning matters.
+// planned (syntactic or cost-based + indexed) strategies, on a selective
+// query where planning matters.
 fn bench_strategy_ablation(c: &mut Criterion) {
-    use prov_engine::{eval_cq_with, EvalOptions};
+    use prov_engine::{eval_cq_with, EvalOptions, PlannerKind};
     let selective = parse_cq("ans(x) :- R(x,y), R(y,'d1'), R('d0',x)").unwrap();
     let mut group = c.benchmark_group("eval_strategy_ablation");
     for &n in &[200usize, 800] {
@@ -60,8 +65,11 @@ fn bench_strategy_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
             b.iter(|| black_box(eval_cq_with(&selective, db, EvalOptions::naive())))
         });
-        group.bench_with_input(BenchmarkId::new("planned", n), &db, |b, db| {
+        group.bench_with_input(BenchmarkId::new("cost_planned", n), &db, |b, db| {
             b.iter(|| black_box(eval_cq_with(&selective, db, EvalOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("syntactic", n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq_with(&selective, db, EvalOptions::syntactic())))
         });
         group.bench_with_input(BenchmarkId::new("index_only", n), &db, |b, db| {
             b.iter(|| {
@@ -69,11 +77,41 @@ fn bench_strategy_ablation(c: &mut Criterion) {
                     &selective,
                     db,
                     EvalOptions {
-                        reorder_atoms: false,
+                        planner: PlannerKind::WrittenOrder,
                         use_index: true,
+                        parallelism: None,
                     },
                 ))
             })
+        });
+    }
+    group.finish();
+}
+
+// Sharded parallel evaluation vs thread count on the large substrate.
+// Results are bit-identical to sequential (⊕-commutativity); only
+// wall-clock differs. On a single-vCPU host expect parity, not speedup.
+fn bench_parallel_eval(c: &mut Criterion) {
+    use prov_engine::{eval_cq_with, EvalOptions};
+    let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+    let triangle = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+    let mut group = c.benchmark_group("eval_parallel_qconj");
+    let n = 800usize;
+    let db = binary_db(n, (n as f64).sqrt() as usize + 2, 1);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &db, |b, db| {
+            let options = EvalOptions::default().with_parallelism(threads);
+            b.iter(|| black_box(eval_cq_with(&qconj, db, options)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eval_parallel_triangle");
+    let db = binary_db(200, 16, 1);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &db, |b, db| {
+            let options = EvalOptions::default().with_parallelism(threads);
+            b.iter(|| black_box(eval_cq_with(&triangle, db, options)))
         });
     }
     group.finish();

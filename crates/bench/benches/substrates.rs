@@ -7,7 +7,7 @@ use std::hint::black_box;
 use prov_algebra::{eval as alg_eval, to_query, Condition, Expr};
 use prov_bench::binary_db;
 use prov_datalog::{evaluate, unfold, Program};
-use prov_engine::eval_ucq;
+use prov_engine::{eval_ucq, eval_ucq_with, EvalOptions};
 use prov_storage::RelName;
 
 /// A hop-pipeline of the given depth: hopK(x,z) :- hop{K-1}(x,y), E(y,z).
@@ -71,6 +71,12 @@ fn bench_algebra(c: &mut Criterion) {
         let compiled = to_query(&plan).unwrap().unwrap();
         group.bench_with_input(BenchmarkId::new("compiled_eval", n), &db, |b, db| {
             b.iter(|| black_box(eval_ucq(&compiled, db)))
+        });
+        // Parallel variant of the compiled route: each adjunct's first
+        // planned atom is sharded across 4 worker threads.
+        group.bench_with_input(BenchmarkId::new("compiled_eval_par4", n), &db, |b, db| {
+            let options = EvalOptions::default().with_parallelism(4);
+            b.iter(|| black_box(eval_ucq_with(&compiled, db, options)))
         });
     }
     group.bench_function("compile_only", |b| b.iter(|| black_box(to_query(&plan))));

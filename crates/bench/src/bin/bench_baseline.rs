@@ -1,0 +1,190 @@
+//! `bench-baseline` — quick-mode perf recorder and CI regression gate.
+//!
+//! ```text
+//! bench-baseline record [--out PATH] [--json] [--budget-ms N]
+//! bench-baseline check  [--baseline PATH] [--threshold X] [--out PATH] [--budget-ms N]
+//! ```
+//!
+//! `record` runs the quick suite (one workload per criterion bench target,
+//! see `prov_bench::recorder`) and writes the ns/iter map as JSON.
+//! `check` re-runs the suite and compares against a checked-in baseline:
+//! any workload slower than `threshold` × its baseline (default 3x, since
+//! quick-mode numbers are coarse) fails the run with exit code 1. When the
+//! baseline file does not exist, `check` records one to check in but still
+//! exits nonzero — a deleted or mistyped baseline path must not silently
+//! disable the gate.
+
+use std::process::ExitCode;
+
+use prov_bench::recorder::{parse_json, run_suite, to_json, Measurement};
+
+const DEFAULT_BASELINE: &str = "docs/BENCH_BASELINE.json";
+const DEFAULT_THRESHOLD: f64 = 3.0;
+const DEFAULT_BUDGET_MS: u128 = 60;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bench-baseline record [--out PATH] [--json] [--budget-ms N]\n  \
+         bench-baseline check [--baseline PATH] [--threshold X] [--out PATH] [--budget-ms N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    out: Option<String>,
+    baseline: String,
+    threshold: f64,
+    budget_ms: u128,
+    json: bool,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        baseline: DEFAULT_BASELINE.to_owned(),
+        threshold: DEFAULT_THRESHOLD,
+        budget_ms: DEFAULT_BUDGET_MS,
+        json: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = Some(value("--out")?),
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold must be a number".to_owned())?
+            }
+            "--budget-ms" => {
+                args.budget_ms = value("--budget-ms")?
+                    .parse()
+                    .map_err(|_| "--budget-ms must be an integer".to_owned())?
+            }
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_table(measurements: &[Measurement]) {
+    for m in measurements {
+        println!(
+            "  {:<44} {:>14} ns/iter ({} iters)",
+            m.id, m.ns_per_iter, m.iters
+        );
+    }
+}
+
+fn run_record(args: &Args) -> Result<(), String> {
+    let measurements = run_suite(args.budget_ms);
+    let json = to_json(&measurements);
+    if args.json {
+        print!("{json}");
+    } else {
+        print_table(&measurements);
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_check(args: &Args) -> Result<bool, String> {
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => text,
+        Err(_) => {
+            // A missing baseline must not silently disable the gate: run
+            // the suite, write the file to check in, and FAIL so the gap
+            // is visible. (The repo's first run recorded and committed
+            // docs/BENCH_BASELINE.json; hitting this branch in CI means
+            // the file was deleted or the path drifted.)
+            eprintln!(
+                "no baseline at {}; recorded one — check it in and re-run",
+                args.baseline
+            );
+            let measurements = run_suite(args.budget_ms);
+            let json = to_json(&measurements);
+            std::fs::write(&args.baseline, &json).map_err(|e| format!("{}: {e}", args.baseline))?;
+            if let Some(path) = &args.out {
+                std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            }
+            print_table(&measurements);
+            return Ok(false);
+        }
+    };
+    let baseline = parse_json(&baseline_text).map_err(|e| format!("{}: {e}", args.baseline))?;
+    let measurements = run_suite(args.budget_ms);
+    if let Some(path) = &args.out {
+        std::fs::write(path, to_json(&measurements)).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let mut ok = true;
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    for m in &measurements {
+        match baseline.get(&m.id) {
+            Some(&base) => {
+                let ratio = m.ns_per_iter as f64 / base.max(1) as f64;
+                let mark = if ratio > args.threshold {
+                    ok = false;
+                    "REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<44} {:>14} {:>14} {:>7.2}x {}",
+                    m.id, base, m.ns_per_iter, ratio, mark
+                );
+            }
+            None => println!("{:<44} {:>14} {:>14}    (new)", m.id, "-", m.ns_per_iter),
+        }
+    }
+    for id in baseline.keys() {
+        if !measurements.iter().any(|m| &m.id == id) {
+            println!("{id:<44} (in baseline but no longer measured)");
+        }
+    }
+    if !ok {
+        eprintln!(
+            "perf regression: at least one workload exceeded {}x its baseline",
+            args.threshold
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let args = match parse_flags(rest) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return usage();
+        }
+    };
+    let outcome = match command.as_str() {
+        "record" => run_record(&args).map(|()| true),
+        "check" => run_check(&args),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

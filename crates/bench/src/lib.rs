@@ -1,5 +1,8 @@
 //! Shared fixtures for the `provmin` benchmark harness (see DESIGN.md §4,
-//! rows B1–B7).
+//! rows B1–B7), plus the quick-mode [`recorder`] behind the CI
+//! `bench-baseline` regression gate.
+
+pub mod recorder;
 
 use prov_semiring::{Annotation, Monomial, Polynomial};
 use prov_storage::generator::{random_database, DatabaseSpec};

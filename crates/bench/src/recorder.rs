@@ -1,0 +1,320 @@
+//! Quick-mode benchmark recorder backing the CI `bench-baseline` job.
+//!
+//! Mirrors each criterion bench target with a short calibrated workload,
+//! measures mean wall-clock ns/iter, and serializes the results as a flat
+//! JSON map (`docs/BENCH_BASELINE.json`). The JSON reader/writer is
+//! hand-rolled: the build image has no registry access, so no serde.
+//!
+//! Timings from the quick loop are coarse (like the vendored criterion
+//! shim's); the CI gate therefore only fails on large (>3x by default)
+//! regressions, not on small deltas.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// Stable workload id, `target/group/param` style.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: u128,
+    /// Iterations the mean was taken over.
+    pub iters: u64,
+}
+
+/// Minimum iterations per workload, however slow.
+const MIN_ITERS: u64 = 3;
+/// Iteration cap for very fast workloads.
+const MAX_ITERS: u64 = 10_000;
+
+/// Runs `f` in a calibrated loop for roughly `budget_ms` and records the
+/// mean time per iteration.
+pub fn measure<F: FnMut()>(id: &str, budget_ms: u128, mut f: F) -> Measurement {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed();
+        if (iters >= MIN_ITERS && elapsed.as_millis() >= budget_ms) || iters >= MAX_ITERS {
+            return Measurement {
+                id: id.to_owned(),
+                ns_per_iter: elapsed.as_nanos() / u128::from(iters),
+                iters,
+            };
+        }
+    }
+}
+
+/// Runs the whole quick-mode suite (one or more workloads per criterion
+/// bench target) and returns the measurements in suite order.
+pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
+    use crate::{binary_db, random_polynomial};
+    use prov_core::direct::{core_polynomial, exact_core};
+    use prov_core::minprov::minprov_cq;
+    use prov_core::standard::{minimize_complete, minimize_cq};
+    use prov_engine::{eval_cq, eval_cq_with, eval_ucq_with, EvalOptions};
+    use prov_query::canonical::canonical_rewriting;
+    use prov_query::generate::{chain, qn_family, star};
+    use prov_query::parse_cq;
+    use prov_semiring::order::poly_leq;
+    use prov_storage::{RelName, Tuple};
+    use std::collections::BTreeSet;
+
+    let mut out = Vec::new();
+    let mut record = |id: &str, f: &mut dyn FnMut()| {
+        out.push(measure(id, budget_ms, f));
+    };
+
+    // B1 eval_throughput — sequential, planned, and parallel variants.
+    let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").expect("qconj parses");
+    let triangle = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").expect("triangle parses");
+    let selective = parse_cq("ans(x) :- R(x,y), R(y,'d1'), R('d0',x)").expect("parses");
+    let db200 = binary_db(200, 16, 1);
+    let db800 = binary_db(800, 30, 1);
+    record("eval_throughput/qconj/200", &mut || {
+        std::hint::black_box(eval_cq(&qconj, &db200));
+    });
+    record("eval_throughput/qconj/800", &mut || {
+        std::hint::black_box(eval_cq(&qconj, &db800));
+    });
+    let par4 = EvalOptions::default().with_parallelism(4);
+    record("eval_throughput/qconj/800/par4", &mut || {
+        std::hint::black_box(eval_cq_with(&qconj, &db800, par4));
+    });
+    let db50 = binary_db(50, 9, 1);
+    record("eval_throughput/triangle/50", &mut || {
+        std::hint::black_box(eval_cq(&triangle, &db50));
+    });
+    record("eval_strategy/naive/200", &mut || {
+        std::hint::black_box(eval_cq_with(&selective, &db200, EvalOptions::naive()));
+    });
+    record("eval_strategy/cost_planned/200", &mut || {
+        std::hint::black_box(eval_cq_with(&selective, &db200, EvalOptions::default()));
+    });
+
+    // B3 minimize_cq.
+    let star8 = star(8);
+    let chain8 = chain(8);
+    record("minimize_cq/star/8", &mut || {
+        std::hint::black_box(minimize_cq(&star8));
+    });
+    record("minimize_cq/chain/8", &mut || {
+        std::hint::black_box(minimize_cq(&chain8));
+    });
+
+    // B4 minimize_ccq (complete-query dedup is PTIME).
+    let complete = {
+        use prov_query::{Atom, ConjunctiveQuery, Diseq, Term, Variable};
+        let vars: Vec<Variable> = (0..32).map(|i| Variable::new(&format!("bb{i}"))).collect();
+        let mut atoms = Vec::new();
+        for w in vars.windows(2) {
+            for _ in 0..3 {
+                atoms.push(Atom::of("R", &[Term::Var(w[0]), Term::Var(w[1])]));
+            }
+        }
+        let mut diseqs = Vec::new();
+        for (i, &x) in vars.iter().enumerate() {
+            for &y in &vars[i + 1..] {
+                diseqs.push(Diseq::vars(x, y));
+            }
+        }
+        ConjunctiveQuery::new(Atom::of("ans", &[]), atoms, diseqs).expect("complete query")
+    };
+    record("minimize_ccq/vars/32", &mut || {
+        std::hint::black_box(minimize_complete(&complete));
+    });
+
+    // B6 minprov_blowup.
+    let qn2 = qn_family(2);
+    record("minprov_blowup/qn/2", &mut || {
+        std::hint::black_box(minprov_cq(&qn2));
+    });
+
+    // B7 direct_core.
+    let poly80 = random_polynomial(80, 6, 43, 3);
+    record("direct_core/core_polynomial/80", &mut || {
+        std::hint::black_box(core_polynomial(&poly80));
+    });
+    let db20 = binary_db(20, 6, 5);
+    let p20 = eval_cq(&triangle, &db20).boolean_provenance();
+    record("direct_core/exact_core/20", &mut || {
+        std::hint::black_box(
+            exact_core(&p20, &db20, &Tuple::empty(), &BTreeSet::new()).expect("core"),
+        );
+    });
+
+    // B2 order_relation.
+    let p40 = random_polynomial(40, 6, 23, 7);
+    let core40 = core_polynomial(&p40);
+    record("order_relation/poly_leq/40", &mut || {
+        std::hint::black_box(poly_leq(&core40, &p40));
+    });
+
+    // B5 canonical_rewriting.
+    let chain4 = chain(4);
+    record("canonical_rewriting/chain/4", &mut || {
+        std::hint::black_box(canonical_rewriting(&chain4, &BTreeSet::new()));
+    });
+
+    // X1/X2 substrates.
+    let program = prov_datalog::Program::parse(
+        "hop1(x,y) :- E(x,y)\n\
+         hop2(x,z) :- hop1(x,y), E(y,z)\n\
+         hop3(x,z) :- hop2(x,y), E(y,z)",
+    )
+    .expect("pipeline parses");
+    let edb = {
+        let base = binary_db(40, 8, 2);
+        let mut db = prov_storage::Database::new();
+        if let Some(rel) = base.relation(RelName::new("R")) {
+            for (t, a) in rel.iter() {
+                db.insert(RelName::new("E"), t.clone(), *a);
+            }
+        }
+        db
+    };
+    record("substrates/datalog_pipeline/3", &mut || {
+        std::hint::black_box(prov_datalog::evaluate(&program, &edb));
+    });
+    let plan = prov_algebra::Expr::scan("R", 2)
+        .product(prov_algebra::Expr::scan("R", 2))
+        .select(vec![
+            prov_algebra::Condition::EqCols(0, 3),
+            prov_algebra::Condition::EqCols(1, 2),
+        ])
+        .project(vec![0]);
+    let compiled = prov_algebra::to_query(&plan)
+        .expect("well-formed")
+        .expect("satisfiable");
+    record("substrates/algebra_compiled/200", &mut || {
+        std::hint::black_box(eval_ucq_with(&compiled, &db200, EvalOptions::default()));
+    });
+    record("substrates/algebra_compiled/200/par4", &mut || {
+        std::hint::black_box(eval_ucq_with(&compiled, &db200, par4));
+    });
+
+    out
+}
+
+/// Serializes measurements as the baseline JSON document.
+pub fn to_json(measurements: &[Measurement]) -> String {
+    let mut s =
+        String::from("{\n  \"schema\": \"provmin-bench-baseline/v1\",\n  \"benchmarks\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {}{}\n", m.id, m.ns_per_iter, comma));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parses a baseline JSON document back into `id → ns_per_iter`.
+///
+/// Accepts exactly the shape [`to_json`] produces: a `"benchmarks"` object
+/// whose values are bare integers.
+pub fn parse_json(text: &str) -> Result<BTreeMap<String, u128>, String> {
+    let bench_key = "\"benchmarks\"";
+    let start = text
+        .find(bench_key)
+        .ok_or_else(|| "missing \"benchmarks\" key".to_owned())?;
+    let obj_start = text[start..]
+        .find('{')
+        .map(|i| start + i + 1)
+        .ok_or_else(|| "missing benchmarks object".to_owned())?;
+    let mut out = BTreeMap::new();
+    let mut rest = &text[obj_start..];
+    while let Some(quote) = rest.find('"') {
+        // Stop at the closing brace of the benchmarks object.
+        if let Some(close) = rest.find('}') {
+            if close < quote {
+                break;
+            }
+        }
+        rest = &rest[quote + 1..];
+        let end_quote = rest.find('"').ok_or("unterminated key")?;
+        let key = rest[..end_quote].to_owned();
+        rest = &rest[end_quote + 1..];
+        let colon = rest.find(':').ok_or("missing ':' after key")?;
+        rest = &rest[colon + 1..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let value: u128 = digits
+            .parse()
+            .map_err(|_| format!("non-integer value for {key}"))?;
+        rest = &rest[rest.find(&digits).unwrap_or(0) + digits.len()..];
+        out.insert(key, value);
+    }
+    if out.is_empty() {
+        return Err("no benchmark entries found".to_owned());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_at_least_min_iters() {
+        let mut count = 0u64;
+        let m = measure("smoke", 0, || count += 1);
+        assert!(m.iters >= MIN_ITERS);
+        assert_eq!(m.iters, count);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let ms = vec![
+            Measurement {
+                id: "a/b/1".into(),
+                ns_per_iter: 123,
+                iters: 9,
+            },
+            Measurement {
+                id: "c".into(),
+                ns_per_iter: 4_567_890,
+                iters: 3,
+            },
+        ];
+        let parsed = parse_json(&to_json(&ms)).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["a/b/1"], 123);
+        assert_eq!(parsed["c"], 4_567_890);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\"benchmarks\": {}}").is_err());
+    }
+
+    #[test]
+    fn quick_suite_covers_every_bench_target_family() {
+        // Tiny budget: correctness of ids/coverage, not timing quality.
+        let ms = run_suite(0);
+        let families: std::collections::BTreeSet<&str> = ms
+            .iter()
+            .map(|m| m.id.split('/').next().expect("non-empty id"))
+            .collect();
+        for family in [
+            "eval_throughput",
+            "eval_strategy",
+            "minimize_cq",
+            "minimize_ccq",
+            "minprov_blowup",
+            "direct_core",
+            "order_relation",
+            "canonical_rewriting",
+            "substrates",
+        ] {
+            assert!(families.contains(family), "{family} not covered");
+        }
+        // Parallel variants present (the tentpole's CI-visible surface).
+        assert!(ms.iter().any(|m| m.id.ends_with("/par4")));
+    }
+}

@@ -1,11 +1,13 @@
 //! Provenance-annotated query evaluation (paper Def 2.12):
 //! `P(t, Q, D) = Σ_{σ ∈ A(t,Q,D)} Π_{Ri ∈ body(Q)} P(σ(Ri))`.
 //!
-//! Two execution strategies are provided and benchmarked against each
+//! Several execution strategies are provided and benchmarked against each
 //! other (ablation B1): a naive nested-loop over atoms in written order,
-//! and the default planned strategy (most-bound-first atom ordering plus
-//! per-position hash indexes). Both enumerate exactly the assignments of
-//! Def 2.6; provenance is identical.
+//! planned strategies (syntactic or cost-based atom ordering plus
+//! per-position hash indexes), and a parallel pipeline that shards the
+//! first planned atom's rows across worker threads (see [`crate::parallel`]).
+//! All enumerate exactly the assignments of Def 2.6; provenance is
+//! identical.
 
 use std::collections::BTreeMap;
 
@@ -15,6 +17,7 @@ use prov_storage::{Database, Tuple, Valuation, Value};
 
 use crate::assignment::Assignment;
 use crate::index::DatabaseIndex;
+use crate::planner::PlannerKind;
 
 /// The annotated result of a query: each output tuple with its provenance
 /// polynomial. Boolean queries produce (at most) the empty tuple.
@@ -65,21 +68,28 @@ impl AnnotatedResult {
     }
 
     /// Adds the provenance of another result (union of derivations).
+    /// This is ⊕ lifted to results: commutative and associative, so any
+    /// merge order — in particular the nondeterministic arrival order of
+    /// parallel per-thread partials — yields the same result.
     pub fn merge(&mut self, other: AnnotatedResult) {
+        if self.tuples.is_empty() {
+            self.tuples = other.tuples;
+            return;
+        }
         for (t, p) in other.tuples {
             match self.tuples.entry(t) {
                 std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(p);
                 }
                 std::collections::btree_map::Entry::Occupied(mut e) => {
-                    let sum = e.get().add(&p);
-                    e.insert(sum);
+                    // In place: no clone of the accumulated polynomial.
+                    e.get_mut().absorb(p);
                 }
             }
         }
     }
 
-    fn record(&mut self, t: Tuple, m: prov_semiring::Monomial) {
+    pub(crate) fn record(&mut self, t: Tuple, m: prov_semiring::Monomial) {
         self.tuples
             .entry(t)
             .or_insert_with(Polynomial::zero_poly)
@@ -88,30 +98,62 @@ impl AnnotatedResult {
 }
 
 /// Evaluation strategy knobs (the B1 ablation axes).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct EvalOptions {
-    /// Process atoms most-bound-first instead of written order.
-    pub reorder_atoms: bool,
+    /// Which planner orders the query's atoms.
+    pub planner: PlannerKind,
     /// Use per-position hash indexes instead of full scans.
     pub use_index: bool,
+    /// Number of worker threads for sharded parallel evaluation.
+    /// `None` or `Some(0|1)` evaluates sequentially (the default).
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
-            reorder_atoms: true,
+            planner: PlannerKind::CostBased,
             use_index: true,
+            parallelism: None,
         }
     }
 }
 
 impl EvalOptions {
-    /// The naive reference strategy: written order, full scans.
+    /// The naive reference strategy: written order, full scans, sequential.
     pub fn naive() -> Self {
         EvalOptions {
-            reorder_atoms: false,
+            planner: PlannerKind::WrittenOrder,
             use_index: false,
+            parallelism: None,
         }
+    }
+
+    /// The pre-cost-planner default: syntactic most-bound-first ordering
+    /// with indexes (kept as an ablation point).
+    pub fn syntactic() -> Self {
+        EvalOptions {
+            planner: PlannerKind::Syntactic,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// This strategy with the given planner.
+    pub fn with_planner(self, planner: PlannerKind) -> Self {
+        EvalOptions { planner, ..self }
+    }
+
+    /// This strategy evaluated on `threads` worker threads.
+    pub fn with_parallelism(self, threads: usize) -> Self {
+        EvalOptions {
+            parallelism: Some(threads),
+            ..self
+        }
+    }
+
+    /// The worker-thread count this strategy actually runs with.
+    pub(crate) fn effective_threads(&self) -> usize {
+        self.parallelism.unwrap_or(1).max(1)
     }
 }
 
@@ -128,11 +170,7 @@ pub fn assignments_with(
     options: EvalOptions,
 ) -> Vec<Assignment> {
     let n = q.atoms().len();
-    let order = if options.reorder_atoms {
-        plan_atom_order(q)
-    } else {
-        (0..n).collect()
-    };
+    let order = options.planner.order(q, db);
     let index = options.use_index.then(|| DatabaseIndex::build(db));
     let mut out = Vec::new();
     let mut tuples: Vec<Tuple> = vec![Tuple::empty(); n];
@@ -150,34 +188,8 @@ pub fn assignments_with(
     out
 }
 
-/// Orders atoms most-bound-first: atoms with constants and already-bound
-/// variables come earlier, shrinking the candidate sets.
-fn plan_atom_order(q: &ConjunctiveQuery) -> Vec<usize> {
-    let n = q.atoms().len();
-    let mut bound: std::collections::BTreeSet<Variable> = std::collections::BTreeSet::new();
-    let mut order = Vec::with_capacity(n);
-    let mut remaining: Vec<usize> = (0..n).collect();
-    while !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let atom = &q.atoms()[i];
-                let consts = atom.args.iter().filter(|t| !t.is_var()).count();
-                let bound_vars = atom.variables().filter(|v| bound.contains(v)).count();
-                let unbound = atom.variables().filter(|v| !bound.contains(v)).count();
-                (consts + bound_vars, usize::MAX - unbound, usize::MAX - i)
-            })
-            .expect("remaining non-empty");
-        order.push(best);
-        bound.extend(q.atoms()[best].variables());
-        remaining.remove(pos);
-    }
-    order
-}
-
 #[allow(clippy::too_many_arguments)]
-fn extend(
+pub(crate) fn extend(
     q: &ConjunctiveQuery,
     db: &Database,
     index: Option<&DatabaseIndex<'_>>,
@@ -218,47 +230,65 @@ fn extend(
                     })
                     .collect();
                 match rel_index.most_selective(&constraints) {
-                    Some(posting) => {
-                        let all: Vec<_> = relation.iter().collect();
-                        posting.iter().map(|&row| all[row]).collect()
-                    }
+                    Some(posting) => posting.iter().map(|&row| relation.row(row)).collect(),
                     None => relation.iter().collect(),
                 }
             }
             None => relation.iter().collect(),
         };
 
-    'candidates: for (tuple, _) in rows {
-        let mut added: Vec<Variable> = Vec::new();
-        for (term, &value) in atom.args.iter().zip(tuple.values()) {
-            match term {
-                Term::Const(c) => {
-                    if *c != value {
+    for (tuple, _) in rows {
+        try_candidate(q, db, index, order, step, tuple, tuples, bindings, out);
+    }
+}
+
+/// Attempts to map the atom at `order[step]` to the candidate `tuple`:
+/// binds its variables if consistent, recurses into the next step, and
+/// restores `bindings` before returning. This is the unit of work the
+/// parallel executor seeds each sharded first-atom row into.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_candidate(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    index: Option<&DatabaseIndex<'_>>,
+    order: &[usize],
+    step: usize,
+    tuple: &Tuple,
+    tuples: &mut Vec<Tuple>,
+    bindings: &mut BTreeMap<Variable, Value>,
+    out: &mut Vec<Assignment>,
+) {
+    let atom_idx = order[step];
+    let atom = &q.atoms()[atom_idx];
+    let mut added: Vec<Variable> = Vec::new();
+    for (term, &value) in atom.args.iter().zip(tuple.values()) {
+        match term {
+            Term::Const(c) => {
+                if *c != value {
+                    unbind(bindings, &added);
+                    return;
+                }
+            }
+            Term::Var(v) => match bindings.get(v) {
+                Some(&bound) => {
+                    if bound != value {
                         unbind(bindings, &added);
-                        continue 'candidates;
+                        return;
                     }
                 }
-                Term::Var(v) => match bindings.get(v) {
-                    Some(&bound) => {
-                        if bound != value {
-                            unbind(bindings, &added);
-                            continue 'candidates;
-                        }
-                    }
-                    None => {
-                        bindings.insert(*v, value);
-                        added.push(*v);
-                    }
-                },
-            }
+                None => {
+                    bindings.insert(*v, value);
+                    added.push(*v);
+                }
+            },
         }
-        // Eager disequality check on fully-bound disequalities.
-        if diseqs_satisfiable(q, bindings) {
-            tuples[atom_idx] = tuple.clone();
-            extend(q, db, index, order, step + 1, tuples, bindings, out);
-        }
-        unbind(bindings, &added);
     }
+    // Eager disequality check on fully-bound disequalities.
+    if diseqs_satisfiable(q, bindings) {
+        tuples[atom_idx] = tuple.clone();
+        extend(q, db, index, order, step + 1, tuples, bindings, out);
+    }
+    unbind(bindings, &added);
 }
 
 fn unbind(bindings: &mut BTreeMap<Variable, Value>, added: &[Variable]) {
@@ -289,6 +319,9 @@ pub fn eval_cq(q: &ConjunctiveQuery, db: &Database) -> AnnotatedResult {
 
 /// [`eval_cq`] under explicit strategy options.
 pub fn eval_cq_with(q: &ConjunctiveQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
+    if options.effective_threads() >= 2 && !q.atoms().is_empty() {
+        return crate::parallel::eval_cq_parallel(q, db, options);
+    }
     let mut result = AnnotatedResult::default();
     for a in assignments_with(q, db, options) {
         result.record(a.head_tuple(q), a.monomial(q, db));
@@ -462,8 +495,15 @@ mod tests {
         ] {
             let q = parse_cq(text).unwrap();
             let naive = eval_cq_with(&q, &db, EvalOptions::naive());
-            let planned = eval_cq_with(&q, &db, EvalOptions::default());
-            assert_eq!(naive, planned, "strategies disagree on {text}");
+            for options in [
+                EvalOptions::default(),
+                EvalOptions::syntactic(),
+                EvalOptions::default().with_parallelism(2),
+                EvalOptions::default().with_parallelism(4),
+            ] {
+                let planned = eval_cq_with(&q, &db, options);
+                assert_eq!(naive, planned, "{options:?} disagrees on {text}");
+            }
         }
     }
 
@@ -485,18 +525,25 @@ mod tests {
     }
 
     #[test]
-    fn index_only_and_reorder_only_also_agree() {
+    fn index_only_and_planner_only_also_agree() {
         let db = table_2_database();
         let q = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
         let reference = eval_cq_with(&q, &db, EvalOptions::naive());
         for options in [
             EvalOptions {
-                reorder_atoms: true,
+                planner: PlannerKind::Syntactic,
                 use_index: false,
+                parallelism: None,
             },
             EvalOptions {
-                reorder_atoms: false,
+                planner: PlannerKind::CostBased,
+                use_index: false,
+                parallelism: None,
+            },
+            EvalOptions {
+                planner: PlannerKind::WrittenOrder,
                 use_index: true,
+                parallelism: None,
             },
         ] {
             assert_eq!(eval_cq_with(&q, &db, options), reference);

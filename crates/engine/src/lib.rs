@@ -11,6 +11,8 @@
 mod assignment;
 mod eval;
 mod index;
+mod parallel;
+mod planner;
 
 pub use assignment::Assignment;
 pub use eval::{
@@ -18,3 +20,4 @@ pub use eval::{
     eval_ucq_with, AnnotatedResult, EvalOptions,
 };
 pub use index::{DatabaseIndex, RelationIndex};
+pub use planner::PlannerKind;

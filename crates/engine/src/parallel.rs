@@ -1,0 +1,202 @@
+//! Sharded parallel evaluation (Def 2.12 executed shard-wise).
+//!
+//! The pipeline shards the first planned atom's relation by a hash of its
+//! join-key positions ([`prov_storage::shard`]), then evaluates each shard
+//! partition of the first atom's candidate rows on a pool of scoped worker
+//! threads. Workers *steal* the next unclaimed shard from a shared atomic
+//! cursor, so skewed shards cannot idle the pool. Each worker accumulates
+//! a private [`AnnotatedResult`]; the partials are then ⊕-merged.
+//!
+//! Correctness: sharding partitions the first atom's candidate set, every
+//! other atom is still matched against the full database, and provenance
+//! combination ⊕ is commutative and associative with a canonical (sorted
+//! coefficient-map) representation. The merged result is therefore *equal*
+//! — not merely equivalent — to the sequential one, whatever order shards
+//! complete in.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use prov_query::{ConjunctiveQuery, Term, Variable};
+use prov_storage::{Database, RelationShards, Tuple, Value};
+
+use crate::assignment::Assignment;
+use crate::eval::{try_candidate, AnnotatedResult, EvalOptions};
+use crate::index::DatabaseIndex;
+
+/// How many shards each worker thread gets on average; over-partitioning
+/// lets the stealing cursor balance skew.
+const SHARDS_PER_THREAD: usize = 4;
+
+/// The join-key positions of atom `atom_idx`: argument positions holding a
+/// variable that is shared with another atom, the head, or a disequality.
+/// Hashing on them keeps rows that join identically in one shard. Falls
+/// back to the empty set (= hash the whole tuple) for an atom with no
+/// shared variables.
+fn join_key_positions(q: &ConjunctiveQuery, atom_idx: usize) -> Vec<usize> {
+    let atom = &q.atoms()[atom_idx];
+    let shared = |v: &Variable| {
+        q.atoms()
+            .iter()
+            .enumerate()
+            .any(|(i, a)| i != atom_idx && a.variables().any(|w| w == *v))
+            || q.head().variables().any(|w| w == *v)
+            || q.diseqs().iter().any(|d| d.variables().any(|w| w == *v))
+    };
+    atom.args
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, term)| match term {
+            Term::Var(v) if shared(v) => Some(pos),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Evaluates `q` over `db` on `options.parallelism` scoped worker threads,
+/// returning a result identical to sequential [`crate::eval_cq_with`].
+pub(crate) fn eval_cq_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+) -> AnnotatedResult {
+    let threads = options.effective_threads();
+    debug_assert!(threads >= 2 && !q.atoms().is_empty());
+    let order = options.planner.order(q, db);
+    let first = order[0];
+    let atom = &q.atoms()[first];
+    let Some(relation) = db.relation(atom.relation) else {
+        return AnnotatedResult::default();
+    };
+    if relation.arity() != atom.arity() || relation.is_empty() {
+        return AnnotatedResult::default();
+    }
+
+    // Shard only the first atom's relation — every other atom is matched
+    // against the full database, so partitioning it would be wasted work.
+    // (`ShardedDatabase` is the whole-database view for consumers that
+    // fan every relation out, e.g. future distributed evaluation.)
+    let keys = join_key_positions(q, first);
+    let num_shards = (threads * SHARDS_PER_THREAD).min(relation.len()).max(1);
+    let shards = RelationShards::build(relation, &keys, num_shards);
+    let index = options.use_index.then(|| DatabaseIndex::build(db));
+    let cursor = AtomicUsize::new(0);
+
+    let partials: Vec<AnnotatedResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = AnnotatedResult::default();
+                    let mut tuples: Vec<Tuple> = vec![Tuple::empty(); q.atoms().len()];
+                    let mut bindings: BTreeMap<Variable, Value> = BTreeMap::new();
+                    let mut buf: Vec<Assignment> = Vec::new();
+                    loop {
+                        let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                        if shard >= num_shards {
+                            break;
+                        }
+                        for (tuple, _) in shards.rows(shard) {
+                            try_candidate(
+                                q,
+                                db,
+                                index.as_ref(),
+                                &order,
+                                0,
+                                tuple,
+                                &mut tuples,
+                                &mut bindings,
+                                &mut buf,
+                            );
+                            for a in buf.drain(..) {
+                                local.record(a.head_tuple(q), a.monomial(q, db));
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+
+    let mut result = AnnotatedResult::default();
+    for partial in partials {
+        result.merge(partial);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_cq_with;
+    use prov_query::parse_cq;
+
+    fn larger_db(n: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add(
+                "R",
+                &[&format!("d{}", i % 9), &format!("d{}", (i * 7 + 3) % 9)],
+                &format!("par_{i}"),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_joins() {
+        let db = larger_db(60);
+        for text in [
+            "ans(x) :- R(x,y), R(y,x)",
+            "ans() :- R(x,y), R(y,z), R(z,x)",
+            "ans(x,z) :- R(x,y), R(y,z), x != z",
+            "ans(x) :- R(x,'d1')",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let sequential = eval_cq_with(&q, &db, EvalOptions::default());
+            for threads in [2usize, 3, 8] {
+                let parallel =
+                    eval_cq_with(&q, &db, EvalOptions::default().with_parallelism(threads));
+                assert_eq!(parallel, sequential, "{threads} threads disagree on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_missing_relation_and_empty_db() {
+        let q = parse_cq("ans(x) :- Missing(x)").unwrap();
+        let db = larger_db(5);
+        let options = EvalOptions::default().with_parallelism(4);
+        assert!(eval_cq_with(&q, &db, options).is_empty());
+        let empty = Database::new();
+        let q2 = parse_cq("ans(x) :- R(x,y)").unwrap();
+        assert!(eval_cq_with(&q2, &empty, options).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let mut db = Database::new();
+        db.add("R", &["a", "b"], "tiny_1");
+        db.add("R", &["b", "a"], "tiny_2");
+        let q = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let sequential = eval_cq_with(&q, &db, EvalOptions::default());
+        let parallel = eval_cq_with(&q, &db, EvalOptions::default().with_parallelism(16));
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn join_keys_pick_shared_variable_positions() {
+        let q = parse_cq("ans(x) :- R(x,y), S(y)").unwrap();
+        // In R(x,y): x is a head var (pos 0), y joins with S (pos 1).
+        assert_eq!(join_key_positions(&q, 0), vec![0, 1]);
+        // In S(y): y joins with R.
+        assert_eq!(join_key_positions(&q, 1), vec![0]);
+        // A fully local atom has no join keys (hash on the whole tuple).
+        let q2 = parse_cq("ans() :- R(u,w)").unwrap();
+        assert!(join_key_positions(&q2, 0).is_empty());
+    }
+}

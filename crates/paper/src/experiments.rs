@@ -10,7 +10,7 @@ use prov_core::minprov::{minprov_cq, minprov_trace};
 use prov_core::order::compare_on;
 use prov_core::pminimal::table_1;
 use prov_core::standard::minimize_cq;
-use prov_engine::{eval_cq, eval_ucq};
+use prov_engine::{eval_cq, eval_ucq, eval_ucq_with, EvalOptions, PlannerKind};
 use prov_query::canonical::{bell_number, canonical_rewriting};
 use prov_query::containment::{cq_equivalent, equivalent};
 use prov_query::generate::qn_family;
@@ -485,6 +485,44 @@ pub fn x2_algebra_extension() -> ExperimentReport {
     r
 }
 
+/// X3 — engine scaling extension: sharded parallel evaluation and the
+/// cost-based planner reproduce Def 2.12's provenance *exactly*. The merge
+/// of per-thread partial results is the semiring ⊕, which is commutative
+/// and associative, so shard completion order cannot change the output.
+pub fn x3_parallel_eval() -> ExperimentReport {
+    use prov_storage::generator::{random_database, DatabaseSpec};
+    let mut r = ExperimentReport::new("X3", "Extension: sharded parallel evaluation (Def 2.12)");
+    let db = table_2_database();
+    let qunion = fig1_qunion();
+    let reference = eval_ucq(&qunion, &db);
+    for threads in [2usize, 4] {
+        for planner in [PlannerKind::Syntactic, PlannerKind::CostBased] {
+            let options = EvalOptions::default()
+                .with_planner(planner)
+                .with_parallelism(threads);
+            let parallel = eval_ucq_with(&qunion, &db, options);
+            r.check(
+                parallel == reference,
+                &format!("Qunion on Table 2: {threads} threads × {planner:?} = sequential"),
+            );
+        }
+    }
+    // A larger synthetic instance, where sharding actually spreads work.
+    let big = random_database(&DatabaseSpec::single_binary(300, 20), 17);
+    let triangle = prov_query::parse_ucq("ans() :- R(x,y), R(y,z), R(z,x)").expect("parses");
+    let seq = eval_ucq(&triangle, &big);
+    let par = eval_ucq_with(&triangle, &big, EvalOptions::default().with_parallelism(4));
+    r.line(format!(
+        "triangle over 300 random tuples: {} derivations",
+        seq.boolean_provenance().num_occurrences()
+    ));
+    r.check(
+        par == seq,
+        "parallel provenance is bit-identical on the 300-tuple instance",
+    );
+    r
+}
+
 /// Runs every experiment in DESIGN.md order.
 pub fn run_all() -> Vec<ExperimentReport> {
     vec![
@@ -499,6 +537,7 @@ pub fn run_all() -> Vec<ExperimentReport> {
         e8_general_annotations(),
         x1_datalog_extension(),
         x2_algebra_extension(),
+        x3_parallel_eval(),
     ]
 }
 
@@ -578,6 +617,12 @@ mod tests {
     #[test]
     fn x2_passes() {
         let r = x2_algebra_extension();
+        assert!(r.pass, "{}", r.output);
+    }
+
+    #[test]
+    fn x3_passes() {
+        let r = x3_parallel_eval();
         assert!(r.pass, "{}", r.output);
     }
 }

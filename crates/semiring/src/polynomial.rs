@@ -97,6 +97,29 @@ impl Polynomial {
         self.add_occurrences(m, 1);
     }
 
+    /// Adds `other` into `self` in place (⊕ without allocating a third
+    /// polynomial), cloning each of `other`'s monomials once.
+    pub fn add_assign(&mut self, other: &Polynomial) {
+        for (m, c) in other.iter() {
+            self.add_occurrences(m.clone(), c);
+        }
+    }
+
+    /// Adds `other` into `self` in place, consuming it — no monomial is
+    /// cloned. This is the hot merge path of parallel evaluation, where
+    /// per-thread partial results are ⊕-combined.
+    pub fn absorb(&mut self, other: Polynomial) {
+        if self.terms.is_empty() {
+            self.terms = other.terms;
+            return;
+        }
+        for (m, c) in other.terms {
+            if c > 0 {
+                *self.terms.entry(m).or_insert(0) += c;
+            }
+        }
+    }
+
     /// Whether this is the zero polynomial.
     pub fn is_zero_poly(&self) -> bool {
         self.terms.is_empty()
@@ -362,5 +385,22 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(poly, p("2·x"));
+    }
+
+    #[test]
+    fn add_assign_and_absorb_match_add() {
+        let lhs = p("s1·s2 + 2·s3");
+        let rhs = p("s3 + s4");
+        let expected = lhs.add(&rhs);
+        let mut via_assign = lhs.clone();
+        via_assign.add_assign(&rhs);
+        assert_eq!(via_assign, expected);
+        let mut via_absorb = lhs.clone();
+        via_absorb.absorb(rhs.clone());
+        assert_eq!(via_absorb, expected);
+        // Absorbing into zero takes the other polynomial wholesale.
+        let mut zero = Polynomial::zero_poly();
+        zero.absorb(rhs.clone());
+        assert_eq!(zero, rhs);
     }
 }

@@ -16,11 +16,13 @@ mod valuation;
 mod value;
 
 pub mod generator;
+pub mod shard;
 pub mod textio;
 
 pub use database::Database;
 pub use intern::Interner;
 pub use relation::Relation;
+pub use shard::{RelationShards, ShardedDatabase};
 pub use tuple::Tuple;
 pub use valuation::{Renaming, Valuation};
 pub use value::{RelName, Value};

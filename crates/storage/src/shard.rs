@@ -1,0 +1,255 @@
+//! Sharded views over relations and databases for parallel evaluation.
+//!
+//! A shard is a partition cell of a relation's rows, assigned by hashing
+//! the values at a set of *key positions* (typically the join-key
+//! positions of the atom being scanned). Every row lands in exactly one
+//! shard, so a union over shards reproduces the relation exactly; because
+//! provenance combination (⊕) is commutative, per-shard evaluation merged
+//! shard-by-shard is provably identical to a sequential scan (Def 2.12).
+//!
+//! Both [`RelationShards`] and [`ShardedDatabase`] borrow the underlying
+//! storage — no tuple is copied to build a sharded view.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::RelName;
+
+use prov_semiring::Annotation;
+
+/// A partition of one relation's rows into `num_shards` cells by a hash of
+/// the values at `key_positions`. Borrows the relation; stores only row
+/// indices.
+#[derive(Debug)]
+pub struct RelationShards<'a> {
+    relation: &'a Relation,
+    key_positions: Vec<usize>,
+    shards: Vec<Vec<usize>>,
+}
+
+impl<'a> RelationShards<'a> {
+    /// Partitions `relation` into `num_shards` cells, hashing the values at
+    /// `key_positions`. An empty key set hashes the whole tuple, so rows
+    /// still spread across shards. Panics if `num_shards` is zero or any
+    /// key position is out of range for the relation's arity.
+    pub fn build(relation: &'a Relation, key_positions: &[usize], num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        for &p in key_positions {
+            assert!(
+                p < relation.arity(),
+                "key position {p} out of range for arity {}",
+                relation.arity()
+            );
+        }
+        let mut shards = vec![Vec::new(); num_shards];
+        for (row, (tuple, _)) in relation.iter().enumerate() {
+            shards[shard_of(tuple, key_positions, num_shards)].push(row);
+        }
+        RelationShards {
+            relation,
+            key_positions: key_positions.to_vec(),
+            shards,
+        }
+    }
+
+    /// The sharded relation.
+    pub fn relation(&self) -> &'a Relation {
+        self.relation
+    }
+
+    /// The key positions rows were hashed on.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// The number of shards (cells), including empty ones.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Row indices of shard `shard` (indices into `relation.iter()` order).
+    pub fn row_indices(&self, shard: usize) -> &[usize] {
+        &self.shards[shard]
+    }
+
+    /// Iterates the `(tuple, annotation)` rows of shard `shard`.
+    pub fn rows(&self, shard: usize) -> impl Iterator<Item = &'a (Tuple, Annotation)> + '_ {
+        self.shards[shard].iter().map(|&row| self.relation.row(row))
+    }
+
+    /// The shard a given tuple would be routed to.
+    pub fn route(&self, tuple: &Tuple) -> usize {
+        shard_of(tuple, &self.key_positions, self.shards.len())
+    }
+
+    /// Total number of rows across all shards (= the relation's length).
+    pub fn total_rows(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+/// The shard index for `tuple` under the given keys and shard count.
+fn shard_of(tuple: &Tuple, key_positions: &[usize], num_shards: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    if key_positions.is_empty() {
+        tuple.values().hash(&mut hasher);
+    } else {
+        for &p in key_positions {
+            tuple.get(p).hash(&mut hasher);
+        }
+    }
+    (hasher.finish() % num_shards as u64) as usize
+}
+
+/// A sharded view of a whole database: every relation partitioned into the
+/// same number of shards, each by its own key positions. Borrows the
+/// database; building the view copies no tuples.
+#[derive(Debug)]
+pub struct ShardedDatabase<'a> {
+    db: &'a Database,
+    num_shards: usize,
+    relations: BTreeMap<RelName, RelationShards<'a>>,
+}
+
+impl<'a> ShardedDatabase<'a> {
+    /// Builds a sharded view with `num_shards` cells per relation. `keys`
+    /// gives the hash key positions per relation; relations not listed are
+    /// hashed on the full tuple.
+    pub fn build(
+        db: &'a Database,
+        num_shards: usize,
+        keys: &BTreeMap<RelName, Vec<usize>>,
+    ) -> Self {
+        let relations = db
+            .relations()
+            .map(|r| {
+                let key = keys.get(&r.name()).map(Vec::as_slice).unwrap_or(&[]);
+                (r.name(), RelationShards::build(r, key, num_shards))
+            })
+            .collect();
+        ShardedDatabase {
+            db,
+            num_shards,
+            relations,
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The number of shards per relation.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The sharded view of `rel`, if the relation exists.
+    pub fn relation(&self, rel: RelName) -> Option<&RelationShards<'a>> {
+        self.relations.get(&rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn sample_relation(rows: usize) -> Relation {
+        let mut r = Relation::new(RelName::new("Shr"), 2);
+        for i in 0..rows {
+            r.insert(
+                Tuple::of(&[&format!("k{}", i % 7), &format!("v{i}")]),
+                Annotation::new(&format!("shr_{i}")),
+            );
+        }
+        r
+    }
+
+    /// Sharding is a partition: every tuple lands in exactly one shard.
+    #[test]
+    fn shards_cover_every_tuple_exactly_once() {
+        let rel = sample_relation(50);
+        for num_shards in [1usize, 2, 4, 13, 64] {
+            for keys in [&[][..], &[0][..], &[1][..], &[0, 1][..]] {
+                let sharded = RelationShards::build(&rel, keys, num_shards);
+                assert_eq!(sharded.total_rows(), rel.len());
+                let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+                for s in 0..sharded.num_shards() {
+                    for (t, _) in sharded.rows(s) {
+                        assert!(seen.insert(t.clone()), "tuple {t} appears in two shards");
+                    }
+                }
+                assert_eq!(seen.len(), rel.len(), "some tuple missing from all shards");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_matches_assignment() {
+        let rel = sample_relation(20);
+        let sharded = RelationShards::build(&rel, &[0], 4);
+        for s in 0..sharded.num_shards() {
+            for (t, _) in sharded.rows(s) {
+                assert_eq!(sharded.route(t), s);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_keys_share_a_shard() {
+        // Hashing on position 0 keeps equal join keys together.
+        let rel = sample_relation(30);
+        let sharded = RelationShards::build(&rel, &[0], 4);
+        let mut key_to_shard: BTreeMap<crate::value::Value, usize> = BTreeMap::new();
+        for s in 0..sharded.num_shards() {
+            for (t, _) in sharded.rows(s) {
+                let prev = key_to_shard.insert(t.get(0), s);
+                assert!(prev.is_none() || prev == Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_database_covers_all_relations() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.add("A", &[&format!("a{i}")], &format!("sdb_a{i}"));
+            db.add(
+                "B",
+                &[&format!("b{i}"), &format!("c{}", i % 3)],
+                &format!("sdb_b{i}"),
+            );
+        }
+        let keys: BTreeMap<RelName, Vec<usize>> = [(RelName::new("B"), vec![1])].into();
+        let view = ShardedDatabase::build(&db, 3, &keys);
+        assert_eq!(view.num_shards(), 3);
+        for rel in db.relations() {
+            let shards = view.relation(rel.name()).expect("relation sharded");
+            assert_eq!(shards.total_rows(), rel.len());
+        }
+        assert_eq!(
+            view.relation(RelName::new("B")).unwrap().key_positions(),
+            &[1]
+        );
+        assert!(view.relation(RelName::new("Nope")).is_none());
+        assert_eq!(view.database().num_tuples(), db.num_tuples());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let rel = sample_relation(3);
+        let _ = RelationShards::build(&rel, &[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_position_bounds_checked() {
+        let rel = sample_relation(3);
+        let _ = RelationShards::build(&rel, &[5], 2);
+    }
+}

@@ -9,6 +9,13 @@
 //! provmin datalog  <db-file> <program> <pred> evaluate + core a pipeline
 //! ```
 //!
+//! `eval` and `core` accept evaluation-strategy flags anywhere on the
+//! command line:
+//!
+//! * `--threads N` — sharded parallel evaluation on `N` worker threads
+//!   (results are identical to sequential; ⊕ is commutative).
+//! * `--planner written|syntactic|cost` — join planner (default `cost`).
+//!
 //! Queries use the rule syntax (unions: join rules with ';'):
 //! `ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)`.
 //! Databases use the text format: one `R(a, b) : s1` per line.
@@ -16,16 +23,57 @@
 use std::process::ExitCode;
 
 use provmin::datalog::{core_query, evaluate, Program};
+use provmin::engine::{eval_ucq_with, EvalOptions, PlannerKind};
 use provmin::prelude::*;
 use provmin::storage::textio::parse_database;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  provmin eval <db-file> '<query>'\n  provmin minimize '<query>'\n  \
-         provmin core <db-file> '<query>'\n  provmin trace '<query>'\n  \
+        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] <db-file> '<query>'\n  \
+         provmin minimize '<query>'\n  \
+         provmin core [--threads N] [--planner KIND] <db-file> '<query>'\n  \
+         provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>"
     );
     ExitCode::from(2)
+}
+
+/// Extracts `--threads`/`--planner` flags from the argument list, returning
+/// the remaining positional arguments, the resulting options, and whether
+/// any flag was present (only `eval`/`core` accept them).
+fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool), String> {
+    let mut options = EvalOptions::default();
+    let mut positional = Vec::new();
+    let mut flags_used = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                flags_used = true;
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--threads must be a positive integer".to_owned());
+                }
+                options = options.with_parallelism(n);
+            }
+            "--planner" => {
+                flags_used = true;
+                let kind = match it.next().ok_or("--planner needs a value")?.as_str() {
+                    "written" => PlannerKind::WrittenOrder,
+                    "syntactic" => PlannerKind::Syntactic,
+                    "cost" => PlannerKind::CostBased,
+                    other => return Err(format!("unknown planner {other}")),
+                };
+                options = options.with_planner(kind);
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, options, flags_used))
 }
 
 fn parse_query(text: &str) -> Result<UnionQuery, String> {
@@ -40,8 +88,21 @@ fn load_db(path: &str) -> Result<Database, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, options, flags_used) = match parse_eval_flags(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return usage();
+        }
+    };
+    if flags_used && !matches!(args.first().map(String::as_str), Some("eval" | "core")) {
+        eprintln!("error: --threads/--planner only apply to eval and core");
+        return usage();
+    }
     let result = match args.as_slice() {
-        [cmd, db_path, query] if cmd == "eval" || cmd == "core" => run_with_db(cmd, db_path, query),
+        [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
+            run_with_db(cmd, db_path, query, options)
+        }
         [cmd, query] if cmd == "minimize" => run_minimize(query),
         [cmd, query] if cmd == "trace" => run_trace(query),
         [cmd, db_path, program_path, pred] if cmd == "datalog" => {
@@ -58,10 +119,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_with_db(cmd: &str, db_path: &str, query: &str) -> Result<(), String> {
+fn run_with_db(cmd: &str, db_path: &str, query: &str, options: EvalOptions) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_query(query)?;
-    let result = eval_ucq(&q, &db);
+    let result = eval_ucq_with(&q, &db, options);
     if result.is_empty() {
         println!("(empty result)");
         return Ok(());

@@ -67,7 +67,10 @@ pub mod prelude {
     pub use prov_core::order::{compare_on, leq_p_on};
     pub use prov_core::pminimal::{p_minimize_auto, p_minimize_overall};
     pub use prov_core::standard::{minimize_complete, minimize_cq, minimize_ucq};
-    pub use prov_engine::{eval_cq, eval_in_semiring, eval_ucq, AnnotatedResult};
+    pub use prov_engine::{
+        eval_cq, eval_cq_with, eval_in_semiring, eval_ucq, eval_ucq_with, AnnotatedResult,
+        EvalOptions, PlannerKind,
+    };
     pub use prov_query::containment::{contained_in, cq_equivalent, equivalent};
     pub use prov_query::{
         parse_cq, parse_ucq, Atom, ConjunctiveQuery, Diseq, Term, UnionQuery, Variable,
