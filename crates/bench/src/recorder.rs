@@ -126,10 +126,53 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         std::hint::black_box(minimize_complete(&complete));
     });
 
-    // B6 minprov_blowup.
+    // B6 minprov_blowup — the Theorem 4.10 family, in the engine's three
+    // configurations: default (memoized), unmemoized (the seed path's
+    // shape), and budgeted (the serving configuration: bounded steps,
+    // sound partial result).
+    use prov_core::minimize::{minimize_with, Budget, MinimizeOptions};
+    use prov_query::UnionQuery;
     let qn2 = qn_family(2);
     record("minprov_blowup/qn/2", &mut || {
         std::hint::black_box(minprov_cq(&qn2));
+    });
+    let qn2_union = UnionQuery::single(qn2.clone());
+    record("minprov_blowup/qn/2/unmemoized", &mut || {
+        std::hint::black_box(
+            minimize_with(&qn2_union, MinimizeOptions::unmemoized())
+                .expect("total")
+                .into_query(),
+        );
+    });
+    let qn3_union = UnionQuery::single(qn_family(3));
+    record("minprov_blowup/qn/3/memo", &mut || {
+        std::hint::black_box(
+            minimize_with(&qn3_union, MinimizeOptions::default())
+                .expect("total")
+                .into_query(),
+        );
+    });
+    record("minprov_blowup/qn/3/unmemoized", &mut || {
+        std::hint::black_box(
+            minimize_with(&qn3_union, MinimizeOptions::unmemoized())
+                .expect("total")
+                .into_query(),
+        );
+    });
+    // The serving configuration on a family whose full minimization takes
+    // ~0.5 s: a 64-step budget returns a sound partial result in
+    // milliseconds. (Full qn/4 rows are criterion-bench/PERF.md material —
+    // too slow for the quick gate.)
+    let qn4_union = UnionQuery::single(qn_family(4));
+    record("minprov_blowup/qn/4/budget64", &mut || {
+        std::hint::black_box(
+            minimize_with(
+                &qn4_union,
+                MinimizeOptions::default().budgeted(Budget::steps(64)),
+            )
+            .expect("total")
+            .into_query(),
+        );
     });
 
     // B7 direct_core.
@@ -314,7 +357,12 @@ mod tests {
         ] {
             assert!(families.contains(family), "{family} not covered");
         }
-        // Parallel variants present (the tentpole's CI-visible surface).
+        // Parallel variants present (PR 2's CI-visible surface).
         assert!(ms.iter().any(|m| m.id.ends_with("/par4")));
+        // Minimization-engine variants present: unbounded vs budgeted
+        // rows for the Theorem 4.10 blowup family.
+        assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/2/unmemoized"));
+        assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/3/memo"));
+        assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/4/budget64"));
     }
 }

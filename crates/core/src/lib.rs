@@ -11,16 +11,25 @@
 //!   (Theorem 5.1), including exact coefficients via automorphism counting
 //!   (Lemmas 5.7/5.9);
 //! * [`pminimal`] — the per-class dispatcher behind Table 1 and the
-//!   DP-complete decision problem (Corollary 3.10).
+//!   DP-complete decision problem (Corollary 3.10);
+//! * [`minimize`](mod@minimize) — the unified, budget-bounded engine all of the above
+//!   drive through: strategies, canonical-form memoization, dominance
+//!   pruning, and step/deadline budgets with resumable partial results
+//!   (the Theorem 4.10 mitigation for serving).
 
 #![warn(missing_docs)]
 
 pub mod direct;
+pub mod minimize;
 pub mod minprov;
 pub mod order;
 pub mod pminimal;
 pub mod related;
 pub mod standard;
 
+pub use minimize::{
+    minimize_with, Budget, Cursor, MinimizeError, MinimizeOptions, MinimizeOutcome, MinimizeStats,
+    Minimizer, PartialMinimization, Strategy,
+};
 pub use minprov::{minprov, minprov_cq, minprov_trace, MinProvTrace};
 pub use pminimal::{p_minimize_auto, p_minimize_overall};

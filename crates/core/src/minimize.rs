@@ -1,0 +1,773 @@
+//! The unified, budget-bounded minimization engine.
+//!
+//! Every minimization entry point of this crate — `MinProv`
+//! (Theorem 4.6), the per-class dispatcher behind Table 1, standard
+//! Sagiv–Yannakakis union minimization, and complete-query atom dedup —
+//! is a [`Strategy`] of one driver, [`Minimizer`]. The driver adds what
+//! the paper's Algorithm 1 cannot avoid needing in a serving system
+//! (Theorem 4.10 guarantees exponential worst cases):
+//!
+//! * **streaming enumeration** — candidate subqueries come from
+//!   [`prov_query::canonical::completions_iter`], one at a time, never as
+//!   a materialized exponential set;
+//! * **memoization** — candidates are deduped by canonical form
+//!   ([`prov_query::canonical::canonical_key`]) before any homomorphism
+//!   search runs, and containment verdicts are cached per key pair
+//!   ([`prov_query::memo::HomMemo`]);
+//! * **dominance pruning** — a candidate subsumed by an already-accepted
+//!   disjunct is skipped (after a cheap relation-signature pre-check)
+//!   before the expensive check; accepted disjuncts subsumed by a new
+//!   candidate are evicted;
+//! * **budgets** — a step and/or wall-clock budget turns the exponential
+//!   cliff into a bounded pass: exhaustion returns a
+//!   [`MinimizeOutcome::Partial`] carrying a *sound* (equivalent to the
+//!   input) partially-minimized query plus a resumable [`Cursor`].
+//!
+//! Soundness of partial results: every processed completion is contained
+//! in some currently-accepted disjunct (containment is transitive across
+//! evictions), and the not-yet-processed remainder is re-included in its
+//! original form — so `accepted ∪ originals[cursor..]` is equivalent to
+//! the input at every step boundary.
+
+use std::time::{Duration, Instant};
+
+use prov_query::canonical::completions_iter;
+use prov_query::memo::{HomMemo, MemoStats};
+use prov_query::{ConjunctiveQuery, UnionQuery};
+
+use crate::standard::{minimize_complete_unchecked, minimize_cq, prune_contained};
+
+/// Which minimization path the engine drives (the unified form of the
+/// previously ad-hoc entry points).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// `MinProv` (Algorithm 1): p-minimal equivalent in UCQ≠ realizing
+    /// the core provenance (Theorem 4.6). The only strategy with an
+    /// exponential candidate space, hence the only one budgets interrupt.
+    #[default]
+    MinProv,
+    /// Per-class dispatch (Table 1): complete unions take the PTIME dedup
+    /// route (Thm 3.12), everything else goes through `MinProv`.
+    Auto,
+    /// Standard (join-count) minimization: Chandra–Merlin per adjunct +
+    /// Sagiv–Yannakakis union pruning. Requires disequality-free adjuncts.
+    Standard,
+    /// Complete-query atom dedup (Lemma 3.13) + union pruning. Requires
+    /// every adjunct to be complete.
+    CompleteDedup,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::MinProv => "minprov",
+            Strategy::Auto => "auto",
+            Strategy::Standard => "standard",
+            Strategy::CompleteDedup => "dedup",
+        })
+    }
+}
+
+/// A work bound for one [`Minimizer::minimize`] / [`Minimizer::resume`]
+/// call. A *step* is one candidate completion drawn from the streaming
+/// enumeration (each step's own work is bounded by the accepted-set size,
+/// not by the lattice). Both limits may be combined; whichever trips
+/// first ends the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum candidate completions to process (None = unbounded).
+    pub max_steps: Option<u64>,
+    /// Maximum wall-clock time (None = unbounded).
+    pub max_duration: Option<Duration>,
+}
+
+impl Budget {
+    /// No bounds: the engine runs to completion.
+    pub fn unbounded() -> Self {
+        Budget::default()
+    }
+
+    /// A step bound.
+    pub fn steps(max_steps: u64) -> Self {
+        Budget {
+            max_steps: Some(max_steps),
+            max_duration: None,
+        }
+    }
+
+    /// A wall-clock bound.
+    pub fn duration(d: Duration) -> Self {
+        Budget {
+            max_steps: None,
+            max_duration: Some(d),
+        }
+    }
+
+    /// Whether any bound is set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_steps.is_some() || self.max_duration.is_some()
+    }
+}
+
+/// Configuration of one [`Minimizer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinimizeOptions {
+    /// The minimization path to drive.
+    pub strategy: Strategy,
+    /// Work bound per `minimize`/`resume` call.
+    pub budget: Budget,
+    /// Canonical-form memoization: dedupe candidates by key and cache
+    /// containment verdicts per key pair.
+    pub memo: bool,
+    /// Streaming dominance pruning: drop candidates subsumed by accepted
+    /// disjuncts as they arrive (and evict accepted disjuncts subsumed by
+    /// new candidates). When off, all candidates accumulate and one
+    /// offline prune runs at the end — the seed algorithm's shape.
+    pub dominance: bool,
+}
+
+impl Default for MinimizeOptions {
+    fn default() -> Self {
+        MinimizeOptions {
+            strategy: Strategy::default(),
+            budget: Budget::unbounded(),
+            memo: true,
+            dominance: true,
+        }
+    }
+}
+
+impl MinimizeOptions {
+    /// Defaults with a different strategy.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        MinimizeOptions {
+            strategy,
+            ..MinimizeOptions::default()
+        }
+    }
+
+    /// Returns the options with the given budget.
+    pub fn budgeted(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Returns the options with memoization switched on/off.
+    pub fn with_memo(mut self, memo: bool) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// Returns the options with dominance pruning switched on/off.
+    pub fn with_dominance(mut self, dominance: bool) -> Self {
+        self.dominance = dominance;
+        self
+    }
+
+    /// The seed implementation's shape: eager accumulation, offline prune,
+    /// no memoization. Kept callable for benchmarking the engine's wins.
+    pub fn unmemoized() -> Self {
+        MinimizeOptions::default()
+            .with_memo(false)
+            .with_dominance(false)
+    }
+}
+
+/// Errors raised when a strategy's precondition does not hold.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MinimizeError {
+    /// [`Strategy::Standard`] requires disequality-free adjuncts.
+    StandardNeedsCq,
+    /// [`Strategy::CompleteDedup`] requires complete adjuncts.
+    DedupNeedsComplete,
+}
+
+impl std::fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinimizeError::StandardNeedsCq => {
+                f.write_str("standard strategy requires disequality-free adjuncts (CQ)")
+            }
+            MinimizeError::DedupNeedsComplete => {
+                f.write_str("dedup strategy requires complete adjuncts (cCQ≠)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MinimizeError {}
+
+/// A resumable position in the deterministic candidate enumeration:
+/// `completion` candidates of adjunct `adjunct` have been consumed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cursor {
+    /// Index of the input adjunct being enumerated.
+    pub adjunct: usize,
+    /// Number of completions of that adjunct already processed.
+    pub completion: usize,
+}
+
+/// The result of a budget-exhausted run: a *sound* intermediate query
+/// plus everything needed to continue.
+#[derive(Clone, Debug)]
+pub struct PartialMinimization {
+    /// The best sound minimization found so far: the accepted (minimized,
+    /// pruned) disjuncts united with the unprocessed input remainder.
+    /// Always equivalent to the input.
+    pub best: UnionQuery,
+    /// Where to resume the enumeration.
+    pub cursor: Cursor,
+    /// The accepted disjuncts (internal state for [`Minimizer::resume`]).
+    pub accepted: Vec<ConjunctiveQuery>,
+    /// Steps consumed by the interrupted call.
+    pub steps_used: u64,
+}
+
+/// The outcome of a [`Minimizer`] run.
+#[derive(Clone, Debug)]
+pub enum MinimizeOutcome {
+    /// The minimization ran to completion.
+    Complete(UnionQuery),
+    /// The budget was exhausted; the result is sound but may not be
+    /// minimal. Resume with [`Minimizer::resume`].
+    Partial(PartialMinimization),
+}
+
+impl MinimizeOutcome {
+    /// The (possibly partial) minimized query.
+    pub fn query(&self) -> &UnionQuery {
+        match self {
+            MinimizeOutcome::Complete(q) => q,
+            MinimizeOutcome::Partial(p) => &p.best,
+        }
+    }
+
+    /// Whether the run finished within budget.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MinimizeOutcome::Complete(_))
+    }
+
+    /// Consumes the outcome, returning the query.
+    pub fn into_query(self) -> UnionQuery {
+        match self {
+            MinimizeOutcome::Complete(q) => q,
+            MinimizeOutcome::Partial(p) => p.best,
+        }
+    }
+}
+
+/// Work counters for one [`Minimizer`] (cumulative across calls).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Candidate completions processed (= budget steps consumed).
+    pub steps: u64,
+    /// Candidates skipped because an isomorphic candidate was already
+    /// processed (canonical-key memo hit; zero hom searches spent).
+    pub memo_dedup_skips: u64,
+    /// Candidates skipped by the cheap relation-signature pre-check or a
+    /// containment verdict against an accepted disjunct.
+    pub dominance_skips: u64,
+    /// Accepted disjuncts evicted by a later, more general candidate.
+    pub accepted_evictions: u64,
+    /// Containment checks that went past the cheap pre-check (memoized or
+    /// searched).
+    pub hom_checks: u64,
+}
+
+/// An accepted/candidate disjunct with its precomputed containment-check
+/// state (relation signature, variable count, interned canonical-key id).
+struct Disjunct {
+    query: ConjunctiveQuery,
+    relations: std::collections::BTreeSet<prov_storage::RelName>,
+    num_vars: usize,
+    key_id: Option<u64>,
+}
+
+/// The unified minimization engine. Holds the memo tables across calls so
+/// a serving process amortizes canonicalization and containment work over
+/// its whole query stream.
+#[derive(Debug, Default)]
+pub struct Minimizer {
+    options: MinimizeOptions,
+    memo: HomMemo,
+    stats: MinimizeStats,
+}
+
+impl Minimizer {
+    /// An engine with the given options.
+    pub fn new(options: MinimizeOptions) -> Self {
+        Minimizer {
+            options,
+            memo: HomMemo::new(),
+            stats: MinimizeStats::default(),
+        }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &MinimizeOptions {
+        &self.options
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> MinimizeStats {
+        self.stats
+    }
+
+    /// Cumulative memo counters.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// Minimizes `q` under the engine's strategy and budget.
+    pub fn minimize(&mut self, q: &UnionQuery) -> Result<MinimizeOutcome, MinimizeError> {
+        match self.options.strategy {
+            Strategy::MinProv => Ok(self.run_minprov(q, Cursor::default(), Vec::new())),
+            Strategy::Auto => {
+                if q.is_complete() {
+                    Ok(MinimizeOutcome::Complete(self.run_complete_dedup(q)))
+                } else {
+                    Ok(self.run_minprov(q, Cursor::default(), Vec::new()))
+                }
+            }
+            Strategy::Standard => {
+                if !q.adjuncts().iter().all(ConjunctiveQuery::is_cq) {
+                    return Err(MinimizeError::StandardNeedsCq);
+                }
+                Ok(MinimizeOutcome::Complete(self.run_standard(q)))
+            }
+            Strategy::CompleteDedup => {
+                if !q.is_complete() {
+                    return Err(MinimizeError::DedupNeedsComplete);
+                }
+                Ok(MinimizeOutcome::Complete(self.run_complete_dedup(q)))
+            }
+        }
+    }
+
+    /// Continues an interrupted `MinProv` run from a [`PartialMinimization`]
+    /// against the *same* input query, with a fresh budget allowance.
+    pub fn resume(
+        &mut self,
+        q: &UnionQuery,
+        partial: PartialMinimization,
+    ) -> Result<MinimizeOutcome, MinimizeError> {
+        Ok(self.run_minprov(q, partial.cursor, partial.accepted))
+    }
+
+    /// The streaming `MinProv` driver: steps I–III of Algorithm 1 fused
+    /// over a lazy completion stream, with memo dedup, dominance pruning
+    /// and budget accounting.
+    fn run_minprov(
+        &mut self,
+        q: &UnionQuery,
+        cursor: Cursor,
+        accepted_seed: Vec<ConjunctiveQuery>,
+    ) -> MinimizeOutcome {
+        let consts = q.constants();
+        let started = Instant::now();
+        let deadline = self.options.budget.max_duration.map(|d| started + d);
+        let mut steps_used = 0u64;
+
+        // Accepted disjuncts with their precomputed relation signature and
+        // (when memoizing) interned canonical-key id — computed once per
+        // disjunct, not once per containment check.
+        let mut accepted: Vec<Disjunct> = accepted_seed
+            .into_iter()
+            .map(|a| self.make_disjunct(a))
+            .collect();
+        // Interned key ids of every candidate processed so far (rebuilt
+        // from the accepted seed on resume; skipped-candidate ids are
+        // covered by the dominance check, so this is an optimization, not
+        // state).
+        let mut seen: std::collections::BTreeSet<u64> =
+            accepted.iter().filter_map(|d| d.key_id).collect();
+
+        for ai in cursor.adjunct..q.adjuncts().len() {
+            let adjunct = &q.adjuncts()[ai];
+            let mut stream = completions_iter(adjunct, &consts);
+            let mut ci = 0usize;
+            if ai == cursor.adjunct {
+                // Skip already-processed completions (deterministic order).
+                while ci < cursor.completion {
+                    if stream.next().is_none() {
+                        break;
+                    }
+                    ci += 1;
+                }
+            }
+            // Draw first, budget-check second: a budget equal to the exact
+            // candidate count must complete, not return a spurious Partial
+            // after the enumeration is already done.
+            for completion in stream {
+                let budget_hit = self
+                    .options
+                    .budget
+                    .max_steps
+                    .is_some_and(|max| steps_used >= max)
+                    || deadline.is_some_and(|d| Instant::now() >= d);
+                if budget_hit {
+                    // The drawn candidate is *not* processed (steps_used and
+                    // ci unchanged); resume re-derives it from the cursor.
+                    let accepted: Vec<ConjunctiveQuery> =
+                        accepted.into_iter().map(|d| d.query).collect();
+                    let best = partial_best(&accepted, &q.adjuncts()[ai..]);
+                    return MinimizeOutcome::Partial(PartialMinimization {
+                        best,
+                        cursor: Cursor {
+                            adjunct: ai,
+                            completion: ci,
+                        },
+                        accepted,
+                        steps_used,
+                    });
+                }
+                ci += 1;
+                steps_used += 1;
+                self.stats.steps += 1;
+
+                // Step II (Lemma 3.13): minimize the complete candidate by
+                // atom dedup.
+                let cand = self.make_disjunct(minimize_complete_unchecked(&completion.query));
+
+                // Memoized canonical-form dedup: isomorphic to an earlier
+                // candidate ⇒ nothing new, zero hom searches.
+                if let Some(id) = cand.key_id {
+                    if !seen.insert(id) {
+                        self.stats.memo_dedup_skips += 1;
+                        continue;
+                    }
+                }
+
+                if self.options.dominance {
+                    // Step III, streaming: skip the candidate if subsumed
+                    // by an accepted disjunct ...
+                    if accepted
+                        .iter()
+                        .any(|a| self.contains(a, &cand, consts.len()))
+                    {
+                        self.stats.dominance_skips += 1;
+                        continue;
+                    }
+                    // ... and evict accepted disjuncts the candidate
+                    // subsumes (collect first, commit once: the eviction
+                    // plus the push happen atomically w.r.t. budget exits).
+                    let mut survivors = Vec::with_capacity(accepted.len() + 1);
+                    for a in accepted.drain(..) {
+                        if self.contains(&cand, &a, consts.len()) {
+                            self.stats.accepted_evictions += 1;
+                        } else {
+                            survivors.push(a);
+                        }
+                    }
+                    accepted = survivors;
+                }
+                accepted.push(cand);
+            }
+        }
+
+        let mut accepted: Vec<ConjunctiveQuery> = accepted.into_iter().map(|d| d.query).collect();
+        if !self.options.dominance {
+            // Seed-shaped offline prune (step III in one quadratic pass).
+            accepted = prune_contained(accepted, |small, big| {
+                self.stats.hom_checks += 1;
+                prov_query::homomorphism::homomorphism_exists(big, small)
+            });
+        }
+        let output = UnionQuery::new(accepted).expect("minimization keeps at least one disjunct");
+        MinimizeOutcome::Complete(output.dedup_isomorphic())
+    }
+
+    /// Precomputes a disjunct's containment-check state: its relation
+    /// signature (for the cheap subsumption pre-check) and, when
+    /// memoizing, its interned canonical-key id.
+    fn make_disjunct(&mut self, query: ConjunctiveQuery) -> Disjunct {
+        let relations: std::collections::BTreeSet<_> =
+            query.atoms().iter().map(|a| a.relation).collect();
+        let num_vars = query.variables().len();
+        let key_id = self.options.memo.then(|| self.memo.key_id(&query));
+        Disjunct {
+            relations,
+            num_vars,
+            key_id,
+            query,
+        }
+    }
+
+    /// Containment `small ⊆ big` between completions (Theorem 3.1:
+    /// existence of a homomorphism `big → small`), behind two cheap
+    /// dominance pre-checks and the canonical-key memo.
+    fn contains(&mut self, big: &Disjunct, small: &Disjunct, num_consts: usize) -> bool {
+        // Pre-check 1: a homomorphism maps every atom of `big` to an atom
+        // of `small` over the same relation, so `big`'s relation set must
+        // be a subset of `small`'s.
+        if !big.relations.is_subset(&small.relations) {
+            return false;
+        }
+        // Pre-check 2: `big` is complete w.r.t. the run's constant set, so
+        // any homomorphism out of it is injective on variables (disequal
+        // variables need disequal images) — impossible when `big` has more
+        // variables than `small` has terms to offer.
+        if big.num_vars > small.num_vars + num_consts {
+            return false;
+        }
+        self.stats.hom_checks += 1;
+        match (big.key_id, small.key_id) {
+            (Some(big_id), Some(small_id)) => {
+                self.memo
+                    .hom_exists_interned(&big.query, big_id, &small.query, small_id)
+            }
+            _ => prov_query::homomorphism::homomorphism_exists(&big.query, &small.query),
+        }
+    }
+
+    /// Standard union minimization (Sagiv–Yannakakis over Chandra–Merlin
+    /// cores). PTIME-per-check; budgets don't apply — there is no
+    /// exponential candidate axis to interrupt.
+    fn run_standard(&mut self, q: &UnionQuery) -> UnionQuery {
+        let minimized: Vec<ConjunctiveQuery> = q.adjuncts().iter().map(minimize_cq).collect();
+        let kept = prune_contained(minimized, |small, big| {
+            self.stats.hom_checks += 1;
+            if self.options.memo {
+                self.memo.hom_exists(big, small)
+            } else {
+                prov_query::homomorphism::homomorphism_exists(big, small)
+            }
+        });
+        UnionQuery::new(kept)
+            .expect("pruning keeps at least one adjunct")
+            .dedup_isomorphic()
+    }
+
+    /// Complete-query minimization: per-adjunct atom dedup (Lemma 3.13) +
+    /// union containment pruning. PTIME per adjunct; overall p-minimal
+    /// (Theorem 3.12).
+    fn run_complete_dedup(&mut self, q: &UnionQuery) -> UnionQuery {
+        let minimized: Vec<ConjunctiveQuery> = q
+            .adjuncts()
+            .iter()
+            .map(minimize_complete_unchecked)
+            .collect();
+        let kept = prune_contained(minimized, |small, big| {
+            self.stats.hom_checks += 1;
+            if self.options.memo {
+                self.memo.hom_exists(big, small)
+            } else {
+                prov_query::homomorphism::homomorphism_exists(big, small)
+            }
+        });
+        UnionQuery::new(kept)
+            .expect("pruning keeps at least one adjunct")
+            .dedup_isomorphic()
+    }
+}
+
+/// The sound intermediate for a budget exit: accepted disjuncts united
+/// with the unprocessed original adjuncts (the partially-enumerated
+/// adjunct included in full).
+fn partial_best(accepted: &[ConjunctiveQuery], rest: &[ConjunctiveQuery]) -> UnionQuery {
+    let adjuncts: Vec<ConjunctiveQuery> = accepted.iter().chain(rest).cloned().collect();
+    UnionQuery::new(adjuncts).expect("input has at least one adjunct")
+}
+
+/// Convenience: one-shot minimization with fresh memo tables.
+pub fn minimize_with(
+    q: &UnionQuery,
+    options: MinimizeOptions,
+) -> Result<MinimizeOutcome, MinimizeError> {
+    Minimizer::new(options).minimize(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_query::containment::equivalent;
+    use prov_query::generate::qn_family;
+    use prov_query::{parse_cq, parse_ucq};
+
+    fn unbounded(strategy: Strategy) -> MinimizeOptions {
+        MinimizeOptions::with_strategy(strategy)
+    }
+
+    #[test]
+    fn minprov_strategy_matches_paper_example() {
+        // Figure 1: MinProv(Qconj) ≅ Qunion.
+        let q = parse_ucq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let out = minimize_with(&q, unbounded(Strategy::MinProv))
+            .unwrap()
+            .into_query();
+        assert_eq!(out.len(), 2);
+        assert!(equivalent(&q, &out));
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_agree() {
+        for text in [
+            "ans(x) :- R(x,y), R(y,x)",
+            "ans() :- R(x,y), R(y,z), R(z,x)",
+            "ans(x) :- R(x,y), S(y)",
+            "ans(x) :- R(x), S('a')",
+        ] {
+            let q = parse_ucq(text).unwrap();
+            let memoized = minimize_with(&q, MinimizeOptions::default())
+                .unwrap()
+                .into_query();
+            let plain = minimize_with(&q, MinimizeOptions::unmemoized())
+                .unwrap()
+                .into_query();
+            assert!(equivalent(&memoized, &plain), "{text}");
+            assert_eq!(memoized.len(), plain.len(), "{text}");
+        }
+    }
+
+    #[test]
+    fn memoization_skips_isomorphic_candidates() {
+        let q = UnionQuery::single(qn_family(2));
+        let mut engine = Minimizer::new(MinimizeOptions::default());
+        let out = engine.minimize(&q).unwrap().into_query();
+        assert!(engine.stats().memo_dedup_skips > 0, "{:?}", engine.stats());
+        assert!(equivalent(&q, &out));
+
+        let mut plain = Minimizer::new(MinimizeOptions::unmemoized());
+        let out2 = plain.minimize(&q).unwrap().into_query();
+        assert_eq!(out.len(), out2.len());
+        assert!(
+            engine.stats().hom_checks < plain.stats().hom_checks,
+            "memoized engine must spend fewer hom checks: {:?} vs {:?}",
+            engine.stats(),
+            plain.stats()
+        );
+    }
+
+    #[test]
+    fn budget_returns_sound_partial_and_resumes() {
+        let q = UnionQuery::single(qn_family(2));
+        let budget = Budget::steps(4);
+        let mut engine = Minimizer::new(MinimizeOptions::default().budgeted(budget));
+        let outcome = engine.minimize(&q).unwrap();
+        let MinimizeOutcome::Partial(partial) = outcome else {
+            panic!("a 4-step budget cannot finish Bell(4)=15 completions");
+        };
+        assert!(partial.steps_used <= 4, "terminates within its step budget");
+        assert_eq!(partial.cursor.completion, 4);
+        assert!(
+            equivalent(&partial.best, &q),
+            "partial result must be sound (equivalent to input)"
+        );
+
+        // Resume with an unbounded allowance and match the one-shot run.
+        let mut fresh = Minimizer::new(MinimizeOptions::default());
+        let full = fresh.minimize(&q).unwrap().into_query();
+        let mut resumer = Minimizer::new(MinimizeOptions::default());
+        let resumed = resumer.resume(&q, partial).unwrap();
+        assert!(resumed.is_complete());
+        let resumed = resumed.into_query();
+        assert_eq!(resumed.len(), full.len());
+        assert!(equivalent(&resumed, &full));
+    }
+
+    #[test]
+    fn budget_equal_to_candidate_count_completes() {
+        // Q_2 has exactly Bell(4) = 15 completions: a 15-step budget must
+        // finish (Complete, not a spurious Partial), and 14 must not.
+        let q = UnionQuery::single(qn_family(2));
+        let exact =
+            minimize_with(&q, MinimizeOptions::default().budgeted(Budget::steps(15))).unwrap();
+        assert!(exact.is_complete(), "budget == candidate count completes");
+        let short =
+            minimize_with(&q, MinimizeOptions::default().budgeted(Budget::steps(14))).unwrap();
+        assert!(!short.is_complete(), "one step short must be Partial");
+    }
+
+    #[test]
+    fn zero_step_budget_returns_input_shape() {
+        let q = parse_ucq("ans(x) :- R(x,y), R(y,x)\nans(x) :- S(x)").unwrap();
+        let outcome =
+            minimize_with(&q, MinimizeOptions::default().budgeted(Budget::steps(0))).unwrap();
+        let MinimizeOutcome::Partial(partial) = outcome else {
+            panic!("zero budget must not complete");
+        };
+        assert_eq!(partial.cursor, Cursor::default());
+        assert_eq!(partial.steps_used, 0);
+        assert!(equivalent(&partial.best, &q));
+    }
+
+    #[test]
+    fn deadline_budget_interrupts() {
+        let q = UnionQuery::single(qn_family(3));
+        let outcome = minimize_with(
+            &q,
+            MinimizeOptions::default().budgeted(Budget::duration(Duration::ZERO)),
+        )
+        .unwrap();
+        assert!(!outcome.is_complete());
+        assert!(equivalent(outcome.query(), &q));
+    }
+
+    #[test]
+    fn standard_strategy_requires_cq() {
+        let q = parse_ucq("ans(x) :- R(x,y), x != y").unwrap();
+        assert_eq!(
+            minimize_with(&q, unbounded(Strategy::Standard)).unwrap_err(),
+            MinimizeError::StandardNeedsCq
+        );
+        let cq = parse_ucq("ans(x) :- R(x,x)\nans(x) :- R(x,y)").unwrap();
+        let out = minimize_with(&cq, unbounded(Strategy::Standard))
+            .unwrap()
+            .into_query();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.adjuncts()[0].variables().len(), 2);
+    }
+
+    #[test]
+    fn dedup_strategy_requires_complete() {
+        let q = parse_ucq("ans() :- R(x,y)").unwrap();
+        assert_eq!(
+            minimize_with(&q, unbounded(Strategy::CompleteDedup)).unwrap_err(),
+            MinimizeError::DedupNeedsComplete
+        );
+        let complete = parse_ucq("ans() :- R(v,v), R(v,v)").unwrap();
+        let out = minimize_with(&complete, unbounded(Strategy::CompleteDedup))
+            .unwrap()
+            .into_query();
+        assert_eq!(out.adjuncts()[0].len(), 1);
+    }
+
+    #[test]
+    fn auto_strategy_dispatches_by_class() {
+        let complete = parse_ucq("ans() :- R(v,v), R(v,v)").unwrap();
+        let out = minimize_with(&complete, unbounded(Strategy::Auto))
+            .unwrap()
+            .into_query();
+        assert_eq!(out.adjuncts()[0].len(), 1);
+
+        let cq = parse_ucq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let out = minimize_with(&cq, unbounded(Strategy::Auto))
+            .unwrap()
+            .into_query();
+        assert_eq!(out.len(), 2, "MinProv route for incomplete queries");
+    }
+
+    #[test]
+    fn engine_amortizes_memo_across_queries() {
+        let mut engine = Minimizer::new(MinimizeOptions::default());
+        let q = UnionQuery::single(qn_family(2));
+        engine.minimize(&q).unwrap();
+        let misses_first = engine.memo_stats().hom_misses;
+        engine.minimize(&q).unwrap();
+        assert_eq!(
+            engine.memo_stats().hom_misses,
+            misses_first,
+            "second run of the same query must be fully served by the memo"
+        );
+    }
+
+    #[test]
+    fn output_carries_no_isomorphic_duplicates() {
+        let q = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+        let out = minimize_with(&UnionQuery::single(q), MinimizeOptions::default())
+            .unwrap()
+            .into_query();
+        let deduped = out.dedup_isomorphic();
+        assert_eq!(out.len(), deduped.len());
+    }
+}

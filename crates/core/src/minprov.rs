@@ -22,7 +22,10 @@ use crate::standard::{minimize_complete_unchecked, prune_contained};
 
 /// The intermediate queries of a `MinProv` run (`Q_I`, `Q_II`, `Q_III` in
 /// paper §5's notation), for inspection, testing and the figure-3
-/// reproduction.
+/// reproduction. The trace is deliberately *eager* — it exists to show the
+/// full intermediate unions of Algorithm 1; the production path
+/// ([`minprov`], via [`crate::minimize::Minimizer`]) streams and prunes
+/// instead and never materializes `Q_I`/`Q_II`.
 #[derive(Clone, Debug)]
 pub struct MinProvTrace {
     /// The input query.
@@ -72,8 +75,17 @@ pub fn minprov_trace(q: &UnionQuery) -> MinProvTrace {
 /// and output tuple its provenance is `≤` that of any equivalent UCQ≠
 /// query (Proposition 4.8). Runtime and output size are exponential in the
 /// number of variables per adjunct, which Theorem 4.10 shows unavoidable.
+///
+/// This entry point drives the unified engine
+/// ([`crate::minimize::Minimizer`]) with its defaults: streaming
+/// enumeration, canonical-form memoization and dominance pruning, no
+/// budget. For bounded work (a sound partial result within a step or
+/// deadline budget) use the engine directly with a
+/// [`crate::minimize::Budget`].
 pub fn minprov(q: &UnionQuery) -> UnionQuery {
-    minprov_trace(q).output
+    crate::minimize::minimize_with(q, crate::minimize::MinimizeOptions::default())
+        .expect("the MinProv strategy accepts every UCQ≠ query")
+        .into_query()
 }
 
 /// Convenience: `MinProv` on a single conjunctive query.

@@ -121,23 +121,27 @@ pub fn table_1() -> Vec<Table1Row> {
 
 /// Dispatches PROVENANCE-MINIMIZATION for a single conjunctive query based
 /// on its class, returning the overall p-minimal equivalent and a note on
-/// the route taken.
+/// the route taken. This is the [`crate::minimize::Strategy::Auto`]
+/// strategy of the unified engine: completeness first (the PTIME route of
+/// Thm 3.12 applies — a diseq-free query over a single variable is
+/// trivially complete), `MinProv` otherwise.
 pub fn p_minimize_auto(q: &ConjunctiveQuery) -> (UnionQuery, &'static str) {
-    // Completeness first: a diseq-free query over a single variable is
-    // trivially complete, and the PTIME route applies (Thm 3.12).
-    if q.is_complete() {
-        return (
-            UnionQuery::single(p_minimize_complete(q)),
-            "cCQ≠: PTIME atom dedup (Thm 3.12), overall p-minimal",
-        );
-    }
-    match q.class() {
-        QueryClass::CompleteCqDiseq => unreachable!("handled above"),
-        QueryClass::Cq | QueryClass::CqDiseq => (
-            p_minimize_overall(&UnionQuery::single(q.clone())),
-            "MinProv: overall p-minimal in UCQ≠ (Thm 4.6)",
-        ),
-    }
+    use crate::minimize::{minimize_with, MinimizeOptions, Strategy};
+    let out = minimize_with(
+        &UnionQuery::single(q.clone()),
+        MinimizeOptions::with_strategy(Strategy::Auto),
+    )
+    .expect("the Auto strategy accepts every conjunctive query")
+    .into_query();
+    let note = if q.is_complete() {
+        "cCQ≠: PTIME atom dedup (Thm 3.12), overall p-minimal"
+    } else {
+        match q.class() {
+            QueryClass::CompleteCqDiseq => unreachable!("handled above"),
+            QueryClass::Cq | QueryClass::CqDiseq => "MinProv: overall p-minimal in UCQ≠ (Thm 4.6)",
+        }
+    };
+    (out, note)
 }
 
 #[cfg(test)]

@@ -83,23 +83,23 @@ pub fn is_minimal_complete(q: &ConjunctiveQuery) -> bool {
 }
 
 /// Standard minimization of a union of CQs (Sagiv–Yannakakis): minimize
-/// each adjunct, then drop adjuncts contained in another adjunct.
+/// each adjunct, then drop adjuncts contained in another adjunct. Runs as
+/// the [`crate::minimize::Strategy::Standard`] strategy of the unified
+/// engine (memoized containment checks, isomorphic-duplicate dedup).
 ///
 /// Panics if any adjunct has disequalities.
 pub fn minimize_ucq(q: &UnionQuery) -> UnionQuery {
-    let minimized: Vec<ConjunctiveQuery> = q.adjuncts().iter().map(minimize_cq).collect();
-    let kept = prune_contained(minimized, |small, big| {
-        // CQ containment: small ⊆ big iff hom big → small.
-        find_homomorphism(big, small).is_some()
-    });
-    UnionQuery::new(kept).expect("pruning keeps at least one adjunct")
+    use crate::minimize::{minimize_with, MinimizeOptions, Strategy};
+    minimize_with(q, MinimizeOptions::with_strategy(Strategy::Standard))
+        .expect("minimize_ucq requires disequality-free adjuncts")
+        .into_query()
 }
 
 /// Keeps a minimal sub-list of adjuncts: drops any adjunct contained in
 /// another surviving adjunct; on mutual containment the earlier one wins.
 pub(crate) fn prune_contained(
     adjuncts: Vec<ConjunctiveQuery>,
-    contained: impl Fn(&ConjunctiveQuery, &ConjunctiveQuery) -> bool,
+    mut contained: impl FnMut(&ConjunctiveQuery, &ConjunctiveQuery) -> bool,
 ) -> Vec<ConjunctiveQuery> {
     let n = adjuncts.len();
     let mut alive = vec![true; n];

@@ -523,6 +523,89 @@ pub fn x3_parallel_eval() -> ExperimentReport {
     r
 }
 
+/// X4 — Theorem 4.10 managed: on the exponential blowup family, the
+/// unified minimization engine's memoization measurably cuts the
+/// containment work of the seed path, and a step-budgeted run terminates
+/// within its budget with a *sound* (equivalent) partial result that
+/// resumes to the full p-minimal output.
+pub fn x4_budgeted_minimization() -> ExperimentReport {
+    use prov_core::minimize::{Budget, MinimizeOptions, MinimizeOutcome, Minimizer};
+    let mut r = ExperimentReport::new("X4", "Extension: budget-bounded minimization (Thm 4.10)");
+    let q = UnionQuery::single(qn_family(3));
+
+    // Unbounded, memoized (the production default) vs unmemoized (the
+    // seed algorithm's shape): same output, far fewer containment checks.
+    let mut memoized = Minimizer::new(MinimizeOptions::default());
+    let out = memoized
+        .minimize(&q)
+        .expect("minprov is total")
+        .into_query();
+    let mut plain = Minimizer::new(MinimizeOptions::unmemoized());
+    let out_plain = plain.minimize(&q).expect("minprov is total").into_query();
+    r.line(format!(
+        "Q_3: {} candidate completions → {} p-minimal adjuncts",
+        memoized.stats().steps,
+        out.len()
+    ));
+    r.line(format!(
+        "hom checks: memoized {} (memo dedup skipped {} candidates) vs unmemoized {}",
+        memoized.stats().hom_checks,
+        memoized.stats().memo_dedup_skips,
+        plain.stats().hom_checks
+    ));
+    r.check(
+        out.len() == out_plain.len() && equivalent(&out, &out_plain),
+        "memoized and unmemoized engines agree on the p-minimal output",
+    );
+    r.check(
+        memoized.stats().hom_checks * 3 < plain.stats().hom_checks * 2,
+        "memoization cuts containment checks by more than a third on Q_3",
+    );
+    r.check(equivalent(&out, &q), "Thm 4.6: output is equivalent to Q_3");
+
+    // Budgeted run: terminates within its step budget, stays sound.
+    let budget_steps = 40u64;
+    let mut budgeted =
+        Minimizer::new(MinimizeOptions::default().budgeted(Budget::steps(budget_steps)));
+    let outcome = budgeted.minimize(&q).expect("minprov is total");
+    match outcome {
+        MinimizeOutcome::Partial(partial) => {
+            r.line(format!(
+                "budget {} steps: stopped at cursor (adjunct {}, completion {}) with {} disjuncts",
+                budget_steps,
+                partial.cursor.adjunct,
+                partial.cursor.completion,
+                partial.best.len()
+            ));
+            r.check(
+                partial.steps_used <= budget_steps,
+                "budgeted run terminates within its step budget",
+            );
+            r.check(
+                equivalent(&partial.best, &q),
+                "partial result is sound: equivalent to the input",
+            );
+            // Resuming from the cursor completes the minimization.
+            let mut resumer = Minimizer::new(MinimizeOptions::default());
+            let resumed = resumer
+                .resume(&q, partial)
+                .expect("minprov is total")
+                .into_query();
+            r.check(
+                resumed.len() == out.len() && equivalent(&resumed, &out),
+                "resume from the cursor reaches the unbudgeted fixpoint",
+            );
+        }
+        MinimizeOutcome::Complete(_) => {
+            r.check(
+                false,
+                "a 40-step budget must not exhaust Bell(6) = 203 completions",
+            );
+        }
+    }
+    r
+}
+
 /// Runs every experiment in DESIGN.md order.
 pub fn run_all() -> Vec<ExperimentReport> {
     vec![
@@ -538,6 +621,7 @@ pub fn run_all() -> Vec<ExperimentReport> {
         x1_datalog_extension(),
         x2_algebra_extension(),
         x3_parallel_eval(),
+        x4_budgeted_minimization(),
     ]
 }
 
@@ -623,6 +707,12 @@ mod tests {
     #[test]
     fn x3_passes() {
         let r = x3_parallel_eval();
+        assert!(r.pass, "{}", r.output);
+    }
+
+    #[test]
+    fn x4_passes() {
+        let r = x4_budgeted_minimization();
         assert!(r.pass, "{}", r.output);
     }
 }

@@ -21,29 +21,74 @@ use crate::cq::ConjunctiveQuery;
 use crate::term::{Term, Variable};
 use crate::ucq::UnionQuery;
 
-/// Enumerates the set partitions of `n` elements as restricted-growth
-/// strings: `rgs[i]` is the block index of element `i`, with
-/// `rgs[i] ≤ 1 + max(rgs[..i])`.
+/// Streaming enumerator of the set partitions of `n` elements as
+/// restricted-growth strings: `rgs[i]` is the block index of element `i`,
+/// with `rgs[i] ≤ 1 + max(rgs[..i])`. Yields partitions in the same
+/// lexicographic order as the seed's recursive enumeration, without
+/// materializing the Bell-number-sized candidate set.
+#[derive(Clone, Debug)]
+pub struct SetPartitionIter {
+    rgs: Vec<usize>,
+    state: PartitionIterState,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PartitionIterState {
+    /// The current `rgs` has not been yielded yet.
+    Fresh,
+    /// The current `rgs` was yielded; compute its successor on `next`.
+    Advancing,
+    Done,
+}
+
+impl SetPartitionIter {
+    /// An iterator over all partitions of `n` elements.
+    pub fn new(n: usize) -> Self {
+        SetPartitionIter {
+            rgs: vec![0; n],
+            state: PartitionIterState::Fresh,
+        }
+    }
+}
+
+impl Iterator for SetPartitionIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        match self.state {
+            PartitionIterState::Done => return None,
+            PartitionIterState::Fresh => {}
+            PartitionIterState::Advancing => {
+                // Lexicographic successor: find the rightmost position that
+                // can move to a higher block (at most one past the prefix
+                // maximum) and reset everything to its right to block 0.
+                let mut advanced = false;
+                for i in (1..self.rgs.len()).rev() {
+                    let prefix_max = self.rgs[..i].iter().copied().max().unwrap_or(0);
+                    if self.rgs[i] <= prefix_max {
+                        self.rgs[i] += 1;
+                        for slot in &mut self.rgs[i + 1..] {
+                            *slot = 0;
+                        }
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    self.state = PartitionIterState::Done;
+                    return None;
+                }
+            }
+        }
+        self.state = PartitionIterState::Advancing;
+        Some(self.rgs.clone())
+    }
+}
+
+/// The set partitions of `n` elements, materialized (see
+/// [`SetPartitionIter`] for the streaming form).
 pub fn set_partitions(n: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut rgs = vec![0usize; n];
-    fn recurse(i: usize, max_used: usize, rgs: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if i == rgs.len() {
-            out.push(rgs.clone());
-            return;
-        }
-        for block in 0..=max_used + 1 {
-            rgs[i] = block;
-            recurse(i + 1, max_used.max(block), rgs, out);
-        }
-    }
-    if n == 0 {
-        out.push(Vec::new());
-        return out;
-    }
-    // First element is always in block 0.
-    recurse(1, 0, &mut rgs, &mut out);
-    out
+    SetPartitionIter::new(n).collect()
 }
 
 /// The Bell number `B(n)` (number of set partitions), saturating.
@@ -73,94 +118,186 @@ pub struct Completion {
     pub replacement: BTreeMap<Variable, Term>,
 }
 
-/// Computes all possible completions of `q` with respect to constant set
-/// `consts ⊇ Const(q)` (paper Def 4.1). `Can(q) = completions(q, Const(q))`.
-pub fn completions(q: &ConjunctiveQuery, consts: &BTreeSet<Value>) -> Vec<Completion> {
-    let all_consts: BTreeSet<Value> = consts.union(&q.constants()).copied().collect();
-    let vars: Vec<Variable> = q.variables().into_iter().collect();
-    let const_list: Vec<Value> = all_consts.iter().copied().collect();
-    let mut out = Vec::new();
-
-    for rgs in set_partitions(vars.len()) {
-        let num_blocks = rgs.iter().copied().max().map_or(0, |m| m + 1);
-        // Check variable–variable disequalities of q: endpoints must be in
-        // different blocks.
-        let block_of = |v: Variable| -> usize {
-            let idx = vars.iter().position(|&x| x == v).expect("variable indexed");
-            rgs[idx]
-        };
-        let var_diseqs_ok = q.diseqs().iter().all(|d| match d.right() {
-            Term::Var(rv) => block_of(d.left()) != block_of(rv),
-            Term::Const(_) => true,
-        });
-        if !var_diseqs_ok {
-            continue;
-        }
-        // Enumerate injective partial assignments of constants to blocks.
-        // assignment[b] = Some(value) or None (fresh variable block).
-        let mut assignment: Vec<Option<Value>> = vec![None; num_blocks];
-        enumerate_const_assignments(
-            q,
-            &vars,
-            &rgs,
-            &const_list,
-            0,
-            &mut assignment,
-            &mut out,
-            &all_consts,
-        );
-    }
-    out
+/// Streaming enumerator of the possible completions of a query
+/// (Def 4.1) — the exponential candidate axis of `MinProv` and of
+/// Theorem 4.10. Yields one [`Completion`] at a time so drivers can
+/// dedupe, prune, and budget without ever materializing the full set.
+///
+/// Enumeration order is deterministic (partitions in RGS-lexicographic
+/// order; within a partition, constant assignments in odometer order with
+/// "fresh variable" before each constant), so a position in the stream is
+/// a stable, resumable cursor.
+pub struct CompletionIter<'a> {
+    q: &'a ConjunctiveQuery,
+    vars: Vec<Variable>,
+    const_list: Vec<Value>,
+    all_consts: BTreeSet<Value>,
+    partitions: SetPartitionIter,
+    current: Option<(Vec<usize>, AssignmentIter)>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn enumerate_const_assignments(
-    q: &ConjunctiveQuery,
-    vars: &[Variable],
-    rgs: &[usize],
-    const_list: &[Value],
-    block: usize,
-    assignment: &mut Vec<Option<Value>>,
-    out: &mut Vec<Completion>,
-    all_consts: &BTreeSet<Value>,
-) {
-    if block == assignment.len() {
-        if let Some(completion) = build_completion(q, vars, rgs, assignment, all_consts) {
-            out.push(completion);
+/// Odometer over injective partial assignments of constants to partition
+/// blocks: digit `0` = the block stays a fresh variable, digit `k` =
+/// the block is identified with `consts[k-1]`.
+struct AssignmentIter {
+    digits: Vec<usize>,
+    consts: Vec<Value>,
+    started: bool,
+    done: bool,
+}
+
+impl AssignmentIter {
+    fn new(num_blocks: usize, consts: Vec<Value>) -> Self {
+        AssignmentIter {
+            digits: vec![0; num_blocks],
+            consts,
+            started: false,
+            done: false,
         }
-        return;
     }
-    // Block stays a fresh variable.
-    assignment[block] = None;
-    enumerate_const_assignments(
-        q,
-        vars,
-        rgs,
-        const_list,
-        block + 1,
-        assignment,
-        out,
-        all_consts,
-    );
-    // Or the block is identified with one constant not used by an earlier
-    // block (the partition of Var ∪ C puts each constant in one block).
-    for &c in const_list {
-        if assignment[..block].contains(&Some(c)) {
-            continue;
+
+    fn assignment(&self) -> Vec<Option<Value>> {
+        self.digits
+            .iter()
+            .map(|&d| (d > 0).then(|| self.consts[d - 1]))
+            .collect()
+    }
+
+    /// Whether no constant is assigned to two blocks.
+    fn injective(&self) -> bool {
+        let mut seen = vec![false; self.consts.len()];
+        for &d in &self.digits {
+            if d > 0 {
+                if seen[d - 1] {
+                    return false;
+                }
+                seen[d - 1] = true;
+            }
         }
-        assignment[block] = Some(c);
-        enumerate_const_assignments(
+        true
+    }
+
+    /// Increments the odometer (last block fastest). Returns false once
+    /// the digit space is exhausted.
+    fn increment(&mut self) -> bool {
+        let base = self.consts.len();
+        let mut i = self.digits.len();
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if self.digits[i] < base {
+                self.digits[i] += 1;
+                for d in &mut self.digits[i + 1..] {
+                    *d = 0;
+                }
+                return true;
+            }
+            self.digits[i] = 0;
+        }
+    }
+}
+
+impl Iterator for AssignmentIter {
+    type Item = Vec<Option<Value>>;
+
+    fn next(&mut self) -> Option<Vec<Option<Value>>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            // All-zeros (every block fresh) is trivially injective.
+            return Some(self.assignment());
+        }
+        loop {
+            if !self.increment() {
+                self.done = true;
+                return None;
+            }
+            if self.injective() {
+                return Some(self.assignment());
+            }
+        }
+    }
+}
+
+impl<'a> CompletionIter<'a> {
+    fn new(q: &'a ConjunctiveQuery, consts: &BTreeSet<Value>) -> Self {
+        let all_consts: BTreeSet<Value> = consts.union(&q.constants()).copied().collect();
+        let vars: Vec<Variable> = q.variables().into_iter().collect();
+        let const_list: Vec<Value> = all_consts.iter().copied().collect();
+        CompletionIter {
+            partitions: SetPartitionIter::new(vars.len()),
             q,
             vars,
-            rgs,
             const_list,
-            block + 1,
-            assignment,
-            out,
             all_consts,
-        );
+            current: None,
+        }
     }
-    assignment[block] = None;
+
+    /// Whether a partition respects the query's variable–variable
+    /// disequalities (endpoints must land in different blocks).
+    fn partition_ok(&self, rgs: &[usize]) -> bool {
+        let block_of = |v: Variable| -> usize {
+            let idx = self
+                .vars
+                .iter()
+                .position(|&x| x == v)
+                .expect("variable indexed");
+            rgs[idx]
+        };
+        self.q.diseqs().iter().all(|d| match d.right() {
+            Term::Var(rv) => block_of(d.left()) != block_of(rv),
+            Term::Const(_) => true,
+        })
+    }
+}
+
+impl Iterator for CompletionIter<'_> {
+    type Item = Completion;
+
+    fn next(&mut self) -> Option<Completion> {
+        loop {
+            if let Some((rgs, assignments)) = &mut self.current {
+                for assignment in assignments.by_ref() {
+                    if let Some(completion) =
+                        build_completion(self.q, &self.vars, rgs, &assignment, &self.all_consts)
+                    {
+                        return Some(completion);
+                    }
+                }
+                self.current = None;
+            }
+            loop {
+                let rgs = self.partitions.next()?;
+                if self.partition_ok(&rgs) {
+                    let num_blocks = rgs.iter().copied().max().map_or(0, |m| m + 1);
+                    let assignments = AssignmentIter::new(num_blocks, self.const_list.clone());
+                    self.current = Some((rgs, assignments));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Streaming enumeration of the possible completions of `q` with respect
+/// to constant set `consts ⊇ Const(q)` (paper Def 4.1).
+pub fn completions_iter<'a>(
+    q: &'a ConjunctiveQuery,
+    consts: &BTreeSet<Value>,
+) -> CompletionIter<'a> {
+    CompletionIter::new(q, consts)
+}
+
+/// All possible completions of `q` w.r.t. `consts`, materialized.
+/// `Can(q) = completions(q, Const(q))`. Prefer [`completions_iter`] when
+/// the consumer can dedupe or prune as it goes — the set is exponential.
+pub fn completions(q: &ConjunctiveQuery, consts: &BTreeSet<Value>) -> Vec<Completion> {
+    completions_iter(q, consts).collect()
 }
 
 fn build_completion(
@@ -259,6 +396,310 @@ pub fn canonical_rewriting_union(q: &UnionQuery, consts: &BTreeSet<Value>) -> Un
         adjuncts.extend(completions(adj, &all_consts).into_iter().map(|c| c.query));
     }
     UnionQuery::new(adjuncts).expect("canonical rewriting is a well-formed union")
+}
+
+/// An isomorphism-invariant key for a conjunctive query: two queries with
+/// equal keys are syntactically isomorphic (same shape up to variable
+/// renaming), and isomorphic queries receive equal keys whenever the
+/// canonical labeling search completes (it always does for the query sizes
+/// the minimization lattice produces; see [`canonical_key`]).
+///
+/// Keys are the memoization currency of the minimization engine: candidate
+/// subqueries are deduped by key before any homomorphism search runs, and
+/// containment verdicts are cached per key pair.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CanonicalKey(String);
+
+impl CanonicalKey {
+    /// The underlying canonical serialization.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for CanonicalKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Cap on the number of tie-breaking labelings tried while canonicalizing.
+/// Refinement leaves ties only inside automorphism-orbit-like groups, so
+/// real workloads stay far below this; if a pathological query exceeds it,
+/// the key falls back to one deterministic labeling — still *sound*
+/// (equal keys always certify isomorphism), merely missing some merges.
+const MAX_LABELINGS: usize = 40_320; // 8!
+
+/// Computes the canonical key of a query (invariant under variable
+/// renaming, atom reordering, and disequality-set reordering).
+///
+/// Algorithm: iterated color refinement on the variables (signatures built
+/// from atom incidences, head positions, and disequality partners),
+/// followed by a lexicographically-minimal serialization over the
+/// labelings consistent with the refined ordering. Ties after refinement
+/// only occur between symmetric variables, so the backtracking factor is
+/// the automorphism-orbit sizes, not `|Var|!`.
+pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalKey {
+    let vars: Vec<Variable> = q.variables().into_iter().collect();
+    if vars.is_empty() {
+        return CanonicalKey(serialize_with(q, &BTreeMap::new()));
+    }
+    let groups = refine_variable_colors(q, &vars);
+
+    // Count the labelings the tie-breaking search would visit.
+    let mut labelings: usize = 1;
+    for g in &groups {
+        for k in 1..=g.len() {
+            labelings = labelings.saturating_mul(k);
+        }
+    }
+    if labelings > MAX_LABELINGS {
+        // Deterministic fallback labeling: refined group order, then the
+        // (stable) variable order within each group.
+        let mut numbering = BTreeMap::new();
+        let mut next = 0usize;
+        for g in &groups {
+            for &v in g {
+                numbering.insert(v, next);
+                next += 1;
+            }
+        }
+        return CanonicalKey(serialize_with(q, &numbering));
+    }
+
+    // Backtrack over within-group permutations, keeping the minimal
+    // serialization.
+    let mut best: Option<String> = None;
+    let mut numbering: BTreeMap<Variable, usize> = BTreeMap::new();
+    permute_groups(q, &groups, 0, &mut numbering, 0, &mut best);
+    CanonicalKey(best.expect("at least one labeling is always produced"))
+}
+
+/// Iterated color refinement: returns the variables grouped by final
+/// color, groups ordered by color signature. Signatures are flat integer
+/// vectors (interned relation/value ids and current colors), not strings —
+/// canonicalization sits on the minimization engine's per-candidate hot
+/// path.
+fn refine_variable_colors(q: &ConjunctiveQuery, vars: &[Variable]) -> Vec<Vec<Variable>> {
+    let n = vars.len();
+    // `vars` comes from a BTreeSet, so it is sorted: index by binary search.
+    let idx_of = |v: Variable| -> usize { vars.binary_search(&v).expect("variable indexed") };
+
+    // Occurrence structure, extracted once: (atom index, position) per
+    // variable, head positions, constant-disequality partners, and
+    // variable-disequality partners.
+    let mut occ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (ai, a) in q.atoms().iter().enumerate() {
+        for (pos, t) in a.args.iter().enumerate() {
+            if let Term::Var(v) = t {
+                occ[idx_of(*v)].push((ai, pos));
+            }
+        }
+    }
+    let mut head_pos: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (pos, t) in q.head().args.iter().enumerate() {
+        if let Term::Var(v) = t {
+            head_pos[idx_of(*v)].push(pos as u64);
+        }
+    }
+    let mut const_diseqs: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut var_partners: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for d in q.diseqs() {
+        match d.right() {
+            Term::Const(c) => const_diseqs[idx_of(d.left())].push(u64::from(c.id())),
+            Term::Var(rv) => {
+                let (li, ri) = (idx_of(d.left()), idx_of(rv));
+                var_partners[li].push(ri);
+                var_partners[ri].push(li);
+            }
+        }
+    }
+    for list in &mut const_diseqs {
+        list.sort_unstable();
+    }
+
+    // Initial signature: occurrence profile (relation/arity/position),
+    // head positions, constant disequalities.
+    const SEP: u64 = u64::MAX;
+    let initial: Vec<Vec<u64>> = (0..n)
+        .map(|vi| {
+            let mut entries: Vec<(u64, u64, u64)> = occ[vi]
+                .iter()
+                .map(|&(ai, pos)| {
+                    let a = &q.atoms()[ai];
+                    (u64::from(a.relation.id()), a.arity() as u64, pos as u64)
+                })
+                .collect();
+            entries.sort_unstable();
+            let mut sig = Vec::with_capacity(entries.len() * 3 + head_pos[vi].len() + 4);
+            for (r, k, p) in entries {
+                sig.extend([r, k, p]);
+            }
+            sig.push(SEP);
+            sig.extend(&head_pos[vi]);
+            sig.push(SEP);
+            sig.extend(&const_diseqs[vi]);
+            sig
+        })
+        .collect();
+    let mut color: Vec<usize> = rank_signatures(&initial);
+
+    for _round in 0..n {
+        let refined: Vec<Vec<u64>> = (0..n)
+            .map(|vi| {
+                // Co-occurrence profile: for every occurrence, the atom's
+                // relation, the position, and the colors of all arguments
+                // (constants tagged by interned id); plus the colors of
+                // disequality partners.
+                let mut entries: Vec<Vec<u64>> = occ[vi]
+                    .iter()
+                    .map(|&(ai, pos)| {
+                        let a = &q.atoms()[ai];
+                        let mut e = vec![u64::from(a.relation.id()), pos as u64];
+                        for t in &a.args {
+                            match t {
+                                Term::Var(v2) => e.push(color[idx_of(*v2)] as u64),
+                                Term::Const(c) => e.push(SEP - 1 - u64::from(c.id())),
+                            }
+                        }
+                        e
+                    })
+                    .collect();
+                entries.sort_unstable();
+                let mut partner_colors: Vec<u64> =
+                    var_partners[vi].iter().map(|&p| color[p] as u64).collect();
+                partner_colors.sort_unstable();
+                let mut sig = vec![color[vi] as u64];
+                for e in entries {
+                    sig.push(SEP);
+                    sig.extend(e);
+                }
+                sig.push(SEP);
+                sig.extend(partner_colors);
+                sig
+            })
+            .collect();
+        let next = rank_signatures(&refined);
+        if next == color {
+            break;
+        }
+        color = next;
+    }
+
+    let mut groups: BTreeMap<usize, Vec<Variable>> = BTreeMap::new();
+    for (vi, &v) in vars.iter().enumerate() {
+        groups.entry(color[vi]).or_default().push(v);
+    }
+    groups.into_values().collect()
+}
+
+/// Replaces signature vectors by dense ranks (sorted order of the distinct
+/// signatures), so signatures cannot grow across refinement rounds.
+fn rank_signatures(sig: &[Vec<u64>]) -> Vec<usize> {
+    let mut distinct: Vec<&Vec<u64>> = sig.iter().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    sig.iter()
+        .map(|s| distinct.binary_search(&s).expect("signature present"))
+        .collect()
+}
+
+fn permute_groups(
+    q: &ConjunctiveQuery,
+    groups: &[Vec<Variable>],
+    gi: usize,
+    numbering: &mut BTreeMap<Variable, usize>,
+    next_index: usize,
+    best: &mut Option<String>,
+) {
+    if gi == groups.len() {
+        let s = serialize_with(q, numbering);
+        if best.as_ref().is_none_or(|b| s < *b) {
+            *best = Some(s);
+        }
+        return;
+    }
+    let group = &groups[gi];
+    let mut taken = vec![false; group.len()];
+    permute_within(
+        q, groups, gi, group, &mut taken, 0, numbering, next_index, best,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn permute_within(
+    q: &ConjunctiveQuery,
+    groups: &[Vec<Variable>],
+    gi: usize,
+    group: &[Variable],
+    taken: &mut Vec<bool>,
+    slot: usize,
+    numbering: &mut BTreeMap<Variable, usize>,
+    next_index: usize,
+    best: &mut Option<String>,
+) {
+    if slot == group.len() {
+        permute_groups(q, groups, gi + 1, numbering, next_index + group.len(), best);
+        return;
+    }
+    for i in 0..group.len() {
+        if taken[i] {
+            continue;
+        }
+        taken[i] = true;
+        numbering.insert(group[i], next_index + slot);
+        permute_within(
+            q,
+            groups,
+            gi,
+            group,
+            taken,
+            slot + 1,
+            numbering,
+            next_index,
+            best,
+        );
+        numbering.remove(&group[i]);
+        taken[i] = false;
+    }
+}
+
+/// Serializes `q` under a concrete variable numbering: head verbatim
+/// (positional), body atoms as a sorted multiset, disequalities as a
+/// sorted set. Equal serializations certify isomorphism.
+fn serialize_with(q: &ConjunctiveQuery, numbering: &BTreeMap<Variable, usize>) -> String {
+    let term = |t: &Term| -> String {
+        match t {
+            Term::Var(v) => format!("v{}", numbering[v]),
+            Term::Const(c) => format!("'{c}'"),
+        }
+    };
+    let render_atom = |a: &crate::atom::Atom| -> String {
+        let args: Vec<String> = a.args.iter().map(&term).collect();
+        format!("{}({})", a.relation, args.join(","))
+    };
+    let mut atoms: Vec<String> = q.atoms().iter().map(render_atom).collect();
+    atoms.sort_unstable();
+    let mut diseqs: Vec<String> = q
+        .diseqs()
+        .iter()
+        .map(|d| {
+            let (l, r) = d.sides();
+            let (ls, rs) = (term(&l), term(&r));
+            if rs < ls {
+                format!("{rs}!={ls}")
+            } else {
+                format!("{ls}!={rs}")
+            }
+        })
+        .collect();
+    diseqs.sort_unstable();
+    format!(
+        "{}:-{}|{}",
+        render_atom(q.head()),
+        atoms.join(","),
+        diseqs.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -362,6 +803,100 @@ mod tests {
         let q = parse_cq("ans() :- R(x,y), S(y,z)").unwrap();
         for completion in completions(&q, &BTreeSet::new()) {
             assert_eq!(completion.replacement.len(), 3);
+        }
+    }
+
+    #[test]
+    fn completions_iter_is_lazy_and_matches_eager() {
+        let q = parse_cq("ans(x,y) :- R(x,y), x != 'a', x != y").unwrap();
+        let consts: BTreeSet<Value> = [Value::new("a"), Value::new("b")].into();
+        let eager: Vec<_> = completions(&q, &consts)
+            .into_iter()
+            .map(|c| c.query)
+            .collect();
+        // The iterator yields the same completions in the same order ...
+        let streamed: Vec<_> = completions_iter(&q, &consts).map(|c| c.query).collect();
+        assert_eq!(eager, streamed);
+        // ... and supports partial consumption (the budget/cursor use case).
+        let first_two: Vec<_> = completions_iter(&q, &consts)
+            .take(2)
+            .map(|c| c.query)
+            .collect();
+        assert_eq!(&eager[..2], &first_two[..]);
+    }
+
+    #[test]
+    fn completions_iter_handles_variable_free_queries() {
+        let q = parse_cq("ans() :- R('a','a')").unwrap();
+        let all: Vec<_> = completions_iter(&q, &BTreeSet::new()).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].query, q);
+    }
+
+    #[test]
+    fn partition_iter_streams_in_seed_order() {
+        let streamed: Vec<_> = SetPartitionIter::new(4).collect();
+        assert_eq!(streamed, set_partitions(4));
+        assert_eq!(SetPartitionIter::new(0).count(), 1);
+    }
+
+    #[test]
+    fn canonical_key_is_renaming_invariant() {
+        let q1 = parse_cq("ans(x) :- R(x,y), R(y,x), x != y").unwrap();
+        let q2 = parse_cq("ans(u) :- R(v,u), R(u,v), u != v").unwrap();
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+        // Same body, different head projection: distinct keys.
+        let q3 = parse_cq("ans(u) :- R(u,v), R(u,v), u != v").unwrap();
+        assert_ne!(canonical_key(&q1), canonical_key(&q3));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_diseq_sets() {
+        let q1 = parse_cq("ans() :- R(x,y)").unwrap();
+        let q2 = parse_cq("ans() :- R(x,y), x != y").unwrap();
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn canonical_key_agrees_with_isomorphism_on_symmetric_queries() {
+        use crate::homomorphism::are_isomorphic;
+        // Fully symmetric triangle: every labeling is a tie after
+        // refinement — the backtracking tie-break must still converge.
+        let t1 = parse_cq("ans() :- R(a,b), R(b,c), R(c,a), a != b, b != c, a != c").unwrap();
+        let t2 = parse_cq("ans() :- R(q,r), R(r,s), R(s,q), q != r, r != s, q != s").unwrap();
+        assert!(are_isomorphic(&t1, &t2));
+        assert_eq!(canonical_key(&t1), canonical_key(&t2));
+        // Reversed triangle is isomorphic to itself rotated; also same key.
+        let t3 = parse_cq("ans() :- R(b,a), R(c,b), R(a,c), a != b, b != c, a != c").unwrap();
+        assert_eq!(canonical_key(&t1), canonical_key(&t3));
+    }
+
+    #[test]
+    fn canonical_key_respects_constants() {
+        let q1 = parse_cq("ans() :- R(x,'a')").unwrap();
+        let q2 = parse_cq("ans() :- R(x,'b')").unwrap();
+        let q3 = parse_cq("ans() :- R(y,'a')").unwrap();
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+        assert_eq!(canonical_key(&q1), canonical_key(&q3));
+    }
+
+    #[test]
+    fn canonical_key_matches_isomorphism_on_random_pairs() {
+        use crate::generate::{random_cq, QuerySpec};
+        use crate::homomorphism::are_isomorphic;
+        let spec = QuerySpec {
+            diseq_percent: 30,
+            ..QuerySpec::binary(3, 3)
+        };
+        let queries: Vec<_> = (0..24).map(|seed| random_cq(&spec, seed)).collect();
+        for a in &queries {
+            for b in &queries {
+                assert_eq!(
+                    canonical_key(a) == canonical_key(b),
+                    are_isomorphic(a, b),
+                    "key/isomorphism disagreement for\n  {a}\n  {b}"
+                );
+            }
         }
     }
 }

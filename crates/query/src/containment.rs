@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 
 use prov_storage::Value;
 
-use crate::canonical::canonical_rewriting_union;
+use crate::canonical::completions_iter;
 use crate::cq::ConjunctiveQuery;
 use crate::homomorphism::find_homomorphism;
 use crate::ucq::UnionQuery;
@@ -38,14 +38,18 @@ pub fn cq_contained_in(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
 /// General containment `q ⊆ q2` for UCQ≠ (sound and complete).
 ///
 /// Exponential in the number of variables per adjunct of `q` (canonical
-/// rewriting); this is expected — even CQ≠ containment is Π₂ᵖ-hard.
+/// rewriting); this is expected — even CQ≠ containment is Π₂ᵖ-hard. The
+/// completions of the left side are *streamed*, so the first
+/// counterexample completion terminates the check without materializing
+/// the rest of the exponential rewriting.
 pub fn contained_in(q: &UnionQuery, q2: &UnionQuery) -> bool {
     let consts: BTreeSet<Value> = q.constants().union(&q2.constants()).copied().collect();
-    let can = canonical_rewriting_union(q, &consts);
-    can.adjuncts().iter().all(|complete_adjunct| {
-        q2.adjuncts()
-            .iter()
-            .any(|b| find_homomorphism(b, complete_adjunct).is_some())
+    q.adjuncts().iter().all(|adj| {
+        completions_iter(adj, &consts).all(|completion| {
+            q2.adjuncts()
+                .iter()
+                .any(|b| find_homomorphism(b, &completion.query).is_some())
+        })
     })
 }
 

@@ -78,6 +78,19 @@ pub struct HomSearch {
     pub limit: Option<usize>,
 }
 
+/// Whether the enumeration should keep backtracking or stop — returned by
+/// search visitors so callers like [`find_homomorphism`] can terminate on
+/// the first witness instead of materializing every candidate mapping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Walk {
+    Continue,
+    Stop,
+}
+
+/// Immutable search context: the backtracking state lives on the stack of
+/// [`Searcher::extend`] and completed mappings are *visited*, never
+/// collected, so search cost is proportional to the part of the candidate
+/// space actually explored.
 struct Searcher<'a> {
     source: &'a ConjunctiveQuery,
     target: &'a ConjunctiveQuery,
@@ -86,7 +99,14 @@ struct Searcher<'a> {
     by_relation: HashMap<RelName, Vec<usize>>,
     /// Source atom processing order (most-constrained-first heuristic).
     order: Vec<usize>,
-    results: Vec<Homomorphism>,
+}
+
+/// Mutable backtracking state threaded through [`Searcher::extend`].
+struct SearchState {
+    binding: BTreeMap<Variable, Term>,
+    atom_map: Vec<usize>,
+    used: Vec<bool>,
+    covered: Vec<usize>,
 }
 
 impl<'a> Searcher<'a> {
@@ -102,73 +122,64 @@ impl<'a> Searcher<'a> {
             config,
             by_relation,
             order,
-            results: Vec::new(),
         }
     }
 
-    fn run(mut self) -> Vec<Homomorphism> {
+    /// Runs the backtracking search, calling `visit` on each complete,
+    /// constraint-satisfying homomorphism. `visit` returning [`Walk::Stop`]
+    /// aborts the search immediately (lazy enumeration).
+    fn search(&self, visit: &mut dyn FnMut(&SearchState) -> Walk) {
         // Seed the variable binding from the head constraint: the induced
         // mapping must send head(Q) to head(Q') positionally.
         let src_head = self.source.head();
         let tgt_head = self.target.head();
         if src_head.relation != tgt_head.relation || src_head.arity() != tgt_head.arity() {
-            return Vec::new();
+            return;
         }
         let mut binding: BTreeMap<Variable, Term> = BTreeMap::new();
         for (s, t) in src_head.args.iter().zip(&tgt_head.args) {
             if !bind_term(&mut binding, *s, *t) {
-                return Vec::new();
+                return;
             }
         }
-        let mut atom_map = vec![usize::MAX; self.source.atoms().len()];
-        let mut used = vec![false; self.target.atoms().len()];
-        let mut covered = vec![0usize; self.target.atoms().len()];
-        self.extend(0, &mut binding, &mut atom_map, &mut used, &mut covered);
-        self.results
-    }
-
-    fn done(&self) -> bool {
-        self.config
-            .limit
-            .is_some_and(|limit| self.results.len() >= limit)
+        let mut state = SearchState {
+            binding,
+            atom_map: vec![usize::MAX; self.source.atoms().len()],
+            used: vec![false; self.target.atoms().len()],
+            covered: vec![0usize; self.target.atoms().len()],
+        };
+        self.extend(0, &mut state, visit);
     }
 
     fn extend(
-        &mut self,
+        &self,
         step: usize,
-        binding: &mut BTreeMap<Variable, Term>,
-        atom_map: &mut Vec<usize>,
-        used: &mut Vec<bool>,
-        covered: &mut Vec<usize>,
-    ) {
-        if self.done() {
-            return;
-        }
+        state: &mut SearchState,
+        visit: &mut dyn FnMut(&SearchState) -> Walk,
+    ) -> Walk {
         if step == self.order.len() {
-            if self.check_diseqs(binding) {
-                self.results.push(Homomorphism {
-                    atom_map: atom_map.clone(),
-                    var_map: binding.clone(),
-                });
+            if self.check_diseqs(&state.binding)
+                && (!self.config.surjective || state.covered.iter().all(|&c| c > 0))
+            {
+                return visit(state);
             }
-            return;
+            return Walk::Continue;
         }
         // Surjectivity pruning: remaining source atoms must be able to
         // cover the still-uncovered target atoms.
         if self.config.surjective {
-            let uncovered = covered.iter().filter(|&&c| c == 0).count();
+            let uncovered = state.covered.iter().filter(|&&c| c == 0).count();
             if self.order.len() - step < uncovered {
-                return;
+                return Walk::Continue;
             }
         }
         let i = self.order[step];
         let source_atom = &self.source.atoms()[i];
-        let candidates = match self.by_relation.get(&source_atom.relation) {
-            Some(c) => c.clone(),
-            None => return,
+        let Some(candidates) = self.by_relation.get(&source_atom.relation) else {
+            return Walk::Continue;
         };
-        for j in candidates {
-            if self.config.injective && used[j] {
+        for &j in candidates {
+            if self.config.injective && state.used[j] {
                 continue;
             }
             let target_atom = &self.target.atoms()[j];
@@ -186,7 +197,7 @@ impl<'a> Searcher<'a> {
                             break;
                         }
                     }
-                    Term::Var(v) => match binding.get(v) {
+                    Term::Var(v) => match state.binding.get(v) {
                         Some(bound) => {
                             if bound != t {
                                 ok = false;
@@ -194,32 +205,33 @@ impl<'a> Searcher<'a> {
                             }
                         }
                         None => {
-                            binding.insert(*v, *t);
+                            state.binding.insert(*v, *t);
                             added.push(*v);
                         }
                     },
                 }
             }
+            let mut walk = Walk::Continue;
             if ok {
-                atom_map[i] = j;
-                used[j] = true;
-                covered[j] += 1;
-                self.extend(step + 1, binding, atom_map, used, covered);
-                covered[j] -= 1;
-                used[j] = false;
-                atom_map[i] = usize::MAX;
+                state.atom_map[i] = j;
+                state.used[j] = true;
+                state.covered[j] += 1;
+                walk = self.extend(step + 1, state, visit);
+                state.covered[j] -= 1;
+                state.used[j] = false;
+                state.atom_map[i] = usize::MAX;
             }
             for v in added {
-                binding.remove(&v);
+                state.binding.remove(&v);
             }
-            if self.done() {
-                return;
+            if walk == Walk::Stop {
+                return Walk::Stop;
             }
         }
+        Walk::Continue
     }
 
-    /// Checks disequality preservation and (if required) surjectivity for a
-    /// complete candidate mapping.
+    /// Checks disequality preservation for a complete candidate mapping.
     fn check_diseqs(&self, binding: &BTreeMap<Variable, Term>) -> bool {
         for d in self.source.diseqs() {
             let (l, r) = d.sides();
@@ -236,6 +248,15 @@ impl<'a> Searcher<'a> {
             }
         }
         true
+    }
+}
+
+impl SearchState {
+    fn to_homomorphism(&self) -> Homomorphism {
+        Homomorphism {
+            atom_map: self.atom_map.clone(),
+            var_map: self.binding.clone(),
+        }
     }
 }
 
@@ -288,33 +309,44 @@ fn plan_order(source: &ConjunctiveQuery) -> Vec<usize> {
     order
 }
 
-/// Finds one homomorphism `source → target`, if any.
+/// Finds one homomorphism `source → target`, if any. The backtracking
+/// search stops at the first witness — no other candidate mapping is
+/// constructed.
 pub fn find_homomorphism(
     source: &ConjunctiveQuery,
     target: &ConjunctiveQuery,
 ) -> Option<Homomorphism> {
-    Searcher::new(
-        source,
-        target,
-        HomSearch {
-            limit: Some(1),
-            ..Default::default()
-        },
-    )
-    .run()
-    .pop()
+    let mut found = None;
+    Searcher::new(source, target, HomSearch::default()).search(&mut |state| {
+        found = Some(state.to_homomorphism());
+        Walk::Stop
+    });
+    found
+}
+
+/// Whether any homomorphism `source → target` exists — the
+/// containment-check primitive (Theorem 3.1), with first-witness
+/// termination.
+pub fn homomorphism_exists(source: &ConjunctiveQuery, target: &ConjunctiveQuery) -> bool {
+    let mut exists = false;
+    Searcher::new(source, target, HomSearch::default()).search(&mut |_| {
+        exists = true;
+        Walk::Stop
+    });
+    exists
 }
 
 /// Finds a homomorphism `source → target` that is surjective on relational
-/// atoms (the hypothesis of Theorem 3.3), if any.
+/// atoms (the hypothesis of Theorem 3.3), if any. Surjectivity is checked
+/// at the leaves of the backtracking search, so the enumeration stops at
+/// the first surjective witness instead of materializing every mapping
+/// and filtering afterwards.
 pub fn find_surjective_homomorphism(
     source: &ConjunctiveQuery,
     target: &ConjunctiveQuery,
 ) -> Option<Homomorphism> {
-    // Enumerate (with pruning) and filter; the searcher prunes branches
-    // that cannot cover the target.
     let mut found = None;
-    for h in Searcher::new(
+    Searcher::new(
         source,
         target,
         HomSearch {
@@ -322,13 +354,10 @@ pub fn find_surjective_homomorphism(
             ..Default::default()
         },
     )
-    .run()
-    {
-        if h.is_surjective_on_atoms(target.atoms().len()) {
-            found = Some(h);
-            break;
-        }
-    }
+    .search(&mut |state| {
+        found = Some(state.to_homomorphism());
+        Walk::Stop
+    });
     found
 }
 
@@ -338,19 +367,25 @@ pub fn all_homomorphisms(
     target: &ConjunctiveQuery,
     config: HomSearch,
 ) -> Vec<Homomorphism> {
-    let raw = Searcher::new(source, target, config).run();
-    if config.surjective {
-        raw.into_iter()
-            .filter(|h| h.is_surjective_on_atoms(target.atoms().len()))
-            .collect()
-    } else {
-        raw
+    let mut results = Vec::new();
+    if config.limit == Some(0) {
+        return results;
     }
+    Searcher::new(source, target, config).search(&mut |state| {
+        results.push(state.to_homomorphism());
+        if config.limit.is_some_and(|limit| results.len() >= limit) {
+            Walk::Stop
+        } else {
+            Walk::Continue
+        }
+    });
+    results
 }
 
 /// Whether two queries are syntactically isomorphic: a homomorphism that is
 /// bijective on atoms and variables and maps the disequality set onto the
-/// target's.
+/// target's. The search tests each candidate at the leaf and stops at the
+/// first isomorphism.
 pub fn are_isomorphic(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
     if q1.atoms().len() != q2.atoms().len()
         || q1.diseqs().len() != q2.diseqs().len()
@@ -358,7 +393,8 @@ pub fn are_isomorphic(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
     {
         return false;
     }
-    all_homomorphisms(
+    let mut iso = false;
+    Searcher::new(
         q1,
         q2,
         HomSearch {
@@ -366,8 +402,16 @@ pub fn are_isomorphic(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
             ..Default::default()
         },
     )
-    .into_iter()
-    .any(|h| h.is_var_bijection(q2) && diseq_image_onto(q1, q2, &h))
+    .search(&mut |state| {
+        let h = state.to_homomorphism();
+        if h.is_var_bijection(q2) && diseq_image_onto(q1, q2, &h) {
+            iso = true;
+            Walk::Stop
+        } else {
+            Walk::Continue
+        }
+    });
+    iso
 }
 
 fn diseq_image_onto(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, h: &Homomorphism) -> bool {
@@ -387,8 +431,10 @@ fn diseq_image_onto(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, h: &Homomorphi
 }
 
 /// Enumerates the automorphisms of `q`: isomorphisms `q → q`.
+/// Non-automorphism candidates are rejected at the leaf, not collected.
 pub fn automorphisms(q: &ConjunctiveQuery) -> Vec<Homomorphism> {
-    all_homomorphisms(
+    let mut results = Vec::new();
+    Searcher::new(
         q,
         q,
         HomSearch {
@@ -396,14 +442,36 @@ pub fn automorphisms(q: &ConjunctiveQuery) -> Vec<Homomorphism> {
             ..Default::default()
         },
     )
-    .into_iter()
-    .filter(|h| h.is_var_bijection(q) && diseq_image_onto(q, q, h))
-    .collect()
+    .search(&mut |state| {
+        let h = state.to_homomorphism();
+        if h.is_var_bijection(q) && diseq_image_onto(q, q, &h) {
+            results.push(h);
+        }
+        Walk::Continue
+    });
+    results
 }
 
-/// The number of automorphisms of `q` (paper Lemma 5.7's `k`).
+/// The number of automorphisms of `q` (paper Lemma 5.7's `k`), counted
+/// during the search without storing the mappings.
 pub fn count_automorphisms(q: &ConjunctiveQuery) -> u64 {
-    automorphisms(q).len() as u64
+    let mut count = 0u64;
+    Searcher::new(
+        q,
+        q,
+        HomSearch {
+            injective: true,
+            ..Default::default()
+        },
+    )
+    .search(&mut |state| {
+        let h = state.to_homomorphism();
+        if h.is_var_bijection(q) && diseq_image_onto(q, q, &h) {
+            count += 1;
+        }
+        Walk::Continue
+    });
+    count
 }
 
 #[cfg(test)]
@@ -486,6 +554,23 @@ mod tests {
         let target = parse_cq("ans() :- R(a), R(b), R(c)").unwrap();
         let homs = all_homomorphisms(&source, &target, HomSearch::default());
         assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn limit_bounds_enumeration_including_zero() {
+        let source = parse_cq("ans() :- R(x)").unwrap();
+        let target = parse_cq("ans() :- R(a), R(b), R(c)").unwrap();
+        for limit in 0..=4usize {
+            let homs = all_homomorphisms(
+                &source,
+                &target,
+                HomSearch {
+                    limit: Some(limit),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(homs.len(), limit.min(3), "limit {limit}");
+        }
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Memoization for homomorphism/containment checks, keyed on canonical
+//! forms ([`crate::canonical::canonical_key`]).
+//!
+//! The minimization engine walks an exponential lattice of candidate
+//! subqueries in which many candidates are pairwise isomorphic; containment
+//! between queries is invariant under isomorphism, so one verdict per
+//! canonical-key *pair* suffices. [`HomMemo`] interns canonical keys to
+//! dense `u64` ids (computing a key costs a refinement pass; comparing two
+//! interned keys costs nothing) and caches hom-existence verdicts per id
+//! pair, short-circuiting the `id(a) == id(b)` case — isomorphic queries
+//! always admit a homomorphism either way.
+
+use std::collections::HashMap;
+
+use crate::canonical::{canonical_key, CanonicalKey};
+use crate::cq::ConjunctiveQuery;
+use crate::homomorphism::homomorphism_exists;
+
+/// Counters describing how much work the memo avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Canonical keys served from the per-query cache.
+    pub key_hits: u64,
+    /// Canonical keys computed fresh.
+    pub key_misses: u64,
+    /// Hom-existence verdicts served from the cache (or the isomorphic
+    /// shortcut).
+    pub hom_hits: u64,
+    /// Hom-existence verdicts that ran the backtracking search.
+    pub hom_misses: u64,
+}
+
+/// A memo table for canonical keys and homomorphism-existence verdicts.
+#[derive(Debug, Default)]
+pub struct HomMemo {
+    /// Syntactic query → interned canonical-key id.
+    by_query: HashMap<ConjunctiveQuery, u64>,
+    /// Canonical key → interned id (the isomorphism-class table).
+    by_key: HashMap<CanonicalKey, u64>,
+    /// Interned id → canonical key.
+    keys: Vec<CanonicalKey>,
+    /// Hom-existence verdicts per (source id, target id).
+    verdicts: HashMap<(u64, u64), bool>,
+    stats: MemoStats,
+}
+
+impl HomMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        HomMemo::default()
+    }
+
+    /// Interns the canonical key of `q`, returning its dense id. Two
+    /// queries receive the same id iff they receive the same canonical key
+    /// (in particular, whenever they are isomorphic).
+    pub fn key_id(&mut self, q: &ConjunctiveQuery) -> u64 {
+        if let Some(&id) = self.by_query.get(q) {
+            self.stats.key_hits += 1;
+            return id;
+        }
+        self.stats.key_misses += 1;
+        let key = canonical_key(q);
+        let next = self.keys.len() as u64;
+        let id = *self.by_key.entry(key.clone()).or_insert_with(|| {
+            self.keys.push(key);
+            next
+        });
+        self.by_query.insert(q.clone(), id);
+        id
+    }
+
+    /// The canonical key of `q`, cached per (syntactic) query.
+    pub fn key(&mut self, q: &ConjunctiveQuery) -> CanonicalKey {
+        let id = self.key_id(q);
+        self.keys[id as usize].clone()
+    }
+
+    /// Whether a homomorphism `source → target` exists, with the callers
+    /// providing the already-interned key ids (see [`HomMemo::key_id`]) so
+    /// repeated checks against the same queries avoid rehashing them.
+    /// Sound because homomorphism existence is invariant under isomorphism
+    /// of either side.
+    pub fn hom_exists_interned(
+        &mut self,
+        source: &ConjunctiveQuery,
+        source_id: u64,
+        target: &ConjunctiveQuery,
+        target_id: u64,
+    ) -> bool {
+        if source_id == target_id {
+            // Isomorphic queries: the isomorphism is itself a homomorphism.
+            self.stats.hom_hits += 1;
+            return true;
+        }
+        if let Some(&verdict) = self.verdicts.get(&(source_id, target_id)) {
+            self.stats.hom_hits += 1;
+            return verdict;
+        }
+        self.stats.hom_misses += 1;
+        let verdict = homomorphism_exists(source, target);
+        self.verdicts.insert((source_id, target_id), verdict);
+        verdict
+    }
+
+    /// Whether a homomorphism `source → target` exists, memoized per
+    /// canonical-key pair.
+    pub fn hom_exists(&mut self, source: &ConjunctiveQuery, target: &ConjunctiveQuery) -> bool {
+        let source_id = self.key_id(source);
+        let target_id = self.key_id(target);
+        self.hom_exists_interned(source, source_id, target, target_id)
+    }
+
+    /// Work-avoided counters.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Number of distinct isomorphism classes interned.
+    pub fn keys_cached(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn memoizes_keys_and_verdicts() {
+        let mut memo = HomMemo::new();
+        let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let q2 = parse_cq("ans(x) :- R(x,x)").unwrap();
+        assert!(memo.hom_exists(&qconj, &q2));
+        assert!(!memo.hom_exists(&q2, &qconj));
+        let misses = memo.stats().hom_misses;
+        // Same pair again: served from cache.
+        assert!(memo.hom_exists(&qconj, &q2));
+        assert_eq!(memo.stats().hom_misses, misses);
+        assert!(memo.stats().hom_hits >= 1);
+    }
+
+    #[test]
+    fn isomorphic_pair_short_circuits() {
+        let mut memo = HomMemo::new();
+        let a = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let b = parse_cq("ans(u) :- R(v,u), R(u,v)").unwrap();
+        assert_eq!(memo.key_id(&a), memo.key_id(&b), "one isomorphism class");
+        assert_eq!(memo.keys_cached(), 1);
+        assert!(memo.hom_exists(&a, &b));
+        assert_eq!(memo.stats().hom_misses, 0, "isomorphic shortcut taken");
+    }
+
+    #[test]
+    fn key_cache_counts_hits() {
+        let mut memo = HomMemo::new();
+        let q = parse_cq("ans() :- R(x)").unwrap();
+        let k1 = memo.key(&q);
+        let k2 = memo.key(&q);
+        assert_eq!(k1, k2);
+        assert_eq!(memo.stats().key_misses, 1);
+        assert_eq!(memo.stats().key_hits, 1);
+        assert_eq!(memo.keys_cached(), 1);
+    }
+}

@@ -142,6 +142,33 @@ impl UnionQuery {
         adjuncts.push(q);
         UnionQuery::new(adjuncts)
     }
+
+    /// Builds a union and drops isomorphic duplicate adjuncts (canonical
+    /// form, first occurrence wins) — the constructor for *minimization
+    /// outputs*, where a duplicate adjunct only duplicates provenance.
+    ///
+    /// [`UnionQuery::new`] deliberately keeps duplicates: a canonical
+    /// rewriting (Def 4.1) must carry every completion — including
+    /// isomorphic ones — for step I of `MinProv` to preserve provenance
+    /// (Thm 4.4), so deduplication is opt-in, not universal.
+    pub fn new_deduped(adjuncts: Vec<ConjunctiveQuery>) -> Result<Self, UnionError> {
+        Ok(UnionQuery::new(adjuncts)?.dedup_isomorphic())
+    }
+
+    /// Returns the union with isomorphic duplicate adjuncts removed
+    /// (first occurrence of each isomorphism class wins; order otherwise
+    /// preserved).
+    pub fn dedup_isomorphic(&self) -> UnionQuery {
+        use crate::canonical::canonical_key;
+        let mut seen = std::collections::BTreeSet::new();
+        let kept: Vec<ConjunctiveQuery> = self
+            .adjuncts
+            .iter()
+            .filter(|q| seen.insert(canonical_key(q)))
+            .cloned()
+            .collect();
+        UnionQuery { adjuncts: kept }
+    }
 }
 
 impl From<ConjunctiveQuery> for UnionQuery {
@@ -210,6 +237,20 @@ mod tests {
         // A path with only the end-points disequated is not complete.
         let incomplete = parse_ucq("ans(x) :- R(x,y), R(y,z), x != z\nans(x) :- S(x)").unwrap();
         assert_eq!(incomplete.class(), UnionClass::UcqDiseq);
+    }
+
+    #[test]
+    fn new_deduped_drops_isomorphic_duplicates() {
+        let q1 = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let q2 = parse_cq("ans(u) :- R(v,u), R(u,v)").unwrap(); // ≅ q1
+        let q3 = parse_cq("ans(x) :- R(x,x)").unwrap();
+        let deduped = UnionQuery::new_deduped(vec![q1.clone(), q2, q3.clone()]).unwrap();
+        assert_eq!(deduped.adjuncts(), &[q1.clone(), q3.clone()]);
+        // Plain `new` keeps duplicates (canonical rewritings need them).
+        let q2_again = parse_cq("ans(u) :- R(v,u), R(u,v)").unwrap();
+        let kept = UnionQuery::new(vec![q1, q2_again, q3]).unwrap();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept.dedup_isomorphic().len(), 2);
     }
 
     #[test]

@@ -16,21 +16,34 @@
 //!   (results are identical to sequential; ⊕ is commutative).
 //! * `--planner written|syntactic|cost` — join planner (default `cost`).
 //!
+//! `minimize` accepts engine flags (see `docs/MINIMIZE.md`):
+//!
+//! * `--strategy minprov|auto|standard|dedup` — minimization strategy
+//!   (default `minprov`).
+//! * `--budget-steps N` / `--budget-ms N` — step / wall-clock budget.
+//!   A budget-exhausted run prints the best sound partial result plus its
+//!   resume cursor and exits with code 3 (distinct from errors).
+//! * `--no-memo` — disable canonical-form memoization (diagnostics).
+//!
 //! Queries use the rule syntax (unions: join rules with ';'):
 //! `ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)`.
 //! Databases use the text format: one `R(a, b) : s1` per line.
 
 use std::process::ExitCode;
 
+use provmin::core::minimize::{minimize_with, MinimizeOptions, MinimizeOutcome, Strategy};
 use provmin::datalog::{core_query, evaluate, Program};
 use provmin::engine::{eval_ucq_with, EvalOptions, PlannerKind};
 use provmin::prelude::*;
 use provmin::storage::textio::parse_database;
 
+/// Exit code for a budget-exhausted (partial but sound) minimization.
+const EXIT_BUDGET_EXHAUSTED: u8 = 3;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] <db-file> '<query>'\n  \
-         provmin minimize '<query>'\n  \
+         provmin minimize [--strategy minprov|auto|standard|dedup] [--budget-steps N] [--budget-ms N] [--no-memo] '<query>'\n  \
          provmin core [--threads N] [--planner KIND] <db-file> '<query>'\n  \
          provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>"
@@ -76,6 +89,53 @@ fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool),
     Ok((positional, options, flags_used))
 }
 
+/// Extracts `minimize`'s engine flags, returning the remaining positional
+/// arguments, the resulting options, and whether any flag was present.
+fn parse_minimize_flags(args: &[String]) -> Result<(Vec<String>, MinimizeOptions, bool), String> {
+    let mut options = MinimizeOptions::default();
+    let mut positional = Vec::new();
+    let mut flags_used = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strategy" => {
+                flags_used = true;
+                options.strategy = match it.next().ok_or("--strategy needs a value")?.as_str() {
+                    "minprov" => Strategy::MinProv,
+                    "auto" => Strategy::Auto,
+                    "standard" => Strategy::Standard,
+                    "dedup" => Strategy::CompleteDedup,
+                    other => return Err(format!("unknown strategy {other}")),
+                };
+            }
+            "--budget-steps" => {
+                flags_used = true;
+                let n: u64 = it
+                    .next()
+                    .ok_or("--budget-steps needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget-steps must be an integer".to_owned())?;
+                options.budget.max_steps = Some(n);
+            }
+            "--budget-ms" => {
+                flags_used = true;
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--budget-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget-ms must be an integer".to_owned())?;
+                options.budget.max_duration = Some(std::time::Duration::from_millis(ms));
+            }
+            "--no-memo" => {
+                flags_used = true;
+                options.memo = false;
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, options, flags_used))
+}
+
 fn parse_query(text: &str) -> Result<UnionQuery, String> {
     let rules = text.replace(';', "\n");
     parse_ucq(&rules).map_err(|e| e.to_string())
@@ -88,30 +148,42 @@ fn load_db(path: &str) -> Result<Database, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (args, options, flags_used) = match parse_eval_flags(&args) {
+    let (args, options, eval_flags_used) = match parse_eval_flags(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}");
             return usage();
         }
     };
-    if flags_used && !matches!(args.first().map(String::as_str), Some("eval" | "core")) {
+    if eval_flags_used && !matches!(args.first().map(String::as_str), Some("eval" | "core")) {
         eprintln!("error: --threads/--planner only apply to eval and core");
+        return usage();
+    }
+    let (args, minimize_options, minimize_flags_used) = match parse_minimize_flags(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return usage();
+        }
+    };
+    if minimize_flags_used && args.first().map(String::as_str) != Some("minimize") {
+        eprintln!("error: --strategy/--budget-*/--no-memo only apply to minimize");
         return usage();
     }
     let result = match args.as_slice() {
         [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
-            run_with_db(cmd, db_path, query, options)
+            run_with_db(cmd, db_path, query, options).map(|()| true)
         }
-        [cmd, query] if cmd == "minimize" => run_minimize(query),
-        [cmd, query] if cmd == "trace" => run_trace(query),
+        [cmd, query] if cmd == "minimize" => run_minimize(query, minimize_options),
+        [cmd, query] if cmd == "trace" => run_trace(query).map(|()| true),
         [cmd, db_path, program_path, pred] if cmd == "datalog" => {
-            run_datalog(db_path, program_path, pred)
+            run_datalog(db_path, program_path, pred).map(|()| true)
         }
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(EXIT_BUDGET_EXHAUSTED),
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -141,11 +213,25 @@ fn run_with_db(cmd: &str, db_path: &str, query: &str, options: EvalOptions) -> R
     Ok(())
 }
 
-fn run_minimize(query: &str) -> Result<(), String> {
+/// Runs the minimization engine; returns `Ok(false)` when the budget was
+/// exhausted (the caller maps that to exit code 3).
+fn run_minimize(query: &str, options: MinimizeOptions) -> Result<bool, String> {
     let q = parse_query(query)?;
-    let minimal = minprov(&q);
-    println!("{minimal}");
-    Ok(())
+    match minimize_with(&q, options).map_err(|e| e.to_string())? {
+        MinimizeOutcome::Complete(minimal) => {
+            println!("{minimal}");
+            Ok(true)
+        }
+        MinimizeOutcome::Partial(partial) => {
+            println!("{}", partial.best);
+            eprintln!(
+                "budget exhausted after {} steps (sound partial result above); \
+                 resume cursor: adjunct {}, completion {}",
+                partial.steps_used, partial.cursor.adjunct, partial.cursor.completion
+            );
+            Ok(false)
+        }
+    }
 }
 
 fn run_trace(query: &str) -> Result<(), String> {

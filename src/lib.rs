@@ -63,6 +63,9 @@ pub use prov_storage as storage;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use prov_core::direct::exact_core;
+    pub use prov_core::minimize::{
+        minimize_with, Budget, MinimizeOptions, MinimizeOutcome, Minimizer, Strategy,
+    };
     pub use prov_core::minprov::{minprov, minprov_cq, minprov_trace};
     pub use prov_core::order::{compare_on, leq_p_on};
     pub use prov_core::pminimal::{p_minimize_auto, p_minimize_overall};
