@@ -49,9 +49,48 @@ criterion_group!(
     benches,
     bench_eval,
     bench_strategy_ablation,
-    bench_parallel_eval
+    bench_parallel_eval,
+    bench_batched_eval
 );
 criterion_main!(benches);
+
+// Columnar batched pipeline vs tuple-at-a-time, cold and with a
+// persistent IndexCache (results are bit-identical across all of them —
+// the three-way equivalence proptest; only wall-clock differs).
+fn bench_batched_eval(c: &mut Criterion) {
+    use prov_engine::{eval_cq_cached, eval_cq_with, EvalOptions, IndexCache};
+    let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+    let triangle = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
+    let mut group = c.benchmark_group("eval_batched_qconj");
+    for &n in &[200usize, 800] {
+        let db = binary_db(n, (n as f64).sqrt() as usize + 2, 1);
+        group.bench_with_input(BenchmarkId::new("tuple", n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq_with(&qconj, db, EvalOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &db, |b, db| {
+            b.iter(|| black_box(eval_cq_with(&qconj, db, EvalOptions::batched())))
+        });
+        group.bench_with_input(BenchmarkId::new("batched_cached", n), &db, |b, db| {
+            let cache = IndexCache::new();
+            b.iter(|| black_box(eval_cq_cached(&qconj, db, EvalOptions::batched(), &cache)))
+        });
+        group.bench_with_input(BenchmarkId::new("batched_par4", n), &db, |b, db| {
+            let options = EvalOptions::batched().with_parallelism(4);
+            b.iter(|| black_box(eval_cq_with(&qconj, db, options)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eval_batched_triangle");
+    let db = binary_db(50, 9, 1);
+    group.bench_with_input(BenchmarkId::new("tuple", 50), &db, |b, db| {
+        b.iter(|| black_box(eval_cq_with(&triangle, db, EvalOptions::default())))
+    });
+    group.bench_with_input(BenchmarkId::new("batched", 50), &db, |b, db| {
+        b.iter(|| black_box(eval_cq_with(&triangle, db, EvalOptions::batched())))
+    });
+    group.finish();
+}
 
 // Ablation (DESIGN.md B1): naive written-order full-scan evaluation vs the
 // planned (syntactic or cost-based + indexed) strategies, on a selective
@@ -79,7 +118,7 @@ fn bench_strategy_ablation(c: &mut Criterion) {
                     EvalOptions {
                         planner: PlannerKind::WrittenOrder,
                         use_index: true,
-                        parallelism: None,
+                        ..EvalOptions::default()
                     },
                 ))
             })

@@ -9,7 +9,9 @@
 //! see `prov_bench::recorder`) and writes the ns/iter map as JSON.
 //! `check` re-runs the suite and compares against a checked-in baseline:
 //! any workload slower than `threshold` × its baseline (default 3x, since
-//! quick-mode numbers are coarse) fails the run with exit code 1. When the
+//! quick-mode numbers are coarse) fails the run with exit code 1, as does
+//! any baseline row the suite no longer measures (a silently-dropped row
+//! would otherwise disable its gate forever). When the
 //! baseline file does not exist, `check` records one to check in but still
 //! exits nonzero — a deleted or mistyped baseline path must not silently
 //! disable the gate.
@@ -148,14 +150,26 @@ fn run_check(args: &Args) -> Result<bool, String> {
             None => println!("{:<44} {:>14} {:>14}    (new)", m.id, "-", m.ns_per_iter),
         }
     }
+    let mut dropped = false;
     for id in baseline.keys() {
         if !measurements.iter().any(|m| &m.id == id) {
-            println!("{id:<44} (in baseline but no longer measured)");
+            // A baseline row the suite no longer measures is a silently
+            // disabled gate (e.g. a renamed workload id): fail loudly so
+            // the baseline gets re-recorded alongside the rename.
+            println!("{id:<44} MISSING (in baseline but no longer measured)");
+            dropped = true;
         }
+    }
+    if dropped {
+        ok = false;
+        eprintln!(
+            "baseline rows missing from the suite: re-record {} to drop them deliberately",
+            args.baseline
+        );
     }
     if !ok {
         eprintln!(
-            "perf regression: at least one workload exceeded {}x its baseline",
+            "perf regression: at least one workload exceeded {}x its baseline (or a baseline row went unmeasured)",
             args.threshold
         );
     }

@@ -54,7 +54,9 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
     use prov_core::direct::{core_polynomial, exact_core};
     use prov_core::minprov::minprov_cq;
     use prov_core::standard::{minimize_complete, minimize_cq};
-    use prov_engine::{eval_cq, eval_cq_with, eval_ucq_with, EvalOptions};
+    use prov_engine::{
+        eval_cq, eval_cq_cached, eval_cq_with, eval_ucq_with, EvalOptions, IndexCache,
+    };
     use prov_query::canonical::canonical_rewriting;
     use prov_query::generate::{chain, qn_family, star};
     use prov_query::parse_cq;
@@ -83,9 +85,26 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
     record("eval_throughput/qconj/800/par4", &mut || {
         std::hint::black_box(eval_cq_with(&qconj, &db800, par4));
     });
+    // Columnar batched pipeline, cold (per-call view build) and against a
+    // persistent IndexCache (the serving configuration: index + columnar
+    // views amortized across evaluations of one loaded database).
+    let batched = EvalOptions::batched();
+    record("eval_throughput/qconj/200/batched", &mut || {
+        std::hint::black_box(eval_cq_with(&qconj, &db200, batched));
+    });
+    record("eval_throughput/qconj/800/batched", &mut || {
+        std::hint::black_box(eval_cq_with(&qconj, &db800, batched));
+    });
+    let cache = IndexCache::new();
+    record("eval_throughput/qconj/800/cached-index", &mut || {
+        std::hint::black_box(eval_cq_cached(&qconj, &db800, batched, &cache));
+    });
     let db50 = binary_db(50, 9, 1);
     record("eval_throughput/triangle/50", &mut || {
         std::hint::black_box(eval_cq(&triangle, &db50));
+    });
+    record("eval_throughput/triangle/50/batched", &mut || {
+        std::hint::black_box(eval_cq_with(&triangle, &db50, batched));
     });
     record("eval_strategy/naive/200", &mut || {
         std::hint::black_box(eval_cq_with(&selective, &db200, EvalOptions::naive()));
@@ -359,6 +378,15 @@ mod tests {
         }
         // Parallel variants present (PR 2's CI-visible surface).
         assert!(ms.iter().any(|m| m.id.ends_with("/par4")));
+        // Batched/cached variants present (PR 4's CI-visible surface).
+        for id in [
+            "eval_throughput/qconj/200/batched",
+            "eval_throughput/qconj/800/batched",
+            "eval_throughput/qconj/800/cached-index",
+            "eval_throughput/triangle/50/batched",
+        ] {
+            assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
+        }
         // Minimization-engine variants present: unbounded vs budgeted
         // rows for the Theorem 4.10 blowup family.
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/2/unmemoized"));

@@ -119,6 +119,15 @@ pub struct MinimizeOptions {
     /// Canonical-form memoization: dedupe candidates by key and cache
     /// containment verdicts per key pair.
     pub memo: bool,
+    /// Adaptive memoization policy: even when `memo` is on, skip
+    /// canonicalization for provably-tiny inputs, whose candidate space
+    /// ([`MinimizeOptions::candidate_estimate`], ≤
+    /// [`MinimizeOptions::TINY_CANDIDATE_THRESHOLD`] completions) can
+    /// never amortize the fixed per-candidate keying cost (~5–7 µs each —
+    /// the `minprov_blowup/qn/2` overhead documented in `docs/PERF.md`).
+    /// Large inputs are unaffected: the memo still kicks in exactly where
+    /// the Theorem 4.10 blowup makes it win.
+    pub auto_memo: bool,
     /// Streaming dominance pruning: drop candidates subsumed by accepted
     /// disjuncts as they arrive (and evict accepted disjuncts subsumed by
     /// new candidates). When off, all candidates accumulate and one
@@ -132,6 +141,7 @@ impl Default for MinimizeOptions {
             strategy: Strategy::default(),
             budget: Budget::unbounded(),
             memo: true,
+            auto_memo: true,
             dominance: true,
         }
     }
@@ -162,6 +172,40 @@ impl MinimizeOptions {
     pub fn with_dominance(mut self, dominance: bool) -> Self {
         self.dominance = dominance;
         self
+    }
+
+    /// Returns the options with the adaptive tiny-input memo skip
+    /// switched on/off.
+    pub fn with_auto_memo(mut self, auto_memo: bool) -> Self {
+        self.auto_memo = auto_memo;
+        self
+    }
+
+    /// Candidate spaces at or below this size skip canonicalization under
+    /// `auto_memo`: ~2 disjuncts of Bell(4) = 15 completions each, the
+    /// regime where keying cost dominates any dedup win.
+    pub const TINY_CANDIDATE_THRESHOLD: u64 = 32;
+
+    /// Upper bound on the `MinProv` candidate space: completions of an
+    /// adjunct are variable-set partitions, so Σ Bell(#vars) over
+    /// adjuncts. Saturates above Bell(8); only the comparison against
+    /// [`MinimizeOptions::TINY_CANDIDATE_THRESHOLD`] matters.
+    pub fn candidate_estimate(q: &UnionQuery) -> u64 {
+        const BELL: [u64; 9] = [1, 1, 2, 5, 15, 52, 203, 877, 4140];
+        q.adjuncts()
+            .iter()
+            .map(|a| {
+                let vars = a.variables().len();
+                BELL.get(vars).copied().unwrap_or(u64::MAX / 2)
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// The memoization setting in effect for `q`: `memo`, unless
+    /// `auto_memo` classifies the input as provably tiny.
+    pub fn memo_for(&self, q: &UnionQuery) -> bool {
+        self.memo
+            && !(self.auto_memo && Self::candidate_estimate(q) <= Self::TINY_CANDIDATE_THRESHOLD)
     }
 
     /// The seed implementation's shape: eager accumulation, offline prune,
@@ -291,6 +335,9 @@ pub struct Minimizer {
     options: MinimizeOptions,
     memo: HomMemo,
     stats: MinimizeStats,
+    /// The memo setting in effect for the current call (the `auto_memo`
+    /// policy resolves per input query; see [`MinimizeOptions::memo_for`]).
+    memo_enabled: bool,
 }
 
 impl Minimizer {
@@ -300,6 +347,7 @@ impl Minimizer {
             options,
             memo: HomMemo::new(),
             stats: MinimizeStats::default(),
+            memo_enabled: options.memo,
         }
     }
 
@@ -320,6 +368,7 @@ impl Minimizer {
 
     /// Minimizes `q` under the engine's strategy and budget.
     pub fn minimize(&mut self, q: &UnionQuery) -> Result<MinimizeOutcome, MinimizeError> {
+        self.memo_enabled = self.options.memo_for(q);
         match self.options.strategy {
             Strategy::MinProv => Ok(self.run_minprov(q, Cursor::default(), Vec::new())),
             Strategy::Auto => {
@@ -351,6 +400,7 @@ impl Minimizer {
         q: &UnionQuery,
         partial: PartialMinimization,
     ) -> Result<MinimizeOutcome, MinimizeError> {
+        self.memo_enabled = self.options.memo_for(q);
         Ok(self.run_minprov(q, partial.cursor, partial.accepted))
     }
 
@@ -484,7 +534,7 @@ impl Minimizer {
         let relations: std::collections::BTreeSet<_> =
             query.atoms().iter().map(|a| a.relation).collect();
         let num_vars = query.variables().len();
-        let key_id = self.options.memo.then(|| self.memo.key_id(&query));
+        let key_id = self.memo_enabled.then(|| self.memo.key_id(&query));
         Disjunct {
             relations,
             num_vars,
@@ -527,7 +577,7 @@ impl Minimizer {
         let minimized: Vec<ConjunctiveQuery> = q.adjuncts().iter().map(minimize_cq).collect();
         let kept = prune_contained(minimized, |small, big| {
             self.stats.hom_checks += 1;
-            if self.options.memo {
+            if self.memo_enabled {
                 self.memo.hom_exists(big, small)
             } else {
                 prov_query::homomorphism::homomorphism_exists(big, small)
@@ -549,7 +599,7 @@ impl Minimizer {
             .collect();
         let kept = prune_contained(minimized, |small, big| {
             self.stats.hom_checks += 1;
-            if self.options.memo {
+            if self.memo_enabled {
                 self.memo.hom_exists(big, small)
             } else {
                 prov_query::homomorphism::homomorphism_exists(big, small)
@@ -621,8 +671,10 @@ mod tests {
 
     #[test]
     fn memoization_skips_isomorphic_candidates() {
+        // qn_family(2) is "tiny" under the adaptive policy; force the memo
+        // on so this test keeps exercising it.
         let q = UnionQuery::single(qn_family(2));
-        let mut engine = Minimizer::new(MinimizeOptions::default());
+        let mut engine = Minimizer::new(MinimizeOptions::default().with_auto_memo(false));
         let out = engine.minimize(&q).unwrap().into_query();
         assert!(engine.stats().memo_dedup_skips > 0, "{:?}", engine.stats());
         assert!(equivalent(&q, &out));
@@ -749,7 +801,7 @@ mod tests {
 
     #[test]
     fn engine_amortizes_memo_across_queries() {
-        let mut engine = Minimizer::new(MinimizeOptions::default());
+        let mut engine = Minimizer::new(MinimizeOptions::default().with_auto_memo(false));
         let q = UnionQuery::single(qn_family(2));
         engine.minimize(&q).unwrap();
         let misses_first = engine.memo_stats().hom_misses;
@@ -759,6 +811,51 @@ mod tests {
             misses_first,
             "second run of the same query must be fully served by the memo"
         );
+    }
+
+    #[test]
+    fn auto_memo_skips_canonicalization_on_tiny_inputs() {
+        // Regression for the ~80 µs fixed overhead on minprov_blowup/qn/2:
+        // tiny inputs must not pay per-candidate canonical keying.
+        let tiny = UnionQuery::single(qn_family(2)); // 4 vars → Bell(4) = 15
+        assert!(
+            MinimizeOptions::candidate_estimate(&tiny) <= MinimizeOptions::TINY_CANDIDATE_THRESHOLD
+        );
+        let mut engine = Minimizer::new(MinimizeOptions::default());
+        let out = engine.minimize(&tiny).unwrap().into_query();
+        let memo = engine.memo_stats();
+        assert_eq!(
+            (memo.key_hits, memo.key_misses),
+            (0, 0),
+            "tiny input must skip canonical keying entirely: {memo:?}"
+        );
+        assert_eq!(engine.stats().memo_dedup_skips, 0);
+        // Same output as the forced-memo run.
+        let forced = minimize_with(&tiny, MinimizeOptions::default().with_auto_memo(false))
+            .unwrap()
+            .into_query();
+        assert_eq!(out.len(), forced.len());
+        assert!(equivalent(&out, &forced));
+
+        // Above the threshold the memo must still engage (qn_family(3) has
+        // 6 vars → Bell(6) = 203 candidates — the regime where it wins).
+        let large = UnionQuery::single(qn_family(3));
+        assert!(
+            MinimizeOptions::candidate_estimate(&large) > MinimizeOptions::TINY_CANDIDATE_THRESHOLD
+        );
+        let mut engine = Minimizer::new(MinimizeOptions::default());
+        engine.minimize(&large).unwrap();
+        assert!(
+            engine.memo_stats().key_misses > 0,
+            "large input must memoize"
+        );
+        assert!(engine.stats().memo_dedup_skips > 0);
+
+        // Disabling the policy restores unconditional memoization on tiny
+        // inputs; disabling memo wins over auto_memo either way.
+        let explicit = MinimizeOptions::default().with_auto_memo(false);
+        assert!(explicit.memo_for(&tiny));
+        assert!(!MinimizeOptions::unmemoized().memo_for(&large));
     }
 
     #[test]

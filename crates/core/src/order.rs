@@ -16,9 +16,12 @@ use prov_storage::Database;
 pub fn leq_p_on(db: &Database, q: &UnionQuery, q2: &UnionQuery) -> bool {
     let r1 = eval_ucq(q, db);
     let r2 = eval_ucq(q2, db);
-    r1.iter()
-        .all(|(t, p)| order::poly_leq(p, &r2.provenance(t)))
-        && r2.iter().all(|(t, _)| r1.contains(t))
+    // Borrowed lookup: a tuple absent from r2 has zero provenance, and no
+    // stored (hence non-zero) polynomial is ≤ zero.
+    r1.iter().all(|(t, p)| {
+        r2.provenance_ref(t)
+            .is_some_and(|p2| order::poly_leq(p, p2))
+    }) && r2.iter().all(|(t, _)| r1.contains(t))
 }
 
 /// Full per-instance comparison of two equivalent queries.

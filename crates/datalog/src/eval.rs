@@ -34,12 +34,20 @@ impl DatalogResult {
     }
 
     /// The provenance of one derived tuple (zero polynomial if absent).
+    /// Clones; prefer [`DatalogResult::provenance_ref`] when a borrow
+    /// suffices.
     pub fn provenance(&self, predicate: RelName, t: &Tuple) -> Polynomial {
         self.per_predicate
             .get(&predicate)
             .and_then(|m| m.get(t))
             .cloned()
             .unwrap_or_else(Polynomial::zero_poly)
+    }
+
+    /// Borrows the provenance of one derived tuple (`None` if absent;
+    /// stored polynomials are never zero).
+    pub fn provenance_ref(&self, predicate: RelName, t: &Tuple) -> Option<&Polynomial> {
+        self.per_predicate.get(&predicate).and_then(|m| m.get(t))
     }
 
     /// The evaluated predicates.

@@ -1,0 +1,552 @@
+//! Columnar batched evaluation (Def 2.6 / Def 2.12 executed block-wise).
+//!
+//! The tuple-at-a-time path extends one partial assignment at a time,
+//! paying a `BTreeMap` binding update, a `Tuple` clone, and a fresh
+//! `Monomial` per enumerated assignment. This module carries a **block**
+//! of partial assignments instead, in struct-of-arrays form: one
+//! contiguous `Vec<Value>` column per bound variable plus one
+//! `Vec<Annotation>` column per matched atom (the factor columns of the
+//! eventual monomials). Each planned atom maps a block to the next block
+//! with a probe/filter pass over the relation's columnar view
+//! ([`prov_storage::ColumnarRelation`]) followed by columnar gathers;
+//! provenance is accumulated in place through the reused factor buffer of
+//! [`prov_semiring::MonomialBuilder`] and
+//! `Polynomial::add_occurrence` — no per-derivation temporaries.
+//!
+//! Correctness: the pipeline enumerates exactly the assignments of
+//! Def 2.6 in a different grouping, and ⊕ is commutative and associative
+//! with a canonical coefficient-map representation, so the result is
+//! *equal* — not merely equivalent — to the sequential and parallel
+//! tuple-at-a-time results (checked by the three-way equivalence proptest
+//! in `tests/parallel_consistency.rs`). Parallelism composes by sharding
+//! the first atom's block into chunks work-stolen by scoped threads, the
+//! same ⊕-merge argument as [`crate::parallel`].
+//!
+//! Memory note: each step materializes its full assignment frontier. The
+//! frontier of the *last* step equals the result's occurrence count (which
+//! the tuple path also materializes as `Vec<Assignment>`), but skewed
+//! intermediate joins can peak higher than the depth-first path's O(depth)
+//! working set — the classic vectorized-executor trade.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use prov_query::{ConjunctiveQuery, Term, Variable};
+use prov_semiring::{Annotation, MonomialBuilder};
+use prov_storage::{ColumnarRelation, Database, RelName, Value};
+
+use crate::cache::EvalViews;
+use crate::eval::{AnnotatedResult, EvalOptions};
+use crate::index::RelationIndex;
+
+/// How many block chunks each worker thread gets on average; matches the
+/// over-partitioning policy of [`crate::parallel`].
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// How to produce one value of an output tuple or disequality operand.
+#[derive(Clone, Copy, Debug)]
+enum Fetch {
+    /// Read the block column with this id.
+    Col(usize),
+    /// A constant.
+    Const(Value),
+}
+
+/// A disequality scheduled at the first step where both sides are bound.
+#[derive(Clone, Copy, Debug)]
+struct DiseqPlan {
+    /// The left side's block column.
+    left: usize,
+    /// The right side (column or constant).
+    right: Fetch,
+}
+
+/// The compiled extension step for one planned atom: which relation to
+/// probe and how each argument position constrains or extends the block.
+struct AtomPlan {
+    rel: RelName,
+    /// Positions that must equal a constant.
+    const_checks: Vec<(usize, Value)>,
+    /// Positions that must equal an already-bound block column.
+    bound_checks: Vec<(usize, usize)>,
+    /// Positions that must equal an earlier position of the same row
+    /// (a variable repeated within this atom, first bound here).
+    self_checks: Vec<(usize, usize)>,
+    /// Positions whose values become new block columns, in column order.
+    binds: Vec<usize>,
+    /// Disequalities that become fully bound after this step.
+    diseqs: Vec<DiseqPlan>,
+}
+
+/// A block of partial assignments in struct-of-arrays form.
+#[derive(Clone, Debug, Default)]
+struct Block {
+    len: usize,
+    /// One column per bound variable, in binding order.
+    cols: Vec<Vec<Value>>,
+    /// One annotation column per matched atom (monomial factors).
+    annot_cols: Vec<Vec<Annotation>>,
+}
+
+impl Block {
+    /// The unit block: one empty partial assignment.
+    fn unit() -> Self {
+        Block {
+            len: 1,
+            cols: Vec::new(),
+            annot_cols: Vec::new(),
+        }
+    }
+
+    /// Copies the row range `[start, end)` out as its own block.
+    fn slice(&self, start: usize, end: usize) -> Block {
+        Block {
+            len: end - start,
+            cols: self.cols.iter().map(|c| c[start..end].to_vec()).collect(),
+            annot_cols: self
+                .annot_cols
+                .iter()
+                .map(|c| c[start..end].to_vec())
+                .collect(),
+        }
+    }
+}
+
+/// Compiles the planned atom order into extension steps plus the head
+/// fetch plan. `order` must be a permutation of the query's atom indices.
+fn build_plans(q: &ConjunctiveQuery, order: &[usize]) -> (Vec<AtomPlan>, Vec<Fetch>) {
+    let mut col_of: std::collections::BTreeMap<Variable, usize> = std::collections::BTreeMap::new();
+    let mut scheduled = vec![false; q.diseqs().len()];
+    let mut plans = Vec::with_capacity(order.len());
+    for &ai in order {
+        let atom = &q.atoms()[ai];
+        let mut plan = AtomPlan {
+            rel: atom.relation,
+            const_checks: Vec::new(),
+            bound_checks: Vec::new(),
+            self_checks: Vec::new(),
+            binds: Vec::new(),
+            diseqs: Vec::new(),
+        };
+        let mut first_pos: std::collections::BTreeMap<Variable, usize> =
+            std::collections::BTreeMap::new();
+        for (pos, term) in atom.args.iter().enumerate() {
+            match term {
+                Term::Const(c) => plan.const_checks.push((pos, *c)),
+                Term::Var(v) => {
+                    // A variable first bound by this very atom has no block
+                    // column yet — repeats of it are within-row equality
+                    // checks, not column probes.
+                    if let Some(&p0) = first_pos.get(v) {
+                        plan.self_checks.push((pos, p0));
+                    } else if let Some(&col) = col_of.get(v) {
+                        plan.bound_checks.push((pos, col));
+                    } else {
+                        first_pos.insert(*v, pos);
+                        col_of.insert(*v, col_of.len());
+                        plan.binds.push(pos);
+                    }
+                }
+            }
+        }
+        // Disequalities check as soon as both sides are bound — the same
+        // eager schedule as the tuple path's `diseqs_satisfiable` (sides
+        // never bound are never checked there either).
+        for (di, d) in q.diseqs().iter().enumerate() {
+            if scheduled[di] {
+                continue;
+            }
+            let left = col_of.get(&d.left()).copied();
+            let right = match d.right() {
+                Term::Var(v) => col_of.get(&v).copied().map(Fetch::Col),
+                Term::Const(c) => Some(Fetch::Const(c)),
+            };
+            if let (Some(left), Some(right)) = (left, right) {
+                plan.diseqs.push(DiseqPlan { left, right });
+                scheduled[di] = true;
+            }
+        }
+        plans.push(plan);
+    }
+    let head = q
+        .head()
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => Fetch::Col(*col_of.get(v).expect("head variable bound (query safety)")),
+            Term::Const(c) => Fetch::Const(*c),
+        })
+        .collect();
+    (plans, head)
+}
+
+/// Maps `block` through one atom: probe the relation for matching rows per
+/// partial assignment, then gather the surviving columns.
+fn extend_block(
+    block: &Block,
+    plan: &AtomPlan,
+    rel: &ColumnarRelation,
+    index: Option<&RelationIndex>,
+) -> Block {
+    // Checks independent of the parent assignment.
+    let static_ok = |row: usize| {
+        plan.const_checks
+            .iter()
+            .all(|&(pos, v)| rel.column(pos)[row] == v)
+            && plan
+                .self_checks
+                .iter()
+                .all(|&(pos, p0)| rel.column(pos)[row] == rel.column(p0)[row])
+    };
+
+    // The join phase: (parent, relation row) match pairs.
+    let mut parents: Vec<u32> = Vec::new();
+    let mut rows: Vec<u32> = Vec::new();
+    if plan.bound_checks.is_empty() {
+        // The candidate set is parent-independent: filter the column scan
+        // (or the most selective constant posting list) once and fan it
+        // out to every partial assignment in the block.
+        let candidates: Vec<u32> = match index {
+            Some(ix) if !plan.const_checks.is_empty() => ix
+                .most_selective(&plan.const_checks)
+                .expect("constraints are non-empty")
+                .iter()
+                .copied()
+                .filter(|&r| static_ok(r as usize))
+                .collect(),
+            _ => (0..rel.len() as u32)
+                .filter(|&r| static_ok(r as usize))
+                .collect(),
+        };
+        parents.reserve(block.len * candidates.len());
+        rows.reserve(block.len * candidates.len());
+        for parent in 0..block.len as u32 {
+            for &r in &candidates {
+                parents.push(parent);
+                rows.push(r);
+            }
+        }
+    } else {
+        let mut constraints: Vec<(usize, Value)> =
+            Vec::with_capacity(plan.const_checks.len() + plan.bound_checks.len());
+        for parent in 0..block.len {
+            let row_ok = |row: usize| {
+                static_ok(row)
+                    && plan
+                        .bound_checks
+                        .iter()
+                        .all(|&(pos, col)| rel.column(pos)[row] == block.cols[col][parent])
+            };
+            match index {
+                Some(ix) => {
+                    constraints.clear();
+                    constraints.extend_from_slice(&plan.const_checks);
+                    constraints.extend(
+                        plan.bound_checks
+                            .iter()
+                            .map(|&(pos, col)| (pos, block.cols[col][parent])),
+                    );
+                    let posting = ix
+                        .most_selective(&constraints)
+                        .expect("bound checks are non-empty");
+                    for &r in posting {
+                        if row_ok(r as usize) {
+                            parents.push(parent as u32);
+                            rows.push(r);
+                        }
+                    }
+                }
+                None => {
+                    for r in 0..rel.len() {
+                        if row_ok(r) {
+                            parents.push(parent as u32);
+                            rows.push(r as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // The gather phase: existing columns follow the parent ids, new
+    // columns and the new annotation column follow the matched rows.
+    let mut cols: Vec<Vec<Value>> = Vec::with_capacity(block.cols.len() + plan.binds.len());
+    for c in &block.cols {
+        cols.push(parents.iter().map(|&p| c[p as usize]).collect());
+    }
+    for &pos in &plan.binds {
+        let col = rel.column(pos);
+        cols.push(rows.iter().map(|&r| col[r as usize]).collect());
+    }
+    let mut annot_cols: Vec<Vec<Annotation>> = Vec::with_capacity(block.annot_cols.len() + 1);
+    for c in &block.annot_cols {
+        annot_cols.push(parents.iter().map(|&p| c[p as usize]).collect());
+    }
+    let annotations = rel.annotations();
+    annot_cols.push(rows.iter().map(|&r| annotations[r as usize]).collect());
+    Block {
+        len: parents.len(),
+        cols,
+        annot_cols,
+    }
+}
+
+/// Drops block rows violating any of the newly-bound disequalities,
+/// compacting every column in place.
+fn apply_diseqs(block: &mut Block, diseqs: &[DiseqPlan]) {
+    if diseqs.is_empty() || block.len == 0 {
+        return;
+    }
+    let keep: Vec<u32> = (0..block.len)
+        .filter(|&i| {
+            diseqs.iter().all(|d| {
+                let left = block.cols[d.left][i];
+                let right = match d.right {
+                    Fetch::Col(c) => block.cols[c][i],
+                    Fetch::Const(v) => v,
+                };
+                left != right
+            })
+        })
+        .map(|i| i as u32)
+        .collect();
+    if keep.len() == block.len {
+        return;
+    }
+    for c in &mut block.cols {
+        *c = keep.iter().map(|&i| c[i as usize]).collect();
+    }
+    for c in &mut block.annot_cols {
+        *c = keep.iter().map(|&i| c[i as usize]).collect();
+    }
+    block.len = keep.len();
+}
+
+/// Runs `block` through the remaining steps and accumulates the surviving
+/// assignments' provenance into `result` in place.
+fn finish_chunk(
+    mut block: Block,
+    plans: &[AtomPlan],
+    rels: &[&ColumnarRelation],
+    indexes: &[Option<&RelationIndex>],
+    head: &[Fetch],
+    result: &mut AnnotatedResult,
+) {
+    for ((plan, rel), index) in plans.iter().zip(rels).zip(indexes) {
+        if block.len == 0 {
+            return;
+        }
+        block = extend_block(&block, plan, rel, *index);
+        apply_diseqs(&mut block, &plan.diseqs);
+    }
+    let mut builder = MonomialBuilder::new();
+    let mut head_buf: Vec<Value> = Vec::with_capacity(head.len());
+    for i in 0..block.len {
+        head_buf.clear();
+        for f in head {
+            head_buf.push(match *f {
+                Fetch::Col(c) => block.cols[c][i],
+                Fetch::Const(v) => v,
+            });
+        }
+        builder.clear();
+        for annot_col in &block.annot_cols {
+            builder.push(annot_col[i]);
+        }
+        result.record_occurrence(&head_buf, builder.as_sorted());
+    }
+}
+
+/// Evaluates `q` over `db` through the columnar batched pipeline,
+/// returning a result identical to the tuple-at-a-time strategies.
+pub(crate) fn eval_cq_batched(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+    views: &EvalViews,
+) -> AnnotatedResult {
+    debug_assert!(!q.atoms().is_empty(), "caller handles atom-free queries");
+    let mut result = AnnotatedResult::default();
+    // An absent relation or an arity mismatch anywhere empties the result.
+    for atom in q.atoms() {
+        match db.relation(atom.relation) {
+            Some(r) if r.arity() == atom.arity() => {}
+            _ => return result,
+        }
+    }
+    let order = options.planner.order(q, db);
+    let (plans, head) = build_plans(q, &order);
+    let columnar = views.columnar(db);
+    let index = options.use_index.then(|| views.database_index(db));
+    let rels: Vec<&ColumnarRelation> = plans
+        .iter()
+        .map(|p| columnar.relation(p.rel).expect("relation validated above"))
+        .collect();
+    let indexes: Vec<Option<&RelationIndex>> = plans
+        .iter()
+        .map(|p| index.and_then(|ix| ix.relation(p.rel)))
+        .collect();
+
+    // First step from the unit block, shared by both execution modes.
+    let mut block = extend_block(&Block::unit(), &plans[0], rels[0], indexes[0]);
+    apply_diseqs(&mut block, &plans[0].diseqs);
+
+    let threads = options.effective_threads();
+    if threads < 2 || plans.len() < 2 || block.len < 2 {
+        finish_chunk(
+            block,
+            &plans[1..],
+            &rels[1..],
+            &indexes[1..],
+            &head,
+            &mut result,
+        );
+        return result;
+    }
+
+    // Parallel mode: shard the first-atom block into chunks, work-stolen
+    // by scoped threads; ⊕-merge the private partial results.
+    let num_chunks = (threads * CHUNKS_PER_THREAD).min(block.len).max(1);
+    let bounds: Vec<(usize, usize)> = (0..num_chunks)
+        .map(|i| (i * block.len / num_chunks, (i + 1) * block.len / num_chunks))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let partials: Vec<AnnotatedResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = AnnotatedResult::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= bounds.len() {
+                            break;
+                        }
+                        let (start, end) = bounds[i];
+                        finish_chunk(
+                            block.slice(start, end),
+                            &plans[1..],
+                            &rels[1..],
+                            &indexes[1..],
+                            &head,
+                            &mut local,
+                        );
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batched evaluation worker panicked"))
+            .collect()
+    });
+    for partial in partials {
+        result.merge(partial);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_cq_with, eval_ucq_with};
+    use prov_query::{parse_cq, parse_ucq};
+    use prov_storage::Tuple;
+
+    fn table_2_database() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        db.add("R", &["b", "a"], "s3");
+        db.add("R", &["b", "b"], "s4");
+        db
+    }
+
+    #[test]
+    fn batched_matches_paper_examples() {
+        let db = table_2_database();
+        let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+        let result = eval_cq_with(&qconj, &db, EvalOptions::batched());
+        assert_eq!(
+            result.provenance(&Tuple::of(&["a"])),
+            prov_semiring::Polynomial::parse("s2·s3 + s1·s1")
+        );
+        assert_eq!(
+            result.provenance(&Tuple::of(&["b"])),
+            prov_semiring::Polynomial::parse("s3·s2 + s4·s4")
+        );
+    }
+
+    #[test]
+    fn batched_equals_tuple_at_a_time_on_paper_queries() {
+        let db = table_2_database();
+        for text in [
+            "ans(x) :- R(x,y), R(y,x)",
+            "ans() :- R(x,y), R(y,z), R(z,x)",
+            "ans(x) :- R(x,'b')",
+            "ans(x) :- R(x,y), R(y,x), x != y",
+            "ans(x,y) :- R(x,y), x != 'a'",
+            "ans() :- R(x,x), R(x,y), R(y,y)",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let reference = eval_cq_with(&q, &db, EvalOptions::naive());
+            for options in [
+                EvalOptions::batched(),
+                EvalOptions::batched().with_parallelism(3),
+                EvalOptions {
+                    use_index: false,
+                    ..EvalOptions::batched()
+                },
+                EvalOptions::batched().with_planner(crate::PlannerKind::Syntactic),
+                EvalOptions::batched().with_planner(crate::PlannerKind::WrittenOrder),
+            ] {
+                assert_eq!(
+                    eval_cq_with(&q, &db, options),
+                    reference,
+                    "{options:?} disagrees on {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_handles_missing_relation_and_arity_mismatch() {
+        let db = table_2_database();
+        for text in ["ans(x) :- Missing(x)", "ans(x) :- R(x)"] {
+            let q = parse_cq(text).unwrap();
+            assert!(eval_cq_with(&q, &db, EvalOptions::batched()).is_empty());
+        }
+    }
+
+    #[test]
+    fn batched_repeated_variable_within_atom() {
+        // R(x,x) with x unbound exercises the self-check path.
+        let db = table_2_database();
+        let q = parse_cq("ans(x) :- R(x,x)").unwrap();
+        let result = eval_cq_with(&q, &db, EvalOptions::batched());
+        assert_eq!(result, eval_cq_with(&q, &db, EvalOptions::naive()));
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn batched_ucq_shares_one_index_build() {
+        let db = table_2_database();
+        let q = parse_ucq(
+            "ans(x) :- R(x,y), R(y,x), x != y\n\
+             ans(x) :- R(x,x)",
+        )
+        .unwrap();
+        let batched = eval_ucq_with(&q, &db, EvalOptions::batched());
+        let reference = eval_ucq_with(&q, &db, EvalOptions::naive());
+        assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn batched_unit_head_on_empty_body_result() {
+        // A boolean query over an empty relation: zero provenance, no rows.
+        let mut db = Database::new();
+        db.add("S", &["a"], "bt_s");
+        db.remove(prov_storage::RelName::new("S"), &Tuple::of(&["a"]));
+        let q = parse_cq("ans() :- S(x)").unwrap();
+        assert!(eval_cq_with(&q, &db, EvalOptions::batched()).is_empty());
+    }
+}

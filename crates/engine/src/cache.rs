@@ -1,0 +1,184 @@
+//! A persistent index cache keyed by database generation.
+//!
+//! Building a [`DatabaseIndex`] (and, for the batched pipeline, the
+//! columnar views) costs a full pass over the database — wasted work when
+//! the same database is evaluated repeatedly: across the disjuncts of one
+//! UCQ, across the queries of one CLI invocation or serving process, and
+//! across benchmark iterations. An [`IndexCache`] keeps the most recent
+//! build keyed by [`prov_storage::Database::generation`], the monotonic
+//! version stamp every mutation bumps: a matching stamp guarantees equal
+//! content, so the cached views are reused; a moved stamp forces a
+//! rebuild (never a stale read).
+//!
+//! Views are built lazily inside a shared [`EvalViews`]: the tuple-at-a-
+//! time path only ever pays for the posting-list index, the batched path
+//! additionally materializes columnar views, and the naive path builds
+//! nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use prov_storage::{ColumnarDatabase, Database};
+
+use crate::index::DatabaseIndex;
+
+/// Lazily-built derived read structures for one database generation.
+///
+/// Cheap to create (nothing is built until first use); shareable across
+/// threads via `Arc`. Both views are memoized with [`OnceLock`], so
+/// concurrent evaluations build each at most once.
+#[derive(Debug)]
+pub struct EvalViews {
+    generation: u64,
+    index: OnceLock<DatabaseIndex>,
+    columnar: OnceLock<ColumnarDatabase>,
+}
+
+impl EvalViews {
+    /// Fresh (empty) views for `db`'s current generation.
+    pub fn new(db: &Database) -> Self {
+        EvalViews {
+            generation: db.generation(),
+            index: OnceLock::new(),
+            columnar: OnceLock::new(),
+        }
+    }
+
+    /// The generation stamp these views were created against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The posting-list index, built on first use. `db` must be the
+    /// database these views were created for (same generation).
+    pub fn database_index(&self, db: &Database) -> &DatabaseIndex {
+        debug_assert_eq!(self.generation, db.generation(), "stale EvalViews");
+        self.index.get_or_init(|| DatabaseIndex::build(db))
+    }
+
+    /// The columnar views, built on first use. `db` must be the database
+    /// these views were created for (same generation).
+    pub fn columnar(&self, db: &Database) -> &ColumnarDatabase {
+        debug_assert_eq!(self.generation, db.generation(), "stale EvalViews");
+        self.columnar
+            .get_or_init(|| ColumnarDatabase::from_database(db))
+    }
+}
+
+/// Hit/miss counters of one [`IndexCache`] (cumulative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served by the cached entry (generation matched).
+    pub hits: u64,
+    /// Lookups that created a fresh entry (first use or stale stamp).
+    pub misses: u64,
+}
+
+/// A one-entry cache of [`EvalViews`] keyed by database generation.
+///
+/// One entry suffices for the serving patterns this accelerates — many
+/// queries against one loaded database — and makes invalidation trivial:
+/// a mutated database presents a new generation and atomically displaces
+/// the stale entry. Thread-safe; cheap to share by reference.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    entry: Mutex<Option<Arc<EvalViews>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl IndexCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        IndexCache::default()
+    }
+
+    /// The views for `db`'s current generation: the cached entry when its
+    /// stamp matches, else a fresh entry that replaces it.
+    pub fn views(&self, db: &Database) -> Arc<EvalViews> {
+        let mut entry = self.entry.lock().expect("index cache poisoned");
+        if let Some(views) = entry.as_ref() {
+            if views.generation() == db.generation() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(views);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let views = Arc::new(EvalViews::new(db));
+        *entry = Some(Arc::clone(&views));
+        views
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_storage::RelName;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "b"], "ca1");
+        db.add("R", &["b", "c"], "ca2");
+        db
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let db = sample();
+        let cache = IndexCache::new();
+        let v1 = cache.views(&db);
+        let v2 = cache.views(&db);
+        assert!(Arc::ptr_eq(&v1, &v2), "same generation must share views");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let mut db = sample();
+        let cache = IndexCache::new();
+        let before = cache.views(&db);
+        assert_eq!(
+            before
+                .database_index(&db)
+                .relation(RelName::new("R"))
+                .unwrap()
+                .len(),
+            2
+        );
+        db.add("R", &["c", "d"], "ca3");
+        let after = cache.views(&db);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "stale entry must be rebuilt, not reused"
+        );
+        assert_eq!(
+            after
+                .database_index(&db)
+                .relation(RelName::new("R"))
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn views_build_lazily_and_once() {
+        let db = sample();
+        let views = EvalViews::new(&db);
+        let i1: *const DatabaseIndex = views.database_index(&db);
+        let i2: *const DatabaseIndex = views.database_index(&db);
+        assert_eq!(i1, i2, "index is memoized");
+        let c1: *const ColumnarDatabase = views.columnar(&db);
+        let c2: *const ColumnarDatabase = views.columnar(&db);
+        assert_eq!(c1, c2, "columnar views are memoized");
+    }
+}

@@ -12,10 +12,11 @@
 use std::collections::BTreeMap;
 
 use prov_query::{ConjunctiveQuery, Term, UnionQuery, Variable};
-use prov_semiring::{CommutativeSemiring, Polynomial};
+use prov_semiring::{Annotation, CommutativeSemiring, Polynomial};
 use prov_storage::{Database, Tuple, Valuation, Value};
 
 use crate::assignment::Assignment;
+use crate::cache::IndexCache;
 use crate::index::DatabaseIndex;
 use crate::planner::PlannerKind;
 
@@ -28,12 +29,20 @@ pub struct AnnotatedResult {
 
 impl AnnotatedResult {
     /// The provenance of `t`, or the zero polynomial if `t` is not in the
-    /// result.
+    /// result. Clones; prefer [`AnnotatedResult::provenance_ref`] when a
+    /// borrow suffices.
     pub fn provenance(&self, t: &Tuple) -> Polynomial {
         self.tuples
             .get(t)
             .cloned()
             .unwrap_or_else(Polynomial::zero_poly)
+    }
+
+    /// Borrows the provenance of `t`, or `None` if `t` is not in the
+    /// result. Stored polynomials are never zero (every entry records at
+    /// least one derivation), so `None` is exactly "zero provenance".
+    pub fn provenance_ref(&self, t: &Tuple) -> Option<&Polynomial> {
+        self.tuples.get(t)
     }
 
     /// For boolean queries: the provenance of the empty tuple
@@ -95,6 +104,20 @@ impl AnnotatedResult {
             .or_insert_with(Polynomial::zero_poly)
             .add_monomial(m);
     }
+
+    /// Records one derivation given as its head values and **sorted**
+    /// monomial factor slice, allocating a `Tuple`/`Monomial` only when
+    /// the entry is new — the batched pipeline's in-place accumulation.
+    pub(crate) fn record_occurrence(&mut self, head: &[Value], factors: &[Annotation]) {
+        match self.tuples.get_mut(head) {
+            Some(p) => p.add_occurrence(factors),
+            None => {
+                let mut p = Polynomial::zero_poly();
+                p.add_occurrence(factors);
+                self.tuples.insert(Tuple::new(head.to_vec()), p);
+            }
+        }
+    }
 }
 
 /// Evaluation strategy knobs (the B1 ablation axes).
@@ -107,6 +130,11 @@ pub struct EvalOptions {
     /// Number of worker threads for sharded parallel evaluation.
     /// `None` or `Some(0|1)` evaluates sequentially (the default).
     pub parallelism: Option<usize>,
+    /// Columnar batched extension: carry blocks of
+    /// partial assignments through the planned atom order instead of
+    /// recursing one assignment at a time. Identical results; composes
+    /// with `parallelism` by sharding blocks.
+    pub batch: bool,
 }
 
 impl Default for EvalOptions {
@@ -115,6 +143,7 @@ impl Default for EvalOptions {
             planner: PlannerKind::CostBased,
             use_index: true,
             parallelism: None,
+            batch: false,
         }
     }
 }
@@ -126,7 +155,21 @@ impl EvalOptions {
             planner: PlannerKind::WrittenOrder,
             use_index: false,
             parallelism: None,
+            batch: false,
         }
+    }
+
+    /// The columnar batched pipeline under the default planner/index.
+    pub fn batched() -> Self {
+        EvalOptions {
+            batch: true,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// This strategy with batched extension switched on/off.
+    pub fn with_batch(self, batch: bool) -> Self {
+        EvalOptions { batch, ..self }
     }
 
     /// The pre-cost-planner default: syntactic most-bound-first ordering
@@ -169,16 +212,27 @@ pub fn assignments_with(
     db: &Database,
     options: EvalOptions,
 ) -> Vec<Assignment> {
+    let index = options.use_index.then(|| DatabaseIndex::build(db));
+    collect_assignments(q, db, options, index.as_ref())
+}
+
+/// The sequential assignment enumeration against a pre-built (possibly
+/// cached) index.
+fn collect_assignments(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+    index: Option<&DatabaseIndex>,
+) -> Vec<Assignment> {
     let n = q.atoms().len();
     let order = options.planner.order(q, db);
-    let index = options.use_index.then(|| DatabaseIndex::build(db));
     let mut out = Vec::new();
     let mut tuples: Vec<Tuple> = vec![Tuple::empty(); n];
     let mut bindings: BTreeMap<Variable, Value> = BTreeMap::new();
     extend(
         q,
         db,
-        index.as_ref(),
+        index,
         &order,
         0,
         &mut tuples,
@@ -192,7 +246,7 @@ pub fn assignments_with(
 pub(crate) fn extend(
     q: &ConjunctiveQuery,
     db: &Database,
-    index: Option<&DatabaseIndex<'_>>,
+    index: Option<&DatabaseIndex>,
     order: &[usize],
     step: usize,
     tuples: &mut Vec<Tuple>,
@@ -230,7 +284,10 @@ pub(crate) fn extend(
                     })
                     .collect();
                 match rel_index.most_selective(&constraints) {
-                    Some(posting) => posting.iter().map(|&row| relation.row(row)).collect(),
+                    Some(posting) => posting
+                        .iter()
+                        .map(|&row| relation.row(row as usize))
+                        .collect(),
                     None => relation.iter().collect(),
                 }
             }
@@ -250,7 +307,7 @@ pub(crate) fn extend(
 pub(crate) fn try_candidate(
     q: &ConjunctiveQuery,
     db: &Database,
-    index: Option<&DatabaseIndex<'_>>,
+    index: Option<&DatabaseIndex>,
     order: &[usize],
     step: usize,
     tuple: &Tuple,
@@ -319,11 +376,41 @@ pub fn eval_cq(q: &ConjunctiveQuery, db: &Database) -> AnnotatedResult {
 
 /// [`eval_cq`] under explicit strategy options.
 pub fn eval_cq_with(q: &ConjunctiveQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
-    if options.effective_threads() >= 2 && !q.atoms().is_empty() {
-        return crate::parallel::eval_cq_parallel(q, db, options);
+    eval_cq_cached(q, db, options, &IndexCache::new())
+}
+
+/// [`eval_cq`] under explicit options, reusing `cache`d index/columnar
+/// builds when the database generation still matches. This is the serving
+/// path: many evaluations against one loaded database pay for index
+/// construction once.
+pub fn eval_cq_cached(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+    cache: &IndexCache,
+) -> AnnotatedResult {
+    if q.atoms().is_empty() {
+        // No atoms to batch or shard over; the recursion base case emits
+        // the (at most one) empty assignment.
+        let mut result = AnnotatedResult::default();
+        for a in collect_assignments(q, db, options, None) {
+            result.record(a.head_tuple(q), a.monomial(q, db));
+        }
+        return result;
     }
+    if options.batch {
+        let views = cache.views(db);
+        return crate::batch::eval_cq_batched(q, db, options, &views);
+    }
+    if options.effective_threads() >= 2 {
+        let views = options.use_index.then(|| cache.views(db));
+        let index = views.as_ref().map(|v| v.database_index(db));
+        return crate::parallel::eval_cq_parallel(q, db, options, index);
+    }
+    let views = options.use_index.then(|| cache.views(db));
+    let index = views.as_ref().map(|v| v.database_index(db));
     let mut result = AnnotatedResult::default();
-    for a in assignments_with(q, db, options) {
+    for a in collect_assignments(q, db, options, index) {
         result.record(a.head_tuple(q), a.monomial(q, db));
     }
     result
@@ -335,11 +422,22 @@ pub fn eval_ucq(q: &UnionQuery, db: &Database) -> AnnotatedResult {
     eval_ucq_with(q, db, EvalOptions::default())
 }
 
-/// [`eval_ucq`] under explicit strategy options.
+/// [`eval_ucq`] under explicit strategy options. All disjuncts share one
+/// index build through a query-local [`IndexCache`].
 pub fn eval_ucq_with(q: &UnionQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
+    eval_ucq_cached(q, db, options, &IndexCache::new())
+}
+
+/// [`eval_ucq`] under explicit options against a persistent [`IndexCache`].
+pub fn eval_ucq_cached(
+    q: &UnionQuery,
+    db: &Database,
+    options: EvalOptions,
+    cache: &IndexCache,
+) -> AnnotatedResult {
     let mut result = AnnotatedResult::default();
     for adj in q.adjuncts() {
-        result.merge(eval_cq_with(adj, db, options));
+        result.merge(eval_cq_cached(adj, db, options, cache));
     }
     result
 }
@@ -533,17 +631,17 @@ mod tests {
             EvalOptions {
                 planner: PlannerKind::Syntactic,
                 use_index: false,
-                parallelism: None,
+                ..EvalOptions::default()
             },
             EvalOptions {
                 planner: PlannerKind::CostBased,
                 use_index: false,
-                parallelism: None,
+                ..EvalOptions::default()
             },
             EvalOptions {
                 planner: PlannerKind::WrittenOrder,
                 use_index: true,
-                parallelism: None,
+                ..EvalOptions::default()
             },
         ] {
             assert_eq!(eval_cq_with(&q, &db, options), reference);

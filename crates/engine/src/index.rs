@@ -1,9 +1,16 @@
 //! Per-relation position indexes for assignment enumeration.
 //!
-//! Built once per evaluation: for every relation and argument position, a
-//! hash index from value to the rows carrying it. Extending a partial
-//! assignment through an atom with at least one bound argument then scans
-//! only the shortest matching posting list instead of the whole relation.
+//! For every relation and argument position, a hash index from value to
+//! the rows carrying it. Extending a partial assignment through an atom
+//! with at least one bound argument then scans only the shortest matching
+//! posting list instead of the whole relation.
+//!
+//! Indexes are plain owned data (row ids, no borrows into the database),
+//! so one build can outlive a single evaluation: [`crate::IndexCache`]
+//! keeps them keyed by the database's generation stamp and shares them
+//! across evaluations, UCQ disjuncts, and worker threads. Row ids match
+//! [`prov_storage::Relation::row`] / [`prov_storage::ColumnarRelation`]
+//! insertion order.
 
 use std::collections::HashMap;
 
@@ -11,31 +18,39 @@ use prov_storage::{Database, RelName, Relation, Value};
 
 /// An index over one relation: `posting[(position, value)]` lists the row
 /// indices whose tuple has `value` at `position`.
-#[derive(Debug)]
-pub struct RelationIndex<'a> {
-    relation: &'a Relation,
-    posting: HashMap<(usize, Value), Vec<usize>>,
+#[derive(Clone, Debug, Default)]
+pub struct RelationIndex {
+    len: usize,
+    posting: HashMap<(usize, Value), Vec<u32>>,
 }
 
-impl<'a> RelationIndex<'a> {
+impl RelationIndex {
     /// Builds the index for `relation`.
-    pub fn build(relation: &'a Relation) -> Self {
-        let mut posting: HashMap<(usize, Value), Vec<usize>> = HashMap::new();
+    pub fn build(relation: &Relation) -> Self {
+        let mut posting: HashMap<(usize, Value), Vec<u32>> = HashMap::new();
         for (row, (tuple, _)) in relation.iter().enumerate() {
             for (pos, &value) in tuple.values().iter().enumerate() {
-                posting.entry((pos, value)).or_default().push(row);
+                posting.entry((pos, value)).or_default().push(row as u32);
             }
         }
-        RelationIndex { relation, posting }
+        RelationIndex {
+            len: relation.len(),
+            posting,
+        }
     }
 
-    /// The indexed relation.
-    pub fn relation(&self) -> &'a Relation {
-        self.relation
+    /// Number of rows in the indexed relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the indexed relation was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Rows whose tuple has `value` at `position` (empty slice if none).
-    pub fn matching(&self, position: usize, value: Value) -> &[usize] {
+    pub fn matching(&self, position: usize, value: Value) -> &[u32] {
         self.posting
             .get(&(position, value))
             .map_or(&[], Vec::as_slice)
@@ -43,7 +58,7 @@ impl<'a> RelationIndex<'a> {
 
     /// Of the given `(position, value)` constraints, returns the posting
     /// list of the most selective one, or `None` when unconstrained.
-    pub fn most_selective(&self, constraints: &[(usize, Value)]) -> Option<&[usize]> {
+    pub fn most_selective(&self, constraints: &[(usize, Value)]) -> Option<&[u32]> {
         constraints
             .iter()
             .map(|&(pos, v)| self.matching(pos, v))
@@ -51,15 +66,16 @@ impl<'a> RelationIndex<'a> {
     }
 }
 
-/// Indexes for every relation of a database.
-#[derive(Debug)]
-pub struct DatabaseIndex<'a> {
-    by_relation: HashMap<RelName, RelationIndex<'a>>,
+/// Indexes for every relation of a database. Owned and borrow-free —
+/// cacheable across evaluations and shareable across threads.
+#[derive(Clone, Debug, Default)]
+pub struct DatabaseIndex {
+    by_relation: HashMap<RelName, RelationIndex>,
 }
 
-impl<'a> DatabaseIndex<'a> {
+impl DatabaseIndex {
     /// Builds indexes for all relations of `db`.
-    pub fn build(db: &'a Database) -> Self {
+    pub fn build(db: &Database) -> Self {
         DatabaseIndex {
             by_relation: db
                 .relations()
@@ -69,7 +85,7 @@ impl<'a> DatabaseIndex<'a> {
     }
 
     /// The index for `rel`, if the relation exists.
-    pub fn relation(&self, rel: RelName) -> Option<&RelationIndex<'a>> {
+    pub fn relation(&self, rel: RelName) -> Option<&RelationIndex> {
         self.by_relation.get(&rel)
     }
 }
@@ -92,6 +108,7 @@ mod tests {
         let db = sample();
         let idx = DatabaseIndex::build(&db);
         let r = idx.relation(RelName::new("R")).unwrap();
+        assert_eq!(r.len(), 3);
         assert_eq!(r.matching(0, Value::new("a")).len(), 2);
         assert_eq!(r.matching(1, Value::new("c")).len(), 2);
         assert_eq!(r.matching(0, Value::new("zz")).len(), 0);
@@ -106,7 +123,8 @@ mod tests {
             .most_selective(&[(0, Value::new("a")), (1, Value::new("b"))])
             .unwrap();
         assert_eq!(rows.len(), 1);
-        let (tuple, _) = &r.relation().iter().nth(rows[0]).cloned().unwrap();
+        let relation = db.relation(RelName::new("R")).unwrap();
+        let (tuple, _) = relation.row(rows[0] as usize);
         assert_eq!(*tuple, Tuple::of(&["a", "b"]));
     }
 

@@ -9,15 +9,18 @@
 #![warn(missing_docs)]
 
 mod assignment;
+mod batch;
+mod cache;
 mod eval;
 mod index;
 mod parallel;
 mod planner;
 
 pub use assignment::Assignment;
+pub use cache::{CacheStats, EvalViews, IndexCache};
 pub use eval::{
-    assignments, assignments_with, eval_cq, eval_cq_with, eval_in_semiring, eval_ucq,
-    eval_ucq_with, AnnotatedResult, EvalOptions,
+    assignments, assignments_with, eval_cq, eval_cq_cached, eval_cq_with, eval_in_semiring,
+    eval_ucq, eval_ucq_cached, eval_ucq_with, AnnotatedResult, EvalOptions,
 };
 pub use index::{DatabaseIndex, RelationIndex};
 pub use planner::PlannerKind;

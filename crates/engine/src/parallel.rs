@@ -55,10 +55,13 @@ fn join_key_positions(q: &ConjunctiveQuery, atom_idx: usize) -> Vec<usize> {
 
 /// Evaluates `q` over `db` on `options.parallelism` scoped worker threads,
 /// returning a result identical to sequential [`crate::eval_cq_with`].
+/// `index` is the pre-built (possibly cached) posting-list index, `None`
+/// when `options.use_index` is off.
 pub(crate) fn eval_cq_parallel(
     q: &ConjunctiveQuery,
     db: &Database,
     options: EvalOptions,
+    index: Option<&DatabaseIndex>,
 ) -> AnnotatedResult {
     let threads = options.effective_threads();
     debug_assert!(threads >= 2 && !q.atoms().is_empty());
@@ -79,7 +82,6 @@ pub(crate) fn eval_cq_parallel(
     let keys = join_key_positions(q, first);
     let num_shards = (threads * SHARDS_PER_THREAD).min(relation.len()).max(1);
     let shards = RelationShards::build(relation, &keys, num_shards);
-    let index = options.use_index.then(|| DatabaseIndex::build(db));
     let cursor = AtomicUsize::new(0);
 
     let partials: Vec<AnnotatedResult> = std::thread::scope(|scope| {
@@ -99,7 +101,7 @@ pub(crate) fn eval_cq_parallel(
                             try_candidate(
                                 q,
                                 db,
-                                index.as_ref(),
+                                index,
                                 &order,
                                 0,
                                 tuple,

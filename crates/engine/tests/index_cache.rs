@@ -1,0 +1,100 @@
+//! Integration tests for the persistent index cache: sharing across
+//! evaluations and UCQ disjuncts, and — the safety property — stale
+//! entries are rebuilt after a database mutation, never reused.
+
+use prov_engine::{eval_cq_cached, eval_cq_with, eval_ucq_cached, EvalOptions, IndexCache};
+use prov_query::{parse_cq, parse_ucq};
+use prov_semiring::Polynomial;
+use prov_storage::{Database, RelName, Tuple};
+
+fn table_2_database() -> Database {
+    let mut db = Database::new();
+    db.add("R", &["a", "a"], "s1");
+    db.add("R", &["a", "b"], "s2");
+    db.add("R", &["b", "a"], "s3");
+    db.add("R", &["b", "b"], "s4");
+    db
+}
+
+#[test]
+fn mutation_invalidates_cached_index() {
+    let db = table_2_database();
+    let q = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+
+    for options in [EvalOptions::default(), EvalOptions::batched()] {
+        let cache = IndexCache::new();
+        let before = eval_cq_cached(&q, &db, options, &cache);
+        assert_eq!(before.len(), 2);
+
+        // Mutate: the cached entry must be rebuilt, not reused — a stale
+        // index would miss the new tuple entirely.
+        let mut mutated = db.clone();
+        mutated.add("R", &["c", "c"], "inv_c");
+        let after = eval_cq_cached(&q, &mutated, options, &cache);
+        assert_eq!(after.len(), 3, "stale index reused under {options:?}");
+        assert_eq!(
+            after.provenance(&Tuple::of(&["c"])),
+            Polynomial::parse("inv_c·inv_c")
+        );
+        assert_eq!(after, eval_cq_with(&q, &mutated, options));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "mutation must force a rebuild");
+
+        // Removal invalidates too.
+        mutated.remove(RelName::new("R"), &Tuple::of(&["c", "c"]));
+        let back = eval_cq_cached(&q, &mutated, options, &cache);
+        assert_eq!(back, before);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    // Unchanged database: repeated evaluations hit.
+    let cache2 = IndexCache::new();
+    eval_cq_cached(&q, &db, EvalOptions::batched(), &cache2);
+    eval_cq_cached(&q, &db, EvalOptions::batched(), &cache2);
+    let stats = cache2.stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+}
+
+#[test]
+fn ucq_disjuncts_share_one_build() {
+    let db = table_2_database();
+    let q = parse_ucq(
+        "ans(x) :- R(x,y), R(y,x), x != y\n\
+         ans(x) :- R(x,x)",
+    )
+    .unwrap();
+    let cache = IndexCache::new();
+    let result = eval_ucq_cached(&q, &db, EvalOptions::default(), &cache);
+    assert_eq!(
+        result.provenance(&Tuple::of(&["a"])),
+        Polynomial::parse("s2·s3 + s1")
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "one index build for the whole union");
+    assert_eq!(stats.hits, 1, "second disjunct reuses the first's build");
+}
+
+#[test]
+fn cached_results_equal_uncached_across_strategies() {
+    let db = table_2_database();
+    let cache = IndexCache::new();
+    for text in [
+        "ans(x) :- R(x,y), R(y,x)",
+        "ans() :- R(x,y), R(y,z), R(z,x)",
+        "ans(x) :- R(x,'b')",
+    ] {
+        let q = parse_cq(text).unwrap();
+        for options in [
+            EvalOptions::default(),
+            EvalOptions::batched(),
+            EvalOptions::default().with_parallelism(4),
+            EvalOptions::batched().with_parallelism(4),
+        ] {
+            assert_eq!(
+                eval_cq_cached(&q, &db, options, &cache),
+                eval_cq_with(&q, &db, options),
+                "{options:?} diverges on {text}"
+            );
+        }
+    }
+}

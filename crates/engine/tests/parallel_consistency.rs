@@ -1,8 +1,10 @@
-//! Property: parallel sharded evaluation is *identical* — same tuples,
-//! same provenance polynomials, same coefficients — to sequential naive
-//! evaluation, for every thread count and planner. This is the ⊕-merge
-//! correctness argument of the parallel pipeline checked empirically on
-//! random CQ≠ queries and random databases.
+//! Property: every execution strategy of the engine — tuple-at-a-time or
+//! columnar batched, sequential or sharded-parallel, under either planner
+//! — is *identical* (same tuples, same provenance polynomials, same
+//! coefficients) to sequential naive evaluation, on random CQ≠ queries
+//! and random databases. This is the ⊕-merge correctness argument of the
+//! parallel pipeline and the regrouping argument of the batched pipeline
+//! checked empirically as a three-way equivalence.
 
 use proptest::prelude::*;
 
@@ -14,7 +16,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn parallel_eval_matches_naive(
+    fn all_strategies_match_naive(
         query_seed in 0u64..500,
         db_seed in 0u64..60,
         num_atoms in 1usize..=3,
@@ -30,17 +32,53 @@ proptest! {
         let q = random_cq(&spec, query_seed);
         let db = random_database(&DatabaseSpec::single_binary(24, 5), db_seed);
         let reference = eval_cq_with(&q, &db, EvalOptions::naive());
-        for planner in [PlannerKind::Syntactic, PlannerKind::CostBased] {
-            for threads in [1usize, 2, 8] {
+        for batch in [false, true] {
+            for planner in [PlannerKind::Syntactic, PlannerKind::CostBased] {
+                for threads in [1usize, 4] {
+                    let options = EvalOptions::default()
+                        .with_batch(batch)
+                        .with_planner(planner)
+                        .with_parallelism(threads);
+                    let result = eval_cq_with(&q, &db, options);
+                    prop_assert_eq!(
+                        &result,
+                        &reference,
+                        "batch={} × {:?} × {} threads diverges on {} (query seed {}, db seed {})",
+                        batch,
+                        planner,
+                        threads,
+                        q,
+                        query_seed,
+                        db_seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_thread_counts_still_match(
+        query_seed in 0u64..200,
+        db_seed in 0u64..40,
+    ) {
+        // The PR 2 shape kept for coverage: 2 and 8 threads, both modes.
+        let spec = QuerySpec {
+            diseq_percent: 25,
+            ..QuerySpec::binary(3, 4)
+        };
+        let q = random_cq(&spec, query_seed);
+        let db = random_database(&DatabaseSpec::single_binary(24, 5), db_seed);
+        let reference = eval_cq_with(&q, &db, EvalOptions::naive());
+        for batch in [false, true] {
+            for threads in [2usize, 8] {
                 let options = EvalOptions::default()
-                    .with_planner(planner)
+                    .with_batch(batch)
                     .with_parallelism(threads);
-                let parallel = eval_cq_with(&q, &db, options);
                 prop_assert_eq!(
-                    &parallel,
+                    &eval_cq_with(&q, &db, options),
                     &reference,
-                    "{:?} × {} threads diverges on {} (query seed {}, db seed {})",
-                    planner,
+                    "batch={} × {} threads diverges on {} (query seed {}, db seed {})",
+                    batch,
                     threads,
                     q,
                     query_seed,

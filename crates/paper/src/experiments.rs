@@ -69,10 +69,16 @@ pub fn e1_tables_2_3() -> ExperimentReport {
     for (t, p) in result.iter() {
         r.line(format!("{t:>4} | {p}"));
     }
-    let pa = result.provenance(&Tuple::of(&["a"]));
-    let pb = result.provenance(&Tuple::of(&["b"]));
-    r.check(pa == Polynomial::parse("s2·s3 + s1"), "P((a)) = s2·s3 + s1");
-    r.check(pb == Polynomial::parse("s3·s2 + s4"), "P((b)) = s3·s2 + s4");
+    let pa = result.provenance_ref(&Tuple::of(&["a"]));
+    let pb = result.provenance_ref(&Tuple::of(&["b"]));
+    r.check(
+        pa == Some(&Polynomial::parse("s2·s3 + s1")),
+        "P((a)) = s2·s3 + s1",
+    );
+    r.check(
+        pb == Some(&Polynomial::parse("s3·s2 + s4")),
+        "P((b)) = s3·s2 + s4",
+    );
     r.check(result.len() == 2, "ans has exactly the tuples (a), (b)");
     r
 }
@@ -84,10 +90,12 @@ pub fn e2_order_relation() -> ExperimentReport {
     let db = table_2_database();
     let qconj = fig1_qconj();
     let result = eval_cq(&qconj, &db);
-    let pa = result.provenance(&Tuple::of(&["a"]));
+    let pa = result
+        .provenance_ref(&Tuple::of(&["a"]))
+        .expect("(a) is in Qconj's result");
     r.line(format!("P((a), Qconj, D) = {pa}"));
     r.check(
-        pa == Polynomial::parse("s2·s3 + s1·s1"),
+        *pa == Polynomial::parse("s2·s3 + s1·s1"),
         "Ex 2.14: P((a), Qconj) = s2·s3 + s1·s1",
     );
     // Example 2.16.
@@ -99,9 +107,11 @@ pub fn e2_order_relation() -> ExperimentReport {
     );
     // Example 2.18 on the Table 2 instance.
     let union_result = eval_ucq(&fig1_qunion(), &db);
-    let pa_union = union_result.provenance(&Tuple::of(&["a"]));
+    let pa_union = union_result
+        .provenance_ref(&Tuple::of(&["a"]))
+        .expect("(a) is in Qunion's result");
     r.check(
-        poly_lt(&pa_union, &pa),
+        poly_lt(pa_union, pa),
         "Ex 2.18: P((a), Qunion) < P((a), Qconj)",
     );
     // Query-level comparison on this instance.
@@ -348,8 +358,10 @@ pub fn e8_general_annotations() -> ExperimentReport {
         .rename(Annotation::new("t62_a"), s)
         .rename(Annotation::new("t62_b"), s);
     let t = Tuple::of(&["a"]);
-    let p_q = renaming.apply_poly(&eval_cq(&q, &db).provenance(&t));
-    let p_qp = renaming.apply_poly(&eval_cq(&q_prime, &db).provenance(&t));
+    let rq = eval_cq(&q, &db);
+    let rqp = eval_cq(&q_prime, &db);
+    let p_q = renaming.apply_poly(rq.provenance_ref(&t).expect("(a) in Q's result"));
+    let p_qp = renaming.apply_poly(rqp.provenance_ref(&t).expect("(a) in Q''s result"));
     r.line(format!("collapsed P((a), Q)  = {p_q}"));
     r.line(format!("collapsed P((a), Q') = {p_qp}"));
     r.check(
@@ -364,8 +376,10 @@ pub fn e8_general_annotations() -> ExperimentReport {
     // alone can compute the core (the query is genuinely needed).
     let min_q = minprov_cq(&q);
     let min_qp = minprov_cq(&q_prime);
-    let core_q = renaming.apply_poly(&eval_ucq(&min_q, &db).provenance(&t));
-    let core_qp = renaming.apply_poly(&eval_ucq(&min_qp, &db).provenance(&t));
+    let min_rq = eval_ucq(&min_q, &db);
+    let min_rqp = eval_ucq(&min_qp, &db);
+    let core_q = renaming.apply_poly(min_rq.provenance_ref(&t).expect("(a) in core"));
+    let core_qp = renaming.apply_poly(min_rqp.provenance_ref(&t).expect("(a) in core"));
     r.line(format!("core of Q  on collapsed D: {core_q}"));
     r.line(format!("core of Q' on collapsed D: {core_qp}"));
     r.check(
@@ -374,7 +388,7 @@ pub fn e8_general_annotations() -> ExperimentReport {
     );
     // Theorem 6.1: the p-minimal query itself still yields ≤ provenance
     // under any collapsing valuation.
-    let full_qp = renaming.apply_poly(&eval_cq(&q_prime, &db).provenance(&t));
+    let full_qp = renaming.apply_poly(rqp.provenance_ref(&t).expect("(a) in Q''s result"));
     r.check(
         poly_leq(&core_qp, &full_qp),
         "Thm 6.1: p-minimal query's provenance ≤ original even when collapsed",
@@ -432,7 +446,7 @@ pub fn x1_datalog_extension() -> ExperimentReport {
     let direct = eval_ucq(&unfolded, &db);
     let mut all_equal = true;
     for (t, p) in result.tuples(mutual) {
-        all_equal &= *p == direct.provenance(t);
+        all_equal &= direct.provenance_ref(t) == Some(p);
     }
     r.check(
         all_equal,
@@ -446,7 +460,8 @@ pub fn x1_datalog_extension() -> ExperimentReport {
     let core_result = eval_ucq(&core, &db);
     let mut all_leq = true;
     for (t, p) in result.tuples(mutual) {
-        all_leq &= poly_leq(&core_result.provenance(t), p);
+        // An absent tuple has zero core provenance, and zero ≤ anything.
+        all_leq &= core_result.provenance_ref(t).is_none_or(|c| poly_leq(c, p));
     }
     r.check(
         all_leq,
@@ -469,8 +484,10 @@ pub fn x2_algebra_extension() -> ExperimentReport {
     let rows = alg_eval(&plan, &db).expect("well-formed");
     let compiled = to_query(&plan).expect("well-formed").expect("satisfiable");
     let via_query = eval_ucq(&compiled, &db);
-    let faithful =
-        rows.iter().all(|(t, p)| *p == via_query.provenance(t)) && rows.len() == via_query.len();
+    let faithful = rows
+        .iter()
+        .all(|(t, p)| via_query.provenance_ref(t) == Some(p))
+        && rows.len() == via_query.len();
     r.check(
         faithful,
         "algebra evaluation = compiled UCQ≠ evaluation (exact provenance)",
@@ -479,7 +496,7 @@ pub fn x2_algebra_extension() -> ExperimentReport {
     let core_rows = eval_ucq(&core, &db);
     let expected = Polynomial::parse("s1 + s2·s3");
     r.check(
-        core_rows.provenance(&Tuple::of(&["a"])) == expected,
+        core_rows.provenance_ref(&Tuple::of(&["a"])) == Some(&expected),
         "core plan yields s1 + s2·s3 for (a) (matches Figure 1's Qunion)",
     );
     r

@@ -35,6 +35,6 @@ pub mod why;
 pub use annotation::Annotation;
 pub use flow::{saturating_b_matching, saturating_b_matching_flows, FlowNetwork};
 pub use kinds::{Boolean, Clearance, Confidence, Natural, Tropical};
-pub use monomial::Monomial;
+pub use monomial::{Monomial, MonomialBuilder};
 pub use polynomial::Polynomial;
 pub use semiring::{CommutativeSemiring, IdempotentSemiring};

@@ -42,6 +42,17 @@ impl Monomial {
         Monomial { factors }
     }
 
+    /// Builds a monomial from an already-sorted factor vector without
+    /// re-sorting — the allocation-minimal path out of a
+    /// [`MonomialBuilder`]'s reused buffer.
+    pub fn from_sorted(factors: Vec<Annotation>) -> Self {
+        debug_assert!(
+            factors.windows(2).all(|w| w[0] <= w[1]),
+            "factors must be sorted ascending"
+        );
+        Monomial { factors }
+    }
+
     /// Parses a `·`-separated list of annotation names, e.g. `"s1·s2·s2"`.
     /// `*` is accepted as a separator too. `"1"` denotes the unit monomial.
     pub fn parse(text: &str) -> Self {
@@ -147,6 +158,72 @@ impl Monomial {
     /// annotations (the monomial part of the universal property of `N[X]`).
     pub fn eval<K: CommutativeSemiring>(&self, valuation: &mut impl FnMut(Annotation) -> K) -> K {
         K::product(self.factors.iter().map(|&a| valuation(a)))
+    }
+}
+
+impl std::borrow::Borrow<[Annotation]> for Monomial {
+    /// A monomial borrows as its sorted factor slice. Derived
+    /// `Eq`/`Ord`/`Hash` on the single `Vec<Annotation>` field delegate to
+    /// slice semantics, so coefficient maps keyed by `Monomial` may probe
+    /// with a borrowed `&[Annotation]` — what lets
+    /// [`crate::Polynomial::add_occurrence`] accumulate a derivation
+    /// without allocating a `Monomial` unless the term is new.
+    fn borrow(&self) -> &[Annotation] {
+        &self.factors
+    }
+}
+
+/// A reusable factor buffer for building the monomial of one derivation
+/// (one assignment's worth of annotations, Def 2.12) without a fresh
+/// allocation per derivation.
+///
+/// The hot evaluation loop clears the buffer, pushes one annotation per
+/// matched atom, and hands the sorted slice to
+/// [`crate::Polynomial::add_occurrence`]; the backing `Vec` is allocated
+/// once and reused across derivations.
+#[derive(Clone, Debug, Default)]
+pub struct MonomialBuilder {
+    factors: Vec<Annotation>,
+}
+
+impl MonomialBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        MonomialBuilder::default()
+    }
+
+    /// Clears the factor buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.factors.clear();
+    }
+
+    /// Appends one factor (order irrelevant; duplicates are
+    /// multiplicities).
+    pub fn push(&mut self, a: Annotation) {
+        self.factors.push(a);
+    }
+
+    /// Number of factors currently buffered.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Whether the buffer is empty (the unit monomial).
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Sorts the buffer and returns the canonical factor slice — the key
+    /// form [`crate::Polynomial::add_occurrence`] accepts.
+    pub fn as_sorted(&mut self) -> &[Annotation] {
+        self.factors.sort_unstable();
+        &self.factors
+    }
+
+    /// Clones the buffered factors out as a `Monomial`.
+    pub fn to_monomial(&mut self) -> Monomial {
+        self.factors.sort_unstable();
+        Monomial::from_sorted(self.factors.clone())
     }
 }
 

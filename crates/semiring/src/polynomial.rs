@@ -97,6 +97,26 @@ impl Polynomial {
         self.add_occurrences(m, 1);
     }
 
+    /// Adds one occurrence of the monomial whose **sorted** factor slice is
+    /// `factors`, allocating a fresh [`Monomial`] only when the term is not
+    /// yet present. This is the in-place accumulation path of batched
+    /// evaluation: the caller keeps one reused factor buffer (a
+    /// [`crate::MonomialBuilder`]) and no `Monomial`/`Polynomial`
+    /// temporaries are built per derivation.
+    pub fn add_occurrence(&mut self, factors: &[Annotation]) {
+        debug_assert!(
+            factors.windows(2).all(|w| w[0] <= w[1]),
+            "factors must be sorted ascending"
+        );
+        match self.terms.get_mut(factors) {
+            Some(c) => *c += 1,
+            None => {
+                self.terms
+                    .insert(Monomial::from_sorted(factors.to_vec()), 1);
+            }
+        }
+    }
+
     /// Adds `other` into `self` in place (⊕ without allocating a third
     /// polynomial), cloning each of `other`'s monomials once.
     pub fn add_assign(&mut self, other: &Polynomial) {
@@ -385,6 +405,34 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(poly, p("2·x"));
+    }
+
+    #[test]
+    fn add_occurrence_matches_add_monomial() {
+        use crate::monomial::MonomialBuilder;
+        let a = Annotation::new("occ_a");
+        let b = Annotation::new("occ_b");
+        let mut via_monomial = Polynomial::zero_poly();
+        let mut via_buffer = Polynomial::zero_poly();
+        let mut builder = MonomialBuilder::new();
+        for _ in 0..3 {
+            via_monomial.add_monomial(Monomial::from_annotations([b, a, a]));
+            builder.clear();
+            builder.push(b);
+            builder.push(a);
+            builder.push(a);
+            via_buffer.add_occurrence(builder.as_sorted());
+        }
+        // The unit monomial (empty factor slice) accumulates too.
+        via_monomial.add_monomial(Monomial::unit());
+        via_buffer.add_occurrence(&[]);
+        assert_eq!(via_monomial, via_buffer);
+        assert_eq!(
+            via_buffer.coefficient(&Monomial::parse("occ_a·occ_a·occ_b")),
+            3
+        );
+        assert_eq!(via_buffer.coefficient(&Monomial::unit()), 1);
+        assert_eq!(builder.to_monomial(), Monomial::parse("occ_a·occ_a·occ_b"));
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Columnar views of annotated relations: per-position value columns plus
+//! a parallel annotation column.
+//!
+//! The row-oriented [`Relation`] stores `(Tuple, Annotation)` pairs, which
+//! is the right shape for set semantics and point lookups but makes the
+//! evaluation inner loop chase a `Vec<Value>` allocation per row. A
+//! [`ColumnarRelation`] transposes the rows once — one contiguous
+//! `Vec<Value>` per argument position and one `Vec<Annotation>` — so that
+//! batched assignment extension ([`prov-engine`'s] batch pipeline) scans
+//! and gathers contiguous columns instead. Views are plain owned data and
+//! therefore freely borrowable by shards and worker threads.
+//!
+//! Row order is insertion order, matching [`Relation::iter`]/[`Relation::row`],
+//! so row indices are interchangeable between a relation, its posting-list
+//! indexes, and its columnar view.
+
+use std::collections::HashMap;
+
+use prov_semiring::Annotation;
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{RelName, Value};
+
+/// A columnar view of one annotated relation: `columns[p][r]` is the value
+/// at position `p` of row `r`, and `annotations[r]` is row `r`'s tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnarRelation {
+    name: RelName,
+    /// Number of rows (kept explicitly: a nullary relation has no columns).
+    len: usize,
+    columns: Vec<Vec<Value>>,
+    annotations: Vec<Annotation>,
+}
+
+impl ColumnarRelation {
+    /// Transposes `relation` into columns (row order preserved).
+    pub fn from_relation(relation: &Relation) -> Self {
+        let len = relation.len();
+        let mut columns: Vec<Vec<Value>> = (0..relation.arity())
+            .map(|_| Vec::with_capacity(len))
+            .collect();
+        let mut annotations = Vec::with_capacity(len);
+        for (tuple, annotation) in relation.iter() {
+            for (column, &value) in columns.iter_mut().zip(tuple.values()) {
+                column.push(value);
+            }
+            annotations.push(*annotation);
+        }
+        ColumnarRelation {
+            name: relation.name(),
+            len,
+            columns,
+            annotations,
+        }
+    }
+
+    /// Materializes the view back into a row-oriented [`Relation`]
+    /// (inverse of [`ColumnarRelation::from_relation`]).
+    pub fn to_relation(&self) -> Relation {
+        let mut relation = Relation::new(self.name, self.arity());
+        for row in 0..self.len {
+            let tuple: Tuple = self.columns.iter().map(|c| c[row]).collect();
+            relation.insert(tuple, self.annotations[row]);
+        }
+        relation
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> RelName {
+        self.name
+    }
+
+    /// The arity (number of columns).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value column at `position`. Panics if out of range.
+    pub fn column(&self, position: usize) -> &[Value] {
+        &self.columns[position]
+    }
+
+    /// The annotation column (parallel to every value column).
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// The value at `(row, position)`. Panics if out of range.
+    pub fn value(&self, row: usize, position: usize) -> Value {
+        self.columns[position][row]
+    }
+}
+
+/// Columnar views for every relation of a database, keyed by name.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnarDatabase {
+    by_relation: HashMap<RelName, ColumnarRelation>,
+}
+
+impl ColumnarDatabase {
+    /// Transposes every relation of `db`.
+    pub fn from_database(db: &Database) -> Self {
+        ColumnarDatabase {
+            by_relation: db
+                .relations()
+                .map(|r| (r.name(), ColumnarRelation::from_relation(r)))
+                .collect(),
+        }
+    }
+
+    /// The columnar view of `rel`, if the relation exists.
+    pub fn relation(&self, rel: RelName) -> Option<&ColumnarRelation> {
+        self.by_relation.get(&rel)
+    }
+
+    /// Iterates all columnar views.
+    pub fn relations(&self) -> impl Iterator<Item = &ColumnarRelation> {
+        self.by_relation.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.add("R", &["a", "b"], "col_1");
+        db.add("R", &["a", "c"], "col_2");
+        db.add("R", &["b", "c"], "col_3");
+        db.add("S", &["x"], "col_4");
+        db
+    }
+
+    #[test]
+    fn columns_transpose_rows() {
+        let db = sample();
+        let view = ColumnarRelation::from_relation(db.relation(RelName::new("R")).unwrap());
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.arity(), 2);
+        assert_eq!(
+            view.column(0),
+            &[Value::new("a"), Value::new("a"), Value::new("b")]
+        );
+        assert_eq!(
+            view.column(1),
+            &[Value::new("b"), Value::new("c"), Value::new("c")]
+        );
+        assert_eq!(view.annotations()[2], Annotation::new("col_3"));
+        assert_eq!(view.value(1, 1), Value::new("c"));
+    }
+
+    #[test]
+    fn row_indices_match_relation_row_order() {
+        let db = sample();
+        let relation = db.relation(RelName::new("R")).unwrap();
+        let view = ColumnarRelation::from_relation(relation);
+        for (row, (tuple, annotation)) in relation.iter().enumerate() {
+            for (pos, &value) in tuple.values().iter().enumerate() {
+                assert_eq!(view.value(row, pos), value);
+            }
+            assert_eq!(view.annotations()[row], *annotation);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_relation() {
+        let db = sample();
+        for relation in db.relations() {
+            let back = ColumnarRelation::from_relation(relation).to_relation();
+            assert_eq!(back.name(), relation.name());
+            assert_eq!(back.arity(), relation.arity());
+            assert_eq!(back.len(), relation.len());
+            for (tuple, annotation) in relation.iter() {
+                assert_eq!(back.annotation_of(tuple), Some(*annotation));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_keeps_arity() {
+        let relation = Relation::new(RelName::new("E"), 3);
+        let view = ColumnarRelation::from_relation(&relation);
+        assert_eq!(view.arity(), 3);
+        assert!(view.is_empty());
+        let back = view.to_relation();
+        assert_eq!(back.arity(), 3);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn database_view_covers_all_relations() {
+        let db = sample();
+        let views = ColumnarDatabase::from_database(&db);
+        assert_eq!(views.relations().count(), 2);
+        assert_eq!(views.relation(RelName::new("S")).unwrap().len(), 1);
+        assert!(views.relation(RelName::new("Nope")).is_none());
+    }
+}

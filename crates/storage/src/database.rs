@@ -10,6 +10,14 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::{RelName, Value};
 
+/// Hands out globally-unique generation stamps. Starting at 1 keeps 0 as
+/// the shared stamp of never-mutated (hence empty, hence interchangeable)
+/// databases.
+fn next_generation() -> u64 {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A database instance of abstractly-tagged `N[X]`-relations.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
@@ -17,6 +25,12 @@ pub struct Database {
     /// Reverse index: annotation → (relation, tuple). Well-defined because
     /// the database is abstractly tagged.
     by_annotation: BTreeMap<Annotation, (RelName, Tuple)>,
+    /// Monotonic version stamp, bumped to a globally-unique value by every
+    /// content mutation. Two databases sharing a stamp have equal content
+    /// (either both are pristine-empty, or one is an unmutated clone of
+    /// the other), so derived structures — indexes, columnar views — may
+    /// be cached keyed by it and reused until the stamp moves.
+    generation: u64,
 }
 
 impl Database {
@@ -47,6 +61,14 @@ impl Database {
         }
         relation.insert(tuple.clone(), annotation);
         self.by_annotation.insert(annotation, (rel, tuple));
+        self.generation = next_generation();
+    }
+
+    /// The database's version stamp. Any mutation moves it to a fresh,
+    /// globally-unique value; equal stamps imply equal content. Cache
+    /// derived read structures (indexes, columnar views) keyed by this.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Inserts a tuple with a named annotation (convenience for tests and
@@ -108,6 +130,7 @@ impl Database {
     pub fn remove(&mut self, rel: RelName, tuple: &Tuple) -> Option<Annotation> {
         let annotation = self.relations.get_mut(&rel)?.remove(tuple)?;
         self.by_annotation.remove(&annotation);
+        self.generation = next_generation();
         Some(annotation)
     }
 }
@@ -168,6 +191,30 @@ mod tests {
         assert_eq!(dom.len(), 3);
         assert!(dom.contains(&Value::new("a")));
         assert!(dom.contains(&Value::new("c")));
+    }
+
+    #[test]
+    fn generation_moves_on_mutation_only() {
+        let mut db = Database::new();
+        assert_eq!(db.generation(), 0, "pristine databases share stamp 0");
+        db.add("R", &["a"], "gen1");
+        let g1 = db.generation();
+        assert_ne!(g1, 0);
+        // Idempotent re-insert does not change content — stamp holds.
+        db.add("R", &["a"], "gen1");
+        assert_eq!(db.generation(), g1);
+        // A clone shares the stamp (equal content) until either mutates.
+        let mut clone = db.clone();
+        assert_eq!(clone.generation(), g1);
+        clone.add("R", &["b"], "gen2");
+        assert_ne!(clone.generation(), g1);
+        assert_eq!(db.generation(), g1);
+        // Removal is a mutation; removing a missing tuple is not.
+        db.remove(RelName::new("R"), &Tuple::of(&["zz"]));
+        assert_eq!(db.generation(), g1);
+        db.remove(RelName::new("R"), &Tuple::of(&["a"]));
+        assert_ne!(db.generation(), g1);
+        assert_ne!(db.generation(), clone.generation());
     }
 
     #[test]

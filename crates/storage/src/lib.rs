@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+mod columnar;
 mod database;
 mod intern;
 mod relation;
@@ -19,6 +20,7 @@ pub mod generator;
 pub mod shard;
 pub mod textio;
 
+pub use columnar::{ColumnarDatabase, ColumnarRelation};
 pub use database::Database;
 pub use intern::Interner;
 pub use relation::Relation;

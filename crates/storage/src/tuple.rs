@@ -63,6 +63,16 @@ impl fmt::Debug for Tuple {
     }
 }
 
+impl std::borrow::Borrow<[Value]> for Tuple {
+    /// A tuple borrows as its value slice. Derived `Eq`/`Ord`/`Hash` on the
+    /// single `Vec<Value>` field all delegate to slice semantics, so map
+    /// lookups keyed by `Tuple` may probe with a borrowed `&[Value]` —
+    /// the batched evaluator's allocation-free result accumulation.
+    fn borrow(&self) -> &[Value] {
+        &self.values
+    }
+}
+
 impl FromIterator<Value> for Tuple {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
         Tuple {

@@ -15,6 +15,10 @@
 //! * `--threads N` — sharded parallel evaluation on `N` worker threads
 //!   (results are identical to sequential; ⊕ is commutative).
 //! * `--planner written|syntactic|cost` — join planner (default `cost`).
+//! * `--batch` — columnar batched evaluation (identical results; blocks
+//!   of partial assignments instead of tuple-at-a-time recursion).
+//! * `--cache-stats` — print index-cache hit/miss counters to stderr
+//!   (all disjuncts of a union share one index build via the cache).
 //!
 //! `minimize` accepts engine flags (see `docs/MINIMIZE.md`):
 //!
@@ -33,7 +37,7 @@ use std::process::ExitCode;
 
 use provmin::core::minimize::{minimize_with, MinimizeOptions, MinimizeOutcome, Strategy};
 use provmin::datalog::{core_query, evaluate, Program};
-use provmin::engine::{eval_ucq_with, EvalOptions, PlannerKind};
+use provmin::engine::{eval_ucq_cached, EvalOptions, IndexCache, PlannerKind};
 use provmin::prelude::*;
 use provmin::storage::textio::parse_database;
 
@@ -42,21 +46,23 @@ const EXIT_BUDGET_EXHAUSTED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] <db-file> '<query>'\n  \
+        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] [--batch] [--cache-stats] <db-file> '<query>'\n  \
          provmin minimize [--strategy minprov|auto|standard|dedup] [--budget-steps N] [--budget-ms N] [--no-memo] '<query>'\n  \
-         provmin core [--threads N] [--planner KIND] <db-file> '<query>'\n  \
+         provmin core [--threads N] [--planner KIND] [--batch] [--cache-stats] <db-file> '<query>'\n  \
          provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>"
     );
     ExitCode::from(2)
 }
 
-/// Extracts `--threads`/`--planner` flags from the argument list, returning
-/// the remaining positional arguments, the resulting options, and whether
-/// any flag was present (only `eval`/`core` accept them).
-fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool), String> {
+/// Extracts `--threads`/`--planner`/`--batch`/`--cache-stats` flags from
+/// the argument list, returning the remaining positional arguments, the
+/// resulting options, whether cache stats were requested, and whether any
+/// flag was present (only `eval`/`core` accept them).
+fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool, bool), String> {
     let mut options = EvalOptions::default();
     let mut positional = Vec::new();
+    let mut cache_stats = false;
     let mut flags_used = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -83,10 +89,18 @@ fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool),
                 };
                 options = options.with_planner(kind);
             }
+            "--batch" => {
+                flags_used = true;
+                options = options.with_batch(true);
+            }
+            "--cache-stats" => {
+                flags_used = true;
+                cache_stats = true;
+            }
             _ => positional.push(arg.clone()),
         }
     }
-    Ok((positional, options, flags_used))
+    Ok((positional, options, cache_stats, flags_used))
 }
 
 /// Extracts `minimize`'s engine flags, returning the remaining positional
@@ -148,7 +162,7 @@ fn load_db(path: &str) -> Result<Database, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (args, options, eval_flags_used) = match parse_eval_flags(&args) {
+    let (args, options, cache_stats, eval_flags_used) = match parse_eval_flags(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}");
@@ -156,7 +170,7 @@ fn main() -> ExitCode {
         }
     };
     if eval_flags_used && !matches!(args.first().map(String::as_str), Some("eval" | "core")) {
-        eprintln!("error: --threads/--planner only apply to eval and core");
+        eprintln!("error: --threads/--planner/--batch/--cache-stats only apply to eval and core");
         return usage();
     }
     let (args, minimize_options, minimize_flags_used) = match parse_minimize_flags(&args) {
@@ -172,7 +186,7 @@ fn main() -> ExitCode {
     }
     let result = match args.as_slice() {
         [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
-            run_with_db(cmd, db_path, query, options).map(|()| true)
+            run_with_db(cmd, db_path, query, options, cache_stats).map(|()| true)
         }
         [cmd, query] if cmd == "minimize" => run_minimize(query, minimize_options),
         [cmd, query] if cmd == "trace" => run_trace(query).map(|()| true),
@@ -191,10 +205,27 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_with_db(cmd: &str, db_path: &str, query: &str, options: EvalOptions) -> Result<(), String> {
+fn run_with_db(
+    cmd: &str,
+    db_path: &str,
+    query: &str,
+    options: EvalOptions,
+    cache_stats: bool,
+) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_query(query)?;
-    let result = eval_ucq_with(&q, &db, options);
+    // One cache per invocation: every disjunct of the union shares a
+    // single index/columnar build. (`exact_core` below works on the
+    // polynomial directly and takes no index.)
+    let cache = IndexCache::new();
+    let result = eval_ucq_cached(&q, &db, options, &cache);
+    if cache_stats {
+        let stats = cache.stats();
+        eprintln!(
+            "index cache: {} build(s), {} hit(s)",
+            stats.misses, stats.hits
+        );
+    }
     if result.is_empty() {
         println!("(empty result)");
         return Ok(());
