@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Smoke test for `provmin serve`: starts the service, drives every
+# endpoint over real HTTP, asserts the acceptance properties of the
+# serving architecture, and verifies clean SIGINT shutdown.
+#
+#   1. repeated /eval requests share one cached index build (hits > 0)
+#   2. /eval output is bit-identical to one-shot `provmin eval`
+#   3. /mutate bumps the generation and the next eval rebuilds exactly once
+#   4. /minimize honors step budgets (sound partial + resume cursor)
+#   5. SIGINT drains and exits 0
+#
+# Usage: ci/server_smoke.sh [path-to-provmin-binary] [port]
+# Needs only curl + POSIX tools (no jq: stats are grepped).
+
+set -euo pipefail
+
+BIN=${1:-target/release/provmin}
+PORT=${2:-7177}
+BASE="http://127.0.0.1:${PORT}"
+WORKDIR=$(mktemp -d)
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# A tiny JSON integer-field extractor: first occurrence of "key":N.
+json_u64() { # json_u64 <key> <file>
+    grep -o "\"$1\":[0-9]*" "$2" | head -1 | cut -d: -f2
+}
+
+echo "== writing test database"
+cat > "$WORKDIR/db.txt" <<'EOF'
+# Table 2 of the paper
+R(a, a) : s1
+R(a, b) : s2
+R(b, a) : s3
+R(b, b) : s4
+EOF
+QUERY="ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)"
+
+echo "== starting $BIN serve on port $PORT"
+"$BIN" serve --addr "127.0.0.1:${PORT}" --workers 2 --db "$WORKDIR/db.txt" &
+SERVER_PID=$!
+
+echo "== waiting for readiness"
+for _ in $(seq 1 100); do
+    if curl -sf "$BASE/stats" -o "$WORKDIR/stats0.json" 2>/dev/null; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before becoming ready"
+    sleep 0.1
+done
+[ -f "$WORKDIR/stats0.json" ] || fail "server never became ready"
+
+echo "== 1. repeated evals share one cached index build"
+for i in 1 2 3; do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"query\": \"$QUERY\"}" "$BASE/eval" -o "$WORKDIR/eval$i.json" \
+        || fail "eval request $i failed"
+done
+curl -sf "$BASE/stats" -o "$WORKDIR/stats1.json"
+HITS=$(json_u64 hits "$WORKDIR/stats1.json")
+MISSES=$(json_u64 misses "$WORKDIR/stats1.json")
+echo "   cache: misses=$MISSES hits=$HITS"
+[ "$MISSES" -eq 1 ] || fail "expected exactly 1 index build, saw $MISSES"
+[ "$HITS" -gt 0 ] || fail "expected cache hits > 0 across requests, saw $HITS"
+
+echo "== 2. server output is bit-identical to one-shot provmin eval"
+curl -sf -X POST -H 'Content-Type: application/json' -H 'Accept: text/plain' \
+    -d "{\"query\": \"$QUERY\"}" "$BASE/eval" -o "$WORKDIR/server_eval.txt"
+"$BIN" eval "$WORKDIR/db.txt" "$QUERY" > "$WORKDIR/cli_eval.txt"
+diff -u "$WORKDIR/cli_eval.txt" "$WORKDIR/server_eval.txt" \
+    || fail "server /eval differs from one-shot provmin eval"
+
+echo "== 3. mutation bumps generation; next eval rebuilds exactly once"
+GEN_BEFORE=$(json_u64 generation "$WORKDIR/stats1.json")
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"insert": ["R(c, c) : s5"]}' "$BASE/mutate" -o "$WORKDIR/mutate.json" \
+    || fail "mutate request failed"
+GEN_AFTER=$(json_u64 generation "$WORKDIR/mutate.json")
+[ "$GEN_AFTER" != "$GEN_BEFORE" ] || fail "mutation did not bump generation"
+for i in 4 5; do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"query\": \"$QUERY\"}" "$BASE/eval" -o "$WORKDIR/eval$i.json"
+done
+grep -q '(c)' "$WORKDIR/eval4.json" || fail "post-mutation eval missed the new tuple (stale index?)"
+MISSES2=$(json_u64 misses "$WORKDIR/eval5.json")
+[ "$MISSES2" -eq 2 ] || fail "expected exactly 1 rebuild after mutation (2 total), saw $MISSES2"
+
+echo "== 4. budgeted minimize returns sound partial + cursor"
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"query": "ans(x) :- R(x,y), R(y,z)", "budget_steps": 1}' \
+    "$BASE/minimize" -o "$WORKDIR/minimize.json"
+grep -q '"status":"partial"' "$WORKDIR/minimize.json" || fail "expected a partial result"
+grep -q '"cursor"' "$WORKDIR/minimize.json" || fail "partial result must carry a resume cursor"
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"query": "ans(x) :- R(x,y), R(x,z)"}' \
+    "$BASE/minimize" -o "$WORKDIR/minimize_full.json"
+grep -q '"status":"complete"' "$WORKDIR/minimize_full.json" || fail "unbudgeted minimize must complete"
+
+echo "== 5. SIGINT shuts down cleanly"
+kill -INT "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+[ "$EXIT_CODE" -eq 0 ] || fail "serve exited $EXIT_CODE on SIGINT (expected 0)"
+curl -sf --max-time 2 "$BASE/stats" -o /dev/null 2>/dev/null \
+    && fail "server still accepting after shutdown"
+
+echo "PASS: all server smoke checks passed"

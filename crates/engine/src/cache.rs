@@ -118,6 +118,19 @@ impl IndexCache {
     }
 }
 
+// The serving path (`prov-server`) shares one `IndexCache` — and the
+// `Arc<EvalViews>` handed out of it — across reader threads while a writer
+// thread mutates the database behind an `RwLock`. Keep the thread-safety
+// of the whole cache surface a compile-time guarantee, not an accident of
+// the current field types: `OnceLock` gives once-only cross-thread view
+// construction, `Mutex`/atomics give the entry swap and counters.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IndexCache>();
+    assert_send_sync::<EvalViews>();
+    assert_send_sync::<CacheStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

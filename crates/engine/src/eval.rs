@@ -133,7 +133,11 @@ pub struct EvalOptions {
     /// Columnar batched extension: carry blocks of
     /// partial assignments through the planned atom order instead of
     /// recursing one assignment at a time. Identical results; composes
-    /// with `parallelism` by sharding blocks.
+    /// with `parallelism` by sharding blocks. **On by default** since the
+    /// soak of the three-way equivalence suite (interleaved mutations,
+    /// cached re-evaluations, UCQ disjunct sharing, 1 and 4 threads);
+    /// [`EvalOptions::tuple`] is the escape hatch back to the
+    /// tuple-at-a-time recursion.
     pub batch: bool,
 }
 
@@ -143,7 +147,7 @@ impl Default for EvalOptions {
             planner: PlannerKind::CostBased,
             use_index: true,
             parallelism: None,
-            batch: false,
+            batch: true,
         }
     }
 }
@@ -160,9 +164,23 @@ impl EvalOptions {
     }
 
     /// The columnar batched pipeline under the default planner/index.
+    /// Since the batched path became the default this is an alias for
+    /// [`EvalOptions::default`], kept for call sites that want to be
+    /// explicit about the pipeline they measure or test.
     pub fn batched() -> Self {
         EvalOptions {
             batch: true,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// The tuple-at-a-time recursion under the default planner/index —
+    /// the escape hatch from the batched default (ablations, debugging,
+    /// and workloads whose intermediate-join frontiers are too wide for
+    /// the batched pipeline's materialized blocks).
+    pub fn tuple() -> Self {
+        EvalOptions {
+            batch: false,
             ..EvalOptions::default()
         }
     }

@@ -1,0 +1,136 @@
+//! Wire → engine option translation: evaluation strategy knobs for
+//! `/eval`, and step/deadline budgets for `/minimize` (the existing
+//! `Partial` semantics of `prov-core::minimize` — a budget-exhausted
+//! request returns a *sound* partial result plus a resume cursor, it
+//! never returns a wrong one).
+
+use std::time::Duration;
+
+use prov_core::minimize::{MinimizeOptions, Strategy};
+use prov_engine::{EvalOptions, PlannerKind};
+
+use crate::json::Json;
+
+/// Cap on the wire-supplied `threads` field. The engine spawns that many
+/// scoped OS threads per evaluation, so an unbounded client value would
+/// be a one-request denial of service; anything past the machine's core
+/// count is overhead anyway.
+pub const MAX_THREADS: u64 = 64;
+
+/// Reads `/eval` strategy fields from the request body:
+/// `mode` (`"batched"` default / `"tuple"`), `threads` (1 ..=
+/// [`MAX_THREADS`]), `planner` (`"written"`, `"syntactic"`, `"cost"`).
+/// Unknown fields are ignored so clients can round-trip stats blobs.
+pub fn eval_options(body: &Json) -> Result<EvalOptions, String> {
+    let mut options = EvalOptions::default();
+    if let Some(mode) = body.get("mode") {
+        let mode = mode.as_str().ok_or("\"mode\" must be a string")?;
+        options = match mode {
+            "batched" => options.with_batch(true),
+            "tuple" => options.with_batch(false),
+            other => return Err(format!("unknown mode {other:?} (batched|tuple)")),
+        };
+    }
+    if let Some(threads) = body.get("threads") {
+        let n = threads
+            .as_u64()
+            .filter(|&n| n >= 1)
+            .ok_or("\"threads\" must be a positive integer")?;
+        if n > MAX_THREADS {
+            return Err(format!("\"threads\" must be at most {MAX_THREADS}"));
+        }
+        options = options.with_parallelism(n as usize);
+    }
+    if let Some(planner) = body.get("planner") {
+        let kind = match planner.as_str().ok_or("\"planner\" must be a string")? {
+            "written" => PlannerKind::WrittenOrder,
+            "syntactic" => PlannerKind::Syntactic,
+            "cost" => PlannerKind::CostBased,
+            other => {
+                return Err(format!(
+                    "unknown planner {other:?} (written|syntactic|cost)"
+                ))
+            }
+        };
+        options = options.with_planner(kind);
+    }
+    Ok(options)
+}
+
+/// Reads `/minimize` engine fields from the request body: `strategy`
+/// (`"minprov"` default, `"auto"`, `"standard"`, `"dedup"`),
+/// `budget_steps`, `budget_ms`, `memo` (bool).
+pub fn minimize_options(body: &Json) -> Result<MinimizeOptions, String> {
+    let mut options = MinimizeOptions::default();
+    if let Some(strategy) = body.get("strategy") {
+        options.strategy = match strategy.as_str().ok_or("\"strategy\" must be a string")? {
+            "minprov" => Strategy::MinProv,
+            "auto" => Strategy::Auto,
+            "standard" => Strategy::Standard,
+            "dedup" => Strategy::CompleteDedup,
+            other => {
+                return Err(format!(
+                    "unknown strategy {other:?} (minprov|auto|standard|dedup)"
+                ))
+            }
+        };
+    }
+    if let Some(steps) = body.get("budget_steps") {
+        options.budget.max_steps = Some(
+            steps
+                .as_u64()
+                .ok_or("\"budget_steps\" must be an integer")?,
+        );
+    }
+    if let Some(ms) = body.get("budget_ms") {
+        options.budget.max_duration = Some(Duration::from_millis(
+            ms.as_u64().ok_or("\"budget_ms\" must be an integer")?,
+        ));
+    }
+    if let Some(memo) = body.get("memo") {
+        options.memo = memo.as_bool().ok_or("\"memo\" must be a boolean")?;
+    }
+    Ok(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(text: &str) -> Json {
+        Json::parse(text).expect("test body parses")
+    }
+
+    #[test]
+    fn eval_defaults_and_overrides() {
+        let defaults = eval_options(&obj("{}")).expect("defaults");
+        assert_eq!(defaults, EvalOptions::default());
+        let opts = eval_options(&obj(
+            r#"{"mode":"tuple","threads":4,"planner":"syntactic"}"#,
+        ))
+        .expect("parses");
+        assert_eq!(
+            opts,
+            EvalOptions::tuple()
+                .with_parallelism(4)
+                .with_planner(PlannerKind::Syntactic)
+        );
+        assert!(eval_options(&obj(r#"{"mode":"vectorized"}"#)).is_err());
+        assert!(eval_options(&obj(r#"{"threads":0}"#)).is_err());
+        assert!(eval_options(&obj(r#"{"planner":"best"}"#)).is_err());
+    }
+
+    #[test]
+    fn minimize_budgets_translate() {
+        let opts = minimize_options(&obj(
+            r#"{"strategy":"auto","budget_steps":64,"budget_ms":250,"memo":false}"#,
+        ))
+        .expect("parses");
+        assert_eq!(opts.strategy, Strategy::Auto);
+        assert_eq!(opts.budget.max_steps, Some(64));
+        assert_eq!(opts.budget.max_duration, Some(Duration::from_millis(250)));
+        assert!(!opts.memo);
+        assert!(minimize_options(&obj(r#"{"strategy":"fast"}"#)).is_err());
+        assert!(minimize_options(&obj(r#"{"budget_steps":"lots"}"#)).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! A tiny blocking HTTP/1.1 client speaking exactly the server's subset
+//! (`Connection: close`, fixed-length bodies). It exists so integration
+//! tests, the serve-loop benchmark row, and offline tooling need no
+//! external HTTP dependency; it is **not** a general-purpose client.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One request/response round trip. Returns `(status, body)`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    accept: Option<&str>,
+    body: &[u8],
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let _ = stream.set_nodelay(true);
+    let accept_header = accept
+        .map(|a| format!("Accept: {a}\r\n"))
+        .unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: provmin\r\nContent-Type: {content_type}\r\n{accept_header}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response"))?;
+    let (head, response_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, response_body.to_owned()))
+}
+
+/// `POST` a JSON body.
+pub fn post_json(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(
+        addr,
+        "POST",
+        path,
+        "application/json",
+        None,
+        body.as_bytes(),
+    )
+}
+
+/// `POST` a JSON body asking for the plain-text (CLI-identical) rendering.
+pub fn post_json_accept_text(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(
+        addr,
+        "POST",
+        path,
+        "application/json",
+        Some("text/plain"),
+        body.as_bytes(),
+    )
+}
+
+/// `POST` a plain-text body (the `/load` database format).
+pub fn post_text(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, "text/plain", None, body.as_bytes())
+}
+
+/// `GET` a path.
+pub fn get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, "text/plain", None, &[])
+}

@@ -1,0 +1,334 @@
+//! HTTP/1.1 wire handling: just enough of RFC 9112 for the service —
+//! request line + headers + `Content-Length` bodies in, fixed-length
+//! `Connection: close` responses out. No chunked transfer, no pipelining,
+//! one request per connection: the clients this serves (curl, the bundled
+//! [`crate::client`], CI smoke scripts) all speak that subset, and it
+//! keeps the reader small enough to bound-check by inspection.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::json::Json;
+
+/// Cap on one header line (request line included).
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Cap on the number of headers.
+const MAX_HEADERS: usize = 64;
+/// Cap on a request body.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target (query string stripped).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, possibly empty.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or `None` if it isn't valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the client asked for a plain-text rendering
+    /// (`Accept: text/plain`).
+    pub fn wants_text(&self) -> bool {
+        self.header("accept")
+            .is_some_and(|a| a.contains("text/plain"))
+    }
+}
+
+/// Errors while reading a request, split by the response they warrant.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure (timeout, reset) — no response possible/useful.
+    Io(io::Error),
+    /// Syntactically invalid request — respond 400.
+    Malformed(String),
+    /// A size cap was exceeded — respond 413.
+    TooLarge(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line (CRLF or bare LF), rejecting lines over the cap.
+/// Returns `None` on clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("truncated line".to_owned()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-utf8 header".to_owned()))?;
+                    return Ok(Some(line));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_HEADER_LINE {
+                    return Err(HttpError::TooLarge("header line over 8 KiB".to_owned()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request off the stream. `Ok(None)` means the peer closed the
+/// connection cleanly before sending anything.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| HttpError::Malformed("eof inside headers".to_owned()))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        if headers.len() > MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers".to_owned()));
+        }
+    }
+
+    let mut request = Request {
+        method: method.to_owned(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding not supported".to_owned(),
+        ));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length: {len:?}")))?;
+        if len > MAX_BODY {
+            return Err(HttpError::TooLarge(format!("body of {len} bytes")));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// A response about to be written: status plus a fixed-length body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The standard `{"error": message}` body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Json::Obj(vec![("error".to_owned(), Json::Str(message.into()))]),
+        )
+    }
+
+    /// Serializes the response (always `Connection: close`).
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /eval?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+                .expect("reads")
+                .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/eval");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let req = parse("GET /stats HTTP/1.1\nAccept: text/plain\n\n")
+            .expect("reads")
+            .expect("some");
+        assert_eq!(req.method, "GET");
+        assert!(req.wants_text());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").expect("ok").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "hi\n".to_owned())
+            .write_to(&mut out)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi\n"));
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let resp = Response::error(400, "nope");
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        let j = Json::parse(&body).expect("json");
+        assert_eq!(j.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

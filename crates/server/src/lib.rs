@@ -1,0 +1,41 @@
+//! `provmin serve` — a long-running query service over the cached engine.
+//!
+//! Every one-shot `provmin` invocation pays database load plus index
+//! build from scratch; the workloads of the source paper (provenance-
+//! annotated evaluation and minimization, conf_pods_AmsterdamerDMT11) are
+//! read-heavy, so amortizing those builds across queries is the dominant
+//! serving win. This crate keeps one [`prov_storage::Database`] resident
+//! behind a readers/writer lock and shares the PR 4 generation-keyed
+//! [`prov_engine::IndexCache`] across requests: concurrent `/eval`s reuse
+//! one index build, and a `/mutate` bumps the generation so the next
+//! evaluation rebuilds exactly once — never against stale data, because
+//! the cache key *is* the generation stamp.
+//!
+//! The HTTP/1.1 layer is hand-rolled over `std::net::TcpListener` and a
+//! small worker pool — the build image has no registry access (see
+//! ROADMAP "vendored shims"), and the subset needed here (fixed-length
+//! bodies, `Connection: close`) is small enough to own.
+//!
+//! See `docs/SERVER.md` for the endpoint and wire-format reference, and
+//! [`client`] for the bundled test/bench client.
+
+#![warn(missing_docs)]
+
+mod budget;
+mod http;
+mod json;
+mod listener;
+mod router;
+mod state;
+mod stats;
+
+pub mod client;
+
+pub use http::{Request, Response};
+pub use json::{Json, JsonError};
+pub use listener::{serve, ServeConfig, ServerHandle};
+pub use state::ServerState;
+pub use stats::{Endpoint, EndpointCounter, EndpointStats};
+
+/// The crate version reported by `GET /stats`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

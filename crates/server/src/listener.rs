@@ -1,0 +1,206 @@
+//! The accept loop and worker thread pool.
+//!
+//! `serve` binds a `TcpListener`, spawns one accept thread plus a fixed
+//! worker pool, and returns immediately with a [`ServerHandle`]. The
+//! listener is non-blocking and the accept thread polls it between
+//! shutdown-flag checks, so a `POST /shutdown` (or the CLI's SIGINT flag)
+//! stops accepting within one poll interval; the worker channel is then
+//! closed and each worker drains its in-flight connection before exiting
+//! — graceful, not abortive.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use prov_storage::Database;
+
+use crate::http::{read_request, HttpError, Response};
+use crate::router::route;
+use crate::state::ServerState;
+use crate::stats::Endpoint;
+
+/// How long the accept thread sleeps between polls when idle. This is
+/// the arrival latency a connection pays when the server is idle (bursts
+/// drain back-to-back without sleeping), so it is kept tight; it also
+/// bounds shutdown latency and idle CPU burn (~1k wakeups/s of a single
+/// thread doing one syscall each).
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// Per-connection socket read timeout: a stalled client cannot pin a
+/// worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests (min 1).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            workers: 4,
+        }
+    }
+}
+
+/// A running server: the bound address, the shared state, and the accept
+/// thread to join on shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (shutdown flag, cache, counters).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests shutdown and blocks until the accept thread and every
+    /// worker have drained and exited.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    /// A dropped handle still winds the server down (tests and the CLI's
+    /// error paths); explicit [`ServerHandle::shutdown`] is preferred.
+    fn drop(&mut self) {
+        self.state.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Binds `config.addr` and starts serving `db` in background threads.
+pub fn serve(config: ServeConfig, db: Database) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState::new(db));
+    let accept_state = Arc::clone(&state);
+    let workers = config.workers.max(1);
+    let accept = std::thread::Builder::new()
+        .name("provmin-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_state, workers))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, workers: usize) {
+    let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let pool: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(state);
+            std::thread::Builder::new()
+                .name(format!("provmin-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &state))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    while !state.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Send fails only if every worker died (each is panic-
+                // isolated per request, so that means process teardown).
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    drop(tx); // closes the channel: workers exit after their current request
+    for worker in pool {
+        let _ = worker.join();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<ServerState>) {
+    loop {
+        let next = {
+            let receiver = rx.lock().unwrap_or_else(|e| e.into_inner());
+            receiver.recv()
+        };
+        match next {
+            Ok(stream) => {
+                let _ = handle_connection(state, stream);
+            }
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+/// Serves one request on `stream` (the server speaks
+/// one-request-per-connection HTTP/1.1, see [`crate::http`]).
+fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let request = match read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return Ok(()), // peer connected and went away
+        Err(HttpError::Io(e)) => return Err(e),
+        Err(e @ HttpError::Malformed(_)) => {
+            let resp = Response::error(400, e.to_string());
+            state.stats().counter(Endpoint::Other).observe(0, false);
+            return resp.write_to(&mut writer);
+        }
+        Err(e @ HttpError::TooLarge(_)) => {
+            let resp = Response::error(413, e.to_string());
+            state.stats().counter(Endpoint::Other).observe(0, false);
+            return resp.write_to(&mut writer);
+        }
+    };
+    let started = Instant::now();
+    // A panicking handler must cost exactly one 500, never a worker.
+    let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| route(state, &request)))
+        .unwrap_or_else(|_| {
+            (
+                Endpoint::Other,
+                Response::error(500, "internal error (handler panicked)"),
+            )
+        });
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state
+        .stats()
+        .counter(endpoint)
+        .observe(micros, response.status < 400);
+    response.write_to(&mut writer)?;
+    writer.flush()
+}
+
+// Sender must be droppable from the accept thread while workers hold the
+// receiver; both ends are moved across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Sender<TcpStream>>();
+    assert_send::<Receiver<TcpStream>>();
+};

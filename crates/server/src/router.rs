@@ -1,0 +1,701 @@
+//! Request routing and endpoint handlers.
+//!
+//! | route | body | effect |
+//! |---|---|---|
+//! | `POST /load` | database text (or `{"db": text}`) | replace the loaded database |
+//! | `POST /mutate` | `{"insert": [lines], "remove": [lines]}` | apply tuple-level mutations |
+//! | `POST /eval` | `{"query", "mode"?, "threads"?, "planner"?}` | annotated evaluation |
+//! | `POST /minimize` | `{"query", "strategy"?, "budget_steps"?, "budget_ms"?, "memo"?}` | (budgeted) minimization |
+//! | `GET /stats` | — | cache/generation/latency counters |
+//! | `POST /shutdown` | — | request graceful shutdown |
+//!
+//! `/eval` renders each output tuple exactly as the one-shot
+//! `provmin eval` CLI does (`(a)  [s2·s3 + s1]`), so serving results are
+//! bit-comparable against the CLI — the acceptance check the CI smoke job
+//! performs. With `Accept: text/plain` the response body *is* the CLI
+//! stdout, byte for byte.
+
+use prov_core::minimize::{minimize_with, MinimizeOutcome};
+use prov_engine::eval_ucq_cached;
+use prov_query::{parse_ucq, UnionQuery};
+use prov_storage::textio::parse_tuple_line;
+use prov_storage::{Database, RelName};
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::state::ServerState;
+use crate::stats::Endpoint;
+use crate::{budget, VERSION};
+
+/// Routes one request, returning which endpoint it hit (for the latency
+/// counters) and the response to send.
+pub fn route(state: &ServerState, request: &Request) -> (Endpoint, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/load") => (Endpoint::Load, handle_load(state, request)),
+        ("POST", "/mutate") => (Endpoint::Mutate, handle_mutate(state, request)),
+        ("POST", "/eval") => (Endpoint::Eval, handle_eval(state, request)),
+        ("POST", "/minimize") => (Endpoint::Minimize, handle_minimize(state, request)),
+        ("GET", "/stats") => (Endpoint::Stats, handle_stats(state)),
+        ("POST", "/shutdown") => (Endpoint::Shutdown, handle_shutdown(state)),
+        (_, "/load" | "/mutate" | "/eval" | "/minimize" | "/stats" | "/shutdown") => (
+            Endpoint::Other,
+            Response::error(405, format!("method {} not allowed here", request.method)),
+        ),
+        (_, path) => (
+            Endpoint::Other,
+            Response::error(404, format!("no route {path}")),
+        ),
+    }
+}
+
+/// The request body as a parsed JSON object (`{}` for an empty body).
+fn json_body(request: &Request) -> Result<Json, Response> {
+    if request.body.is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    let text = request
+        .body_utf8()
+        .ok_or_else(|| Response::error(400, "body is not valid utf-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, e.to_string()))
+}
+
+/// Parses the CLI's query syntax (`;` joins union rules).
+fn parse_query(text: &str) -> Result<UnionQuery, Response> {
+    let rules = text.replace(';', "\n");
+    parse_ucq(&rules).map_err(|e| Response::error(400, format!("query: {e}")))
+}
+
+fn query_field(body: &Json) -> Result<UnionQuery, Response> {
+    let text = body
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Response::error(400, "missing string field \"query\""))?;
+    parse_query(text)
+}
+
+/// Renders an annotated result exactly as `provmin eval` prints it.
+fn result_lines(result: &prov_engine::AnnotatedResult) -> Vec<String> {
+    if result.is_empty() {
+        return vec!["(empty result)".to_owned()];
+    }
+    result
+        .iter()
+        .map(|(tuple, p)| format!("{tuple}  [{p}]"))
+        .collect()
+}
+
+/// Builds a database from text without ever panicking: beyond per-line
+/// syntax (which [`parse_database`] also rejects), cross-line
+/// inconsistencies — an annotation re-tagging a different tuple, an
+/// arity mismatch with an earlier line — become errors here, where
+/// `Database::insert` / `Relation::insert` would assert. Network input
+/// must never be able to reach those asserts.
+fn build_database(text: &str) -> Result<Database, String> {
+    let mut db = Database::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let Some((rel, tuple, annotation)) =
+            parse_tuple_line(raw).map_err(|e| format!("line {line}: {e}"))?
+        else {
+            continue;
+        };
+        if let Some(existing) = db.relation(rel) {
+            if existing.arity() != tuple.arity() {
+                return Err(format!(
+                    "line {line}: {rel} has arity {}, got a {}-tuple",
+                    existing.arity(),
+                    tuple.arity()
+                ));
+            }
+        }
+        match annotation {
+            Some(a) => {
+                if let Some((r0, t0)) = db.tuple_of(a) {
+                    if !(*r0 == rel && *t0 == tuple) {
+                        return Err(format!(
+                            "line {line}: annotation {a} already tags {r0}{t0} \
+                             (databases must be abstractly tagged)"
+                        ));
+                    }
+                }
+                db.insert(rel, tuple, a);
+            }
+            None => {
+                db.insert_fresh(rel, tuple);
+            }
+        }
+    }
+    Ok(db)
+}
+
+fn handle_load(state: &ServerState, request: &Request) -> Response {
+    let is_json = request
+        .header("content-type")
+        .is_some_and(|t| t.contains("json"));
+    let parsed: Result<Database, Response> = if is_json {
+        match json_body(request) {
+            Ok(body) => match body.get("db").and_then(Json::as_str) {
+                Some(text) => build_database(text).map_err(|e| Response::error(400, e)),
+                None => Err(Response::error(400, "missing string field \"db\"")),
+            },
+            Err(resp) => Err(resp),
+        }
+    } else {
+        match request.body_utf8() {
+            Some(text) => build_database(text).map_err(|e| Response::error(400, e)),
+            None => Err(Response::error(400, "body is not valid utf-8")),
+        }
+    };
+    let db = match parsed {
+        Ok(db) => db,
+        Err(resp) => return resp,
+    };
+    let (tuples, generation) = (db.num_tuples(), db.generation());
+    *state.write_db() = db;
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("tuples".to_owned(), Json::from_u64(tuples as u64)),
+            ("generation".to_owned(), Json::from_u64(generation)),
+        ]),
+    )
+}
+
+fn handle_mutate(state: &ServerState, request: &Request) -> Response {
+    let body = match json_body(request) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    // Parse every line up front: a syntactically bad request mutates
+    // nothing (parse errors are the common failure; annotation conflicts
+    // are checked under the lock below).
+    let mut removes = Vec::new();
+    let mut inserts = Vec::new();
+    for (field, out) in [("remove", &mut removes), ("insert", &mut inserts)] {
+        if let Some(value) = body.get(field) {
+            let Some(lines) = value.as_array() else {
+                return Response::error(400, format!("\"{field}\" must be an array of strings"));
+            };
+            for line in lines {
+                let Some(text) = line.as_str() else {
+                    return Response::error(
+                        400,
+                        format!("\"{field}\" must be an array of strings"),
+                    );
+                };
+                match parse_tuple_line(text) {
+                    Ok(Some(entry)) => out.push(entry),
+                    Ok(None) => {}
+                    Err(e) => return Response::error(400, format!("{field} {text:?}: {e}")),
+                }
+            }
+        }
+    }
+    if removes.is_empty() && inserts.is_empty() {
+        return Response::error(400, "nothing to do: empty \"insert\" and \"remove\"");
+    }
+
+    let mut db = state.write_db();
+    // Arity pre-validation under the lock, before ANY change: an insert
+    // into an existing relation with the wrong arity would hit
+    // `Relation::insert`'s assert — network input must never reach an
+    // assert, and an arity error applies nothing (removals cannot change
+    // a relation's arity, so checking first is sound). Inserts creating a
+    // new relation are checked against each other.
+    let mut new_arities: std::collections::BTreeMap<RelName, usize> =
+        std::collections::BTreeMap::new();
+    for (rel, tuple, _) in &inserts {
+        let expected = db
+            .relation(*rel)
+            .map(|r| r.arity())
+            .or_else(|| new_arities.get(rel).copied());
+        match expected {
+            Some(arity) if arity != tuple.arity() => {
+                return Response::error(
+                    400,
+                    format!(
+                        "insert {rel}{tuple}: {rel} has arity {arity}, got a {}-tuple \
+                         (nothing was applied)",
+                        tuple.arity()
+                    ),
+                );
+            }
+            Some(_) => {}
+            None => {
+                new_arities.insert(*rel, tuple.arity());
+            }
+        }
+    }
+    let mut removed = 0u64;
+    for (rel, tuple, _) in &removes {
+        if db.remove(*rel, tuple).is_some() {
+            removed += 1;
+        }
+    }
+    let mut inserted = 0u64;
+    for (rel, tuple, annotation) in inserts {
+        match annotation {
+            Some(a) => {
+                // `Database::insert` panics on an abstract-tagging
+                // violation; pre-check so a bad request gets a 409 and the
+                // lock is never poisoned. Removals above ran first, so a
+                // request may legally re-tag in one round trip.
+                if let Some((r0, t0)) = db.tuple_of(a) {
+                    if !(*r0 == rel && *t0 == tuple) {
+                        return Response::error(
+                            409,
+                            format!(
+                                "annotation {a} already tags {r0}{t0}; \
+                                 {removed} removal(s) and {inserted} insert(s) were applied"
+                            ),
+                        );
+                    }
+                }
+                if db.annotation_of(rel, &tuple).is_none() {
+                    inserted += 1;
+                }
+                db.insert(rel, tuple, a);
+            }
+            None => {
+                if db.annotation_of(rel, &tuple).is_none() {
+                    inserted += 1;
+                }
+                db.insert_fresh(rel, tuple);
+            }
+        }
+    }
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("removed".to_owned(), Json::from_u64(removed)),
+            ("inserted".to_owned(), Json::from_u64(inserted)),
+            ("tuples".to_owned(), Json::from_u64(db.num_tuples() as u64)),
+            ("generation".to_owned(), Json::from_u64(db.generation())),
+        ]),
+    )
+}
+
+fn handle_eval(state: &ServerState, request: &Request) -> Response {
+    let body = match json_body(request) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    let query = match query_field(&body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let options = match budget::eval_options(&body) {
+        Ok(options) => options,
+        Err(e) => return Response::error(400, e),
+    };
+    // Read lock held across the evaluation: concurrent /eval requests all
+    // enter here together and share one cached index build; a /mutate
+    // waits for them, then the generation bump makes the next eval
+    // rebuild exactly once.
+    let db = state.read_db();
+    let result = eval_ucq_cached(&query, &db, options, state.cache());
+    let generation = db.generation();
+    drop(db);
+    let lines = result_lines(&result);
+    if request.wants_text() {
+        return Response::text(200, lines.join("\n") + "\n");
+    }
+    let stats = state.cache().stats();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("generation".to_owned(), Json::from_u64(generation)),
+            ("rows".to_owned(), Json::from_u64(result.len() as u64)),
+            (
+                "cache".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::from_u64(stats.hits)),
+                    ("misses".to_owned(), Json::from_u64(stats.misses)),
+                ]),
+            ),
+            (
+                "results".to_owned(),
+                Json::Arr(lines.into_iter().map(Json::Str).collect()),
+            ),
+        ]),
+    )
+}
+
+fn handle_minimize(state: &ServerState, request: &Request) -> Response {
+    let body = match json_body(request) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    let query = match query_field(&body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let options = match budget::minimize_options(&body) {
+        Ok(options) => options,
+        Err(e) => return Response::error(400, e),
+    };
+    // Minimization is pure query rewriting — it does not touch the
+    // database, so no lock is held; the state only provides counters.
+    let _ = state;
+    match minimize_with(&query, options) {
+        Ok(MinimizeOutcome::Complete(minimal)) => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("status".to_owned(), Json::str("complete")),
+                ("query".to_owned(), Json::Str(minimal.to_string())),
+            ]),
+        ),
+        Ok(MinimizeOutcome::Partial(partial)) => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("status".to_owned(), Json::str("partial")),
+                ("query".to_owned(), Json::Str(partial.best.to_string())),
+                (
+                    "cursor".to_owned(),
+                    Json::Obj(vec![
+                        (
+                            "adjunct".to_owned(),
+                            Json::from_u64(partial.cursor.adjunct as u64),
+                        ),
+                        (
+                            "completion".to_owned(),
+                            Json::from_u64(partial.cursor.completion as u64),
+                        ),
+                    ]),
+                ),
+                ("steps_used".to_owned(), Json::from_u64(partial.steps_used)),
+            ]),
+        ),
+        Err(e) => Response::error(400, e.to_string()),
+    }
+}
+
+fn handle_stats(state: &ServerState) -> Response {
+    let (generation, tuples) = {
+        let db = state.read_db();
+        (db.generation(), db.num_tuples())
+    };
+    let cache = state.cache().stats();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("version".to_owned(), Json::str(VERSION)),
+            ("generation".to_owned(), Json::from_u64(generation)),
+            ("tuples".to_owned(), Json::from_u64(tuples as u64)),
+            (
+                "uptime_micros".to_owned(),
+                Json::from_u64(state.uptime_micros()),
+            ),
+            (
+                "cache".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::from_u64(cache.hits)),
+                    ("misses".to_owned(), Json::from_u64(cache.misses)),
+                ]),
+            ),
+            ("endpoints".to_owned(), state.stats().snapshot()),
+        ]),
+    )
+}
+
+fn handle_shutdown(state: &ServerState) -> Response {
+    state.request_shutdown();
+    Response::json(
+        200,
+        &Json::Obj(vec![("status".to_owned(), Json::str("shutting-down"))]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_storage::textio::parse_database;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            headers: vec![("content-type".to_owned(), "application/json".to_owned())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_json(resp: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&resp.body).expect("utf8")).expect("json body")
+    }
+
+    fn loaded_state() -> ServerState {
+        let db = parse_database("R(a, a) : s1\nR(a, b) : s2\nR(b, a) : s3\nR(b, b) : s4\n")
+            .expect("table 2 parses");
+        ServerState::new(db)
+    }
+
+    #[test]
+    fn eval_matches_cli_rendering() {
+        let state = loaded_state();
+        let request = post(
+            "/eval",
+            r#"{"query": "ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)"}"#,
+        );
+        let (endpoint, resp) = route(&state, &request);
+        assert_eq!(endpoint, Endpoint::Eval);
+        assert_eq!(resp.status, 200);
+        let json = body_json(&resp);
+        let results = json.get("results").and_then(Json::as_array).expect("array");
+        let lines: Vec<&str> = results.iter().filter_map(Json::as_str).collect();
+        assert_eq!(lines, ["(a)  [s1 + s2·s3]", "(b)  [s2·s3 + s4]"]);
+    }
+
+    #[test]
+    fn eval_text_rendering_is_cli_stdout() {
+        let state = loaded_state();
+        let mut request = post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#);
+        request
+            .headers
+            .push(("accept".to_owned(), "text/plain".to_owned()));
+        let (_, resp) = route(&state, &request);
+        assert_eq!(
+            std::str::from_utf8(&resp.body).expect("utf8"),
+            "(a)  [s1]\n(b)  [s4]\n"
+        );
+    }
+
+    #[test]
+    fn empty_result_renders_like_cli() {
+        let state = loaded_state();
+        let (_, resp) = route(&state, &post("/eval", r#"{"query": "ans(x) :- Zzz(x)"}"#));
+        let json = body_json(&resp);
+        let results = json.get("results").and_then(Json::as_array).expect("array");
+        assert_eq!(results, [Json::str("(empty result)")]);
+        assert_eq!(json.get("rows").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn evals_share_the_cached_build() {
+        let state = loaded_state();
+        let request = post("/eval", r#"{"query": "ans(x) :- R(x,y), R(y,x)"}"#);
+        let (_, first) = route(&state, &request);
+        let (_, second) = route(&state, &request);
+        assert_eq!(first.status, 200);
+        let cache = body_json(&second).get("cache").cloned().expect("cache");
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn mutate_bumps_generation_and_rebuilds_once() {
+        let state = loaded_state();
+        let eval = post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#);
+        let (_, before) = route(&state, &eval);
+        let g0 = body_json(&before).get("generation").and_then(Json::as_u64);
+        let (_, mutated) = route(&state, &post("/mutate", r#"{"insert": ["R(c, c) : s5"]}"#));
+        assert_eq!(mutated.status, 200);
+        let mutated = body_json(&mutated);
+        assert_eq!(mutated.get("inserted").and_then(Json::as_u64), Some(1));
+        assert_ne!(mutated.get("generation").and_then(Json::as_u64), g0);
+        let (_, after) = route(&state, &eval);
+        let after = body_json(&after);
+        let lines: Vec<&str> = after
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("array")
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(lines, ["(a)  [s1]", "(b)  [s4]", "(c)  [s5]"]);
+        // One miss for the pre-mutation build, exactly one more after.
+        let cache = after.get("cache").cloned().expect("cache");
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+        // Removal restores the original answers.
+        let (_, removed) = route(&state, &post("/mutate", r#"{"remove": ["R(c, c)"]}"#));
+        assert_eq!(
+            body_json(&removed).get("removed").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn mutate_conflicting_annotation_is_409_not_a_panic() {
+        let state = loaded_state();
+        let (_, resp) = route(&state, &post("/mutate", r#"{"insert": ["R(z, z) : s1"]}"#));
+        assert_eq!(resp.status, 409);
+        // The lock is not poisoned: follow-up requests still serve.
+        let (_, ok) = route(&state, &post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#));
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn mutate_arity_mismatch_is_400_and_applies_nothing() {
+        let state = loaded_state();
+        // The removal is valid on its own; the wrong-arity insert must
+        // abort the whole request BEFORE the removal applies (400, not a
+        // Relation::insert assert under the write lock).
+        let (_, resp) = route(
+            &state,
+            &post(
+                "/mutate",
+                r#"{"remove": ["R(a, a)"], "insert": ["R(c) : s9"]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 400);
+        let (_, check) = route(&state, &post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#));
+        let lines: Vec<String> = body_json(&check)
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("array")
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(
+            lines,
+            ["(a)  [s1]", "(b)  [s4]"],
+            "an arity error must be atomic: R(a,a) still present"
+        );
+        // Two wrong-arity inserts into a relation the request creates.
+        let (_, resp) = route(
+            &state,
+            &post("/mutate", r#"{"insert": ["T(x, y)", "T(z)"]}"#),
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn load_rejects_cross_line_inconsistencies_as_400() {
+        let state = loaded_state();
+        // Annotation re-used for a different tuple: would assert inside
+        // Database::insert if it reached it.
+        let mut request = post("/load", "R(a, a) : s1\nR(b, b) : s1\n");
+        request.headers[0].1 = "text/plain".to_owned();
+        let (_, resp) = route(&state, &request);
+        assert_eq!(resp.status, 400);
+        // Arity mismatch between lines of one relation.
+        let mut request = post("/load", "R(a)\nR(b, c)\n");
+        request.headers[0].1 = "text/plain".to_owned();
+        let (_, resp) = route(&state, &request);
+        assert_eq!(resp.status, 400);
+        // The original database is untouched and the server still serves.
+        let (_, ok) = route(&state, &post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#));
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn eval_thread_count_is_bounded() {
+        let state = loaded_state();
+        let (_, resp) = route(
+            &state,
+            &post(
+                "/eval",
+                r#"{"query": "ans(x) :- R(x,x)", "threads": 9000000000000}"#,
+            ),
+        );
+        assert_eq!(
+            resp.status, 400,
+            "unbounded thread fan-out must be rejected"
+        );
+        let (_, ok) = route(
+            &state,
+            &post("/eval", r#"{"query": "ans(x) :- R(x,x)", "threads": 4}"#),
+        );
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn minimize_complete_and_partial() {
+        let state = loaded_state();
+        let (_, complete) = route(
+            &state,
+            &post("/minimize", r#"{"query": "ans(x) :- R(x,y), R(x,z)"}"#),
+        );
+        let complete = body_json(&complete);
+        assert_eq!(
+            complete.get("status").and_then(Json::as_str),
+            Some("complete")
+        );
+        // MinProv's p-minimal output is the minimized canonical rewriting
+        // (a union), not the standard-minimization core.
+        assert_eq!(
+            complete.get("query").and_then(Json::as_str),
+            Some("ans(v1) :- R(v1,v1)\n  ∪ ans(v1) :- R(v1,v2), v1 != v2")
+        );
+        let (_, partial) = route(
+            &state,
+            &post(
+                "/minimize",
+                r#"{"query": "ans(x) :- R(x,y), R(y,z)", "budget_steps": 1}"#,
+            ),
+        );
+        let partial = body_json(&partial);
+        assert_eq!(
+            partial.get("status").and_then(Json::as_str),
+            Some("partial")
+        );
+        let cursor = partial.get("cursor").expect("cursor");
+        assert!(cursor.get("adjunct").and_then(Json::as_u64).is_some());
+        assert!(cursor.get("completion").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn load_replaces_database() {
+        let state = loaded_state();
+        let mut request = post("/load", "S(x) : t1\n");
+        request.headers[0].1 = "text/plain".to_owned();
+        let (_, resp) = route(&state, &request);
+        let json = body_json(&resp);
+        assert_eq!(json.get("tuples").and_then(Json::as_u64), Some(1));
+        let (_, evald) = route(&state, &post("/eval", r#"{"query": "ans(y) :- S(y)"}"#));
+        let lines = body_json(&evald);
+        let lines: Vec<&str> = lines
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("array")
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(lines, ["(x)  [t1]"]);
+    }
+
+    #[test]
+    fn stats_and_routing_errors() {
+        let state = loaded_state();
+        let get_stats = Request {
+            method: "GET".to_owned(),
+            path: "/stats".to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let (endpoint, resp) = route(&state, &get_stats);
+        assert_eq!(endpoint, Endpoint::Stats);
+        let json = body_json(&resp);
+        assert!(json.get("generation").is_some());
+        assert!(json.get("endpoints").is_some());
+
+        let (endpoint, resp) = route(&state, &post("/nope", "{}"));
+        assert_eq!((endpoint, resp.status), (Endpoint::Other, 404));
+        let (endpoint, resp) = route(
+            &state,
+            &Request {
+                method: "GET".to_owned(),
+                path: "/eval".to_owned(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!((endpoint, resp.status), (Endpoint::Other, 405));
+        let (_, resp) = route(&state, &post("/eval", "{not json"));
+        assert_eq!(resp.status, 400);
+        let (_, resp) = route(&state, &post("/eval", r#"{"query": "broken :-"}"#));
+        assert_eq!(resp.status, 400);
+        let (_, resp) = route(&state, &post("/mutate", r#"{"insert": ["broken"]}"#));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let state = loaded_state();
+        assert!(!state.shutdown_requested());
+        let (endpoint, resp) = route(&state, &post("/shutdown", ""));
+        assert_eq!((endpoint, resp.status), (Endpoint::Shutdown, 200));
+        assert!(state.shutdown_requested());
+    }
+}

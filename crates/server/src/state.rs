@@ -1,0 +1,94 @@
+//! Shared server state: one loaded [`Database`] behind a readers/writer
+//! lock, the generation-keyed [`IndexCache`] amortizing index builds
+//! across requests, per-endpoint counters, and the shutdown flag.
+//!
+//! Concurrency discipline: `/eval` holds the read lock for the duration
+//! of evaluation, so any number of evals run at once and all share the
+//! one `EvalViews` build for the current generation (the cache entry's
+//! `OnceLock`s make the build itself happen exactly once even when
+//! several readers race to it). `/minimize` is pure query rewriting and
+//! takes no lock at all. `/load` and `/mutate` take the write lock;
+//! every content change bumps `Database::generation`, so the next reader
+//! misses the cache exactly once and rebuilds against the new stamp —
+//! stale views are unreachable by construction because the cache key
+//! *is* the generation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use prov_engine::IndexCache;
+use prov_storage::Database;
+
+use crate::stats::EndpointStats;
+
+/// Everything the worker threads share.
+#[derive(Debug)]
+pub struct ServerState {
+    db: RwLock<Database>,
+    cache: IndexCache,
+    stats: EndpointStats,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl ServerState {
+    /// State serving `db` (possibly empty until a `/load`).
+    pub fn new(db: Database) -> Self {
+        ServerState {
+            db: RwLock::new(db),
+            cache: IndexCache::new(),
+            stats: EndpointStats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// Read access to the database. Poisoning is deliberately ignored: a
+    /// panicking *reader* cannot have torn the data, and the mutation
+    /// handlers pre-validate every input that could reach a storage-layer
+    /// assert (annotation conflicts, arity mismatches) so writer panics
+    /// are reserved for genuine bugs; serving must outlive any one bad
+    /// request either way.
+    pub fn read_db(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write access to the database (see [`ServerState::read_db`] on
+    /// poisoning).
+    pub fn write_db(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shared index cache.
+    pub fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// The per-endpoint counters.
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// Asks the accept loop (and the CLI wait loop) to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Microseconds since the state was created.
+    pub fn uptime_micros(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+// Worker threads share the state by `Arc`; keep that a compile-time
+// guarantee (it holds because `IndexCache` and the counters are `Sync`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerState>();
+};

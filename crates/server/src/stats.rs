@@ -1,0 +1,153 @@
+//! Per-endpoint request/latency/error counters surfaced by `GET /stats`.
+//!
+//! Counters are plain relaxed atomics: they are monotone telemetry, not
+//! synchronization — readers may observe a request's `requests` increment
+//! before its `total_micros` one, which is fine for a stats endpoint and
+//! keeps the hot path to a handful of uncontended atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointCounter {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl EndpointCounter {
+    /// Records one served request.
+    pub fn observe(&self, micros: u64, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Requests observed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The counters as a JSON object.
+    pub fn snapshot(&self) -> Json {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let total = self.total_micros.load(Ordering::Relaxed);
+        Json::Obj(vec![
+            ("requests".to_owned(), Json::from_u64(requests)),
+            (
+                "errors".to_owned(),
+                Json::from_u64(self.errors.load(Ordering::Relaxed)),
+            ),
+            ("total_micros".to_owned(), Json::from_u64(total)),
+            (
+                "mean_micros".to_owned(),
+                Json::from_u64(total.checked_div(requests).unwrap_or(0)),
+            ),
+            (
+                "max_micros".to_owned(),
+                Json::from_u64(self.max_micros.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+/// The routes the server exposes (plus a bucket for everything else).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /eval`.
+    Eval,
+    /// `POST /minimize`.
+    Minimize,
+    /// `POST /load`.
+    Load,
+    /// `POST /mutate`.
+    Mutate,
+    /// `GET /stats`.
+    Stats,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// Unroutable requests (404/405/400 at the framing layer).
+    Other,
+}
+
+/// One [`EndpointCounter`] per route.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    eval: EndpointCounter,
+    minimize: EndpointCounter,
+    load: EndpointCounter,
+    mutate: EndpointCounter,
+    stats: EndpointCounter,
+    shutdown: EndpointCounter,
+    other: EndpointCounter,
+}
+
+impl EndpointStats {
+    /// The counter for `endpoint`.
+    pub fn counter(&self, endpoint: Endpoint) -> &EndpointCounter {
+        match endpoint {
+            Endpoint::Eval => &self.eval,
+            Endpoint::Minimize => &self.minimize,
+            Endpoint::Load => &self.load,
+            Endpoint::Mutate => &self.mutate,
+            Endpoint::Stats => &self.stats,
+            Endpoint::Shutdown => &self.shutdown,
+            Endpoint::Other => &self.other,
+        }
+    }
+
+    /// All counters as one JSON object keyed by endpoint name.
+    pub fn snapshot(&self) -> Json {
+        Json::Obj(vec![
+            ("eval".to_owned(), self.eval.snapshot()),
+            ("minimize".to_owned(), self.minimize.snapshot()),
+            ("load".to_owned(), self.load.snapshot()),
+            ("mutate".to_owned(), self.mutate.snapshot()),
+            ("stats".to_owned(), self.stats.snapshot()),
+            ("shutdown".to_owned(), self.shutdown.snapshot()),
+            ("other".to_owned(), self.other.snapshot()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_accumulates() {
+        let c = EndpointCounter::default();
+        c.observe(10, true);
+        c.observe(30, false);
+        assert_eq!(c.requests(), 2);
+        let snap = c.snapshot();
+        assert_eq!(snap.get("errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("total_micros").and_then(Json::as_u64), Some(40));
+        assert_eq!(snap.get("mean_micros").and_then(Json::as_u64), Some(20));
+        assert_eq!(snap.get("max_micros").and_then(Json::as_u64), Some(30));
+    }
+
+    #[test]
+    fn snapshot_covers_every_endpoint() {
+        let stats = EndpointStats::default();
+        stats.counter(Endpoint::Eval).observe(5, true);
+        let snap = stats.snapshot();
+        for key in [
+            "eval", "minimize", "load", "mutate", "stats", "shutdown", "other",
+        ] {
+            assert!(snap.get(key).is_some(), "{key} missing from snapshot");
+        }
+        assert_eq!(
+            snap.get("eval")
+                .and_then(|e| e.get("requests"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! End-to-end tests over a real TCP listener: concurrent evals sharing
+//! one index build per generation, mutation-triggered invalidation,
+//! CLI-identical rendering, budgeted minimization, and graceful shutdown.
+
+use std::sync::Arc;
+
+use prov_engine::{eval_ucq_with, EvalOptions};
+use prov_query::parse_ucq;
+use prov_server::{client, serve, Json, ServeConfig, ServerHandle};
+use prov_storage::textio::parse_database;
+
+const TABLE_2: &str = "R(a, a) : s1\nR(a, b) : s2\nR(b, a) : s3\nR(b, b) : s4\n";
+
+fn start(db_text: &str) -> (ServerHandle, String) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(), // free port per test: tests run in parallel
+        workers: 4,
+    };
+    let db = parse_database(db_text).expect("test database parses");
+    let handle = serve(config, db).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).expect("response body is json")
+}
+
+#[test]
+fn eval_over_tcp_matches_in_process_engine() {
+    let (handle, addr) = start(TABLE_2);
+    let query = "ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)";
+    let (status, body) = client::post_json(&addr, "/eval", &format!(r#"{{"query": "{query}"}}"#))
+        .expect("round trip");
+    assert_eq!(status, 200);
+    let response = json(&body);
+    let got: Vec<&str> = response
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+
+    let q = parse_ucq(&query.replace(';', "\n")).expect("query parses");
+    let db = parse_database(TABLE_2).expect("db parses");
+    let expected: Vec<String> = eval_ucq_with(&q, &db, EvalOptions::default())
+        .iter()
+        .map(|(t, p)| format!("{t}  [{p}]"))
+        .collect();
+    assert_eq!(got, expected, "server rendering must match the engine");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_evals_share_one_index_build() {
+    let (handle, addr) = start(TABLE_2);
+    let addr = Arc::new(addr);
+    let request = r#"{"query": "ans(x) :- R(x,y), R(y,x)"}"#;
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let addr = Arc::clone(&addr);
+            s.spawn(move || {
+                for _ in 0..4 {
+                    let (status, _) =
+                        client::post_json(&addr, "/eval", request).expect("round trip");
+                    assert_eq!(status, 200);
+                }
+            });
+        }
+    });
+    let (status, body) = client::get(&addr, "/stats").expect("stats");
+    assert_eq!(status, 200);
+    let stats = json(&body);
+    let cache = stats.get("cache").expect("cache");
+    let misses = cache.get("misses").and_then(Json::as_u64).expect("misses");
+    let hits = cache.get("hits").and_then(Json::as_u64).expect("hits");
+    assert_eq!(misses, 1, "32 concurrent evals, one generation, one build");
+    assert_eq!(hits, 31, "every other eval reuses the build");
+    assert_eq!(
+        stats
+            .get("endpoints")
+            .and_then(|e| e.get("eval"))
+            .and_then(|e| e.get("requests"))
+            .and_then(Json::as_u64),
+        Some(32)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn mutation_bumps_generation_and_rebuilds_exactly_once() {
+    let (handle, addr) = start(TABLE_2);
+    let eval = r#"{"query": "ans(x) :- R(x,x)"}"#;
+    let (_, before) = client::post_json(&addr, "/eval", eval).expect("eval");
+    let g0 = json(&before)
+        .get("generation")
+        .and_then(Json::as_u64)
+        .expect("generation");
+
+    let (status, body) = client::post_json(
+        &addr,
+        "/mutate",
+        r#"{"insert": ["R(c, c) : s5"], "remove": ["R(a, a)"]}"#,
+    )
+    .expect("mutate");
+    assert_eq!(status, 200);
+    let mutated = json(&body);
+    assert_eq!(mutated.get("inserted").and_then(Json::as_u64), Some(1));
+    assert_eq!(mutated.get("removed").and_then(Json::as_u64), Some(1));
+    let g1 = mutated
+        .get("generation")
+        .and_then(Json::as_u64)
+        .expect("generation");
+    assert_ne!(g1, g0, "content mutation must move the generation");
+
+    // Two evals after the mutation: exactly one rebuild, then a hit.
+    let (_, first) = client::post_json(&addr, "/eval", eval).expect("eval");
+    let (_, second) = client::post_json(&addr, "/eval", eval).expect("eval");
+    let first = json(&first);
+    let lines: Vec<&str> = first
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(
+        lines,
+        ["(b)  [s4]", "(c)  [s5]"],
+        "stale index would still show (a)"
+    );
+    let cache = json(&second).get("cache").cloned().expect("cache");
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn text_rendering_load_and_budgeted_minimize() {
+    let (handle, addr) = start("");
+    // /load replaces the (empty) database.
+    let (status, body) = client::post_text(&addr, "/load", TABLE_2).expect("load");
+    assert_eq!(status, 200);
+    assert_eq!(json(&body).get("tuples").and_then(Json::as_u64), Some(4));
+
+    // Accept: text/plain returns the CLI stdout byte-for-byte.
+    let (status, body) =
+        client::post_json_accept_text(&addr, "/eval", r#"{"query": "ans(x) :- R(x,x)"}"#)
+            .expect("eval");
+    assert_eq!(status, 200);
+    assert_eq!(body, "(a)  [s1]\n(b)  [s4]\n");
+
+    // A one-step budget on a three-variable adjunct exhausts: sound
+    // partial plus resume cursor.
+    let (status, body) = client::post_json(
+        &addr,
+        "/minimize",
+        r#"{"query": "ans(x) :- R(x,y), R(y,z)", "budget_steps": 1}"#,
+    )
+    .expect("minimize");
+    assert_eq!(status, 200);
+    let partial = json(&body);
+    assert_eq!(
+        partial.get("status").and_then(Json::as_str),
+        Some("partial")
+    );
+    assert!(partial
+        .get("cursor")
+        .and_then(|c| c.get("completion"))
+        .and_then(Json::as_u64)
+        .is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_do_not_wedge_the_server() {
+    let (handle, addr) = start(TABLE_2);
+    let (status, _) = client::post_json(&addr, "/eval", "{broken").expect("round trip");
+    assert_eq!(status, 400);
+    let (status, _) = client::post_json(&addr, "/nope", "{}").expect("round trip");
+    assert_eq!(status, 404);
+    let (status, _) = client::get(&addr, "/eval").expect("round trip");
+    assert_eq!(status, 405);
+    let (status, _) = client::post_json(&addr, "/mutate", r#"{"insert": ["R(z) : s9"]}"#)
+        .expect("arity round trip");
+    assert_eq!(
+        status, 400,
+        "arity mismatch with loaded R is rejected atomically"
+    );
+    let (status, _) = client::post_json(&addr, "/mutate", r#"{"insert": ["R(z, w) : s1"]}"#)
+        .expect("conflict round trip");
+    assert_eq!(status, 409, "annotation s1 already tags R(a,a)");
+    // Still serving after every error above.
+    let (status, _) =
+        client::post_json(&addr, "/eval", r#"{"query": "ans(x) :- R(x,x)"}"#).expect("eval");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_accepting() {
+    let (handle, addr) = start(TABLE_2);
+    let (status, body) = client::post_json(&addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    assert_eq!(
+        json(&body).get("status").and_then(Json::as_str),
+        Some("shutting-down")
+    );
+    handle.shutdown(); // joins: must terminate promptly rather than hang
+                       // The listener is gone: a fresh connection must now fail (give the
+                       // OS a moment to tear the socket down).
+    let mut refused = false;
+    for _ in 0..100 {
+        if client::get(&addr, "/stats").is_err() {
+            refused = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(refused, "socket must stop accepting after shutdown");
+}

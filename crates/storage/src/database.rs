@@ -218,6 +218,36 @@ mod tests {
     }
 
     #[test]
+    fn generation_stamps_unique_under_concurrent_mutation() {
+        // The serving path mutates databases from many threads (one write
+        // lock per database, but several databases and sessions per
+        // process). Stamps come from one process-wide atomic, so mutations
+        // on *different* threads must still never collide — a collision
+        // would let a generation-keyed index cache serve stale views.
+        let stamps: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let stamps = &stamps;
+                s.spawn(move || {
+                    let mut db = Database::new();
+                    let mut local = Vec::new();
+                    for i in 0..64u32 {
+                        db.add("R", &[&format!("v{i}")], &format!("cg_t{t}_g{i}"));
+                        local.push(db.generation());
+                    }
+                    stamps.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = stamps.into_inner().unwrap();
+        let n = all.len();
+        assert_eq!(n, 4 * 64);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "generation stamps must be globally unique");
+    }
+
+    #[test]
     fn remove_clears_reverse_index() {
         let mut db = Database::new();
         db.add("R", &["a"], "rm1");

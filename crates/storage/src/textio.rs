@@ -34,59 +34,74 @@ impl fmt::Display for TextFormatError {
 
 impl std::error::Error for TextFormatError {}
 
+/// Parses one line of the text format: `R(a, b) : s1` (or `R(a, b)` for a
+/// fresh abstract annotation). Returns `None` for blank and comment lines.
+///
+/// This is the single-tuple entry point the whole-file
+/// [`parse_database`] loops over; mutation front ends (the `provmin
+/// serve` `/mutate` endpoint) use it to validate and apply individual
+/// insert/remove lines without constructing a throwaway database.
+pub fn parse_tuple_line(raw: &str) -> Result<Option<(RelName, Tuple, Option<Annotation>)>, String> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+        return Ok(None);
+    }
+    let (atom_part, annotation) = match line.split_once(':') {
+        Some((a, ann)) => {
+            let ann = ann.trim();
+            if ann.is_empty() {
+                return Err("empty annotation after ':'".to_owned());
+            }
+            (a.trim(), Some(ann))
+        }
+        None => (line, None),
+    };
+    let open = atom_part
+        .find('(')
+        .ok_or_else(|| format!("expected '(' in tuple: {atom_part}"))?;
+    if !atom_part.ends_with(')') {
+        return Err(format!("expected ')' at end of tuple: {atom_part}"));
+    }
+    let rel_name = atom_part[..open].trim();
+    if rel_name.is_empty() {
+        return Err("missing relation name".to_owned());
+    }
+    let inner = &atom_part[open + 1..atom_part.len() - 1];
+    let values: Vec<Value> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|v| {
+                let v = v.trim().trim_matches('\'');
+                if v.is_empty() {
+                    Err("empty value".to_owned())
+                } else {
+                    Ok(Value::new(v))
+                }
+            })
+            .collect::<Result<_, _>>()?
+    };
+    Ok(Some((
+        RelName::new(rel_name),
+        Tuple::new(values),
+        annotation.map(Annotation::new),
+    )))
+}
+
 /// Parses a database from the text format.
 pub fn parse_database(text: &str) -> Result<Database, TextFormatError> {
     let mut db = Database::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
-            continue;
-        }
-        let err = |message: String| TextFormatError {
-            line: line_no,
+        let parsed = parse_tuple_line(raw).map_err(|message| TextFormatError {
+            line: idx + 1,
             message,
+        })?;
+        let Some((rel, tuple, annotation)) = parsed else {
+            continue;
         };
-        let (atom_part, annotation) = match line.split_once(':') {
-            Some((a, ann)) => {
-                let ann = ann.trim();
-                if ann.is_empty() {
-                    return Err(err("empty annotation after ':'".to_owned()));
-                }
-                (a.trim(), Some(ann))
-            }
-            None => (line, None),
-        };
-        let open = atom_part
-            .find('(')
-            .ok_or_else(|| err(format!("expected '(' in tuple: {atom_part}")))?;
-        if !atom_part.ends_with(')') {
-            return Err(err(format!("expected ')' at end of tuple: {atom_part}")));
-        }
-        let rel_name = atom_part[..open].trim();
-        if rel_name.is_empty() {
-            return Err(err("missing relation name".to_owned()));
-        }
-        let inner = &atom_part[open + 1..atom_part.len() - 1];
-        let values: Vec<Value> = if inner.trim().is_empty() {
-            Vec::new()
-        } else {
-            inner
-                .split(',')
-                .map(|v| {
-                    let v = v.trim().trim_matches('\'');
-                    if v.is_empty() {
-                        Err(err("empty value".to_owned()))
-                    } else {
-                        Ok(Value::new(v))
-                    }
-                })
-                .collect::<Result<_, _>>()?
-        };
-        let rel = RelName::new(rel_name);
-        let tuple = Tuple::new(values);
         match annotation {
-            Some(name) => db.insert(rel, tuple, Annotation::new(name)),
+            Some(a) => db.insert(rel, tuple, a),
             None => {
                 db.insert_fresh(rel, tuple);
             }
@@ -185,5 +200,19 @@ mod tests {
         assert!(db
             .annotation_of(RelName::new("R"), &Tuple::of(&["a", "b"]))
             .is_some());
+    }
+
+    #[test]
+    fn tuple_line_parses_standalone() {
+        let (rel, tuple, annotation) = parse_tuple_line("R(a, b) : s9").unwrap().unwrap();
+        assert_eq!(rel, RelName::new("R"));
+        assert_eq!(tuple, Tuple::of(&["a", "b"]));
+        assert_eq!(annotation, Some(Annotation::new("s9")));
+        let (_, nullary, fresh) = parse_tuple_line("T()").unwrap().unwrap();
+        assert_eq!(nullary, Tuple::empty());
+        assert_eq!(fresh, None);
+        assert_eq!(parse_tuple_line("  # comment").unwrap(), None);
+        assert_eq!(parse_tuple_line("").unwrap(), None);
+        assert!(parse_tuple_line("broken").is_err());
     }
 }

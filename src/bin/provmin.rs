@@ -7,6 +7,7 @@
 //! provmin core     <db-file> '<query>'        core provenance per tuple
 //! provmin trace    '<query>'                  MinProv step-by-step
 //! provmin datalog  <db-file> <program> <pred> evaluate + core a pipeline
+//! provmin serve    [--addr H:P] [--db FILE]   long-running HTTP query service
 //! ```
 //!
 //! `eval` and `core` accept evaluation-strategy flags anywhere on the
@@ -15,8 +16,9 @@
 //! * `--threads N` — sharded parallel evaluation on `N` worker threads
 //!   (results are identical to sequential; ⊕ is commutative).
 //! * `--planner written|syntactic|cost` — join planner (default `cost`).
-//! * `--batch` — columnar batched evaluation (identical results; blocks
-//!   of partial assignments instead of tuple-at-a-time recursion).
+//! * `--batch` / `--tuple` — columnar batched evaluation (the default
+//!   since the soak of the equivalence suite) or the tuple-at-a-time
+//!   escape hatch. Identical results either way.
 //! * `--cache-stats` — print index-cache hit/miss counters to stderr
 //!   (all disjuncts of a union share one index build via the cache).
 //!
@@ -29,11 +31,23 @@
 //!   resume cursor and exits with code 3 (distinct from errors).
 //! * `--no-memo` — disable canonical-form memoization (diagnostics).
 //!
+//! `serve` starts the long-running HTTP/1.1 service over the shared
+//! generation-keyed index cache (see `docs/SERVER.md`):
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7171`).
+//! * `--workers N` — request worker threads (default 4).
+//! * `--db FILE` — database to load at startup (else start empty and
+//!   `POST /load`).
+//!
+//! It runs until SIGINT (Ctrl-C) or `POST /shutdown`, then drains
+//! in-flight requests and exits cleanly.
+//!
 //! Queries use the rule syntax (unions: join rules with ';'):
 //! `ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)`.
 //! Databases use the text format: one `R(a, b) : s1` per line.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use provmin::core::minimize::{minimize_with, MinimizeOptions, MinimizeOutcome, Strategy};
 use provmin::datalog::{core_query, evaluate, Program};
@@ -46,11 +60,12 @@ const EXIT_BUDGET_EXHAUSTED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] [--batch] [--cache-stats] <db-file> '<query>'\n  \
+        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] [--batch|--tuple] [--cache-stats] <db-file> '<query>'\n  \
          provmin minimize [--strategy minprov|auto|standard|dedup] [--budget-steps N] [--budget-ms N] [--no-memo] '<query>'\n  \
-         provmin core [--threads N] [--planner KIND] [--batch] [--cache-stats] <db-file> '<query>'\n  \
+         provmin core [--threads N] [--planner KIND] [--batch|--tuple] [--cache-stats] <db-file> '<query>'\n  \
          provmin trace '<query>'\n  \
-         provmin datalog <db-file> <program-file> <predicate>"
+         provmin datalog <db-file> <program-file> <predicate>\n  \
+         provmin serve [--addr HOST:PORT] [--workers N] [--db FILE]"
     );
     ExitCode::from(2)
 }
@@ -92,6 +107,10 @@ fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool, 
             "--batch" => {
                 flags_used = true;
                 options = options.with_batch(true);
+            }
+            "--tuple" => {
+                flags_used = true;
+                options = options.with_batch(false);
             }
             "--cache-stats" => {
                 flags_used = true;
@@ -185,6 +204,16 @@ fn main() -> ExitCode {
         return usage();
     }
     let result = match args.as_slice() {
+        [cmd, rest @ ..] if cmd == "serve" => match parse_serve_flags(rest) {
+            Ok(serve_args) => run_serve(serve_args).map(|()| true),
+            Err(message) => {
+                // Flag-shape problems are usage errors (exit 2), like
+                // every other subcommand; runtime failures (bind, db
+                // load) exit 1 from run_serve.
+                eprintln!("error: {message}");
+                return usage();
+            }
+        },
         [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
             run_with_db(cmd, db_path, query, options, cache_stats).map(|()| true)
         }
@@ -203,6 +232,99 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Set by the SIGINT handler; polled by the `serve` wait loop.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag and return.
+    SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT (Ctrl-C) to [`SIGINT_RECEIVED`] so the serve loop can
+/// drain and exit cleanly instead of being killed mid-request.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        // libc's simplified signal registration; the handler pointer has
+        // the exact C signature, so no cast is involved.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// Parsed `provmin serve` arguments.
+struct ServeArgs {
+    config: provmin::server::ServeConfig,
+    db_path: Option<String>,
+}
+
+/// Extracts `serve`'s flags; errors here are usage errors (exit 2).
+fn parse_serve_flags(args: &[String]) -> Result<ServeArgs, String> {
+    let mut config = provmin::server::ServeConfig::default();
+    let mut db_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--workers must be a positive integer".to_owned());
+                }
+                config.workers = n;
+            }
+            "--db" => db_path = Some(value("--db")?),
+            other => return Err(format!("unknown serve flag {other}")),
+        }
+    }
+    Ok(ServeArgs { config, db_path })
+}
+
+/// `provmin serve`: bind, serve until SIGINT or `POST /shutdown`, drain.
+fn run_serve(args: ServeArgs) -> Result<(), String> {
+    let ServeArgs { config, db_path } = args;
+    let db = match &db_path {
+        Some(path) => load_db(path)?,
+        None => Database::new(),
+    };
+    let tuples = db.num_tuples();
+    let handle = provmin::server::serve(config.clone(), db)
+        .map_err(|e| format!("bind {}: {e}", config.addr))?;
+    install_sigint_handler();
+    eprintln!(
+        "provmin serve: listening on http://{} ({} worker(s), {} tuple(s) loaded)",
+        handle.addr(),
+        config.workers,
+        tuples
+    );
+    loop {
+        if SIGINT_RECEIVED.load(Ordering::SeqCst) {
+            eprintln!("provmin serve: SIGINT — draining");
+            handle.state().request_shutdown();
+        }
+        if handle.state().shutdown_requested() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    eprintln!("provmin serve: shutdown complete");
+    Ok(())
 }
 
 fn run_with_db(
@@ -255,10 +377,16 @@ fn run_minimize(query: &str, options: MinimizeOptions) -> Result<bool, String> {
         }
         MinimizeOutcome::Partial(partial) => {
             println!("{}", partial.best);
+            // The cursor goes to *stdout* so callers capturing the result
+            // can resume mechanically; the human-facing note stays on
+            // stderr.
+            println!(
+                "resume-cursor: adjunct {} completion {}",
+                partial.cursor.adjunct, partial.cursor.completion
+            );
             eprintln!(
-                "budget exhausted after {} steps (sound partial result above); \
-                 resume cursor: adjunct {}, completion {}",
-                partial.steps_used, partial.cursor.adjunct, partial.cursor.completion
+                "budget exhausted after {} steps (sound partial result above)",
+                partial.steps_used
             );
             Ok(false)
         }

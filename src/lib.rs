@@ -47,6 +47,7 @@
 //! | [`storage`] | `prov-storage` | abstractly-tagged relations and databases |
 //! | [`engine`] | `prov-engine` | provenance-annotated evaluation |
 //! | [`core`] | `prov-core` | standard & p-minimization, MinProv, direct core computation |
+//! | [`server`] | `prov-server` | the long-running `provmin serve` HTTP query service |
 //! | [`paper`] | `prov-paper` | the paper's figures/tables and the `repro` harness |
 
 #![warn(missing_docs)]
@@ -58,6 +59,7 @@ pub use prov_engine as engine;
 pub use prov_paper as paper;
 pub use prov_query as query;
 pub use prov_semiring as semiring;
+pub use prov_server as server;
 pub use prov_storage as storage;
 
 /// One-stop imports for applications.

@@ -1,0 +1,150 @@
+//! End-to-end exit-code contract of the `provmin` binary:
+//!
+//! * `0` — success
+//! * `1` — runtime error (malformed query/database, missing file)
+//! * `2` — usage error (unknown command/flag shape)
+//! * `3` — budget-exhausted minimization: *sound partial* result plus a
+//!   machine-readable resume cursor, both on **stdout**
+//!
+//! Code 3 is the one automation scripts branch on (resume vs. accept),
+//! so it must stay distinct from the generic error codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn provmin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_provmin"))
+        .args(args)
+        .output()
+        .expect("provmin binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn code(output: &Output) -> i32 {
+    output.status.code().expect("not killed by a signal")
+}
+
+/// A temp database file dropped on scope exit.
+struct TempDb {
+    path: PathBuf,
+}
+
+impl TempDb {
+    fn new(name: &str, contents: &str) -> TempDb {
+        let path =
+            std::env::temp_dir().join(format!("provmin_cli_{name}_{}.db", std::process::id()));
+        std::fs::write(&path, contents).expect("temp db writes");
+        TempDb { path }
+    }
+
+    fn path(&self) -> &str {
+        self.path.to_str().expect("utf8 temp path")
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+const TABLE_2: &str = "R(a, a) : s1\nR(a, b) : s2\nR(b, a) : s3\nR(b, b) : s4\n";
+
+#[test]
+fn budget_exhausted_minimize_exits_3_with_cursor_on_stdout() {
+    let output = provmin(&[
+        "minimize",
+        "--budget-steps",
+        "1",
+        "ans(x) :- R(x,y), R(y,z)",
+    ]);
+    assert_eq!(code(&output), 3, "partial result must exit 3");
+    let out = stdout(&output);
+    let cursor_line = out
+        .lines()
+        .find(|l| l.starts_with("resume-cursor: "))
+        .unwrap_or_else(|| panic!("no resume cursor on stdout; got: {out:?}"));
+    // Machine-readable: "resume-cursor: adjunct N completion M".
+    let fields: Vec<&str> = cursor_line.split_whitespace().collect();
+    assert_eq!(fields.len(), 5, "cursor line shape: {cursor_line:?}");
+    assert_eq!((fields[1], fields[3]), ("adjunct", "completion"));
+    assert!(fields[2].parse::<u64>().is_ok() && fields[4].parse::<u64>().is_ok());
+    // The sound partial result precedes the cursor.
+    assert!(
+        out.lines().next().is_some_and(|l| l.contains(":-")),
+        "partial query must be printed first: {out:?}"
+    );
+}
+
+#[test]
+fn generous_budget_completes_with_exit_0() {
+    let output = provmin(&[
+        "minimize",
+        "--budget-steps",
+        "100000",
+        "ans(x) :- R(x,y), R(y,z)",
+    ]);
+    assert_eq!(code(&output), 0);
+    assert!(!stdout(&output).contains("resume-cursor"));
+}
+
+#[test]
+fn malformed_query_is_1_not_3() {
+    let output = provmin(&["minimize", "this is not a query"]);
+    assert_eq!(code(&output), 1, "parse errors are generic failures");
+    let output = provmin(&["minimize", "--budget-steps", "1", "also ! not ! a ! query"]);
+    assert_eq!(
+        code(&output),
+        1,
+        "a malformed budgeted run is still a parse error, never a partial"
+    );
+}
+
+#[test]
+fn malformed_database_is_1_and_missing_file_is_1() {
+    let db = TempDb::new("malformed", "R(a : oops\n");
+    let output = provmin(&["eval", db.path(), "ans(x) :- R(x,x)"]);
+    assert_eq!(code(&output), 1);
+    let output = provmin(&["eval", "/nonexistent/provmin.db", "ans(x) :- R(x,x)"]);
+    assert_eq!(code(&output), 1);
+}
+
+#[test]
+fn usage_errors_are_2() {
+    assert_eq!(code(&provmin(&[])), 2);
+    assert_eq!(code(&provmin(&["frobnicate"])), 2);
+    assert_eq!(
+        code(&provmin(&["minimize", "--budget-steps", "NaN", "q"])),
+        2
+    );
+    assert_eq!(
+        code(&provmin(&["serve", "--no-such-flag"])),
+        2,
+        "unknown serve flags are usage errors like every other subcommand"
+    );
+    assert_eq!(code(&provmin(&["serve", "--workers", "0"])), 2);
+    // Runtime serve failures (unloadable db) stay exit 1.
+    assert_eq!(
+        code(&provmin(&["serve", "--db", "/nonexistent/provmin.db"])),
+        1
+    );
+}
+
+#[test]
+fn eval_succeeds_and_batch_tuple_agree() {
+    let db = TempDb::new("table2", TABLE_2);
+    let query = "ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)";
+    let batched = provmin(&["eval", db.path(), query]);
+    assert_eq!(code(&batched), 0);
+    let tuple = provmin(&["eval", "--tuple", db.path(), query]);
+    assert_eq!(code(&tuple), 0);
+    assert_eq!(
+        stdout(&batched),
+        stdout(&tuple),
+        "the default (batched) and --tuple paths must print identical results"
+    );
+    assert!(stdout(&batched).contains("(a)"));
+}
