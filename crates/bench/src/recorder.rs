@@ -225,6 +225,41 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         );
     });
 
+    // Workload-DSL shape families (the coverage layer `provmin fuzz`
+    // and the engine soaks draw from): a fixed `(spec, seed, case)`
+    // triple per row, so each row is the *same* query and database every
+    // run — any drift is a real engine change, not sampling noise. The
+    // skewed rows scan forward from case 0 to the first case with the
+    // wanted skew; the scan is deterministic, so the found case is too.
+    {
+        use prov_workload::{Sampler, Skew};
+        let rows: [(&str, &str, Option<Skew>); 5] = [
+            ("workload_shapes/fanout/eval", "fanout", None),
+            ("workload_shapes/ucq_overlap/eval", "ucq-overlap", None),
+            ("workload_shapes/diseq/eval", "diseq", None),
+            ("workload_shapes/zipfian/eval", "mixed", Some(Skew::Zipfian)),
+            (
+                "workload_shapes/adversarial_dup/eval",
+                "mixed",
+                Some(Skew::AdversarialDup),
+            ),
+        ];
+        for (id, spec, want) in rows {
+            let sampler = Sampler::named(spec).expect("built-in spec");
+            let scenario = (0..64)
+                .map(|case| sampler.scenario(7, case))
+                .find(|s| want.is_none_or(|w| s.skew == w))
+                .expect("skew appears within 64 cases");
+            record(id, &mut || {
+                std::hint::black_box(eval_ucq_with(
+                    &scenario.query,
+                    &scenario.database,
+                    EvalOptions::default(),
+                ));
+            });
+        }
+    }
+
     // B7 direct_core.
     let poly80 = random_polynomial(80, 6, 43, 3);
     record("direct_core/core_polynomial/80", &mut || {
@@ -408,6 +443,7 @@ mod tests {
             "order_relation",
             "canonical_rewriting",
             "substrates",
+            "workload_shapes",
         ] {
             assert!(families.contains(family), "{family} not covered");
         }
@@ -429,5 +465,16 @@ mod tests {
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/2/unmemoized"));
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/3/memo"));
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/4/budget64"));
+        // Workload-DSL shape-family rows (this PR's CI-visible surface):
+        // DSL-enumerated shapes and skewed databases in the baseline.
+        for id in [
+            "workload_shapes/fanout/eval",
+            "workload_shapes/ucq_overlap/eval",
+            "workload_shapes/diseq/eval",
+            "workload_shapes/zipfian/eval",
+            "workload_shapes/adversarial_dup/eval",
+        ] {
+            assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
+        }
     }
 }

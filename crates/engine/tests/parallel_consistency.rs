@@ -8,9 +8,10 @@
 
 use proptest::prelude::*;
 
-use prov_engine::{eval_cq_with, EvalOptions, PlannerKind};
+use prov_engine::{eval_cq_with, eval_ucq_with, EvalOptions, PlannerKind};
 use prov_query::generate::{random_cq, QuerySpec};
 use prov_storage::generator::{random_database, DatabaseSpec};
+use prov_workload::{Sampler, ScenarioSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -84,6 +85,43 @@ proptest! {
                     query_seed,
                     db_seed
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn dsl_scenarios_match_naive(
+        spec_index in 0usize..7,
+        seed in 0u64..200,
+        case in 0u64..40,
+    ) {
+        // The workload DSL's shape grammars (fan-out, cycles, UCQ
+        // overlap, disequalities, constants, skewed databases) pushed
+        // through the same strategy matrix — a failing case replays as
+        // `provmin fuzz --spec NAME --seed S --case K`.
+        let name = ScenarioSpec::names()[spec_index % ScenarioSpec::names().len()];
+        let sampler = Sampler::named(name).expect(name);
+        let scenario = sampler.scenario(seed, case);
+        let reference = eval_ucq_with(&scenario.query, &scenario.database, EvalOptions::naive());
+        for batch in [false, true] {
+            for planner in [PlannerKind::WrittenOrder, PlannerKind::Syntactic, PlannerKind::CostBased] {
+                for threads in [1usize, 4] {
+                    let options = EvalOptions::default()
+                        .with_batch(batch)
+                        .with_planner(planner)
+                        .with_parallelism(threads);
+                    let result = eval_ucq_with(&scenario.query, &scenario.database, options);
+                    prop_assert_eq!(
+                        &result,
+                        &reference,
+                        "batch={} × {:?} × {} threads diverges on {} ({})",
+                        batch,
+                        planner,
+                        threads,
+                        &scenario.query,
+                        scenario.replay()
+                    );
+                }
             }
         }
     }

@@ -6,14 +6,26 @@
 //! bit-identical to a fresh naive evaluation of the *current* database
 //! (a stale cached index would diverge immediately), and the cache must
 //! miss exactly once per generation it evaluates against.
+//!
+//! Scenarios come from the `prov-workload` DSL (`soak` spec): the same
+//! shape grammar and skewed databases that `provmin fuzz` and the bench
+//! matrix draw from, so a failing case replays as
+//! `provmin fuzz --spec soak --seed S --case K`.
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
 use prov_engine::{eval_cq_cached, eval_cq_with, eval_ucq_cached, EvalOptions, IndexCache};
-use prov_query::generate::{random_cq, QuerySpec};
 use prov_query::UnionQuery;
-use prov_storage::generator::{random_database, DatabaseSpec};
 use prov_storage::{RelName, Tuple};
+use prov_workload::Sampler;
+
+/// The `soak` grammar is forced and parsed once for the whole suite.
+fn sampler() -> &'static Sampler {
+    static SAMPLER: OnceLock<Sampler> = OnceLock::new();
+    SAMPLER.get_or_init(|| Sampler::named("soak").expect("built-in soak spec"))
+}
 
 /// A tiny deterministic LCG so mutation scripts replay under proptest
 /// shrinking (the vendored rand shim is for value generation, not for
@@ -30,27 +42,23 @@ proptest! {
 
     #[test]
     fn cached_strategies_survive_interleaved_mutations(
-        query_seed in 0u64..300,
-        db_seed in 0u64..50,
+        seed in 0u64..300,
+        case in 0u64..50,
         script_seed in 0u64..1_000,
     ) {
-        let spec = QuerySpec {
-            diseq_percent: 25,
-            ..QuerySpec::binary(2, 3)
-        };
-        let cq = random_cq(&spec, query_seed);
+        let scenario = sampler().scenario(seed, case);
+        let cq = scenario.query.adjuncts()[0].clone();
         // A two-disjunct union exercises disjunct sharing through the
-        // same cache entry (second disjunct must hit, not rebuild). Random
-        // head arities can mismatch; fall back to a self-union then.
-        let union_q = UnionQuery::new(vec![
-            random_cq(&spec, query_seed),
-            random_cq(&spec, query_seed.wrapping_add(7)),
-        ])
-        .unwrap_or_else(|_| {
-            UnionQuery::new(vec![random_cq(&spec, query_seed), random_cq(&spec, query_seed)])
-                .expect("self-union shares a head")
-        });
-        let mut db = random_database(&DatabaseSpec::single_binary(16, 4), db_seed);
+        // same cache entry (second disjunct must hit, not rebuild). The
+        // soak grammar enumerates both single rules and self-unions; a
+        // single-rule draw falls back to a self-union.
+        let union_q = if scenario.query.adjuncts().len() >= 2 {
+            scenario.query.clone()
+        } else {
+            UnionQuery::new(vec![cq.clone(), cq.clone()]).expect("self-union shares a head")
+        };
+        let replay = scenario.replay();
+        let mut db = scenario.database;
         let cache = IndexCache::new();
         let strategies = [
             EvalOptions::tuple(),
@@ -78,7 +86,7 @@ proptest! {
             } else {
                 let a = format!("d{}", lcg(&mut rng) % 5);
                 let b = format!("d{}", lcg(&mut rng) % 5);
-                db.add("R", &[&a, &b], &format!("soak_{db_seed}_{script_seed}_{step}"));
+                db.add("R", &[&a, &b], &format!("soak_{seed}_{case}_{script_seed}_{step}"));
             }
             generations.insert(db.generation());
 
@@ -88,17 +96,20 @@ proptest! {
                 prop_assert_eq!(
                     &result,
                     &reference,
-                    "{:?} diverged from naive after mutation step {} on {}",
+                    "{:?} diverged from naive after mutation step {} on {} ({})",
                     options,
                     step,
-                    &cq
+                    &cq,
+                    &replay
                 );
             }
             // UCQ disjunct sharing: both disjuncts through the same cache,
             // still identical to the naive union evaluation.
             let union_reference = {
                 let mut acc = eval_cq_with(&union_q.adjuncts()[0], &db, EvalOptions::naive());
-                acc.merge(eval_cq_with(&union_q.adjuncts()[1], &db, EvalOptions::naive()));
+                for adjunct in &union_q.adjuncts()[1..] {
+                    acc.merge(eval_cq_with(adjunct, &db, EvalOptions::naive()));
+                }
                 acc
             };
             let union_cached = eval_ucq_cached(&union_q, &db, EvalOptions::default(), &cache);

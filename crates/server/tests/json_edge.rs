@@ -1,0 +1,150 @@
+//! Hostile-input edge cases for the hand-rolled JSON layer, at two
+//! levels: `Json::parse` directly (surrogate handling, escape
+//! truncation, the exact depth bound, duplicate keys, garbage bytes —
+//! always `Err`, never a panic), and end-to-end over a live listener
+//! (every malformed body is a clean 400; the worker neither panics nor
+//! wedges, and keeps serving afterwards).
+
+use prov_server::{client, serve, Json, ServeConfig, ServerHandle};
+use prov_storage::textio::parse_database;
+
+// ---------------------------------------------------------------- parser
+
+#[test]
+fn surrogate_pairs_round_trip_and_lone_halves_fail() {
+    // An escaped pair decodes to the astral scalar...
+    let j = Json::parse(r#""🦀""#).expect("escaped pair decodes");
+    assert_eq!(j.as_str(), Some("🦀"));
+    // ...and re-serializing + re-parsing preserves it.
+    assert_eq!(Json::parse(&j.to_string()).expect("reparses"), j);
+    // Every way a pair can be broken is an error, not a panic and not
+    // replacement-character smuggling.
+    for text in [
+        r#""\ud83e""#,       // lone high
+        r#""\udd80""#,       // lone low
+        r#""\ud83e\ud83e""#, // high followed by high
+        r#""\ud83ex""#,      // high followed by a plain char
+        r#""\ud83e\n""#,     // high followed by a non-\u escape
+        r#""\ud83eA""#,      // high followed by a non-surrogate unit
+    ] {
+        assert!(Json::parse(text).is_err(), "{text:?} must be rejected");
+    }
+}
+
+#[test]
+fn truncated_and_malformed_escapes_fail_cleanly() {
+    for text in [
+        r#""\u""#,        // no digits at all
+        r#""\u00""#,      // two of four digits
+        r#""\u12g4""#,    // non-hex digit
+        r#""\ud83e\udd"#, // truncated low half, unterminated string
+        r#""\"#,          // backslash at end of input
+        r#""\x41""#,      // unknown escape
+    ] {
+        assert!(Json::parse(text).is_err(), "{text:?} must be rejected");
+    }
+}
+
+#[test]
+fn depth_bound_is_exact() {
+    // MAX_DEPTH is 64, the root runs at depth 0, and each bracket adds
+    // one: the innermost of n brackets sits at depth n−1, so 65 brackets
+    // still parse and 66 are the first rejected nesting.
+    let nest = |n: usize| "[".repeat(n) + &"]".repeat(n);
+    assert!(
+        Json::parse(&nest(65)).is_ok(),
+        "65 levels are within bounds"
+    );
+    assert!(
+        Json::parse(&nest(66)).is_err(),
+        "66 levels exceed the bound"
+    );
+    // Same bound through object nesting.
+    let deep_obj = "{\"k\":".repeat(65) + "0" + &"}".repeat(65);
+    assert!(Json::parse(&deep_obj).is_err());
+}
+
+#[test]
+fn duplicate_keys_parse_with_last_occurrence_winning() {
+    let j = Json::parse(r#"{"k": 1, "other": true, "k": {"nested": 2}}"#).expect("parses");
+    let winner = j.get("k").expect("k present");
+    assert_eq!(winner.get("nested").and_then(Json::as_u64), Some(2));
+    // Serialization keeps both occurrences (no silent dedup).
+    assert_eq!(j.to_string().matches("\"k\":").count(), 2);
+}
+
+#[test]
+fn byte_garbage_never_panics() {
+    // Deterministic pseudo-random byte soup: every outcome but a panic
+    // is acceptable, and anything `parse` accepts must re-parse from its
+    // own serialization.
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    for _ in 0..2_000 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let len = (state >> 59) as usize;
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| (state.rotate_left(i as u32 * 7) & 0x7f) as u8)
+            .collect();
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            if let Ok(value) = Json::parse(text) {
+                assert_eq!(Json::parse(&value.to_string()).expect("round-trip"), value);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- live server
+
+fn start() -> (ServerHandle, String) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+    };
+    let db = parse_database("R(a, b) : j1\n").expect("db parses");
+    let handle = serve(config, db).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn malformed_bodies_get_clean_400s_and_the_worker_survives() {
+    let (handle, addr) = start();
+    let deep = "[".repeat(200) + &"]".repeat(200);
+    let hostile: Vec<String> = vec![
+        "{".to_owned(),                      // truncated object
+        r#"{"query": "\ud83e"}"#.to_owned(), // lone surrogate in a string
+        r#"{"query": "\u12"}"#.to_owned(),   // truncated escape
+        deep,                                // hostile nesting
+        "\u{0007} not json".to_owned(),      // control garbage
+        r#"{"query": 42}"#.to_owned(),       // wrong field type
+        String::new(),                       // empty body
+    ];
+    for body in &hostile {
+        let (status, response) = client::post_json(&addr, "/eval", body).expect("round trip");
+        assert_eq!(status, 400, "{body:?} must be a clean 400, got {response}");
+        let error = Json::parse(&response).expect("error body is json");
+        assert!(
+            error.get("error").and_then(Json::as_str).is_some(),
+            "400 body carries an error message: {response}"
+        );
+    }
+    // Duplicate keys are NOT an error: last occurrence wins, matching
+    // the parser's documented lookup rule.
+    let (status, _) = client::post_json(
+        &addr,
+        "/eval",
+        // A first occurrence that would 400 on its own (wrong type), a
+        // last occurrence that is valid: 200 proves the last one won.
+        r#"{"query": 42, "query": "ans(x) :- R(x,y)"}"#,
+    )
+    .expect("round trip");
+    assert_eq!(status, 200, "duplicate keys resolve to the last value");
+    // The same worker pool still serves well-formed requests afterwards.
+    let (status, body) =
+        client::post_json(&addr, "/eval", r#"{"query": "ans(x) :- R(x,y)"}"#).expect("round trip");
+    assert_eq!(status, 200);
+    assert!(body.contains("results"));
+    handle.shutdown();
+}

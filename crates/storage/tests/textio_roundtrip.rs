@@ -1,0 +1,139 @@
+//! Round-trip properties of the text database format: rendering a tuple
+//! line and re-parsing it is the identity on `(relation, tuple,
+//! annotation)`, whole databases survive `format_database` →
+//! `parse_database` unchanged, and malformed lines are rejected with
+//! `Err` — never a panic.
+
+use proptest::prelude::*;
+
+use prov_semiring::Annotation;
+use prov_storage::textio::{format_database, parse_database, parse_tuple_line};
+use prov_storage::{Database, RelName, Tuple};
+
+/// Deterministically expands an integer seed into an identifier over the
+/// text format's safe alphabet (the vendored proptest shim has no string
+/// strategies, so names are derived from integer draws).
+fn ident(seed: u64, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut out = String::new();
+    for _ in 0..len.max(1) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push(ALPHABET[(state >> 33) as usize % ALPHABET.len()] as char);
+    }
+    out
+}
+
+/// Renders the canonical line form `R(v1, v2) : ann` / `R(v1, v2)`.
+fn render(rel: &str, values: &[String], annotation: Option<&str>, quoted: bool) -> String {
+    let mut line = String::from(rel);
+    line.push('(');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        if quoted {
+            line.push('\'');
+            line.push_str(v);
+            line.push('\'');
+        } else {
+            line.push_str(v);
+        }
+    }
+    line.push(')');
+    if let Some(a) = annotation {
+        line.push_str(" : ");
+        line.push_str(a);
+    }
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn render_then_parse_is_identity(
+        rel_seed in 0u64..10_000,
+        value_seed in 0u64..10_000,
+        arity in 0usize..=4,
+        annotated in 0u8..=1,
+        quoted in 0u8..=1,
+        pad in 0u8..=1,
+    ) {
+        let rel = ident(rel_seed, 1 + (rel_seed % 8) as usize);
+        let values: Vec<String> = (0..arity)
+            .map(|i| ident(value_seed.wrapping_add(i as u64), 1 + (i % 5)))
+            .collect();
+        let annotation = (annotated == 1).then(|| ident(rel_seed ^ value_seed, 4));
+        let mut line = render(&rel, &values, annotation.as_deref(), quoted == 1);
+        if pad == 1 {
+            line = format!("  {line}  ");
+        }
+        let (parsed_rel, parsed_tuple, parsed_annotation) = parse_tuple_line(&line)
+            .map_err(TestCaseError::fail)?
+            .ok_or_else(|| TestCaseError::fail("rendered line parsed as blank"))?;
+        prop_assert_eq!(parsed_rel, RelName::new(&rel));
+        let expected: Vec<&str> = values.iter().map(String::as_str).collect();
+        prop_assert_eq!(parsed_tuple, Tuple::of(&expected));
+        prop_assert_eq!(parsed_annotation, annotation.as_deref().map(Annotation::new));
+    }
+
+    #[test]
+    fn whole_databases_round_trip(
+        tuple_count in 1usize..=12,
+        seed in 0u64..10_000,
+    ) {
+        let mut db = Database::new();
+        for i in 0..tuple_count {
+            let rel = ident(seed.wrapping_add(i as u64 / 4), 2);
+            let a = ident(seed.wrapping_add(i as u64), 3);
+            let b = ident(seed.wrapping_add(i as u64).wrapping_mul(3), 3);
+            // Distinct annotation per line keeps the insert abstract
+            // (re-tagging a different tuple with a seen annotation panics
+            // by design).
+            db.add(&rel, &[&a, &b], &format!("rt{i}"));
+        }
+        let text = format_database(&db);
+        let reparsed = parse_database(&text).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(format_database(&reparsed), text);
+        prop_assert_eq!(reparsed.num_tuples(), db.num_tuples());
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking(
+        seed in 0u64..100_000,
+        shape in 0usize..=6,
+    ) {
+        let v = ident(seed, 3);
+        let malformed = match shape {
+            0 => format!("{v}(a"),            // missing ')'
+            1 => format!("(a, b) : {v}"),     // missing relation name
+            2 => format!("{v}(a,,b)"),        // empty value
+            3 => format!("{v}(a) :"),         // empty annotation
+            4 => format!("{v}(a) : "),        // whitespace annotation
+            5 => v.clone(),                   // no parentheses at all
+            _ => format!("{v}()) : x"),       // stray ')' before the end is a value error or ok-shape
+        };
+        // Shape 6 `R()) : x` actually keeps the closing paren last, so it
+        // parses the inner `)` as a value; accept either verdict — the
+        // property under test is "no panic, and the definite shapes err".
+        let verdict = parse_tuple_line(&malformed);
+        if shape < 6 {
+            prop_assert!(verdict.is_err(), "{:?} should be rejected, got {:?}", malformed, verdict);
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in 0u64..u64::MAX) {
+        // 8 arbitrary ASCII-range bytes as a line: any outcome but a
+        // panic is acceptable.
+        let line: String = bytes
+            .to_le_bytes()
+            .iter()
+            .map(|b| (b % 0x60 + 0x20) as char)
+            .collect();
+        let _ = parse_tuple_line(&line);
+    }
+}

@@ -1,0 +1,354 @@
+//! The compositional workload DSL: `Workload::{Set, Plug, Append,
+//! Filter}` over query-shape grammars.
+//!
+//! A workload denotes a finite list of *terms* — text fragments in the
+//! rule syntax of [`prov_query::parse_ucq`], with `{NAME}`-style holes —
+//! and is built compositionally:
+//!
+//! * [`Workload::new`] (`Set`) — an explicit list of patterns;
+//! * [`Workload::plug`] — substitute every combination of another
+//!   workload's terms into each `{NAME}` hole (the cartesian grammar
+//!   product; holes introduced by a plugged fragment are *not* re-scanned,
+//!   so recursion depth is controlled by the pattern, not the pegs);
+//! * [`Workload::append`] — concatenation;
+//! * [`Workload::filter`] — keep only terms passing a [`Filter`].
+//!
+//! **Monotone-filter pushdown.** Size filters ([`Filter::MaxAtoms`],
+//! [`Filter::MaxVars`], [`Filter::MaxDisjuncts`]) are *monotone*:
+//! plugging a fragment into a pattern can only grow the metric. For such
+//! filters, [`Workload::filter`] rewrites `Filter(f, Plug(w, h, pegs))`
+//! into `Filter(f, Plug(filter(w, f), h, filter(pegs, f)))` — oversized
+//! fragments are discarded *before* the cartesian product is taken
+//! instead of post-hoc, which keeps enumeration linear in the surviving
+//! grammar instead of the full product (see
+//! `tests/dsl_props.rs::pushdown_agrees_and_prunes`). Non-monotone
+//! filters ([`Filter::Wellformed`]) stay where they are written.
+
+use std::collections::BTreeSet;
+
+use prov_query::{parse_ucq, ParseError, UnionQuery};
+
+/// A predicate on workload terms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Filter {
+    /// At most `n` relational body atoms across all disjuncts
+    /// (head atoms do not count). Monotone.
+    MaxAtoms(usize),
+    /// At most `n` distinct variables. Monotone.
+    MaxVars(usize),
+    /// At most `n` disjuncts (`;`-separated rules). Monotone.
+    MaxDisjuncts(usize),
+    /// The term parses as a well-formed UCQ (no residual holes, safe
+    /// head, consistent arities). Not monotone: a hole-free *fragment*
+    /// of a future query is not itself a query.
+    Wellformed,
+}
+
+impl Filter {
+    /// Whether the filter can be pushed through [`Workload::plug`]:
+    /// `f(t)` false implies `f(t')` false for every `t'` obtained by
+    /// substituting fragments into `t`'s holes (and for every `t'` that
+    /// uses `t` as a plugged fragment).
+    pub fn is_monotone(&self) -> bool {
+        !matches!(self, Filter::Wellformed)
+    }
+
+    /// Whether `term` passes the filter.
+    pub fn accepts(&self, term: &str) -> bool {
+        match self {
+            Filter::MaxAtoms(n) => count_atoms(term) <= *n,
+            Filter::MaxVars(n) => count_vars(term) <= *n,
+            Filter::MaxDisjuncts(n) => count_disjuncts(term) <= *n,
+            Filter::Wellformed => parse_term(term).is_ok(),
+        }
+    }
+}
+
+/// Number of relational body atoms in a term or fragment: every `(`
+/// opens an atom's argument list except the one head per rule (rules are
+/// recognized by their `:-`). Holes and quoted constants contain no
+/// parentheses, so fragments are counted by the same rule.
+fn count_atoms(term: &str) -> usize {
+    let parens = term.matches('(').count();
+    let heads = term.matches(":-").count();
+    parens.saturating_sub(heads)
+}
+
+/// Number of distinct variables: maximal `[a-z_][a-z0-9_]*` tokens that
+/// are not relation names (not immediately followed by `(`) and not
+/// quoted constants (not delimited by `'`).
+fn count_vars(term: &str) -> usize {
+    let bytes = term.as_bytes();
+    let mut vars: BTreeSet<&str> = BTreeSet::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\'' {
+            // Skip a quoted constant entirely.
+            match term[i + 1..].find('\'') {
+                Some(close) => i += close + 2,
+                None => break,
+            }
+            continue;
+        }
+        if c.is_ascii_lowercase() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'(') {
+                vars.insert(&term[start..i]);
+            }
+            continue;
+        }
+        if c.is_ascii_alphanumeric() {
+            // Skip uppercase-led identifiers (relation names, holes).
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    vars.len()
+}
+
+/// Number of `;`-separated disjuncts.
+fn count_disjuncts(term: &str) -> usize {
+    term.matches(';').count() + 1
+}
+
+/// Parses a hole-free term into a [`UnionQuery`] (disjuncts are
+/// `;`-separated, as on the `provmin` command line).
+pub fn parse_term(term: &str) -> Result<UnionQuery, ParseError> {
+    parse_ucq(&term.replace(';', "\n"))
+}
+
+/// A compositional description of a finite term list. See the module
+/// docs for the combinator semantics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// An explicit list of terms (patterns may contain `{NAME}` holes).
+    Set(Vec<String>),
+    /// Every term of the first workload with every combination of the
+    /// second workload's terms substituted for the named hole.
+    Plug(Box<Workload>, String, Box<Workload>),
+    /// Concatenation, in order.
+    Append(Vec<Workload>),
+    /// The sub-workload's terms that pass the filter.
+    Filter(Filter, Box<Workload>),
+}
+
+impl Workload {
+    /// A `Set` workload from anything iterable over strings.
+    pub fn new<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Workload::Set(items.into_iter().map(Into::into).collect())
+    }
+
+    /// The empty workload.
+    pub fn empty() -> Self {
+        Workload::Set(Vec::new())
+    }
+
+    /// Substitutes `pegs` into every `{hole}` occurrence (cartesian).
+    pub fn plug(self, hole: &str, pegs: Workload) -> Self {
+        Workload::Plug(Box::new(self), hole.to_owned(), Box::new(pegs))
+    }
+
+    /// This workload followed by `other`.
+    pub fn append(self, other: Workload) -> Self {
+        match self {
+            Workload::Append(mut items) => {
+                items.push(other);
+                Workload::Append(items)
+            }
+            first => Workload::Append(vec![first, other]),
+        }
+    }
+
+    /// Filters the workload, pushing monotone filters through `Plug`
+    /// into both the pattern and the peg workloads (the enumeration
+    /// optimization this DSL exists for; semantics are unchanged).
+    pub fn filter(self, filter: Filter) -> Self {
+        if filter.is_monotone() {
+            if let Workload::Plug(patterns, hole, pegs) = self {
+                return Workload::Filter(
+                    filter.clone(),
+                    Box::new(Workload::Plug(
+                        Box::new(patterns.filter(filter.clone())),
+                        hole,
+                        Box::new(pegs.filter(filter)),
+                    )),
+                );
+            }
+        }
+        Workload::Filter(filter, Box::new(self))
+    }
+
+    /// Enumerates the workload's terms, in deterministic order.
+    pub fn force(&self) -> Vec<String> {
+        self.force_counted().0
+    }
+
+    /// Enumerates the terms and reports how many terms were *materialized*
+    /// along the way — `Set` items plus every term a `Plug` node's
+    /// cartesian expansion emits (`Filter`/`Append` pass terms through
+    /// without materializing). This is the cost monotone-filter pushdown
+    /// reduces; the forced terms are identical either way.
+    pub fn force_counted(&self) -> (Vec<String>, u64) {
+        let mut produced = 0u64;
+        let terms = self.force_inner(&mut produced);
+        (terms, produced)
+    }
+
+    fn force_inner(&self, produced: &mut u64) -> Vec<String> {
+        match self {
+            Workload::Set(items) => {
+                *produced += items.len() as u64;
+                items.clone()
+            }
+            Workload::Append(parts) => {
+                let mut out = Vec::new();
+                for part in parts {
+                    out.extend(part.force_inner(produced));
+                }
+                out
+            }
+            Workload::Filter(filter, inner) => {
+                let mut out = inner.force_inner(produced);
+                out.retain(|t| filter.accepts(t));
+                out
+            }
+            Workload::Plug(patterns, hole, pegs) => {
+                let pattern_terms = patterns.force_inner(produced);
+                let peg_terms = pegs.force_inner(produced);
+                let marker = format!("{{{hole}}}");
+                let mut out = Vec::new();
+                for pattern in &pattern_terms {
+                    expand(pattern, 0, &marker, &peg_terms, &mut out);
+                }
+                *produced += out.len() as u64;
+                out
+            }
+        }
+    }
+
+    /// Forces the workload and parses every term as a UCQ. Errors on the
+    /// first term that fails to parse (apply [`Filter::Wellformed`]
+    /// first if the grammar intentionally produces junk).
+    pub fn queries(&self) -> Result<Vec<UnionQuery>, String> {
+        self.force()
+            .iter()
+            .map(|t| parse_term(t).map_err(|e| format!("{t}: {e}")))
+            .collect()
+    }
+}
+
+/// Substitutes each peg for the first `{hole}` occurrence at or after
+/// `from`, recursing on the remainder — the cartesian product over hole
+/// occurrences. Substituted fragments are not re-scanned (`from` moves
+/// past them), so pegs containing the hole marker cannot loop.
+fn expand(pattern: &str, from: usize, marker: &str, pegs: &[String], out: &mut Vec<String>) {
+    match pattern[from..].find(marker) {
+        None => out.push(pattern.to_owned()),
+        Some(offset) => {
+            let at = from + offset;
+            for peg in pegs {
+                let mut next = String::with_capacity(pattern.len() + peg.len());
+                next.push_str(&pattern[..at]);
+                next.push_str(peg);
+                next.push_str(&pattern[at + marker.len()..]);
+                expand(&next, at + peg.len(), marker, pegs, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_append_concatenate_in_order() {
+        let w = Workload::new(["a", "b"]).append(Workload::new(["c"]));
+        assert_eq!(w.force(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn plug_is_cartesian_over_occurrences() {
+        let w =
+            Workload::new(["ans(x) :- {A}, {A}"]).plug("A", Workload::new(["R(x,y)", "S(x,y)"]));
+        assert_eq!(
+            w.force(),
+            [
+                "ans(x) :- R(x,y), R(x,y)",
+                "ans(x) :- R(x,y), S(x,y)",
+                "ans(x) :- S(x,y), R(x,y)",
+                "ans(x) :- S(x,y), S(x,y)",
+            ]
+        );
+    }
+
+    #[test]
+    fn plugged_fragments_are_not_rescanned() {
+        // A peg containing the hole marker must not recurse forever; the
+        // residual hole is simply left in place (and would be dropped by
+        // a Wellformed filter).
+        let w = Workload::new(["{A}"]).plug("A", Workload::new(["{A}x"]));
+        assert_eq!(w.force(), ["{A}x"]);
+    }
+
+    #[test]
+    fn metrics_count_atoms_vars_disjuncts() {
+        let term = "ans(x) :- R(x,y), S(y,'c'), x != y ; ans(x) :- R(x,x)";
+        assert_eq!(count_atoms(term), 3);
+        assert_eq!(count_vars(term), 2); // x, y ('c' is a constant, ans/R/S are relations)
+        assert_eq!(count_disjuncts(term), 2);
+        // Fragments (no head) count every paren as an atom.
+        assert_eq!(count_atoms("R(x,y), T(z)"), 2);
+        assert_eq!(count_vars("R(x0,x1), {A}"), 2);
+    }
+
+    #[test]
+    fn monotone_pushdown_preserves_semantics() {
+        let pegs = Workload::new(["R(x,y)", "R(x,y), R(y,z), R(z,w)"]);
+        let plugged = Workload::new(["ans(x) :- R(x,x), {A}"]).plug("A", pegs);
+        let posthoc = Workload::Filter(Filter::MaxAtoms(2), Box::new(plugged.clone()));
+        let pushed = plugged.filter(Filter::MaxAtoms(2));
+        assert_eq!(posthoc.force(), pushed.force());
+        assert_eq!(pushed.force(), ["ans(x) :- R(x,x), R(x,y)"]);
+        // The pushdown form filtered the oversized peg before the product.
+        let (_, posthoc_produced) = posthoc.force_counted();
+        let (_, pushed_produced) = pushed.force_counted();
+        assert!(pushed_produced < posthoc_produced);
+    }
+
+    #[test]
+    fn wellformed_filter_drops_fragments_and_holes() {
+        let w = Workload::new([
+            "ans(x) :- R(x,y)",
+            "R(x,y), R(y,z)",   // fragment: no head
+            "ans(x) :- {A}",    // residual hole
+            "ans(w) :- R(x,y)", // unsafe head
+        ])
+        .filter(Filter::Wellformed);
+        assert_eq!(w.force(), ["ans(x) :- R(x,y)"]);
+    }
+
+    #[test]
+    fn queries_parse_forced_terms() {
+        let qs = Workload::new(["ans(x) :- R(x,y) ; ans(x) :- R(x,x)"])
+            .queries()
+            .expect("parses");
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].len(), 2);
+    }
+}

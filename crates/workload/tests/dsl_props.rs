@@ -1,0 +1,113 @@
+//! Properties of the workload DSL: monotone-filter pushdown is a pure
+//! optimization (identical forced terms, strictly less materialization
+//! on grammars with oversized fragments), and sampling is a pure
+//! function of the `(spec, seed, case)` triple.
+
+use proptest::prelude::*;
+
+use prov_workload::{Filter, Sampler, ScenarioSpec, Workload};
+
+/// A small randomized grammar: patterns with 1–2 holes plugged from a
+/// pool of fragments of varying size.
+fn grammar(pattern_count: usize, peg_count: usize) -> Workload {
+    let patterns = [
+        "ans(x0) :- {A}",
+        "ans(x0) :- R(x0,x0), {A}",
+        "ans(x0) :- {A}, {A}",
+        "ans() :- {A}, R(x0,x1)",
+    ];
+    let pegs = [
+        "R(x0,x1)",
+        "R(x1,x0)",
+        "R(x0,x1), R(x1,x2)",
+        "R(x0,x1), R(x1,x2), R(x2,x3)",
+        "S(x0,x1), S(x1,x2), S(x2,x3), S(x3,x4)",
+    ];
+    Workload::new(
+        patterns
+            .iter()
+            .take(pattern_count.clamp(1, patterns.len()))
+            .copied(),
+    )
+    .plug(
+        "A",
+        Workload::new(pegs.iter().take(peg_count.clamp(1, pegs.len())).copied()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pushdown_agrees_and_prunes(
+        pattern_count in 1usize..=4,
+        peg_count in 2usize..=5,
+        max_atoms in 1usize..=4,
+    ) {
+        let base = grammar(pattern_count, peg_count);
+        // Post-hoc: construct the Filter node directly, bypassing the
+        // pushdown rewrite in `Workload::filter`.
+        let posthoc = Workload::Filter(Filter::MaxAtoms(max_atoms), Box::new(base.clone()));
+        let pushed = base.filter(Filter::MaxAtoms(max_atoms));
+        let (posthoc_terms, posthoc_produced) = posthoc.force_counted();
+        let (pushed_terms, pushed_produced) = pushed.force_counted();
+        prop_assert_eq!(&posthoc_terms, &pushed_terms, "pushdown changed semantics");
+        prop_assert!(
+            pushed_produced <= posthoc_produced,
+            "pushdown materialized more terms ({} > {})",
+            pushed_produced,
+            posthoc_produced
+        );
+        // With the largest peg always over any atom bound <= 4, pruning
+        // must be strict whenever that peg is in the pool.
+        if peg_count == 5 && max_atoms < 4 {
+            prop_assert!(pushed_produced < posthoc_produced, "no pruning happened");
+        }
+    }
+
+    #[test]
+    fn var_and_disjunct_filters_push_too(
+        peg_count in 2usize..=5,
+        max_vars in 1usize..=4,
+    ) {
+        let base = grammar(4, peg_count);
+        let posthoc = Workload::Filter(Filter::MaxVars(max_vars), Box::new(base.clone()));
+        let pushed = base.filter(Filter::MaxVars(max_vars));
+        prop_assert_eq!(posthoc.force(), pushed.force());
+    }
+
+    #[test]
+    fn sampling_is_deterministic(seed in 0u64..1_000, case in 0u64..1_000) {
+        let sampler = Sampler::named("mixed").expect("mixed spec");
+        let a = sampler.scenario(seed, case);
+        let b = sampler.scenario(seed, case);
+        prop_assert_eq!(a.query, b.query);
+        prop_assert_eq!(a.skew, b.skew);
+        prop_assert_eq!(a.semiring, b.semiring);
+        prop_assert_eq!(
+            prov_storage::textio::format_database(&a.database),
+            prov_storage::textio::format_database(&b.database)
+        );
+    }
+
+    #[test]
+    fn forced_grammars_parse_after_wellformed(pattern_count in 1usize..=4, peg_count in 1usize..=5) {
+        let qs = grammar(pattern_count, peg_count)
+            .filter(Filter::Wellformed)
+            .queries()
+            .map_err(TestCaseError::fail)?;
+        prop_assert!(!qs.is_empty());
+    }
+}
+
+#[test]
+fn every_builtin_spec_enumerates_multiple_shapes() {
+    for name in ScenarioSpec::names() {
+        let sampler = Sampler::named(name).expect(name);
+        assert!(
+            sampler.query_count() >= 4,
+            "{name} enumerates only {} queries",
+            sampler.query_count()
+        );
+    }
+}

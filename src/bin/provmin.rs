@@ -8,6 +8,8 @@
 //! provmin trace    '<query>'                  MinProv step-by-step
 //! provmin datalog  <db-file> <program> <pred> evaluate + core a pipeline
 //! provmin serve    [--addr H:P] [--db FILE]   long-running HTTP query service
+//! provmin fuzz     [--spec NAME] [--seed N]   differential fuzzing over DSL
+//!                  [--cases N | --case K]     workloads (docs/FUZZING.md)
 //! ```
 //!
 //! `eval` and `core` accept evaluation-strategy flags anywhere on the
@@ -42,6 +44,14 @@
 //! It runs until SIGINT (Ctrl-C) or `POST /shutdown`, then drains
 //! in-flight requests and exits cleanly.
 //!
+//! `fuzz` differentially checks DSL-generated scenarios (every eval
+//! mode × planner × thread count bit-identical, semiring specialization
+//! consistent, every eligible minimize strategy equivalent with sound
+//! budgeted partials). Exit codes: 0 = all cases agree, 1 = divergence
+//! (the reproducing `(spec, seed, case)` triple is printed), 2 = flag
+//! errors. `--list-specs` prints the built-in spec names; `--case K`
+//! replays exactly one case. See `docs/FUZZING.md`.
+//!
 //! Queries use the rule syntax (unions: join rules with ';'):
 //! `ans(x) :- R(x,y), R(y,x), x != y ; ans(x) :- R(x,x)`.
 //! Databases use the text format: one `R(a, b) : s1` per line.
@@ -65,7 +75,8 @@ fn usage() -> ExitCode {
          provmin core [--threads N] [--planner KIND] [--batch|--tuple] [--cache-stats] <db-file> '<query>'\n  \
          provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>\n  \
-         provmin serve [--addr HOST:PORT] [--workers N] [--db FILE]"
+         provmin serve [--addr HOST:PORT] [--workers N] [--db FILE]\n  \
+         provmin fuzz [--spec NAME] [--seed N] [--cases N | --case K] [--list-specs]"
     );
     ExitCode::from(2)
 }
@@ -204,6 +215,24 @@ fn main() -> ExitCode {
         return usage();
     }
     let result = match args.as_slice() {
+        [cmd, rest @ ..] if cmd == "fuzz" => {
+            // `fuzz` has its own exit-code contract (0 agree / 1
+            // divergence / 2 flag errors), so it bypasses the shared
+            // Ok/Err mapping below.
+            return match parse_fuzz_flags(rest) {
+                Ok(FuzzCommand::ListSpecs) => {
+                    for name in provmin::workload::ScenarioSpec::names() {
+                        println!("{name}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(FuzzCommand::Run(fuzz_options)) => run_fuzz(&fuzz_options),
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    usage()
+                }
+            };
+        }
         [cmd, rest @ ..] if cmd == "serve" => match parse_serve_flags(rest) {
             Ok(serve_args) => run_serve(serve_args).map(|()| true),
             Err(message) => {
@@ -259,6 +288,95 @@ fn install_sigint_handler() {
 
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
+
+/// Parsed `provmin fuzz` invocation.
+enum FuzzCommand {
+    /// `--list-specs`: print the built-in spec names and exit 0.
+    ListSpecs,
+    /// A fuzzing run.
+    Run(provmin::fuzz::FuzzOptions),
+}
+
+/// Extracts `fuzz`'s flags; errors (including an unknown `--spec`) are
+/// usage errors (exit 2).
+fn parse_fuzz_flags(args: &[String]) -> Result<FuzzCommand, String> {
+    let mut options = provmin::fuzz::FuzzOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--list-specs" => return Ok(FuzzCommand::ListSpecs),
+            "--spec" => {
+                let name = value("--spec")?;
+                if !provmin::workload::ScenarioSpec::names().contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown spec {name} (one of: {})",
+                        provmin::workload::ScenarioSpec::names().join(", ")
+                    ));
+                }
+                options.spec = name;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_owned())?;
+            }
+            "--cases" => {
+                let n: u64 = value("--cases")?
+                    .parse()
+                    .map_err(|_| "--cases must be a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--cases must be a positive integer".to_owned());
+                }
+                options.cases = n;
+            }
+            "--case" => {
+                options.start = value("--case")?
+                    .parse()
+                    .map_err(|_| "--case must be an integer".to_owned())?;
+                options.cases = 1;
+            }
+            other => return Err(format!("unknown fuzz flag {other}")),
+        }
+    }
+    Ok(FuzzCommand::Run(options))
+}
+
+/// `provmin fuzz`: exit 0 on agreement, 1 on divergence (with the
+/// reproducing triple printed), 1 on setup failures.
+fn run_fuzz(options: &provmin::fuzz::FuzzOptions) -> ExitCode {
+    use provmin::fuzz::FuzzVerdict;
+    match provmin::fuzz::run(options) {
+        Ok(FuzzVerdict::Agreement {
+            cases,
+            eval_configs,
+        }) => {
+            println!(
+                "fuzz: OK — {cases} case(s) of spec={} seed={} agree across {} eval configs, \
+                 semiring specialization, and every eligible minimize strategy",
+                options.spec, options.seed, eval_configs
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(FuzzVerdict::Diverged(divergence)) => {
+            println!("fuzz: DIVERGENCE {}", divergence.replay);
+            println!("  {}", divergence.detail);
+            println!(
+                "replay: provmin fuzz --spec {} --seed {} --case {}",
+                divergence.spec, divergence.seed, divergence.case
+            );
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// Parsed `provmin serve` arguments.
 struct ServeArgs {

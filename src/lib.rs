@@ -48,9 +48,13 @@
 //! | [`engine`] | `prov-engine` | provenance-annotated evaluation |
 //! | [`core`] | `prov-core` | standard & p-minimization, MinProv, direct core computation |
 //! | [`server`] | `prov-server` | the long-running `provmin serve` HTTP query service |
+//! | [`workload`] | `prov-workload` | compositional workload DSL + seed-keyed scenario sampling |
+//! | [`fuzz`] | (facade) | the differential harness behind `provmin fuzz` |
 //! | [`paper`] | `prov-paper` | the paper's figures/tables and the `repro` harness |
 
 #![warn(missing_docs)]
+
+pub mod fuzz;
 
 pub use prov_algebra as algebra;
 pub use prov_core as core;
@@ -61,6 +65,7 @@ pub use prov_query as query;
 pub use prov_semiring as semiring;
 pub use prov_server as server;
 pub use prov_storage as storage;
+pub use prov_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {

@@ -148,3 +148,80 @@ fn eval_succeeds_and_batch_tuple_agree() {
     );
     assert!(stdout(&batched).contains("(a)"));
 }
+
+// ------------------------------------------------------------- fuzz
+
+#[test]
+fn fuzz_agreement_is_0_with_a_summary() {
+    let output = provmin(&["fuzz", "--spec", "fanout", "--seed", "11", "--cases", "8"]);
+    assert_eq!(code(&output), 0);
+    let text = stdout(&output);
+    assert!(text.contains("fuzz: OK"), "summary line: {text}");
+    assert!(
+        text.contains("spec=fanout") && text.contains("seed=11"),
+        "summary names the reproducing pair: {text}"
+    );
+}
+
+#[test]
+fn fuzz_divergence_is_1_with_the_replay_triple() {
+    // The injection hook fabricates a divergence at case 5, exercising
+    // the real reporting path end to end without planting an engine bug.
+    let output = Command::new(env!("CARGO_BIN_EXE_provmin"))
+        .args(["fuzz", "--spec", "mixed", "--seed", "9", "--cases", "20"])
+        .env("PROVMIN_FUZZ_INJECT_CASE", "5")
+        .output()
+        .expect("provmin binary runs");
+    assert_eq!(code(&output), 1, "divergence is exit 1");
+    let text = stdout(&output);
+    assert!(
+        text.contains("fuzz: DIVERGENCE spec=mixed seed=9 case=5"),
+        "the (spec, seed, case) triple is printed: {text}"
+    );
+    assert!(
+        text.contains("replay: provmin fuzz --spec mixed --seed 9 --case 5"),
+        "a copy-pasteable replay command is printed: {text}"
+    );
+
+    // The printed triple really replays: --case pins exactly that case.
+    let replay = Command::new(env!("CARGO_BIN_EXE_provmin"))
+        .args(["fuzz", "--spec", "mixed", "--seed", "9", "--case", "5"])
+        .env("PROVMIN_FUZZ_INJECT_CASE", "5")
+        .output()
+        .expect("provmin binary runs");
+    assert_eq!(code(&replay), 1, "the triple reproduces the divergence");
+    assert!(stdout(&replay).contains("case=5"));
+
+    // Without the injected bug the same triple agrees: exit 0.
+    let clean = provmin(&["fuzz", "--spec", "mixed", "--seed", "9", "--case", "5"]);
+    assert_eq!(code(&clean), 0, "same triple is clean without the bug");
+}
+
+#[test]
+fn fuzz_flag_errors_are_2() {
+    assert_eq!(code(&provmin(&["fuzz", "--spec", "no-such-spec"])), 2);
+    assert_eq!(code(&provmin(&["fuzz", "--seed", "NaN"])), 2);
+    assert_eq!(code(&provmin(&["fuzz", "--cases", "0"])), 2);
+    assert_eq!(code(&provmin(&["fuzz", "--cases"])), 2, "missing value");
+    assert_eq!(code(&provmin(&["fuzz", "--frobnicate"])), 2);
+    // Eval/minimize flags don't leak into fuzz.
+    assert_eq!(code(&provmin(&["fuzz", "--threads", "2"])), 2);
+}
+
+#[test]
+fn fuzz_list_specs_prints_every_builtin() {
+    let output = provmin(&["fuzz", "--list-specs"]);
+    assert_eq!(code(&output), 0);
+    let text = stdout(&output);
+    for name in [
+        "mixed",
+        "fanout",
+        "cycles",
+        "ucq-overlap",
+        "diseq",
+        "constants",
+        "soak",
+    ] {
+        assert!(text.lines().any(|l| l == name), "{name} listed: {text}");
+    }
+}
