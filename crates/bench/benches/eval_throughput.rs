@@ -50,15 +50,53 @@ criterion_group!(
     bench_eval,
     bench_strategy_ablation,
     bench_parallel_eval,
-    bench_batched_eval
+    bench_batched_eval,
+    bench_incremental_maintenance
 );
 criterion_main!(benches);
 
-// Columnar batched pipeline vs tuple-at-a-time, cold and with a
-// persistent IndexCache (results are bit-identical across all of them —
+// Incremental maintenance through a warm EvalSession: one cycle inserts
+// a self-loop tuple, absorbs it via the delta ⊕-join, removes it, and
+// absorbs the removal — vs the same cycle paying a cold from-scratch
+// evaluation after each mutation. (The calibrated quick-mode rows in
+// `prov_bench::recorder` time the insert and delete halves separately;
+// this criterion group tracks the full cycle.)
+fn bench_incremental_maintenance(c: &mut Criterion) {
+    use prov_engine::{EvalOptions, EvalSession};
+    use prov_storage::{RelName, Tuple};
+    let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
+    let rel = RelName::new("R");
+    let fresh = Tuple::of(&["inc_x", "inc_x"]);
+    let db0 = binary_db(800, 30, 1);
+    let mut group = c.benchmark_group("incremental_qconj");
+    group.bench_function("delta_cycle/800", |b| {
+        let session = EvalSession::with_options(EvalOptions::batched());
+        let mut db = db0.clone();
+        session.eval_cq(&qconj, &db);
+        b.iter(|| {
+            db.add("R", &["inc_x", "inc_x"], "inc_a");
+            black_box(session.eval_cq(&qconj, &db));
+            db.remove(rel, &fresh);
+            black_box(session.eval_cq(&qconj, &db));
+        })
+    });
+    group.bench_function("rebuild_cycle/800", |b| {
+        let mut db = db0.clone();
+        b.iter(|| {
+            db.add("R", &["inc_x", "inc_x"], "inc_a");
+            let cold = EvalSession::with_options(EvalOptions::batched());
+            black_box(cold.eval_cq(&qconj, &db));
+            db.remove(rel, &fresh);
+        })
+    });
+    group.finish();
+}
+
+// Columnar batched pipeline vs tuple-at-a-time, cold and through a warm
+// persistent EvalSession (results are bit-identical across all of them —
 // the three-way equivalence proptest; only wall-clock differs).
 fn bench_batched_eval(c: &mut Criterion) {
-    use prov_engine::{eval_cq_cached, eval_cq_with, EvalOptions, IndexCache};
+    use prov_engine::{eval_cq_with, EvalOptions, EvalSession};
     let qconj = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
     let triangle = parse_cq("ans() :- R(x,y), R(y,z), R(z,x)").unwrap();
     let mut group = c.benchmark_group("eval_batched_qconj");
@@ -70,9 +108,9 @@ fn bench_batched_eval(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("batched", n), &db, |b, db| {
             b.iter(|| black_box(eval_cq_with(&qconj, db, EvalOptions::batched())))
         });
-        group.bench_with_input(BenchmarkId::new("batched_cached", n), &db, |b, db| {
-            let cache = IndexCache::new();
-            b.iter(|| black_box(eval_cq_cached(&qconj, db, EvalOptions::batched(), &cache)))
+        group.bench_with_input(BenchmarkId::new("session_warm", n), &db, |b, db| {
+            let session = EvalSession::with_options(EvalOptions::batched());
+            b.iter(|| black_box(session.eval_cq(&qconj, db)))
         });
         group.bench_with_input(BenchmarkId::new("batched_par4", n), &db, |b, db| {
             let options = EvalOptions::batched().with_parallelism(4);

@@ -47,6 +47,31 @@ pub fn measure<F: FnMut()>(id: &str, budget_ms: u128, mut f: F) -> Measurement {
     }
 }
 
+/// Like [`measure`], but `f` reports how much of each iteration to count:
+/// only the returned duration enters the mean, so setup/restore work (e.g.
+/// re-inserting a tuple between single-delete measurements) stays off the
+/// clock. The budget still bounds total wall-clock including setup.
+pub fn measure_timed_section<F: FnMut() -> std::time::Duration>(
+    id: &str,
+    budget_ms: u128,
+    mut f: F,
+) -> Measurement {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    let mut timed = std::time::Duration::ZERO;
+    loop {
+        timed += f();
+        iters += 1;
+        if (iters >= MIN_ITERS && start.elapsed().as_millis() >= budget_ms) || iters >= MAX_ITERS {
+            return Measurement {
+                id: id.to_owned(),
+                ns_per_iter: timed.as_nanos() / u128::from(iters),
+                iters,
+            };
+        }
+    }
+}
+
 /// Runs the whole quick-mode suite (one or more workloads per criterion
 /// bench target) and returns the measurements in suite order.
 pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
@@ -54,9 +79,7 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
     use prov_core::direct::{core_polynomial, exact_core};
     use prov_core::minprov::minprov_cq;
     use prov_core::standard::{minimize_complete, minimize_cq};
-    use prov_engine::{
-        eval_cq, eval_cq_cached, eval_cq_with, eval_ucq_with, EvalOptions, IndexCache,
-    };
+    use prov_engine::{eval_cq, eval_cq_with, eval_ucq_with, EvalOptions, EvalSession};
     use prov_query::canonical::canonical_rewriting;
     use prov_query::generate::{chain, qn_family, star};
     use prov_query::parse_cq;
@@ -100,9 +123,15 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
     record("eval_throughput/qconj/800/batched", &mut || {
         std::hint::black_box(eval_cq_with(&qconj, &db800, batched));
     });
-    let cache = IndexCache::new();
-    record("eval_throughput/qconj/800/cached-index", &mut || {
-        std::hint::black_box(eval_cq_cached(&qconj, &db800, batched, &cache));
+    // The serving hot path since the EvalSession redesign: repeated
+    // evaluations of an unchanged database are materialized-result hits
+    // (a shared `Arc` out of the session's result store), replacing the
+    // old `cached-index` row whose rebuild-per-eval path no longer
+    // exists in the serving configuration.
+    let warm = EvalSession::with_options(batched);
+    warm.eval_cq(&qconj, &db800);
+    record("eval_throughput/qconj/800/session-hit", &mut || {
+        std::hint::black_box(warm.eval_cq(&qconj, &db800));
     });
     let db50 = binary_db(50, 9, 1);
     record("eval_throughput/triangle/50", &mut || {
@@ -327,6 +356,63 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         std::hint::black_box(eval_ucq_with(&compiled, &db200, par4));
     });
 
+    // Incremental maintenance: a warm session absorbing a single-tuple
+    // mutation through the delta ⊕-join vs tearing everything down and
+    // re-evaluating from scratch. Only the post-mutation evaluation is on
+    // the clock; the restore mutation between iterations is absorbed off
+    // it, so every iteration sees the same 800-row database plus/minus
+    // exactly one tuple. The inserted tuple is a self-loop, so the insert
+    // genuinely extends the answer and the delete genuinely drops
+    // monomials. The delta rows must stay well under the rebuild row —
+    // that gap is the point of the maintenance path (see docs/CACHE.md).
+    {
+        let rel = RelName::new("R");
+        let fresh = Tuple::of(&["inc_x", "inc_x"]);
+        let session = EvalSession::with_options(batched);
+        let mut db = db800.clone();
+        session.eval_cq(&qconj, &db);
+        out.push(measure_timed_section(
+            "incremental/insert_1/qconj800",
+            budget_ms,
+            || {
+                db.add("R", &["inc_x", "inc_x"], "inc_a");
+                let t0 = Instant::now();
+                std::hint::black_box(session.eval_cq(&qconj, &db));
+                let elapsed = t0.elapsed();
+                db.remove(rel, &fresh);
+                session.eval_cq(&qconj, &db);
+                elapsed
+            },
+        ));
+        out.push(measure_timed_section(
+            "incremental/delete_1/qconj800",
+            budget_ms,
+            || {
+                db.add("R", &["inc_x", "inc_x"], "inc_a");
+                session.eval_cq(&qconj, &db);
+                db.remove(rel, &fresh);
+                let t0 = Instant::now();
+                std::hint::black_box(session.eval_cq(&qconj, &db));
+                t0.elapsed()
+            },
+        ));
+        // What the same single-tuple insert costs without the delta path:
+        // a cold session (index build + full batched evaluation).
+        out.push(measure_timed_section(
+            "incremental/rebuild_1/qconj800",
+            budget_ms,
+            || {
+                db.add("R", &["inc_x", "inc_x"], "inc_a");
+                let t0 = Instant::now();
+                let cold = EvalSession::with_options(batched);
+                std::hint::black_box(cold.eval_cq(&qconj, &db));
+                let elapsed = t0.elapsed();
+                db.remove(rel, &fresh);
+                elapsed
+            },
+        ));
+    }
+
     out
 }
 
@@ -451,12 +537,23 @@ mod tests {
         assert!(ms.iter().any(|m| m.id.ends_with("/par4")));
         // The serve-loop row (PR 5's CI-visible surface).
         assert!(ms.iter().any(|m| m.id == "serve/eval_roundtrip/200"));
-        // Batched/cached variants present (PR 4's CI-visible surface).
+        // Batched/cached variants present (PR 4's CI-visible surface; the
+        // old `cached-index` row became `session-hit` with the EvalSession
+        // redesign).
         for id in [
             "eval_throughput/qconj/200/batched",
             "eval_throughput/qconj/800/batched",
-            "eval_throughput/qconj/800/cached-index",
+            "eval_throughput/qconj/800/session-hit",
             "eval_throughput/triangle/50/batched",
+        ] {
+            assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
+        }
+        // Incremental-maintenance rows (this PR's CI-visible surface):
+        // single-tuple delta absorption vs from-scratch rebuild.
+        for id in [
+            "incremental/insert_1/qconj800",
+            "incremental/delete_1/qconj800",
+            "incremental/rebuild_1/qconj800",
         ] {
             assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
         }

@@ -42,6 +42,35 @@ use crate::index::RelationIndex;
 /// over-partitioning policy of [`crate::parallel`].
 const CHUNKS_PER_THREAD: usize = 4;
 
+/// A per-atom row restriction for the delta ⊕-join passes of incremental
+/// maintenance (see [`crate::EvalSession`]): evaluating `Q(D ⊎ Δ)`
+/// incrementally pins one atom occurrence to exactly the delta tuple and
+/// restricts earlier/later atoms to the database states before/after it,
+/// expressed here as annotation filters over the final columnar view
+/// (annotations are in bijection with tuples — abstract tagging).
+#[derive(Clone, Debug, Default)]
+pub(crate) enum RowRestrict {
+    /// No restriction: every row of the relation is a candidate.
+    #[default]
+    All,
+    /// Only the row tagged by this annotation.
+    Exactly(Annotation),
+    /// Every row except those tagged by these annotations (sorted).
+    Exclude(Vec<Annotation>),
+}
+
+impl RowRestrict {
+    /// Whether the row tagged `a` passes this restriction.
+    #[inline]
+    fn allows(&self, a: Annotation) -> bool {
+        match self {
+            RowRestrict::All => true,
+            RowRestrict::Exactly(only) => a == *only,
+            RowRestrict::Exclude(set) => set.binary_search(&a).is_err(),
+        }
+    }
+}
+
 /// How to produce one value of an output tuple or disequality operand.
 #[derive(Clone, Copy, Debug)]
 enum Fetch {
@@ -64,6 +93,9 @@ struct DiseqPlan {
 /// probe and how each argument position constrains or extends the block.
 struct AtomPlan {
     rel: RelName,
+    /// Which rows of the relation this atom may match (delta passes pin
+    /// or exclude rows by annotation; [`RowRestrict::All`] otherwise).
+    restrict: RowRestrict,
     /// Positions that must equal a constant.
     const_checks: Vec<(usize, Value)>,
     /// Positions that must equal an already-bound block column.
@@ -112,8 +144,13 @@ impl Block {
 }
 
 /// Compiles the planned atom order into extension steps plus the head
-/// fetch plan. `order` must be a permutation of the query's atom indices.
-fn build_plans(q: &ConjunctiveQuery, order: &[usize]) -> (Vec<AtomPlan>, Vec<Fetch>) {
+/// fetch plan. `order` must be a permutation of the query's atom indices;
+/// `restricts`, when given, is indexed by *atom index* (not plan position).
+fn build_plans(
+    q: &ConjunctiveQuery,
+    order: &[usize],
+    restricts: Option<&[RowRestrict]>,
+) -> (Vec<AtomPlan>, Vec<Fetch>) {
     let mut col_of: std::collections::BTreeMap<Variable, usize> = std::collections::BTreeMap::new();
     let mut scheduled = vec![false; q.diseqs().len()];
     let mut plans = Vec::with_capacity(order.len());
@@ -121,6 +158,7 @@ fn build_plans(q: &ConjunctiveQuery, order: &[usize]) -> (Vec<AtomPlan>, Vec<Fet
         let atom = &q.atoms()[ai];
         let mut plan = AtomPlan {
             rel: atom.relation,
+            restrict: restricts.map_or(RowRestrict::All, |r| r[ai].clone()),
             const_checks: Vec::new(),
             bound_checks: Vec::new(),
             self_checks: Vec::new(),
@@ -188,10 +226,13 @@ fn extend_block(
     index: Option<&RelationIndex>,
 ) -> Block {
     // Checks independent of the parent assignment.
+    let row_tags = rel.annotations();
     let static_ok = |row: usize| {
-        plan.const_checks
-            .iter()
-            .all(|&(pos, v)| rel.column(pos)[row] == v)
+        plan.restrict.allows(row_tags[row])
+            && plan
+                .const_checks
+                .iter()
+                .all(|&(pos, v)| rel.column(pos)[row] == v)
             && plan
                 .self_checks
                 .iter()
@@ -364,6 +405,19 @@ pub(crate) fn eval_cq_batched(
     options: EvalOptions,
     views: &EvalViews,
 ) -> AnnotatedResult {
+    eval_cq_batched_restricted(q, db, options, views, None)
+}
+
+/// [`eval_cq_batched`] with a per-atom row restriction — the delta ⊕-join
+/// primitive: the incremental maintenance passes of [`crate::EvalSession`]
+/// pin one atom to the freshly-inserted row and window the others.
+pub(crate) fn eval_cq_batched_restricted(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+    views: &EvalViews,
+    restricts: Option<&[RowRestrict]>,
+) -> AnnotatedResult {
     debug_assert!(!q.atoms().is_empty(), "caller handles atom-free queries");
     let mut result = AnnotatedResult::default();
     // An absent relation or an arity mismatch anywhere empties the result.
@@ -373,8 +427,30 @@ pub(crate) fn eval_cq_batched(
             _ => return result,
         }
     }
-    let order = options.planner.order(q, db);
-    let (plans, head) = build_plans(q, &order);
+    // Delta passes must stay O(|Δ| · index probes), so two deviations
+    // from the cold path (both correctness-neutral — any atom permutation
+    // enumerates exactly the Def 2.6 assignments):
+    //
+    // * plan with the *syntactic* planner: the cost-based one scans the
+    //   database for per-column cardinalities, an O(|D|) pass that would
+    //   dominate a single-tuple delta;
+    // * drive the join from the pinned atom: its candidate set is one
+    //   row, so every later atom extends a one-assignment block through
+    //   index probes instead of starting from a full-relation scan.
+    let mut order = match restricts {
+        Some(_) => crate::planner::PlannerKind::Syntactic.order(q, db),
+        None => options.planner.order(q, db),
+    };
+    if let Some(restricts) = restricts {
+        if let Some(pinned) = order
+            .iter()
+            .position(|&ai| matches!(restricts[ai], RowRestrict::Exactly(_)))
+        {
+            let ai = order.remove(pinned);
+            order.insert(0, ai);
+        }
+    }
+    let (plans, head) = build_plans(q, &order, restricts);
     let columnar = views.columnar(db);
     let index = options.use_index.then(|| views.database_index(db));
     let rels: Vec<&ColumnarRelation> = plans

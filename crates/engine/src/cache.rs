@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use prov_storage::{ColumnarDatabase, Database};
+use prov_storage::{ColumnarDatabase, Database, DeltaEvent, DeltaKind};
 
 use crate::index::DatabaseIndex;
 
@@ -63,6 +63,51 @@ impl EvalViews {
         self.columnar
             .get_or_init(|| ColumnarDatabase::from_database(db))
     }
+
+    /// Views for `db`'s current generation obtained by replaying `events`
+    /// (the deltas between these views' generation and `db`'s) onto
+    /// whichever views are already built — appends for inserts, row
+    /// removal with id reindexing for removes — instead of rebuilding
+    /// them from scratch. Unbuilt views stay unbuilt (lazy as ever).
+    ///
+    /// Returns `None` when patching is impossible: a remove event needs
+    /// the row id, recovered from the columnar annotation column, so an
+    /// index-only build cannot replay removes and falls back to a fresh
+    /// (lazily rebuilt) entry.
+    pub(crate) fn patched(&self, db: &Database, events: &[DeltaEvent]) -> Option<EvalViews> {
+        let mut columnar = self.columnar.get().cloned();
+        let mut index = self.index.get().cloned();
+        for event in events {
+            match event.kind {
+                DeltaKind::Insert => {
+                    if let Some(c) = &mut columnar {
+                        c.push_row(event.rel, &event.tuple, event.annotation);
+                    }
+                    if let Some(ix) = &mut index {
+                        ix.push_row(event.rel, event.tuple.values());
+                    }
+                }
+                DeltaKind::Remove => {
+                    let row = match &mut columnar {
+                        Some(c) => Some(c.remove_row(event.rel, event.annotation)?),
+                        None if index.is_some() => return None,
+                        None => None,
+                    };
+                    if let (Some(ix), Some(row)) = (&mut index, row) {
+                        ix.remove_row(event.rel, row);
+                    }
+                }
+            }
+        }
+        let views = EvalViews::new(db);
+        if let Some(c) = columnar {
+            let _ = views.columnar.set(c);
+        }
+        if let Some(ix) = index {
+            let _ = views.index.set(ix);
+        }
+        Some(views)
+    }
 }
 
 /// Hit/miss counters of one [`IndexCache`] (cumulative).
@@ -94,7 +139,13 @@ impl IndexCache {
     }
 
     /// The views for `db`'s current generation: the cached entry when its
-    /// stamp matches, else a fresh entry that replaces it.
+    /// stamp matches; a stale entry the delta log still reaches is rolled
+    /// forward in place (appends/row removals, no rebuild — counted as a
+    /// hit); anything else is displaced by a fresh entry (a miss).
+    ///
+    /// The roll-forward is lineage-safe without further checks because
+    /// generation stamps are globally unique: `deltas_since` on an
+    /// unrelated database can never name another database's stamp.
     pub fn views(&self, db: &Database) -> Arc<EvalViews> {
         let mut entry = self.entry.lock().expect("index cache poisoned");
         if let Some(views) = entry.as_ref() {
@@ -102,11 +153,38 @@ impl IndexCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(views);
             }
+            if let Some(patched) = db
+                .deltas_since(views.generation())
+                .and_then(|events| views.patched(db, events))
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let views = Arc::new(patched);
+                *entry = Some(Arc::clone(&views));
+                return views;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let views = Arc::new(EvalViews::new(db));
         *entry = Some(Arc::clone(&views));
         views
+    }
+
+    /// Carries the cached entry across a mutation: when the entry's stamp
+    /// is `from_gen` (the generation the mutation started from), it is
+    /// replaced by a patched entry for `db`'s current generation with the
+    /// already-built views updated in place (see `EvalViews::patched`)
+    /// — the next lookup hits instead of rebuilding. Any other entry (or
+    /// an unpatchable one) is left to the normal miss-and-rebuild path.
+    pub fn patch(&self, db: &Database, from_gen: u64, events: &[DeltaEvent]) {
+        let mut entry = self.entry.lock().expect("index cache poisoned");
+        let Some(views) = entry.as_ref() else { return };
+        if views.generation() != from_gen {
+            return;
+        }
+        match views.patched(db, events) {
+            Some(patched) => *entry = Some(Arc::new(patched)),
+            None => *entry = None,
+        }
     }
 
     /// Cumulative hit/miss counters.
@@ -134,7 +212,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prov_storage::RelName;
+    use prov_storage::{RelName, Tuple};
 
     fn sample() -> Database {
         let mut db = Database::new();
@@ -154,7 +232,7 @@ mod tests {
     }
 
     #[test]
-    fn mutation_invalidates() {
+    fn mutation_rolls_entry_forward_or_invalidates() {
         let mut db = sample();
         let cache = IndexCache::new();
         let before = cache.views(&db);
@@ -166,11 +244,13 @@ mod tests {
                 .len(),
             2
         );
+        // An insert within the delta log: the entry is rolled forward in
+        // place (a hit), never served stale.
         db.add("R", &["c", "d"], "ca3");
         let after = cache.views(&db);
         assert!(
             !Arc::ptr_eq(&before, &after),
-            "stale entry must be rebuilt, not reused"
+            "stale entry must be replaced, not reused"
         );
         assert_eq!(
             after
@@ -180,7 +260,68 @@ mod tests {
                 .len(),
             3
         );
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // A remove with only the index built cannot be replayed (the row
+        // id lives in the columnar view): fall back to a fresh entry.
+        db.remove(RelName::new("R"), &Tuple::of(&["c", "d"]));
+        let rebuilt = cache.views(&db);
+        assert_eq!(
+            rebuilt
+                .database_index(&db)
+                .relation(RelName::new("R"))
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn patch_carries_warm_views_across_mutations() {
+        let mut db = sample();
+        let cache = IndexCache::new();
+        let warm = cache.views(&db);
+        // Build both views so there is something to patch.
+        warm.database_index(&db);
+        warm.columnar(&db);
+        let from = db.generation();
+        db.add("R", &["c", "d"], "cp1");
+        db.remove(RelName::new("R"), &Tuple::of(&["a", "b"]));
+        let events = db.deltas_since(from).unwrap();
+        cache.patch(&db, from, events);
+
+        // The patched entry serves the new generation as a *hit*.
+        let patched = cache.views(&db);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(patched.generation(), db.generation());
+        // And its contents equal a from-scratch build.
+        let fresh = EvalViews::new(&db);
+        let rel = RelName::new("R");
+        let patched_col = patched.columnar(&db).relation(rel).unwrap();
+        let fresh_col = fresh.columnar(&db).relation(rel).unwrap();
+        assert_eq!(patched_col, fresh_col);
+        let patched_ix = patched.database_index(&db).relation(rel).unwrap();
+        let fresh_ix = fresh.database_index(&db).relation(rel).unwrap();
+        assert_eq!(patched_ix.len(), fresh_ix.len());
+        for row in 0..patched_col.len() {
+            for pos in 0..patched_col.arity() {
+                let v = patched_col.value(row, pos);
+                assert_eq!(patched_ix.matching(pos, v), fresh_ix.matching(pos, v));
+            }
+        }
+    }
+
+    #[test]
+    fn patch_ignores_stale_or_missing_entries() {
+        let mut db = sample();
+        let cache = IndexCache::new();
+        let from = db.generation();
+        db.add("R", &["c", "d"], "cp2");
+        let events: Vec<prov_storage::DeltaEvent> = db.deltas_since(from).unwrap().to_vec();
+        // No entry yet: patch is a no-op, the next lookup is a miss.
+        cache.patch(&db, from, &events);
+        cache.views(&db);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
     }
 
     #[test]

@@ -105,6 +105,25 @@ impl AnnotatedResult {
             .add_monomial(m);
     }
 
+    /// Deletion propagation: drops every monomial mentioning `a` from
+    /// every output tuple's polynomial (removing tuples whose provenance
+    /// becomes zero), returning the number of distinct monomials dropped.
+    ///
+    /// Over an abstractly-tagged database this maps `Q(D)` to
+    /// `Q(D ∖ {tₐ})` exactly — the dropped monomials are precisely the
+    /// derivations whose assignment used the tuple `a` tags (paper §2.3:
+    /// monomial factors are the annotations of the tuples used) — which
+    /// is what lets [`crate::EvalSession`] service deletes from its
+    /// materialized results without re-evaluating.
+    pub fn drop_annotation(&mut self, a: Annotation) -> u64 {
+        let mut dropped = 0;
+        self.tuples.retain(|_, p| {
+            dropped += p.drop_mentioning(a);
+            !p.is_zero_poly()
+        });
+        dropped
+    }
+
     /// Records one derivation given as its head values and **sorted**
     /// monomial factor slice, allocating a `Tuple`/`Monomial` only when
     /// the entry is new — the batched pipeline's in-place accumulation.
@@ -394,14 +413,29 @@ pub fn eval_cq(q: &ConjunctiveQuery, db: &Database) -> AnnotatedResult {
 
 /// [`eval_cq`] under explicit strategy options.
 pub fn eval_cq_with(q: &ConjunctiveQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
-    eval_cq_cached(q, db, options, &IndexCache::new())
+    eval_cq_via_cache(q, db, options, &IndexCache::new())
 }
 
 /// [`eval_cq`] under explicit options, reusing `cache`d index/columnar
-/// builds when the database generation still matches. This is the serving
-/// path: many evaluations against one loaded database pay for index
-/// construction once.
+/// builds when the database generation still matches.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `EvalSession::eval_cq`, which additionally maintains \
+            materialized results incrementally across mutations"
+)]
 pub fn eval_cq_cached(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    options: EvalOptions,
+    cache: &IndexCache,
+) -> AnnotatedResult {
+    eval_cq_via_cache(q, db, options, cache)
+}
+
+/// The internal cached-views evaluation path: the full (non-incremental)
+/// pipeline behind [`crate::EvalSession`] rebuilds and the deprecated
+/// [`eval_cq_cached`] wrapper.
+pub(crate) fn eval_cq_via_cache(
     q: &ConjunctiveQuery,
     db: &Database,
     options: EvalOptions,
@@ -443,11 +477,26 @@ pub fn eval_ucq(q: &UnionQuery, db: &Database) -> AnnotatedResult {
 /// [`eval_ucq`] under explicit strategy options. All disjuncts share one
 /// index build through a query-local [`IndexCache`].
 pub fn eval_ucq_with(q: &UnionQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
-    eval_ucq_cached(q, db, options, &IndexCache::new())
+    eval_ucq_via_cache(q, db, options, &IndexCache::new())
 }
 
 /// [`eval_ucq`] under explicit options against a persistent [`IndexCache`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use `EvalSession::eval_ucq`, which additionally maintains \
+            materialized results incrementally across mutations"
+)]
 pub fn eval_ucq_cached(
+    q: &UnionQuery,
+    db: &Database,
+    options: EvalOptions,
+    cache: &IndexCache,
+) -> AnnotatedResult {
+    eval_ucq_via_cache(q, db, options, cache)
+}
+
+/// The internal cached-views UCQ path (see [`eval_cq_via_cache`]).
+pub(crate) fn eval_ucq_via_cache(
     q: &UnionQuery,
     db: &Database,
     options: EvalOptions,
@@ -455,7 +504,7 @@ pub fn eval_ucq_cached(
 ) -> AnnotatedResult {
     let mut result = AnnotatedResult::default();
     for adj in q.adjuncts() {
-        result.merge(eval_cq_cached(adj, db, options, cache));
+        result.merge(eval_cq_via_cache(adj, db, options, cache));
     }
     result
 }

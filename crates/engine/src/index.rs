@@ -64,6 +64,33 @@ impl RelationIndex {
             .map(|&(pos, v)| self.matching(pos, v))
             .min_by_key(|rows| rows.len())
     }
+
+    /// Appends one row (id = current length), mirroring a
+    /// [`Relation::insert`] — inserts append in row order.
+    pub fn push_row(&mut self, values: &[Value]) {
+        let row = self.len as u32;
+        for (pos, &value) in values.iter().enumerate() {
+            self.posting.entry((pos, value)).or_default().push(row);
+        }
+        self.len += 1;
+    }
+
+    /// Removes row `row`, shifting every later row id down by one — the
+    /// same reindexing [`Relation::remove`] performs. Posting lists stay
+    /// sorted because they were sorted by construction.
+    pub fn remove_row(&mut self, row: usize) {
+        let row = row as u32;
+        for posting in self.posting.values_mut() {
+            posting.retain(|&r| r != row);
+            for r in posting.iter_mut() {
+                if *r > row {
+                    *r -= 1;
+                }
+            }
+        }
+        self.posting.retain(|_, posting| !posting.is_empty());
+        self.len -= 1;
+    }
 }
 
 /// Indexes for every relation of a database. Owned and borrow-free —
@@ -87,6 +114,20 @@ impl DatabaseIndex {
     /// The index for `rel`, if the relation exists.
     pub fn relation(&self, rel: RelName) -> Option<&RelationIndex> {
         self.by_relation.get(&rel)
+    }
+
+    /// Appends one row to `rel`'s index, creating an empty index when the
+    /// relation is new (mirrors [`prov_storage::Database::insert`]).
+    pub fn push_row(&mut self, rel: RelName, values: &[Value]) {
+        self.by_relation.entry(rel).or_default().push_row(values);
+    }
+
+    /// Removes row `row` from `rel`'s index (no-op if the relation has no
+    /// index). See [`RelationIndex::remove_row`].
+    pub fn remove_row(&mut self, rel: RelName, row: usize) {
+        if let Some(index) = self.by_relation.get_mut(&rel) {
+            index.remove_row(row);
+        }
     }
 }
 
@@ -134,6 +175,39 @@ mod tests {
         let idx = DatabaseIndex::build(&db);
         let r = idx.relation(RelName::new("R")).unwrap();
         assert!(r.most_selective(&[]).is_none());
+    }
+
+    #[test]
+    fn patched_index_matches_rebuilt_index() {
+        let mut db = sample();
+        let mut idx = DatabaseIndex::build(&db);
+        db.add("R", &["c", "d"], "ix4");
+        idx.push_row(
+            RelName::new("R"),
+            db.relation(RelName::new("R")).unwrap().row(3).0.values(),
+        );
+        // Remove the middle row (row id 1 = ("a","c")): later ids shift.
+        db.remove(RelName::new("R"), &Tuple::of(&["a", "c"]));
+        idx.remove_row(RelName::new("R"), 1);
+        db.add("S", &["q"], "ix5");
+        idx.push_row(RelName::new("S"), &[Value::new("q")]);
+
+        let rebuilt = DatabaseIndex::build(&db);
+        for relation in db.relations() {
+            let patched = idx.relation(relation.name()).unwrap();
+            let fresh = rebuilt.relation(relation.name()).unwrap();
+            assert_eq!(patched.len(), fresh.len());
+            for (row, (tuple, _)) in relation.iter().enumerate() {
+                for (pos, &value) in tuple.values().iter().enumerate() {
+                    assert_eq!(
+                        patched.matching(pos, value),
+                        fresh.matching(pos, value),
+                        "posting ({pos}, {value}) diverges at row {row} of {}",
+                        relation.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Integration tests for the persistent index cache: sharing across
 //! evaluations and UCQ disjuncts, and — the safety property — stale
 //! entries are rebuilt after a database mutation, never reused.
+//!
+//! Deliberately exercises the *deprecated* `eval_cq_cached` /
+//! `eval_ucq_cached` wrappers: they stay public (thin shims over the
+//! same internals [`prov_engine::EvalSession`] uses) until the next
+//! breaking release, and this suite pins their behavior until removal.
+//! New code and the rest of the workspace go through `EvalSession`.
+
+#![allow(deprecated)]
 
 use prov_engine::{eval_cq_cached, eval_cq_with, eval_ucq_cached, EvalOptions, IndexCache};
 use prov_query::{parse_cq, parse_ucq};
@@ -21,12 +29,17 @@ fn mutation_invalidates_cached_index() {
     let db = table_2_database();
     let q = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
 
-    for options in [EvalOptions::default(), EvalOptions::batched()] {
+    // Inserts within the delta log roll the warm entry forward (a hit in
+    // both modes); removes can only be replayed when the columnar view is
+    // built (the batched/default path), so the tuple path pays one
+    // rebuild there.
+    for (options, misses_after_removal) in [(EvalOptions::tuple(), 2), (EvalOptions::batched(), 1)]
+    {
         let cache = IndexCache::new();
         let before = eval_cq_cached(&q, &db, options, &cache);
         assert_eq!(before.len(), 2);
 
-        // Mutate: the cached entry must be rebuilt, not reused — a stale
+        // Mutate: the cached entry must never be served stale — a stale
         // index would miss the new tuple entirely.
         let mut mutated = db.clone();
         mutated.add("R", &["c", "c"], "inv_c");
@@ -38,13 +51,16 @@ fn mutation_invalidates_cached_index() {
         );
         assert_eq!(after, eval_cq_with(&q, &mutated, options));
         let stats = cache.stats();
-        assert_eq!(stats.misses, 2, "mutation must force a rebuild");
+        assert_eq!(
+            stats.misses, 1,
+            "insert must patch the warm entry, not rebuild"
+        );
 
-        // Removal invalidates too.
+        // Removal never serves stale either.
         mutated.remove(RelName::new("R"), &Tuple::of(&["c", "c"]));
         let back = eval_cq_cached(&q, &mutated, options, &cache);
         assert_eq!(back, before);
-        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().misses, misses_after_removal);
     }
 
     // Unchanged database: repeated evaluations hit.

@@ -8,10 +8,11 @@
 
 use proptest::prelude::*;
 
-use prov_engine::{eval_cq_with, eval_ucq_with, EvalOptions, PlannerKind};
+use prov_engine::{eval_cq_with, eval_ucq_with, EvalOptions, EvalSession, PlannerKind};
 use prov_query::generate::{random_cq, QuerySpec};
 use prov_storage::generator::{random_database, DatabaseSpec};
-use prov_workload::{Sampler, ScenarioSpec};
+use prov_storage::{RelName, DELTA_LOG_CAPACITY};
+use prov_workload::{MutationStep, Sampler, ScenarioSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -123,6 +124,86 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_from_scratch(
+        seed in 0u64..300,
+        case in 0u64..60,
+    ) {
+        // The fourth way: a persistent EvalSession maintained through the
+        // `mutate` spec's random insert/delete scripts must stay
+        // bit-identical to from-scratch naive evaluation after every
+        // mutation — including deletes of annotations shared across many
+        // output monomials (step 0 of every script removes a present
+        // tuple) and the log-truncation fallback at the end.
+        let sampler = Sampler::named("mutate").expect("built-in mutate spec");
+        let scenario = sampler.scenario(seed, case);
+        let rel = RelName::new("R");
+        let sessions: Vec<EvalSession> = [EvalOptions::tuple(), EvalOptions::batched()]
+            .into_iter()
+            .map(EvalSession::with_options)
+            .collect();
+        let mut dbs = vec![scenario.database.clone(), scenario.database.clone()];
+        for (session, db) in sessions.iter().zip(&dbs) {
+            session.eval_ucq(&scenario.query, db);
+        }
+        for (step_index, step) in scenario.mutations.iter().enumerate() {
+            for (session, db) in sessions.iter().zip(&mut dbs) {
+                match step {
+                    MutationStep::Insert(tuple, annotation) => {
+                        session.apply_mutation(db, &[], &[(rel, tuple.clone(), *annotation)])
+                    }
+                    MutationStep::Remove(tuple) => {
+                        session.apply_mutation(db, &[(rel, tuple.clone())], &[])
+                    }
+                };
+            }
+            let scratch = eval_ucq_with(&scenario.query, &dbs[0], EvalOptions::naive());
+            for (session, db) in sessions.iter().zip(&dbs) {
+                prop_assert_eq!(
+                    &*session.eval_ucq(&scenario.query, db),
+                    &scratch,
+                    "incremental {:?} diverged from from-scratch at step {} ({})",
+                    session.options(),
+                    step_index,
+                    scenario.replay()
+                );
+            }
+        }
+        // Every script starts with a real removal, so the delta path must
+        // have fired at least once per session.
+        for session in &sessions {
+            prop_assert!(
+                session.stats().delta_applies >= 1,
+                "mutation script never exercised the delta path ({})",
+                scenario.replay()
+            );
+        }
+
+        // Log truncation: overflow the delta log behind the sessions'
+        // backs; the next evaluation must fall back to a full rebuild and
+        // still match from-scratch exactly.
+        for db in &mut dbs {
+            for j in 0..DELTA_LOG_CAPACITY + 1 {
+                db.add("R", &[&format!("t{j}"), "v0"], &format!("trunc_{seed}_{case}_{j}"));
+            }
+        }
+        let scratch = eval_ucq_with(&scenario.query, &dbs[0], EvalOptions::naive());
+        for (session, db) in sessions.iter().zip(&dbs) {
+            let rebuilds_before = session.stats().full_rebuilds;
+            prop_assert_eq!(
+                &*session.eval_ucq(&scenario.query, db),
+                &scratch,
+                "post-truncation divergence ({})",
+                scenario.replay()
+            );
+            prop_assert_eq!(
+                session.stats().full_rebuilds,
+                rebuilds_before + 1,
+                "truncated log must force exactly one rebuild"
+            );
         }
     }
 }

@@ -1,11 +1,14 @@
-//! The soak behind the batched-default flip: the three-way equivalence
-//! property re-checked in the *serving* regime — a persistent
-//! [`IndexCache`] carried across interleaved database mutations, cached
-//! re-evaluations, and UCQ disjunct sharing, across
-//! {batched, tuple} × {1, 4 threads}. Every cached evaluation must be
-//! bit-identical to a fresh naive evaluation of the *current* database
-//! (a stale cached index would diverge immediately), and the cache must
-//! miss exactly once per generation it evaluates against.
+//! The soak behind the batched-default flip, upgraded for incremental
+//! maintenance: persistent [`EvalSession`]s carried across interleaved
+//! database mutations, across {batched, tuple} × {1, 4 threads} plus a
+//! UCQ session. Every incrementally-maintained result must be
+//! bit-identical to a fresh naive evaluation of the *current* database —
+//! the mutations happen behind the sessions' backs (no
+//! `apply_mutation`), so reconciliation rides purely on the database's
+//! delta log. The counters must show the cheap path was actually taken:
+//! exactly one full evaluation per session up front, one delta apply per
+//! generation move, and — after a log-overflowing burst — exactly one
+//! fallback rebuild.
 //!
 //! Scenarios come from the `prov-workload` DSL (`soak` spec): the same
 //! shape grammar and skewed databases that `provmin fuzz` and the bench
@@ -16,9 +19,9 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use prov_engine::{eval_cq_cached, eval_cq_with, eval_ucq_cached, EvalOptions, IndexCache};
+use prov_engine::{eval_cq_with, EvalOptions, EvalSession};
 use prov_query::UnionQuery;
-use prov_storage::{RelName, Tuple};
+use prov_storage::{RelName, Tuple, DELTA_LOG_CAPACITY};
 use prov_workload::Sampler;
 
 /// The `soak` grammar is forced and parsed once for the whole suite.
@@ -41,17 +44,16 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn cached_strategies_survive_interleaved_mutations(
+    fn incremental_sessions_survive_interleaved_mutations(
         seed in 0u64..300,
         case in 0u64..50,
         script_seed in 0u64..1_000,
     ) {
         let scenario = sampler().scenario(seed, case);
         let cq = scenario.query.adjuncts()[0].clone();
-        // A two-disjunct union exercises disjunct sharing through the
-        // same cache entry (second disjunct must hit, not rebuild). The
-        // soak grammar enumerates both single rules and self-unions; a
-        // single-rule draw falls back to a self-union.
+        // A two-disjunct union exercises disjunct sharing through one
+        // session entry. The soak grammar enumerates both single rules
+        // and self-unions; a single-rule draw falls back to a self-union.
         let union_q = if scenario.query.adjuncts().len() >= 2 {
             scenario.query.clone()
         } else {
@@ -59,19 +61,32 @@ proptest! {
         };
         let replay = scenario.replay();
         let mut db = scenario.database;
-        let cache = IndexCache::new();
-        let strategies = [
+        let sessions: Vec<EvalSession> = [
             EvalOptions::tuple(),
             EvalOptions::tuple().with_parallelism(4),
             EvalOptions::batched(),
             EvalOptions::batched().with_parallelism(4),
-        ];
+        ]
+        .into_iter()
+        .map(EvalSession::with_options)
+        .collect();
+        let union_session = EvalSession::new();
         let mut rng = script_seed.wrapping_add(1);
-        let mut generations = std::collections::BTreeSet::new();
+
+        // Warm every session, then count how often the generation moves
+        // between observations: each move must cost each session exactly
+        // one delta apply — never a rebuild.
+        for session in &sessions {
+            session.eval_cq(&cq, &db);
+        }
+        union_session.eval_ucq(&union_q, &db);
+        let mut last_gen = db.generation();
+        let mut gen_moves = 0u64;
 
         for step in 0..8u32 {
             // Interleave a mutation: usually an insert of a fresh tuple,
-            // sometimes a removal of an existing row. Idempotent inserts
+            // sometimes a removal of an existing row (whose annotation may
+            // be shared across many output monomials). Idempotent inserts
             // (duplicate row) deliberately occur and must NOT invalidate.
             if lcg(&mut rng).is_multiple_of(4) {
                 let rel = RelName::new("R");
@@ -88,23 +103,26 @@ proptest! {
                 let b = format!("d{}", lcg(&mut rng) % 5);
                 db.add("R", &[&a, &b], &format!("soak_{seed}_{case}_{script_seed}_{step}"));
             }
-            generations.insert(db.generation());
+            if db.generation() != last_gen {
+                last_gen = db.generation();
+                gen_moves += 1;
+            }
 
             let reference = eval_cq_with(&cq, &db, EvalOptions::naive());
-            for options in strategies {
-                let result = eval_cq_cached(&cq, &db, options, &cache);
+            for session in &sessions {
+                let result = session.eval_cq(&cq, &db);
                 prop_assert_eq!(
-                    &result,
+                    &*result,
                     &reference,
                     "{:?} diverged from naive after mutation step {} on {} ({})",
-                    options,
+                    session.options(),
                     step,
                     &cq,
                     &replay
                 );
             }
-            // UCQ disjunct sharing: both disjuncts through the same cache,
-            // still identical to the naive union evaluation.
+            // UCQ disjunct sharing: both disjuncts reconciled inside one
+            // session entry, still identical to the naive union evaluation.
             let union_reference = {
                 let mut acc = eval_cq_with(&union_q.adjuncts()[0], &db, EvalOptions::naive());
                 for adjunct in &union_q.adjuncts()[1..] {
@@ -112,20 +130,32 @@ proptest! {
                 }
                 acc
             };
-            let union_cached = eval_ucq_cached(&union_q, &db, EvalOptions::default(), &cache);
-            prop_assert_eq!(&union_cached, &union_reference, "union diverged at step {}", step);
+            let union_result = union_session.eval_ucq(&union_q, &db);
+            prop_assert_eq!(&*union_result, &union_reference, "union diverged at step {}", step);
         }
 
-        // Exactly-once invalidation: one miss per distinct generation the
-        // cache evaluated against, every other lookup a hit. (Idempotent
-        // re-inserts keep the generation, so `generations` can be smaller
-        // than the step count.)
-        let stats = cache.stats();
-        prop_assert_eq!(
-            stats.misses,
-            generations.len() as u64,
-            "cache must rebuild exactly once per generation bump"
-        );
-        prop_assert!(stats.hits >= stats.misses, "shared lookups must mostly hit");
+        // The cheap path must actually have been taken: one full
+        // evaluation per session (the warm-up), then one delta apply per
+        // generation move — a rebuild anywhere here is a regression.
+        for session in sessions.iter().chain([&union_session]) {
+            let stats = session.stats();
+            prop_assert_eq!(stats.full_rebuilds, 1, "mutations must delta-apply, not rebuild");
+            prop_assert_eq!(stats.delta_applies, gen_moves, "one reconcile per generation move");
+        }
+
+        // Log-truncation fallback: a burst larger than the delta log
+        // forces exactly one from-scratch rebuild, after which results
+        // still match naive bit-for-bit.
+        for i in 0..DELTA_LOG_CAPACITY + 1 {
+            // Guaranteed-fresh tuples (`b{i}` is outside the scenario
+            // domain), so every insert logs a real event.
+            db.add("R", &[&format!("b{i}"), "d0"], &format!("burst_{seed}_{case}_{script_seed}_{i}"));
+        }
+        let reference = eval_cq_with(&cq, &db, EvalOptions::naive());
+        for session in &sessions {
+            let result = session.eval_cq(&cq, &db);
+            prop_assert_eq!(&*result, &reference, "post-truncation divergence ({})", &replay);
+            prop_assert_eq!(session.stats().full_rebuilds, 2, "truncated log must rebuild once");
+        }
     }
 }

@@ -140,6 +140,22 @@ impl Polynomial {
         }
     }
 
+    /// Drops every term whose monomial mentions `a`, returning the number
+    /// of distinct monomials removed.
+    ///
+    /// Over an abstractly-tagged database this is exactly *deletion
+    /// propagation*: a monomial's factors are the annotations of the
+    /// tuples its assignment used, and `a` tags exactly one tuple, so the
+    /// dropped terms are precisely the derivations that used the deleted
+    /// tuple — `Q(D) ↦ Q(D ∖ {tₐ})` without re-evaluation.
+    pub fn drop_mentioning(&mut self, a: Annotation) -> u64 {
+        let before = self.terms.len();
+        // Factors are sorted, so membership is a binary search.
+        self.terms
+            .retain(|m, _| m.factors().binary_search(&a).is_err());
+        (before - self.terms.len()) as u64
+    }
+
     /// Whether this is the zero polynomial.
     pub fn is_zero_poly(&self) -> bool {
         self.terms.is_empty()
@@ -317,6 +333,17 @@ mod tests {
         assert_eq!(Polynomial::one().to_string(), "1");
         assert_eq!(p("1").num_occurrences(), 1);
         assert!(p("1").monomials().next().unwrap().is_unit());
+    }
+
+    #[test]
+    fn drop_mentioning_removes_exactly_the_terms_using_the_annotation() {
+        let mut poly = p("s1·s1 + s1·s2 + 2·s2·s3 + s3");
+        assert_eq!(poly.drop_mentioning(Annotation::new("s1")), 2);
+        assert_eq!(poly, p("2·s2·s3 + s3"));
+        // Annotations not present drop nothing.
+        assert_eq!(poly.drop_mentioning(Annotation::new("s9")), 0);
+        assert_eq!(poly.drop_mentioning(Annotation::new("s3")), 2);
+        assert!(poly.is_zero_poly());
     }
 
     #[test]

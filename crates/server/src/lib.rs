@@ -5,11 +5,14 @@
 //! annotated evaluation and minimization, conf_pods_AmsterdamerDMT11) are
 //! read-heavy, so amortizing those builds across queries is the dominant
 //! serving win. This crate keeps one [`prov_storage::Database`] resident
-//! behind a readers/writer lock and shares the PR 4 generation-keyed
-//! [`prov_engine::IndexCache`] across requests: concurrent `/eval`s reuse
-//! one index build, and a `/mutate` bumps the generation so the next
-//! evaluation rebuilds exactly once — never against stale data, because
-//! the cache key *is* the generation stamp.
+//! behind a readers/writer lock and shares one [`prov_engine::EvalSession`]
+//! across requests: concurrent `/eval`s reuse one index build and one
+//! materialized result per query, and a `/mutate` is absorbed
+//! incrementally — the session patches the warm views and reconciles
+//! cached results from the database's delta log (a delta ⊕-join for
+//! inserts, monomial surgery for deletes; see `docs/CACHE.md`), falling
+//! back to a full rebuild only when the log no longer covers the gap.
+//! Never stale, because cache keys *are* generation stamps.
 //!
 //! The HTTP/1.1 layer is hand-rolled over `std::net::TcpListener` and a
 //! small worker pool — the build image has no registry access (see

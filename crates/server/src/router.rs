@@ -16,10 +16,10 @@
 //! stdout, byte for byte.
 
 use prov_core::minimize::{minimize_with, MinimizeOutcome};
-use prov_engine::eval_ucq_cached;
 use prov_query::{parse_ucq, UnionQuery};
+use prov_semiring::Annotation;
 use prov_storage::textio::parse_tuple_line;
-use prov_storage::{Database, RelName};
+use prov_storage::{Database, RelName, Tuple};
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -226,51 +226,70 @@ fn handle_mutate(state: &ServerState, request: &Request) -> Response {
             }
         }
     }
-    let mut removed = 0u64;
-    for (rel, tuple, _) in &removes {
-        if db.remove(*rel, tuple).is_some() {
-            removed += 1;
-        }
-    }
-    let mut inserted = 0u64;
+    let removes: Vec<(RelName, Tuple)> = removes
+        .into_iter()
+        .map(|(rel, tuple, _)| (rel, tuple))
+        .collect();
+    // Annotation pre-validation, before ANY change: `Database::insert`
+    // panics on an abstract-tagging violation, and network input must
+    // never reach an assert. The check simulates the post-removal state —
+    // removals run first inside `apply_mutation`, so a request may
+    // legally re-tag in one round trip — and tracks annotations the
+    // request itself claims, so two inserts fighting over one annotation
+    // are a 409, not a panic. A conflict applies *nothing* (the whole
+    // batch is atomic).
+    let freed = |rel: &RelName, tuple: &Tuple| removes.iter().any(|(r, t)| r == rel && t == tuple);
+    let mut claimed: std::collections::BTreeMap<Annotation, (RelName, Tuple)> =
+        std::collections::BTreeMap::new();
+    let mut resolved: Vec<(RelName, Tuple, Annotation)> = Vec::with_capacity(inserts.len());
     for (rel, tuple, annotation) in inserts {
-        match annotation {
+        let a = match annotation {
             Some(a) => {
-                // `Database::insert` panics on an abstract-tagging
-                // violation; pre-check so a bad request gets a 409 and the
-                // lock is never poisoned. Removals above ran first, so a
-                // request may legally re-tag in one round trip.
                 if let Some((r0, t0)) = db.tuple_of(a) {
-                    if !(*r0 == rel && *t0 == tuple) {
+                    let same_tuple = *r0 == rel && *t0 == tuple;
+                    if !same_tuple && !freed(r0, t0) {
+                        return Response::error(
+                            409,
+                            format!("annotation {a} already tags {r0}{t0} (nothing was applied)"),
+                        );
+                    }
+                }
+                if let Some((r1, t1)) = claimed.get(&a) {
+                    if !(*r1 == rel && *t1 == tuple) {
                         return Response::error(
                             409,
                             format!(
-                                "annotation {a} already tags {r0}{t0}; \
-                                 {removed} removal(s) and {inserted} insert(s) were applied"
+                                "annotation {a} claimed twice, for {r1}{t1} and {rel}{tuple} \
+                                 (nothing was applied)"
                             ),
                         );
                     }
                 }
-                if db.annotation_of(rel, &tuple).is_none() {
-                    inserted += 1;
-                }
-                db.insert(rel, tuple, a);
+                a
             }
-            None => {
-                if db.annotation_of(rel, &tuple).is_none() {
-                    inserted += 1;
-                }
-                db.insert_fresh(rel, tuple);
-            }
-        }
+            // Annotation-less inserts mint a fresh tag unless the tuple
+            // survives the request's removals (then the insert is the
+            // same idempotent no-op `Database::insert_fresh` performs).
+            None => db
+                .annotation_of(rel, &tuple)
+                .filter(|_| !freed(&rel, &tuple))
+                .unwrap_or_else(Annotation::fresh),
+        };
+        claimed.insert(a, (rel, tuple.clone()));
+        resolved.push((rel, tuple, a));
     }
+    let outcome = state.session().apply_mutation(&mut db, &removes, &resolved);
     Response::json(
         200,
         &Json::Obj(vec![
-            ("removed".to_owned(), Json::from_u64(removed)),
-            ("inserted".to_owned(), Json::from_u64(inserted)),
+            ("removed".to_owned(), Json::from_u64(outcome.removed as u64)),
+            (
+                "inserted".to_owned(),
+                Json::from_u64(outcome.inserted as u64),
+            ),
             ("tuples".to_owned(), Json::from_u64(db.num_tuples() as u64)),
-            ("generation".to_owned(), Json::from_u64(db.generation())),
+            ("generation".to_owned(), Json::from_u64(outcome.generation)),
+            ("cache".to_owned(), Json::str(outcome.cache.as_str())),
         ]),
     )
 }
@@ -290,35 +309,51 @@ fn handle_eval(state: &ServerState, request: &Request) -> Response {
     };
     // Read lock held across the evaluation: concurrent /eval requests all
     // enter here together and share one cached index build; a /mutate
-    // waits for them, then the generation bump makes the next eval
-    // rebuild exactly once.
+    // waits for them, then patches the warm views and delta log so the
+    // next eval reconciles incrementally instead of rebuilding.
     let db = state.read_db();
-    let result = eval_ucq_cached(&query, &db, options, state.cache());
+    let result = state.session().eval_ucq_with(&query, &db, options);
     let generation = db.generation();
     drop(db);
     let lines = result_lines(&result);
     if request.wants_text() {
         return Response::text(200, lines.join("\n") + "\n");
     }
-    let stats = state.cache().stats();
+    let stats = state.session().stats();
     Response::json(
         200,
         &Json::Obj(vec![
             ("generation".to_owned(), Json::from_u64(generation)),
             ("rows".to_owned(), Json::from_u64(result.len() as u64)),
-            (
-                "cache".to_owned(),
-                Json::Obj(vec![
-                    ("hits".to_owned(), Json::from_u64(stats.hits)),
-                    ("misses".to_owned(), Json::from_u64(stats.misses)),
-                ]),
-            ),
+            ("cache".to_owned(), cache_json(&stats)),
             (
                 "results".to_owned(),
                 Json::Arr(lines.into_iter().map(Json::Str).collect()),
             ),
         ]),
     )
+}
+
+/// The cache counters object shared by `/eval` and `/stats`: the view
+/// cache's hit/miss pair plus the incremental-maintenance counters (see
+/// `docs/SERVER.md`).
+fn cache_json(stats: &prov_engine::SessionStats) -> Json {
+    Json::Obj(vec![
+        ("hits".to_owned(), Json::from_u64(stats.views.hits)),
+        ("misses".to_owned(), Json::from_u64(stats.views.misses)),
+        (
+            "delta_applies".to_owned(),
+            Json::from_u64(stats.delta_applies),
+        ),
+        (
+            "full_rebuilds".to_owned(),
+            Json::from_u64(stats.full_rebuilds),
+        ),
+        (
+            "monomials_dropped".to_owned(),
+            Json::from_u64(stats.monomials_dropped),
+        ),
+    ])
 }
 
 fn handle_minimize(state: &ServerState, request: &Request) -> Response {
@@ -375,7 +410,7 @@ fn handle_stats(state: &ServerState) -> Response {
         let db = state.read_db();
         (db.generation(), db.num_tuples())
     };
-    let cache = state.cache().stats();
+    let stats = state.session().stats();
     Response::json(
         200,
         &Json::Obj(vec![
@@ -386,13 +421,7 @@ fn handle_stats(state: &ServerState) -> Response {
                 "uptime_micros".to_owned(),
                 Json::from_u64(state.uptime_micros()),
             ),
-            (
-                "cache".to_owned(),
-                Json::Obj(vec![
-                    ("hits".to_owned(), Json::from_u64(cache.hits)),
-                    ("misses".to_owned(), Json::from_u64(cache.misses)),
-                ]),
-            ),
+            ("cache".to_owned(), cache_json(&stats)),
             ("endpoints".to_owned(), state.stats().snapshot()),
         ]),
     )
@@ -478,12 +507,19 @@ mod tests {
         let (_, second) = route(&state, &request);
         assert_eq!(first.status, 200);
         let cache = body_json(&second).get("cache").cloned().expect("cache");
+        // The repeat is served straight out of the materialized result
+        // store: one full evaluation total, no second touch of the view
+        // cache.
+        assert_eq!(cache.get("full_rebuilds").and_then(Json::as_u64), Some(1));
         assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
-        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            body_json(&second).get("results"),
+            body_json(&first).get("results")
+        );
     }
 
     #[test]
-    fn mutate_bumps_generation_and_rebuilds_once() {
+    fn mutate_delta_applies_instead_of_rebuilding() {
         let state = loaded_state();
         let eval = post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#);
         let (_, before) = route(&state, &eval);
@@ -493,6 +529,8 @@ mod tests {
         let mutated = body_json(&mutated);
         assert_eq!(mutated.get("inserted").and_then(Json::as_u64), Some(1));
         assert_ne!(mutated.get("generation").and_then(Json::as_u64), g0);
+        // The mutation was absorbed by the delta log, not a cache wipe.
+        assert_eq!(mutated.get("cache").and_then(Json::as_str), Some("delta"));
         let (_, after) = route(&state, &eval);
         let after = body_json(&after);
         let lines: Vec<&str> = after
@@ -503,15 +541,31 @@ mod tests {
             .filter_map(Json::as_str)
             .collect();
         assert_eq!(lines, ["(a)  [s1]", "(b)  [s4]", "(c)  [s5]"]);
-        // One miss for the pre-mutation build, exactly one more after.
+        // The post-mutation eval reconciled incrementally: still exactly
+        // one full evaluation and one index build (the warm views were
+        // patched, so no extra miss either).
         let cache = after.get("cache").cloned().expect("cache");
-        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
-        // Removal restores the original answers.
+        assert_eq!(cache.get("full_rebuilds").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("delta_applies").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        // Removal restores the original answers, again via the delta path.
         let (_, removed) = route(&state, &post("/mutate", r#"{"remove": ["R(c, c)"]}"#));
-        assert_eq!(
-            body_json(&removed).get("removed").and_then(Json::as_u64),
-            Some(1)
-        );
+        let removed = body_json(&removed);
+        assert_eq!(removed.get("removed").and_then(Json::as_u64), Some(1));
+        assert_eq!(removed.get("cache").and_then(Json::as_str), Some("delta"));
+        let (_, restored) = route(&state, &eval);
+        let restored = body_json(&restored);
+        let lines: Vec<&str> = restored
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("array")
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(lines, ["(a)  [s1]", "(b)  [s4]"]);
+        let cache = restored.get("cache").cloned().expect("cache");
+        assert_eq!(cache.get("delta_applies").and_then(Json::as_u64), Some(2));
+        assert!(cache.get("monomials_dropped").and_then(Json::as_u64) >= Some(1));
     }
 
     #[test]

@@ -1,23 +1,27 @@
 //! Shared server state: one loaded [`Database`] behind a readers/writer
-//! lock, the generation-keyed [`IndexCache`] amortizing index builds
-//! across requests, per-endpoint counters, and the shutdown flag.
+//! lock, the process-wide [`EvalSession`] owning the warm caches, the
+//! per-endpoint counters, and the shutdown flag.
 //!
 //! Concurrency discipline: `/eval` holds the read lock for the duration
 //! of evaluation, so any number of evals run at once and all share the
-//! one `EvalViews` build for the current generation (the cache entry's
-//! `OnceLock`s make the build itself happen exactly once even when
-//! several readers race to it). `/minimize` is pure query rewriting and
-//! takes no lock at all. `/load` and `/mutate` take the write lock;
-//! every content change bumps `Database::generation`, so the next reader
-//! misses the cache exactly once and rebuilds against the new stamp —
-//! stale views are unreachable by construction because the cache key
-//! *is* the generation.
+//! session's one `EvalViews` build for the current generation (the cache
+//! entry's `OnceLock`s make the build itself happen exactly once even
+//! when several readers race to it). `/minimize` is pure query rewriting
+//! and takes no lock at all. `/load` and `/mutate` take the write lock;
+//! `/mutate` applies through [`EvalSession::apply_mutation`], so the warm
+//! index/columnar views are patched in place under that same write lock
+//! (readers are excluded while the views change hands) and the next
+//! `/eval` reconciles its cached result from the delta log instead of
+//! rebuilding. `/load` replaces the database wholesale; its fresh
+//! generation is unreachable from any cached stamp, so every warm entry
+//! falls back to a full rebuild — stale reads are impossible by
+//! construction because cache keys *are* generation stamps.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
-use prov_engine::IndexCache;
+use prov_engine::EvalSession;
 use prov_storage::Database;
 
 use crate::stats::EndpointStats;
@@ -26,7 +30,7 @@ use crate::stats::EndpointStats;
 #[derive(Debug)]
 pub struct ServerState {
     db: RwLock<Database>,
-    cache: IndexCache,
+    session: EvalSession,
     stats: EndpointStats,
     shutdown: AtomicBool,
     started: Instant,
@@ -37,7 +41,7 @@ impl ServerState {
     pub fn new(db: Database) -> Self {
         ServerState {
             db: RwLock::new(db),
-            cache: IndexCache::new(),
+            session: EvalSession::new(),
             stats: EndpointStats::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -60,9 +64,9 @@ impl ServerState {
         self.db.write().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// The shared index cache.
-    pub fn cache(&self) -> &IndexCache {
-        &self.cache
+    /// The shared evaluation session (result + view caches).
+    pub fn session(&self) -> &EvalSession {
+        &self.session
     }
 
     /// The per-endpoint counters.
@@ -87,7 +91,7 @@ impl ServerState {
 }
 
 // Worker threads share the state by `Arc`; keep that a compile-time
-// guarantee (it holds because `IndexCache` and the counters are `Sync`).
+// guarantee (it holds because `EvalSession` and the counters are `Sync`).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ServerState>();

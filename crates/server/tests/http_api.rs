@@ -1,6 +1,7 @@
 //! End-to-end tests over a real TCP listener: concurrent evals sharing
-//! one index build per generation, mutation-triggered invalidation,
-//! CLI-identical rendering, budgeted minimization, and graceful shutdown.
+//! one index build per generation, mutations absorbed incrementally via
+//! the session's delta path, CLI-identical rendering, budgeted
+//! minimization, and graceful shutdown.
 
 use std::sync::Arc;
 
@@ -74,9 +75,17 @@ fn concurrent_evals_share_one_index_build() {
     let stats = json(&body);
     let cache = stats.get("cache").expect("cache");
     let misses = cache.get("misses").and_then(Json::as_u64).expect("misses");
-    let hits = cache.get("hits").and_then(Json::as_u64).expect("hits");
     assert_eq!(misses, 1, "32 concurrent evals, one generation, one build");
-    assert_eq!(hits, 31, "every other eval reuses the build");
+    // Racing first requests may each run a full evaluation before the
+    // materialized result lands in the store, but once it does every
+    // later request shares it without touching the view cache at all —
+    // so rebuilds never exceed the race width and nothing delta-applies.
+    let rebuilds = cache
+        .get("full_rebuilds")
+        .and_then(Json::as_u64)
+        .expect("full_rebuilds");
+    assert!((1..=32).contains(&rebuilds));
+    assert_eq!(cache.get("delta_applies").and_then(Json::as_u64), Some(0));
     assert_eq!(
         stats
             .get("endpoints")
@@ -89,7 +98,7 @@ fn concurrent_evals_share_one_index_build() {
 }
 
 #[test]
-fn mutation_bumps_generation_and_rebuilds_exactly_once() {
+fn mutation_bumps_generation_and_delta_applies() {
     let (handle, addr) = start(TABLE_2);
     let eval = r#"{"query": "ans(x) :- R(x,x)"}"#;
     let (_, before) = client::post_json(&addr, "/eval", eval).expect("eval");
@@ -113,8 +122,15 @@ fn mutation_bumps_generation_and_rebuilds_exactly_once() {
         .and_then(Json::as_u64)
         .expect("generation");
     assert_ne!(g1, g0, "content mutation must move the generation");
+    assert_eq!(
+        mutated.get("cache").and_then(Json::as_str),
+        Some("delta"),
+        "a small mutation must be absorbed by the delta log"
+    );
 
-    // Two evals after the mutation: exactly one rebuild, then a hit.
+    // Two evals after the mutation: the first reconciles the cached
+    // result from the delta log (no rebuild, and the warm views were
+    // patched so not even a view-cache miss), the second shares it.
     let (_, first) = client::post_json(&addr, "/eval", eval).expect("eval");
     let (_, second) = client::post_json(&addr, "/eval", eval).expect("eval");
     let first = json(&first);
@@ -131,7 +147,13 @@ fn mutation_bumps_generation_and_rebuilds_exactly_once() {
         "stale index would still show (a)"
     );
     let cache = json(&second).get("cache").cloned().expect("cache");
-    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("full_rebuilds").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("delta_applies").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert!(
+        cache.get("monomials_dropped").and_then(Json::as_u64) >= Some(1),
+        "removing R(a,a) must drop its monomial from the cached result"
+    );
     handle.shutdown();
 }
 

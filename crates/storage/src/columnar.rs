@@ -101,6 +101,42 @@ impl ColumnarRelation {
     pub fn value(&self, row: usize, position: usize) -> Value {
         self.columns[position][row]
     }
+
+    /// An empty view with the given name and arity (patch seed for a
+    /// relation that appears after the view was built).
+    pub fn empty(name: RelName, arity: usize) -> Self {
+        ColumnarRelation {
+            name,
+            len: 0,
+            columns: vec![Vec::new(); arity],
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Appends one row, mirroring a [`Relation::insert`] (which appends in
+    /// row order). Panics on arity mismatch.
+    pub fn push_row(&mut self, tuple: &Tuple, annotation: Annotation) {
+        assert_eq!(tuple.arity(), self.arity(), "columnar push arity mismatch");
+        for (column, &value) in self.columns.iter_mut().zip(tuple.values()) {
+            column.push(value);
+        }
+        self.annotations.push(annotation);
+        self.len += 1;
+    }
+
+    /// Removes the row tagged `annotation`, shifting later rows down by
+    /// one — the same reindexing [`Relation::remove`] performs, keeping
+    /// row ids interchangeable. Returns the removed row id, or `None` if
+    /// no row carries the annotation.
+    pub fn remove_row(&mut self, annotation: Annotation) -> Option<usize> {
+        let row = self.annotations.iter().position(|&a| a == annotation)?;
+        for column in &mut self.columns {
+            column.remove(row);
+        }
+        self.annotations.remove(row);
+        self.len -= 1;
+        Some(row)
+    }
 }
 
 /// Columnar views for every relation of a database, keyed by name.
@@ -123,6 +159,22 @@ impl ColumnarDatabase {
     /// The columnar view of `rel`, if the relation exists.
     pub fn relation(&self, rel: RelName) -> Option<&ColumnarRelation> {
         self.by_relation.get(&rel)
+    }
+
+    /// Appends one row to `rel`'s view, creating an empty view (of the
+    /// tuple's arity) when the relation is new — mirrors
+    /// [`Database::insert`]'s create-on-first-use.
+    pub fn push_row(&mut self, rel: RelName, tuple: &Tuple, annotation: Annotation) {
+        self.by_relation
+            .entry(rel)
+            .or_insert_with(|| ColumnarRelation::empty(rel, tuple.arity()))
+            .push_row(tuple, annotation);
+    }
+
+    /// Removes the row of `rel` tagged `annotation` (see
+    /// [`ColumnarRelation::remove_row`]). Returns the removed row id.
+    pub fn remove_row(&mut self, rel: RelName, annotation: Annotation) -> Option<usize> {
+        self.by_relation.get_mut(&rel)?.remove_row(annotation)
     }
 
     /// Iterates all columnar views.
@@ -198,6 +250,45 @@ mod tests {
         let back = view.to_relation();
         assert_eq!(back.arity(), 3);
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn patched_view_matches_rebuilt_view() {
+        let mut db = sample();
+        let mut views = ColumnarDatabase::from_database(&db);
+        // Insert into an existing relation, remove a middle row, and
+        // create a brand-new relation — patching must track the row-order
+        // semantics of Relation::insert/remove exactly.
+        db.add("R", &["c", "d"], "col_5");
+        views.push_row(
+            RelName::new("R"),
+            &Tuple::of(&["c", "d"]),
+            Annotation::new("col_5"),
+        );
+        db.remove(RelName::new("R"), &Tuple::of(&["a", "c"]));
+        assert_eq!(
+            views.remove_row(RelName::new("R"), Annotation::new("col_2")),
+            Some(1)
+        );
+        db.add("T", &["q", "r", "s"], "col_6");
+        views.push_row(
+            RelName::new("T"),
+            &Tuple::of(&["q", "r", "s"]),
+            Annotation::new("col_6"),
+        );
+        let rebuilt = ColumnarDatabase::from_database(&db);
+        for relation in db.relations() {
+            assert_eq!(
+                views.relation(relation.name()),
+                rebuilt.relation(relation.name()),
+                "patched view diverges for {}",
+                relation.name()
+            );
+        }
+        assert_eq!(
+            views.remove_row(RelName::new("R"), Annotation::new("nope")),
+            None
+        );
     }
 
     #[test]

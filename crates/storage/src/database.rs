@@ -18,6 +18,38 @@ fn next_generation() -> u64 {
     COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
+/// How many mutation events a database retains in its delta log. Older
+/// events are discarded; consumers asking for deltas reaching past the
+/// retained window get `None` and must fall back to a full rebuild.
+pub const DELTA_LOG_CAPACITY: usize = 64;
+
+/// The kind of one logged mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// A tuple was inserted.
+    Insert,
+    /// A tuple was removed.
+    Remove,
+}
+
+/// One content mutation of a [`Database`], stamped with the generation the
+/// database moved *to* when it was applied. Replaying the events of
+/// [`Database::deltas_since`] on top of a snapshot at the asked-for
+/// generation reproduces the current content exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaEvent {
+    /// The generation stamp the database carried after this mutation.
+    pub generation: u64,
+    /// Whether the tuple was inserted or removed.
+    pub kind: DeltaKind,
+    /// The relation mutated.
+    pub rel: RelName,
+    /// The tuple inserted or removed.
+    pub tuple: Tuple,
+    /// The tuple's annotation (abstract tagging makes this unambiguous).
+    pub annotation: Annotation,
+}
+
 /// A database instance of abstractly-tagged `N[X]`-relations.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
@@ -31,6 +63,13 @@ pub struct Database {
     /// the other), so derived structures — indexes, columnar views — may
     /// be cached keyed by it and reused until the stamp moves.
     generation: u64,
+    /// The most recent mutation events, oldest first, at most
+    /// [`DELTA_LOG_CAPACITY`] of them (older ones are discarded).
+    delta_log: Vec<DeltaEvent>,
+    /// The generation a replay of the whole retained log starts from:
+    /// applying every `delta_log` event to a snapshot taken at `log_base`
+    /// yields the current content.
+    log_base: u64,
 }
 
 impl Database {
@@ -60,8 +99,47 @@ impl Database {
             return;
         }
         relation.insert(tuple.clone(), annotation);
-        self.by_annotation.insert(annotation, (rel, tuple));
+        self.by_annotation.insert(annotation, (rel, tuple.clone()));
         self.generation = next_generation();
+        self.log_event(DeltaEvent {
+            generation: self.generation,
+            kind: DeltaKind::Insert,
+            rel,
+            tuple,
+            annotation,
+        });
+    }
+
+    /// Appends a mutation event, discarding the oldest one when the log is
+    /// full (which moves the replay base forward past it).
+    fn log_event(&mut self, event: DeltaEvent) {
+        if self.delta_log.len() == DELTA_LOG_CAPACITY {
+            let dropped = self.delta_log.remove(0);
+            self.log_base = dropped.generation;
+        }
+        self.delta_log.push(event);
+    }
+
+    /// The mutation events that lead from the content the database had at
+    /// generation `gen` to its current content, oldest first.
+    ///
+    /// Returns `None` when the log no longer reaches back to `gen` — the
+    /// events were discarded ([`DELTA_LOG_CAPACITY`]), or `gen` belongs to
+    /// a different database lineage (e.g. a replaced or diverged-clone
+    /// instance). Callers must then fall back to recomputing from scratch.
+    pub fn deltas_since(&self, gen: u64) -> Option<&[DeltaEvent]> {
+        if gen == self.generation {
+            return Some(&[]);
+        }
+        if gen == self.log_base {
+            return Some(&self.delta_log);
+        }
+        // Generations are strictly increasing along the log, so a binary
+        // search would do; the log is ≤ 64 entries, a scan is simpler.
+        self.delta_log
+            .iter()
+            .position(|e| e.generation == gen)
+            .map(|i| &self.delta_log[i + 1..])
     }
 
     /// The database's version stamp. Any mutation moves it to a fresh,
@@ -131,6 +209,13 @@ impl Database {
         let annotation = self.relations.get_mut(&rel)?.remove(tuple)?;
         self.by_annotation.remove(&annotation);
         self.generation = next_generation();
+        self.log_event(DeltaEvent {
+            generation: self.generation,
+            kind: DeltaKind::Remove,
+            rel,
+            tuple: tuple.clone(),
+            annotation,
+        });
         Some(annotation)
     }
 }
@@ -245,6 +330,64 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n, "generation stamps must be globally unique");
+    }
+
+    #[test]
+    fn delta_log_replays_between_generations() {
+        let mut db = Database::new();
+        db.add("R", &["a"], "dl1");
+        let g1 = db.generation();
+        db.add("R", &["b"], "dl2");
+        db.remove(RelName::new("R"), &Tuple::of(&["a"]));
+        let g3 = db.generation();
+
+        // Same-generation ask: empty delta.
+        assert_eq!(db.deltas_since(g3), Some(&[][..]));
+        // From g1: one insert, one remove, in order.
+        let events = db.deltas_since(g1).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, DeltaKind::Insert);
+        assert_eq!(events[0].tuple, Tuple::of(&["b"]));
+        assert_eq!(events[0].annotation, Annotation::new("dl2"));
+        assert_eq!(events[1].kind, DeltaKind::Remove);
+        assert_eq!(events[1].annotation, Annotation::new("dl1"));
+        assert!(events[0].generation > g1 && events[1].generation == g3);
+        // From the pristine stamp: the whole history.
+        assert_eq!(db.deltas_since(0).unwrap().len(), 3);
+        // A stamp from a different lineage is not covered.
+        let mut other = Database::new();
+        other.add("R", &["z"], "dl_other");
+        assert!(db.deltas_since(other.generation()).is_none());
+    }
+
+    #[test]
+    fn delta_log_truncates_at_capacity() {
+        let mut db = Database::new();
+        db.add("R", &["seed"], "dt_seed");
+        let early = db.generation();
+        // Overflow the log by two: the first drop moves the replay base
+        // exactly onto `early` (still covered); the second moves past it.
+        for i in 0..DELTA_LOG_CAPACITY + 1 {
+            db.add("R", &[&format!("v{i}")], &format!("dt_{i}"));
+        }
+        // `early` was pushed out of the window...
+        assert!(db.deltas_since(early).is_none());
+        assert!(db.deltas_since(0).is_none());
+        // ...but recent generations are still replayable.
+        let recent = db.deltas_since(db.generation()).unwrap();
+        assert!(recent.is_empty());
+        let events = db.deltas_since(db.delta_log[0].generation).unwrap();
+        assert_eq!(events.len(), DELTA_LOG_CAPACITY - 1);
+    }
+
+    #[test]
+    fn idempotent_mutations_do_not_log() {
+        let mut db = Database::new();
+        db.add("R", &["a"], "dn1");
+        let g = db.generation();
+        db.add("R", &["a"], "dn1"); // idempotent re-insert
+        db.remove(RelName::new("R"), &Tuple::of(&["zz"])); // missing tuple
+        assert_eq!(db.deltas_since(g), Some(&[][..]));
     }
 
     #[test]

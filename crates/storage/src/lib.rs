@@ -21,7 +21,7 @@ pub mod shard;
 pub mod textio;
 
 pub use columnar::{ColumnarDatabase, ColumnarRelation};
-pub use database::Database;
+pub use database::{Database, DeltaEvent, DeltaKind, DELTA_LOG_CAPACITY};
 pub use intern::Interner;
 pub use relation::Relation;
 pub use shard::{RelationShards, ShardedDatabase};

@@ -29,4 +29,4 @@ pub mod dsl;
 pub mod scenario;
 
 pub use dsl::{Filter, Workload};
-pub use scenario::{Sampler, Scenario, ScenarioSpec, SemiringTag, Skew};
+pub use scenario::{MutationStep, Sampler, Scenario, ScenarioSpec, SemiringTag, Skew};

@@ -93,11 +93,16 @@ pub struct ScenarioSpec {
     pub skews: Vec<Skew>,
     /// The semiring specializations to cross with.
     pub semirings: Vec<SemiringTag>,
+    /// Length of the sampled insert/delete interleaving over `R/2`
+    /// (0 for the purely read-only families).
+    pub mutation_steps: usize,
 }
 
 impl ScenarioSpec {
     /// The built-in spec registry, `None` for unknown names. `mixed` is
-    /// the union of every shape family and the fuzzing default.
+    /// the union of every shape family and the fuzzing default; `mutate`
+    /// pairs the soak grammar with a random insert/delete interleaving
+    /// for incremental-maintenance checks.
     pub fn named(name: &str) -> Option<ScenarioSpec> {
         let queries = match name {
             "mixed" => fanout_grammar()
@@ -110,7 +115,7 @@ impl ScenarioSpec {
             "ucq-overlap" => ucq_overlap_grammar(),
             "diseq" => diseq_grammar(),
             "constants" => constants_grammar(),
-            "soak" => soak_grammar(),
+            "soak" | "mutate" => soak_grammar(),
             _ => return None,
         };
         Some(ScenarioSpec {
@@ -120,6 +125,7 @@ impl ScenarioSpec {
             domain: 5,
             skews: vec![Skew::Uniform, Skew::Zipfian, Skew::AdversarialDup],
             semirings: SemiringTag::ALL.to_vec(),
+            mutation_steps: if name == "mutate" { 12 } else { 0 },
         })
     }
 
@@ -133,6 +139,7 @@ impl ScenarioSpec {
             "diseq",
             "constants",
             "soak",
+            "mutate",
         ]
     }
 }
@@ -231,6 +238,17 @@ fn soak_grammar() -> Workload {
         .filter(Filter::Wellformed)
 }
 
+/// One step of a scenario's mutation script, always over `R/2` (the
+/// relation every soak-family query reads).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationStep {
+    /// Insert a tuple under a deterministic fresh annotation (`m0…mN`;
+    /// re-inserting a present tuple is an idempotent no-op on purpose).
+    Insert(Tuple, prov_semiring::Annotation),
+    /// Remove a tuple (removing an absent tuple is a no-op on purpose).
+    Remove(Tuple),
+}
+
 /// One fully-instantiated differential scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -248,6 +266,11 @@ pub struct Scenario {
     pub skew: Skew,
     /// The semiring this scenario specializes into.
     pub semiring: SemiringTag,
+    /// The sampled insert/delete interleaving over `R/2` (empty unless
+    /// the spec sets [`ScenarioSpec::mutation_steps`]). When non-empty,
+    /// the first step always removes a present tuple, so deletion
+    /// propagation is exercised in every case.
+    pub mutations: Vec<MutationStep>,
 }
 
 impl Scenario {
@@ -312,6 +335,7 @@ impl Sampler {
         let skew = self.spec.skews[rng.random_range(0..self.spec.skews.len())];
         let semiring = self.spec.semirings[rng.random_range(0..self.spec.semirings.len())];
         let database = self.database(&query, skew, &mut rng);
+        let mutations = self.mutations(&database, skew, &mut rng);
         Scenario {
             spec: self.spec.name.clone(),
             seed,
@@ -320,7 +344,67 @@ impl Sampler {
             database,
             skew,
             semiring,
+            mutations,
         }
+    }
+
+    /// Samples the scenario's insert/delete interleaving over `R/2`
+    /// against a simulated present-set, mixing: removals of present
+    /// tuples (deletion propagation, including annotations shared across
+    /// output monomials), inserts of fresh tuples, idempotent re-inserts
+    /// and misses, and insert-then-remove transients. Step 0 always
+    /// removes a present tuple so every script deletes something real.
+    fn mutations(&self, db: &Database, skew: Skew, rng: &mut StdRng) -> Vec<MutationStep> {
+        if self.spec.mutation_steps == 0 {
+            return Vec::new();
+        }
+        let rel = RelName::new("R");
+        let mut present: Vec<Tuple> = db
+            .relation(rel)
+            .map(|r| r.iter().map(|(t, _)| t.clone()).collect())
+            .unwrap_or_default();
+        let mut script = Vec::with_capacity(self.spec.mutation_steps);
+        let mut last_inserted: Option<Tuple> = None;
+        for i in 0..self.spec.mutation_steps {
+            let op = if i == 0 && !present.is_empty() {
+                0
+            } else {
+                rng.random_range(0..4u8)
+            };
+            match op {
+                // Remove a present tuple.
+                0 if !present.is_empty() => {
+                    let tuple = present.remove(rng.random_range(0..present.len()));
+                    script.push(MutationStep::Remove(tuple));
+                }
+                // Remove the script's own latest insert (a transient).
+                1 if last_inserted.is_some() => {
+                    let tuple = last_inserted.take().expect("checked");
+                    present.retain(|t| *t != tuple);
+                    script.push(MutationStep::Remove(tuple));
+                }
+                // Remove an arbitrary draw (often a miss — a no-op).
+                2 => {
+                    let tuple: Tuple = (0..2).map(|_| self.draw_value(skew, rng)).collect();
+                    present.retain(|t| *t != tuple);
+                    script.push(MutationStep::Remove(tuple));
+                }
+                // Insert a draw under a fresh deterministic annotation
+                // (hitting a present tuple is an idempotent no-op).
+                _ => {
+                    let tuple: Tuple = (0..2).map(|_| self.draw_value(skew, rng)).collect();
+                    if !present.contains(&tuple) {
+                        present.push(tuple.clone());
+                        last_inserted = Some(tuple.clone());
+                    }
+                    script.push(MutationStep::Insert(
+                        tuple,
+                        prov_semiring::Annotation::new(&format!("m{i}")),
+                    ));
+                }
+            }
+        }
+        script
     }
 
     /// Generates the scenario database: every relation the query
@@ -478,6 +562,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mutate_spec_scripts_are_deterministic_and_delete_first() {
+        let sampler = Sampler::named("mutate").unwrap();
+        for case in 0..8 {
+            let sc = sampler.scenario(3, case);
+            assert_eq!(sc.mutations.len(), 12);
+            // Every script opens with a removal of a present tuple, so
+            // deletion propagation is exercised in every case.
+            match &sc.mutations[0] {
+                MutationStep::Remove(t) => {
+                    assert!(sc.database.annotation_of(RelName::new("R"), t).is_some());
+                }
+                other => panic!("step 0 must remove a present tuple, got {other:?}"),
+            }
+            assert_eq!(sc.mutations, sampler.scenario(3, case).mutations);
+        }
+        // Read-only specs sample no mutations (and their scenarios are
+        // byte-identical to what they were before the field existed).
+        assert!(Sampler::named("soak")
+            .unwrap()
+            .scenario(3, 0)
+            .mutations
+            .is_empty());
     }
 
     #[test]

@@ -21,8 +21,11 @@
 //! * `--batch` / `--tuple` — columnar batched evaluation (the default
 //!   since the soak of the equivalence suite) or the tuple-at-a-time
 //!   escape hatch. Identical results either way.
-//! * `--cache-stats` — print index-cache hit/miss counters to stderr
-//!   (all disjuncts of a union share one index build via the cache).
+//! * `--cache-stats` — print the session's cache counters to stderr, in
+//!   the same schema as the server's `/stats` cache object: view-cache
+//!   `hits`/`misses` plus the incremental-maintenance counters
+//!   `delta_applies`/`full_rebuilds`/`monomials_dropped` (all disjuncts
+//!   of a union share one index build via the session).
 //!
 //! `minimize` accepts engine flags (see `docs/MINIMIZE.md`):
 //!
@@ -61,7 +64,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use provmin::core::minimize::{minimize_with, MinimizeOptions, MinimizeOutcome, Strategy};
 use provmin::datalog::{core_query, evaluate, Program};
-use provmin::engine::{eval_ucq_cached, EvalOptions, IndexCache, PlannerKind};
+use provmin::engine::{EvalOptions, EvalSession, PlannerKind};
 use provmin::prelude::*;
 use provmin::storage::textio::parse_database;
 
@@ -454,16 +457,22 @@ fn run_with_db(
 ) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_query(query)?;
-    // One cache per invocation: every disjunct of the union shares a
-    // single index/columnar build. (`exact_core` below works on the
-    // polynomial directly and takes no index.)
-    let cache = IndexCache::new();
-    let result = eval_ucq_cached(&q, &db, options, &cache);
+    // One session per invocation: every disjunct of the union shares a
+    // single index/columnar build and one materialized result.
+    // (`exact_core` below works on the polynomial directly and takes no
+    // index.)
+    let session = EvalSession::with_options(options);
+    let result = session.eval_ucq(&q, &db);
     if cache_stats {
-        let stats = cache.stats();
+        // Same counter schema as the server's `/stats` cache object.
+        let stats = session.stats();
         eprintln!(
-            "index cache: {} build(s), {} hit(s)",
-            stats.misses, stats.hits
+            "cache: hits={} misses={} delta_applies={} full_rebuilds={} monomials_dropped={}",
+            stats.views.hits,
+            stats.views.misses,
+            stats.delta_applies,
+            stats.full_rebuilds,
+            stats.monomials_dropped
         );
     }
     if result.is_empty() {

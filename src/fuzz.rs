@@ -7,8 +7,15 @@
 //! * **Evaluation** — `{batched, tuple} × {1, 4 threads} ×
 //!   {cost-based, syntactic, written-order planners}` must be
 //!   bit-identical to the naive reference (Def 2.6/2.12: every strategy
-//!   enumerates the same assignments; ⊕-merge order is immaterial). All
-//!   twelve configurations share one generation-keyed [`IndexCache`].
+//!   enumerates the same assignments; ⊕-merge order is immaterial). Each
+//!   configuration runs in its own [`EvalSession`] (a shared session
+//!   would serve later configs the first one's materialized result and
+//!   check nothing).
+//! * **Incremental maintenance** — for scenarios carrying a mutation
+//!   script (the `mutate` spec), one `EvalSession` is driven across the
+//!   whole insert/delete interleaving and must stay bit-identical to
+//!   from-scratch naive evaluation at every observation point — the
+//!   delta ⊕-join and deletion-propagation paths of `docs/CACHE.md`.
 //! * **Semirings** — specializing the `N[X]` result through a valuation
 //!   must agree with [`eval_in_semiring`] for the scenario's semiring
 //!   (the homomorphism property the polynomials are universal for).
@@ -25,15 +32,13 @@
 use std::collections::BTreeMap;
 
 use prov_core::minimize::{minimize_with, Budget, MinimizeOptions, MinimizeOutcome, Strategy};
-use prov_engine::{
-    eval_in_semiring, eval_ucq_cached, eval_ucq_with, EvalOptions, IndexCache, PlannerKind,
-};
+use prov_engine::{eval_in_semiring, eval_ucq_with, EvalOptions, EvalSession, PlannerKind};
 use prov_query::containment::equivalent;
 use prov_query::ConjunctiveQuery;
 use prov_semiring::order::poly_leq;
 use prov_semiring::{Boolean, CommutativeSemiring, Confidence, Natural, Tropical};
-use prov_storage::{Database, Tuple, Valuation};
-use prov_workload::{Sampler, Scenario, SemiringTag};
+use prov_storage::{Database, RelName, Tuple, Valuation};
+use prov_workload::{MutationStep, Sampler, Scenario, SemiringTag};
 
 /// What `provmin fuzz` runs: a spec name, the replay seed, and the case
 /// range `start..start + cases`.
@@ -162,12 +167,14 @@ pub fn check_scenario(
     let db = &scenario.database;
 
     // 1. Every eval configuration, bit-identical against the naive
-    //    reference, all through one shared index cache.
+    //    reference. One session per config: within it a union's
+    //    disjuncts share an index/columnar build, while across configs
+    //    every evaluation is genuinely re-run.
     let reference = eval_ucq_with(query, db, EvalOptions::naive());
-    let cache = IndexCache::new();
     for (name, options) in configs {
-        let result = eval_ucq_cached(query, db, *options, &cache);
-        if result != reference {
+        let session = EvalSession::with_options(*options);
+        let result = session.eval_ucq(query, db);
+        if *result != reference {
             return Err(format!(
                 "eval config {name} diverged from the naive reference on {} ({} vs {} tuples, skew {})",
                 query,
@@ -239,6 +246,59 @@ pub fn check_scenario(
         }
     }
 
+    // 5. Incremental maintenance across the scenario's mutation script
+    //    (non-empty only for the `mutate` spec).
+    check_mutations(scenario)
+}
+
+/// Drives one [`EvalSession`] across the scenario's insert/delete
+/// interleaving, asserting the incrementally-maintained result is
+/// bit-identical to from-scratch naive evaluation at every observation
+/// point. Observations alternate between every-step and every-other-step
+/// so some delta windows carry several events (including transients and
+/// remove/re-insert pairs the netting logic must collapse).
+fn check_mutations(scenario: &Scenario) -> Result<(), String> {
+    if scenario.mutations.is_empty() {
+        return Ok(());
+    }
+    let query = &scenario.query;
+    let session = EvalSession::new();
+    let rel = RelName::new("R");
+    let mut db = scenario.database.clone();
+    session.eval_ucq(query, &db);
+    for (i, step) in scenario.mutations.iter().enumerate() {
+        match step {
+            MutationStep::Insert(tuple, annotation) => {
+                session.apply_mutation(&mut db, &[], &[(rel, tuple.clone(), *annotation)]);
+            }
+            MutationStep::Remove(tuple) => {
+                session.apply_mutation(&mut db, &[(rel, tuple.clone())], &[]);
+            }
+        }
+        if i % 2 == 1 || i + 1 == scenario.mutations.len() {
+            let incremental = session.eval_ucq(query, &db);
+            let scratch = eval_ucq_with(query, &db, EvalOptions::naive());
+            if *incremental != scratch {
+                return Err(format!(
+                    "incremental session diverged from from-scratch after mutation step {i} \
+                     (of {}) on {query}: {} vs {} tuples",
+                    scenario.mutations.len(),
+                    incremental.len(),
+                    scratch.len(),
+                ));
+            }
+        }
+    }
+    // The script's bounded size keeps it inside the delta log, and step 0
+    // always mutates for real — the delta path must actually have run.
+    let stats = session.stats();
+    if stats.delta_applies == 0 {
+        return Err(format!(
+            "mutation script for {query} never exercised the delta path \
+             (full_rebuilds={})",
+            stats.full_rebuilds
+        ));
+    }
     Ok(())
 }
 
