@@ -9,10 +9,15 @@
 #      reports cache=delta and the next eval delta-applies (the full-
 #      evaluation and view-build counters do not move)
 #   4. /minimize honors step budgets (sound partial + resume cursor)
-#   5. SIGINT drains and exits 0
+#   5. 200 concurrent keep-alive connections x 10 pipelined evals each
+#      all get byte-identical answers (vs one-shot `provmin eval`), and
+#      /stats shows the connection reuse actually happened
+#   6. SIGINT drains and exits 0
 #
 # Usage: ci/server_smoke.sh [path-to-provmin-binary] [port]
-# Needs only curl + POSIX tools (no jq: stats are grepped).
+# Needs curl + POSIX tools (no jq: stats are grepped) plus the
+# `keepalive_soak` binary next to the provmin one (both come out of
+# `cargo build --release`).
 
 set -euo pipefail
 
@@ -117,7 +122,26 @@ curl -sf -X POST -H 'Content-Type: application/json' \
     "$BASE/minimize" -o "$WORKDIR/minimize_full.json"
 grep -q '"status":"complete"' "$WORKDIR/minimize_full.json" || fail "unbudgeted minimize must complete"
 
-echo "== 5. SIGINT shuts down cleanly"
+echo "== 5. keep-alive concurrency: 200 conns x 10 pipelined evals, byte-diffed"
+SOAK="$(dirname "$BIN")/keepalive_soak"
+[ -x "$SOAK" ] || fail "keepalive_soak binary not found next to $BIN (build the workspace)"
+# The server's database now includes the stage-3 mutation; the expected
+# body is the one-shot CLI run over the same content.
+cat "$WORKDIR/db.txt" > "$WORKDIR/db_mutated.txt"
+echo "R(c, c) : s5" >> "$WORKDIR/db_mutated.txt"
+"$BIN" eval "$WORKDIR/db_mutated.txt" "$QUERY" > "$WORKDIR/expected_soak.txt"
+"$SOAK" --addr "127.0.0.1:${PORT}" --conns 200 --requests 10 \
+    --query "$QUERY" --expect "$WORKDIR/expected_soak.txt" \
+    || fail "keep-alive soak saw non-identical responses"
+curl -sf "$BASE/stats" -o "$WORKDIR/stats2.json"
+ACCEPTED=$(json_u64 accepted "$WORKDIR/stats2.json")
+REUSES=$(json_u64 keepalive_reuses "$WORKDIR/stats2.json")
+echo "   connections: accepted=$ACCEPTED keepalive_reuses=$REUSES"
+[ "$ACCEPTED" -ge 200 ] || fail "expected >=200 accepted connections, saw $ACCEPTED"
+# 200 connections x 10 requests = at least 9 reuses each.
+[ "$REUSES" -ge 1800 ] || fail "expected >=1800 keep-alive reuses, saw $REUSES"
+
+echo "== 6. SIGINT shuts down cleanly"
 kill -INT "$SERVER_PID"
 EXIT_CODE=0
 wait "$SERVER_PID" || EXIT_CODE=$?

@@ -88,6 +88,9 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
     use std::collections::BTreeSet;
 
     let mut out = Vec::new();
+    // Rows measured outside `record`'s calibrated loop (custom timing),
+    // appended to `out` once the closure's borrow ends.
+    let mut extra: Vec<Measurement> = Vec::new();
     let mut record = |id: &str, f: &mut dyn FnMut()| {
         out.push(measure(id, budget_ms, f));
     };
@@ -147,18 +150,24 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         std::hint::black_box(eval_cq_with(&selective, &db200, tuple));
     });
 
-    // Serve loop: one full HTTP round trip (connect + POST /eval +
-    // response) per iteration against an in-process `prov-server` with
-    // the db200 workload resident — the serving configuration the server
-    // crate exists for. After the first iteration every request reuses
-    // the cached index build, so this row tracks wire + dispatch + cached
-    // evaluation cost end to end.
+    // Serve loop: full HTTP round trips against an in-process
+    // `prov-server` with the db200 workload resident — the serving
+    // configuration the server crate exists for. After the first
+    // iteration every request is a materialized-result hit, so these
+    // rows track wire + dispatch cost end to end. Three transports:
+    // a fresh `Connection: close` connection per request (the old,
+    // worst-case row), one persistent keep-alive connection (the
+    // sustained-traffic hot path the epoll rework targets — the ISSUE's
+    // ≤1.5x-of-in-process acceptance row), and 64 concurrent keep-alive
+    // connections hammering in parallel (per-request cost under
+    // contention on the shared event loop + worker pool).
     {
         use prov_server::{client, serve, ServeConfig};
         let handle = serve(
             ServeConfig {
                 addr: "127.0.0.1:0".to_owned(),
                 workers: 2,
+                ..ServeConfig::default()
             },
             db200.clone(),
         )
@@ -170,6 +179,58 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
                 client::post_json(&addr, "/eval", body).expect("serve bench round trip");
             assert_eq!(status, 200);
         });
+        let mut conn = client::Client::connect(&addr).expect("keep-alive connect");
+        record("serve/eval_roundtrip_keepalive/200", &mut || {
+            let (status, _) = conn
+                .post_json("/eval", body)
+                .expect("keep-alive round trip");
+            assert_eq!(status, 200);
+        });
+        drop(conn);
+        // 64 threads × one persistent connection each, all issuing evals
+        // until the stop flag flips; the recorded figure is mean
+        // wall-clock per completed request across the fleet.
+        {
+            use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+            use std::sync::{Arc, Barrier};
+            const CONNS: usize = 64;
+            let stop = Arc::new(AtomicBool::new(false));
+            let done = Arc::new(AtomicU64::new(0));
+            let start = Arc::new(Barrier::new(CONNS + 1));
+            let threads: Vec<_> = (0..CONNS)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let stop = Arc::clone(&stop);
+                    let done = Arc::clone(&done);
+                    let start = Arc::clone(&start);
+                    std::thread::spawn(move || {
+                        let mut conn = client::Client::connect(&addr).expect("soak connect");
+                        start.wait();
+                        while !stop.load(Ordering::Relaxed) {
+                            let (status, _) = conn
+                                .post_json("/eval", r#"{"query": "ans(x) :- R(x,y), R(y,x)"}"#)
+                                .expect("soak round trip");
+                            assert_eq!(status, 200);
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            start.wait();
+            let t0 = Instant::now();
+            std::thread::sleep(std::time::Duration::from_millis(budget_ms.max(50) as u64));
+            stop.store(true, Ordering::Relaxed);
+            for t in threads {
+                t.join().expect("soak thread");
+            }
+            let elapsed = t0.elapsed();
+            let completed = done.load(Ordering::Relaxed).max(1);
+            extra.push(Measurement {
+                id: "serve/concurrent_keepalive/64conn".to_owned(),
+                ns_per_iter: elapsed.as_nanos() / u128::from(completed),
+                iters: completed,
+            });
+        }
         handle.shutdown();
     }
 
@@ -413,6 +474,7 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         ));
     }
 
+    out.extend(extra);
     out
 }
 
@@ -535,8 +597,16 @@ mod tests {
         }
         // Parallel variants present (PR 2's CI-visible surface).
         assert!(ms.iter().any(|m| m.id.ends_with("/par4")));
-        // The serve-loop row (PR 5's CI-visible surface).
-        assert!(ms.iter().any(|m| m.id == "serve/eval_roundtrip/200"));
+        // The serve-loop rows: the original close-per-request round trip
+        // (PR 5) plus the keep-alive and concurrent keep-alive rows (the
+        // epoll/keep-alive rework's CI-visible surface).
+        for id in [
+            "serve/eval_roundtrip/200",
+            "serve/eval_roundtrip_keepalive/200",
+            "serve/concurrent_keepalive/64conn",
+        ] {
+            assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
+        }
         // Batched/cached variants present (PR 4's CI-visible surface; the
         // old `cached-index` row became `session-hit` with the EvalSession
         // redesign).

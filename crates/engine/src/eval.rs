@@ -61,6 +61,25 @@ impl AnnotatedResult {
         self.tuples.iter()
     }
 
+    /// Iterates `(tuple, provenance)` pairs in tuple order, starting
+    /// strictly *after* `after` (from the beginning for `None`). A
+    /// resumable cursor: the server's streamed `/eval` serializer emits a
+    /// bounded segment, remembers the last tuple written, and re-seeks
+    /// here in O(log n) for the next segment — no O(n²) skip, no borrow
+    /// held across segments.
+    pub fn iter_from<'a>(
+        &'a self,
+        after: Option<&'a Tuple>,
+    ) -> impl Iterator<Item = (&'a Tuple, &'a Polynomial)> {
+        use std::ops::Bound;
+        let lower = match after {
+            Some(t) => Bound::Excluded(t),
+            None => Bound::Unbounded,
+        };
+        self.tuples
+            .range::<Tuple, (Bound<&Tuple>, Bound<&Tuple>)>((lower, Bound::Unbounded))
+    }
+
     /// The output tuples (the ordinary, provenance-free query result).
     pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.keys()
@@ -416,25 +435,8 @@ pub fn eval_cq_with(q: &ConjunctiveQuery, db: &Database, options: EvalOptions) -
     eval_cq_via_cache(q, db, options, &IndexCache::new())
 }
 
-/// [`eval_cq`] under explicit options, reusing `cache`d index/columnar
-/// builds when the database generation still matches.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `EvalSession::eval_cq`, which additionally maintains \
-            materialized results incrementally across mutations"
-)]
-pub fn eval_cq_cached(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    options: EvalOptions,
-    cache: &IndexCache,
-) -> AnnotatedResult {
-    eval_cq_via_cache(q, db, options, cache)
-}
-
 /// The internal cached-views evaluation path: the full (non-incremental)
-/// pipeline behind [`crate::EvalSession`] rebuilds and the deprecated
-/// [`eval_cq_cached`] wrapper.
+/// pipeline behind [`crate::EvalSession`] rebuilds.
 pub(crate) fn eval_cq_via_cache(
     q: &ConjunctiveQuery,
     db: &Database,
@@ -478,21 +480,6 @@ pub fn eval_ucq(q: &UnionQuery, db: &Database) -> AnnotatedResult {
 /// index build through a query-local [`IndexCache`].
 pub fn eval_ucq_with(q: &UnionQuery, db: &Database, options: EvalOptions) -> AnnotatedResult {
     eval_ucq_via_cache(q, db, options, &IndexCache::new())
-}
-
-/// [`eval_ucq`] under explicit options against a persistent [`IndexCache`].
-#[deprecated(
-    since = "0.6.0",
-    note = "use `EvalSession::eval_ucq`, which additionally maintains \
-            materialized results incrementally across mutations"
-)]
-pub fn eval_ucq_cached(
-    q: &UnionQuery,
-    db: &Database,
-    options: EvalOptions,
-    cache: &IndexCache,
-) -> AnnotatedResult {
-    eval_ucq_via_cache(q, db, options, cache)
 }
 
 /// The internal cached-views UCQ path (see [`eval_cq_via_cache`]).

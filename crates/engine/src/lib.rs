@@ -23,8 +23,6 @@ pub use eval::{
     assignments, assignments_with, eval_cq, eval_cq_with, eval_in_semiring, eval_ucq,
     eval_ucq_with, AnnotatedResult, EvalOptions,
 };
-#[allow(deprecated)]
-pub use eval::{eval_cq_cached, eval_ucq_cached};
 pub use index::{DatabaseIndex, RelationIndex};
 pub use planner::PlannerKind;
 pub use session::{EvalSession, MutationCachePath, MutationOutcome, SessionStats};

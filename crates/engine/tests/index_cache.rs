@@ -1,16 +1,11 @@
-//! Integration tests for the persistent index cache: sharing across
-//! evaluations and UCQ disjuncts, and — the safety property — stale
-//! entries are rebuilt after a database mutation, never reused.
-//!
-//! Deliberately exercises the *deprecated* `eval_cq_cached` /
-//! `eval_ucq_cached` wrappers: they stay public (thin shims over the
-//! same internals [`prov_engine::EvalSession`] uses) until the next
-//! breaking release, and this suite pins their behavior until removal.
-//! New code and the rest of the workspace go through `EvalSession`.
+//! Integration tests for warm-view reuse through [`EvalSession`]:
+//! sharing across evaluations and UCQ disjuncts, and — the safety
+//! property — stale entries are patched or rebuilt after a database
+//! mutation, never reused as-is. (These pins used to run against the
+//! `eval_cq_cached`/`eval_ucq_cached` wrappers; those are gone, and the
+//! session is the one public way to hold views warm.)
 
-#![allow(deprecated)]
-
-use prov_engine::{eval_cq_cached, eval_cq_with, eval_ucq_cached, EvalOptions, IndexCache};
+use prov_engine::{eval_cq_with, EvalOptions, EvalSession};
 use prov_query::{parse_cq, parse_ucq};
 use prov_semiring::Polynomial;
 use prov_storage::{Database, RelName, Tuple};
@@ -29,46 +24,50 @@ fn mutation_invalidates_cached_index() {
     let db = table_2_database();
     let q = parse_cq("ans(x) :- R(x,y), R(y,x)").unwrap();
 
-    // Inserts within the delta log roll the warm entry forward (a hit in
-    // both modes); removes can only be replayed when the columnar view is
-    // built (the batched/default path), so the tuple path pays one
-    // rebuild there.
-    for (options, misses_after_removal) in [(EvalOptions::tuple(), 2), (EvalOptions::batched(), 1)]
-    {
-        let cache = IndexCache::new();
-        let before = eval_cq_cached(&q, &db, options, &cache);
+    // Inserts within the delta log roll the warm entry forward via a
+    // restricted delta pass; removals are monomial surgery on the
+    // materialized result and never touch the view cache at all. Either
+    // way the one cold build stays the only build.
+    for options in [EvalOptions::tuple(), EvalOptions::batched()] {
+        let session = EvalSession::with_options(options);
+        let before = session.eval_cq(&q, &db);
         assert_eq!(before.len(), 2);
 
-        // Mutate: the cached entry must never be served stale — a stale
+        // Mutate: the warm views must never be served stale — a stale
         // index would miss the new tuple entirely.
         let mut mutated = db.clone();
         mutated.add("R", &["c", "c"], "inv_c");
-        let after = eval_cq_cached(&q, &mutated, options, &cache);
+        let after = session.eval_cq(&q, &mutated);
         assert_eq!(after.len(), 3, "stale index reused under {options:?}");
         assert_eq!(
             after.provenance(&Tuple::of(&["c"])),
             Polynomial::parse("inv_c·inv_c")
         );
-        assert_eq!(after, eval_cq_with(&q, &mutated, options));
-        let stats = cache.stats();
+        assert_eq!(*after, eval_cq_with(&q, &mutated, options));
         assert_eq!(
-            stats.misses, 1,
+            session.stats().views.misses,
+            1,
             "insert must patch the warm entry, not rebuild"
         );
 
-        // Removal never serves stale either.
+        // Removal never serves stale either, and it is pure monomial
+        // surgery: no view-cache traffic, no re-evaluation.
         mutated.remove(RelName::new("R"), &Tuple::of(&["c", "c"]));
-        let back = eval_cq_cached(&q, &mutated, options, &cache);
+        let back = session.eval_cq(&q, &mutated);
         assert_eq!(back, before);
-        assert_eq!(cache.stats().misses, misses_after_removal);
+        let stats = session.stats();
+        assert_eq!(stats.views.misses, 1, "removal must not rebuild views");
+        assert!(stats.monomials_dropped >= 1, "removal drops monomials");
     }
 
-    // Unchanged database: repeated evaluations hit.
-    let cache2 = IndexCache::new();
-    eval_cq_cached(&q, &db, EvalOptions::batched(), &cache2);
-    eval_cq_cached(&q, &db, EvalOptions::batched(), &cache2);
-    let stats = cache2.stats();
-    assert_eq!((stats.misses, stats.hits), (1, 1));
+    // Unchanged database: repeated evaluations are materialized-result
+    // hits — one view build total, and the repeat never re-enters the
+    // view cache at all.
+    let session = EvalSession::with_options(EvalOptions::batched());
+    session.eval_cq(&q, &db);
+    session.eval_cq(&q, &db);
+    let stats = session.stats();
+    assert_eq!((stats.views.misses, stats.full_rebuilds), (1, 1));
 }
 
 #[test]
@@ -79,21 +78,23 @@ fn ucq_disjuncts_share_one_build() {
          ans(x) :- R(x,x)",
     )
     .unwrap();
-    let cache = IndexCache::new();
-    let result = eval_ucq_cached(&q, &db, EvalOptions::default(), &cache);
+    let session = EvalSession::new();
+    let result = session.eval_ucq(&q, &db);
     assert_eq!(
         result.provenance(&Tuple::of(&["a"])),
         Polynomial::parse("s2·s3 + s1")
     );
-    let stats = cache.stats();
-    assert_eq!(stats.misses, 1, "one index build for the whole union");
-    assert_eq!(stats.hits, 1, "second disjunct reuses the first's build");
+    let stats = session.stats();
+    assert_eq!(stats.views.misses, 1, "one index build for the whole union");
+    assert_eq!(
+        stats.views.hits, 1,
+        "second disjunct reuses the first's build"
+    );
 }
 
 #[test]
-fn cached_results_equal_uncached_across_strategies() {
+fn session_results_equal_uncached_across_strategies() {
     let db = table_2_database();
-    let cache = IndexCache::new();
     for text in [
         "ans(x) :- R(x,y), R(y,x)",
         "ans() :- R(x,y), R(y,z), R(z,x)",
@@ -106,8 +107,9 @@ fn cached_results_equal_uncached_across_strategies() {
             EvalOptions::default().with_parallelism(4),
             EvalOptions::batched().with_parallelism(4),
         ] {
+            let session = EvalSession::with_options(options);
             assert_eq!(
-                eval_cq_cached(&q, &db, options, &cache),
+                *session.eval_cq_with(&q, &db, options),
                 eval_cq_with(&q, &db, options),
                 "{options:?} diverges on {text}"
             );

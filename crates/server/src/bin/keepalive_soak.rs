@@ -1,0 +1,159 @@
+//! Keep-alive concurrency soak for the CI server smoke job: N threads ×
+//! one persistent connection each, every connection issuing K pipelined
+//! `/eval` requests (`Accept: text/plain`), every response compared
+//! byte-for-byte against an expected file (the one-shot `provmin eval`
+//! output). Exits 0 only if every single response matched.
+//!
+//!     keepalive_soak --addr 127.0.0.1:7177 --conns 200 --requests 10 \
+//!         --query 'ans(x) :- R(x,x)' --expect expected.txt
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use prov_server::client::Client;
+
+struct Args {
+    addr: String,
+    conns: usize,
+    requests: usize,
+    query: String,
+    expect_path: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut conns = 200usize;
+    let mut requests = 10usize;
+    let mut query = None;
+    let mut expect_path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--conns" => {
+                conns = value("--conns")?
+                    .parse()
+                    .map_err(|_| "--conns must be a positive integer".to_owned())?;
+            }
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be a positive integer".to_owned())?;
+            }
+            "--query" => query = Some(value("--query")?),
+            "--expect" => expect_path = Some(value("--expect")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if conns == 0 || requests == 0 {
+        return Err("--conns and --requests must be positive".to_owned());
+    }
+    Ok(Args {
+        addr: addr.ok_or("--addr is required")?,
+        conns,
+        requests,
+        query: query.ok_or("--query is required")?,
+        expect_path: expect_path.ok_or("--expect is required")?,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("usage error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let expected = match std::fs::read_to_string(&args.expect_path) {
+        Ok(text) => Arc::new(text),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.expect_path);
+            return ExitCode::from(2);
+        }
+    };
+    let body = Arc::new(format!(
+        "{{\"query\": \"{}\"}}",
+        args.query.replace('\\', "\\\\").replace('"', "\\\"")
+    ));
+
+    let matched = Arc::new(AtomicU64::new(0));
+    let mismatched = Arc::new(AtomicU64::new(0));
+    let errored = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..args.conns)
+        .map(|conn_id| {
+            let addr = args.addr.clone();
+            let body = Arc::clone(&body);
+            let expected = Arc::clone(&expected);
+            let matched = Arc::clone(&matched);
+            let mismatched = Arc::clone(&mismatched);
+            let errored = Arc::clone(&errored);
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let mut conn = match Client::connect(&addr) {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        eprintln!("conn {conn_id}: connect: {e}");
+                        errored.fetch_add(requests as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let one: Vec<prov_server::client::PipelinedRequest<'_>> = (0..requests)
+                    .map(|_| {
+                        (
+                            "POST",
+                            "/eval",
+                            "application/json",
+                            Some("text/plain"),
+                            body.as_bytes(),
+                        )
+                    })
+                    .collect();
+                match conn.pipeline(&one) {
+                    Ok(responses) => {
+                        for (i, (status, text)) in responses.iter().enumerate() {
+                            if *status == 200 && text == expected.as_str() {
+                                matched.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                if mismatched.load(Ordering::Relaxed) == 0 {
+                                    eprintln!(
+                                        "conn {conn_id} response {i}: status {status}, \
+                                         body {:?} (expected {:?})",
+                                        text, expected
+                                    );
+                                }
+                                mismatched.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("conn {conn_id}: pipeline: {e}");
+                        errored.fetch_add(requests as u64, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+
+    let (ok, bad, err) = (
+        matched.load(Ordering::Relaxed),
+        mismatched.load(Ordering::Relaxed),
+        errored.load(Ordering::Relaxed),
+    );
+    let total = (args.conns * args.requests) as u64;
+    println!(
+        "keepalive_soak: {ok}/{total} byte-identical ({bad} mismatched, {err} errored) \
+         across {} connections x {} pipelined requests",
+        args.conns, args.requests
+    );
+    if ok == total {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,13 +1,235 @@
-//! A tiny blocking HTTP/1.1 client speaking exactly the server's subset
-//! (`Connection: close`, fixed-length bodies). It exists so integration
-//! tests, the serve-loop benchmark row, and offline tooling need no
-//! external HTTP dependency; it is **not** a general-purpose client.
+//! A tiny blocking HTTP/1.1 client speaking exactly the server's subset:
+//! fixed-length and chunked response bodies, `Connection: close` one-shot
+//! helpers, and a persistent keep-alive [`Client`] that can pipeline. It
+//! exists so integration tests, the serve benchmark rows, the soak
+//! binary, and offline tooling need no external HTTP dependency; it is
+//! **not** a general-purpose client.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// One request/response round trip. Returns `(status, body)`.
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A parsed response: status code plus the de-framed body (chunked
+/// framing already decoded).
+#[derive(Debug)]
+struct RawResponse {
+    status: u16,
+    body: Vec<u8>,
+}
+
+/// Appends at least one more byte from `stream` to `buf` (blocking).
+fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<()> {
+    let mut chunk = [0u8; 16 * 1024];
+    let n = stream.read(&mut chunk)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(())
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    haystack[from.min(haystack.len())..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Reads one complete response from `stream`, consuming exactly its bytes
+/// from the front of `buf` (leftover pipelined bytes stay for the next
+/// call).
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<RawResponse> {
+    let head_end = loop {
+        if let Some(pos) = find(buf, b"\r\n\r\n", 0) {
+            break pos;
+        }
+        fill(stream, buf)?;
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| invalid("non-utf8 response head"))?
+        .to_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("bad status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = Some(value.parse().map_err(|_| invalid("bad content-length"))?);
+            }
+            "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
+            _ => {}
+        }
+    }
+    let mut pos = head_end + 4;
+    let body = if chunked {
+        let mut body = Vec::new();
+        loop {
+            let line_end = loop {
+                if let Some(p) = find(buf, b"\r\n", pos) {
+                    break p;
+                }
+                fill(stream, buf)?;
+            };
+            let size_text = std::str::from_utf8(&buf[pos..line_end])
+                .map_err(|_| invalid("non-utf8 chunk size"))?;
+            let size = usize::from_str_radix(size_text.trim(), 16)
+                .map_err(|_| invalid(format!("bad chunk size {size_text:?}")))?;
+            pos = line_end + 2;
+            while buf.len() < pos + size + 2 {
+                fill(stream, buf)?;
+            }
+            if size == 0 {
+                pos += 2; // the trailing CRLF after the last-chunk line
+                break;
+            }
+            body.extend_from_slice(&buf[pos..pos + size]);
+            pos += size + 2;
+        }
+        body
+    } else {
+        let len = content_length.unwrap_or(0);
+        while buf.len() < pos + len {
+            fill(stream, buf)?;
+        }
+        let body = buf[pos..pos + len].to_vec();
+        pos += len;
+        body
+    };
+    buf.drain(..pos);
+    Ok(RawResponse { status, body })
+}
+
+fn request_head(
+    method: &str,
+    path: &str,
+    content_type: &str,
+    accept: Option<&str>,
+    body_len: usize,
+    close: bool,
+) -> String {
+    let accept_header = accept
+        .map(|a| format!("Accept: {a}\r\n"))
+        .unwrap_or_default();
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: provmin\r\nContent-Type: {content_type}\r\n\
+         {accept_header}Content-Length: {body_len}\r\n{connection}\r\n"
+    )
+}
+
+fn body_string(raw: RawResponse) -> io::Result<(u16, String)> {
+    let body = String::from_utf8(raw.body).map_err(|_| invalid("non-utf8 response body"))?;
+    Ok((raw.status, body))
+}
+
+/// A persistent keep-alive connection to the server. Requests issued
+/// through one `Client` reuse the TCP connection (and may be pipelined
+/// via [`Client::pipeline`]); the server closing the connection surfaces
+/// as an error on the *next* request, as usual for HTTP/1.1 reuse.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Received-but-unconsumed response bytes (pipelining lookahead).
+    buf: Vec<u8>,
+}
+
+/// One request for [`Client::pipeline`]: `(method, path, content_type,
+/// accept, body)`.
+pub type PipelinedRequest<'a> = (&'a str, &'a str, &'a str, Option<&'a str>, &'a [u8]);
+
+impl Client {
+    /// Connects, with a generous read timeout so a wedged server fails
+    /// tests instead of hanging them.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// One round trip on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        accept: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<(u16, String)> {
+        let head = request_head(method, path, content_type, accept, body.len(), false);
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        body_string(read_response(&mut self.stream, &mut self.buf)?)
+    }
+
+    /// Writes every request back-to-back, then reads the responses in
+    /// order — HTTP/1.1 pipelining, exercising the server's buffered
+    /// multi-request path.
+    pub fn pipeline(
+        &mut self,
+        requests: &[PipelinedRequest<'_>],
+    ) -> io::Result<Vec<(u16, String)>> {
+        let mut wire = Vec::new();
+        for (method, path, content_type, accept, body) in requests {
+            wire.extend_from_slice(
+                request_head(method, path, content_type, *accept, body.len(), false).as_bytes(),
+            );
+            wire.extend_from_slice(body);
+        }
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        requests
+            .iter()
+            .map(|_| body_string(read_response(&mut self.stream, &mut self.buf)?))
+            .collect()
+    }
+
+    /// `POST` a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, "application/json", None, body.as_bytes())
+    }
+
+    /// `POST` a JSON body asking for the plain-text (CLI-identical)
+    /// rendering.
+    pub fn post_json_accept_text(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request(
+            "POST",
+            path,
+            "application/json",
+            Some("text/plain"),
+            body.as_bytes(),
+        )
+    }
+
+    /// `GET` a path.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "text/plain", None, &[])
+    }
+}
+
+/// One request/response round trip on a fresh `Connection: close`
+/// connection. Returns `(status, body)`.
 pub fn request(
     addr: &str,
     method: &str,
@@ -19,30 +241,12 @@ pub fn request(
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let _ = stream.set_nodelay(true);
-    let accept_header = accept
-        .map(|a| format!("Accept: {a}\r\n"))
-        .unwrap_or_default();
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: provmin\r\nContent-Type: {content_type}\r\n{accept_header}Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
+    let head = request_head(method, path, content_type, accept, body.len(), true);
+    stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8(raw)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response"))?;
-    let (head, response_body) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    Ok((status, response_body.to_owned()))
+    let mut buf = Vec::new();
+    body_string(read_response(&mut stream, &mut buf)?)
 }
 
 /// `POST` a JSON body.

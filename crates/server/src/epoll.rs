@@ -1,0 +1,239 @@
+//! Minimal safe wrappers over Linux `epoll` and `eventfd`, declared as
+//! local FFI (`extern "C"` against the symbols std already links) — the
+//! build image has no registry access, so no `libc`/`mio` crates. Only
+//! what the listener's event loop needs is wrapped: create/add/modify/
+//! delete/wait plus an eventfd used to wake the loop when a worker parks
+//! a connection back on it.
+//!
+//! Level-triggered mode is used throughout: the loop always reads a ready
+//! socket until `WouldBlock`, so LT's "report while readable" semantics
+//! cannot lose events and spare the re-arm bookkeeping of edge-triggered
+//! registration.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint};
+
+/// Readable interest (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Peer hung up their write side (`EPOLLRDHUP`); delivered with the
+/// final readable event so EOF is seen without an extra read round.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Error condition (`EPOLLERR`); always reported, never registered.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`); always reported, never registered.
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the one ABI where
+/// the kernel declares it `__attribute__((packed))`), naturally aligned
+/// everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut RawEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification: the token registered with the fd plus the
+/// event mask the kernel reported.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The `token` passed to [`Epoll::add`].
+    pub token: u64,
+    /// Kernel event bits ([`EPOLLIN`], [`EPOLLERR`], ...).
+    pub events: u32,
+}
+
+impl Event {
+    /// Whether the peer closed or errored (any further reads will only
+    /// drain what's already buffered). The listener doesn't branch on
+    /// this — its read-to-`WouldBlock` drain observes EOF directly — but
+    /// the mask decode belongs with the mask constants.
+    #[allow(dead_code)]
+    pub fn is_closed(&self) -> bool {
+        self.events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// An epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 returns a fresh fd we exclusively own.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// Registers `fd` for level-triggered `interest`, tagging its events
+    /// with `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = RawEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: ev outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_ADD, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Unregisters `fd`. Harmless to call for an fd the kernel already
+    /// dropped from the set (close unregisters implicitly).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = RawEvent { events: 0, data: 0 };
+        // SAFETY: same as add; the event argument is ignored for DEL on
+        // modern kernels but must be non-null on pre-2.6.9 ones.
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Waits up to `timeout_ms` for events, appending them to `out`
+    /// (cleared first). Returns the number of events. `EINTR` is treated
+    /// as zero events, not an error — the caller's loop re-enters anyway.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        const MAX_EVENTS: usize = 64;
+        out.clear();
+        let mut raw = [RawEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: raw is a stack buffer of MAX_EVENTS entries; the kernel
+        // writes at most maxevents of them.
+        let n = match cvt(unsafe {
+            epoll_wait(
+                self.fd.as_raw_fd(),
+                raw.as_mut_ptr(),
+                MAX_EVENTS as c_int,
+                timeout_ms,
+            )
+        }) {
+            Ok(n) => n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &raw[..n] {
+            // A packed field cannot be borrowed; copy out.
+            let (events, data) = (ev.events, ev.data);
+            out.push(Event {
+                token: data,
+                events,
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// An `eventfd`-backed wakeup handle: any thread may [`Waker::wake`] to
+/// make the owning event loop's `epoll_wait` return. Nonblocking on both
+/// ends, so a burst of wakes coalesces into one counter increment.
+#[derive(Debug)]
+pub struct Waker {
+    file: File,
+}
+
+impl Waker {
+    /// Creates the eventfd.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd returns a fresh fd we exclusively own.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Waker {
+            file: unsafe { File::from_raw_fd(fd) },
+        })
+    }
+
+    /// The fd to register with the epoll set ([`EPOLLIN`]).
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+
+    /// Wakes the event loop. Coalesces: an already-pending wake makes
+    /// this a no-op (`EAGAIN` on a full counter is success).
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        let _ = (&self.file).write(&one);
+    }
+
+    /// Consumes pending wakes so the next `epoll_wait` blocks again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = (&self.file).read(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn epoll_reports_readable_listener_and_stream() {
+        let epoll = Epoll::new().expect("epoll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        epoll.add(listener.as_raw_fd(), 7, EPOLLIN).expect("add");
+
+        let mut events = Vec::new();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0, "idle");
+
+        let mut client = TcpStream::connect(listener.local_addr().expect("addr")).expect("conn");
+        let n = epoll.wait(&mut events, 2000).expect("wait");
+        assert!(n >= 1, "pending connection must be readable");
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].events & EPOLLIN != 0);
+
+        let (accepted, _) = listener.accept().expect("accept");
+        accepted.set_nonblocking(true).expect("nonblocking");
+        epoll
+            .add(accepted.as_raw_fd(), 8, EPOLLIN | EPOLLRDHUP)
+            .expect("add conn");
+        client.write_all(b"ping").expect("write");
+        let n = epoll.wait(&mut events, 2000).expect("wait");
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == 8));
+
+        epoll.delete(accepted.as_raw_fd()).expect("del");
+        drop(client);
+    }
+
+    #[test]
+    fn waker_wakes_and_coalesces() {
+        let epoll = Epoll::new().expect("epoll");
+        let waker = Waker::new().expect("waker");
+        epoll.add(waker.as_raw_fd(), 1, EPOLLIN).expect("add");
+        let mut events = Vec::new();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+        waker.wake();
+        waker.wake(); // coalesces
+        assert_eq!(epoll.wait(&mut events, 2000).expect("wait"), 1);
+        assert_eq!(events[0].token, 1);
+        waker.drain();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0, "drained");
+    }
+}

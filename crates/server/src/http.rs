@@ -1,12 +1,17 @@
 //! HTTP/1.1 wire handling: just enough of RFC 9112 for the service —
-//! request line + headers + `Content-Length` bodies in, fixed-length
-//! `Connection: close` responses out. No chunked transfer, no pipelining,
-//! one request per connection: the clients this serves (curl, the bundled
-//! [`crate::client`], CI smoke scripts) all speak that subset, and it
-//! keeps the reader small enough to bound-check by inspection.
+//! request line + headers + `Content-Length` bodies in; fixed-length or
+//! chunked responses out, with HTTP/1.1 keep-alive semantics.
+//!
+//! Requests are parsed **incrementally from a byte buffer**
+//! ([`try_parse`]): the event loop appends whatever the socket had and
+//! asks whether a complete request is buffered yet, so headers and bodies
+//! split across TCP segments are handled without a worker ever blocking
+//! on a slow sender, and several pipelined requests can sit in one buffer
+//! back to back. Chunked *request* bodies remain unsupported (413-free
+//! bounded parsing is the point of the `Content-Length` subset).
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 
 use crate::json::Json;
 
@@ -24,6 +29,9 @@ pub struct Request {
     pub method: String,
     /// The path component of the request target (query string stripped).
     pub path: String,
+    /// HTTP minor version (`1` for `HTTP/1.1`); decides the keep-alive
+    /// default.
+    pub minor_version: u8,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The body, possibly empty.
@@ -49,6 +57,18 @@ impl Request {
     pub fn wants_text(&self) -> bool {
         self.header("accept")
             .is_some_and(|a| a.contains("text/plain"))
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 defaults to close unless it sent
+    /// `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.to_ascii_lowercase().contains("close") => false,
+            Some(v) if v.to_ascii_lowercase().contains("keep-alive") => true,
+            _ => self.minor_version >= 1,
+        }
     }
 }
 
@@ -79,43 +99,46 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one line (CRLF or bare LF), rejecting lines over the cap.
-/// Returns `None` on clean EOF before any byte.
-fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
-    let mut buf = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                return Err(HttpError::Malformed("truncated line".to_owned()));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    let line = String::from_utf8(buf)
-                        .map_err(|_| HttpError::Malformed("non-utf8 header".to_owned()))?;
-                    return Ok(Some(line));
-                }
-                buf.push(byte[0]);
-                if buf.len() > MAX_HEADER_LINE {
-                    return Err(HttpError::TooLarge("header line over 8 KiB".to_owned()));
-                }
-            }
-            Err(e) => return Err(HttpError::Io(e)),
-        }
-    }
+/// The outcome of [`try_parse`] on the bytes buffered so far.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// A complete request, plus how many buffered bytes it consumed
+    /// (the caller drains them; pipelined followers start right after).
+    Complete(Request, usize),
+    /// Not enough bytes yet — keep the buffer, wait for more.
+    Partial,
 }
 
-/// Reads one request off the stream. `Ok(None)` means the peer closed the
-/// connection cleanly before sending anything.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(reader)? else {
+/// Splits one header line out of `buf` starting at `pos`: returns the
+/// line (CR stripped) and the offset just past its LF, or `None` if no
+/// full line is buffered yet.
+fn take_line(buf: &[u8], pos: usize) -> Result<Option<(&str, usize)>, HttpError> {
+    let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+        if buf.len() - pos > MAX_HEADER_LINE {
+            return Err(HttpError::TooLarge("header line over 8 KiB".to_owned()));
+        }
         return Ok(None);
+    };
+    let mut line = &buf[pos..pos + nl];
+    if line.last() == Some(&b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    if line.len() > MAX_HEADER_LINE {
+        return Err(HttpError::TooLarge("header line over 8 KiB".to_owned()));
+    }
+    let text = std::str::from_utf8(line)
+        .map_err(|_| HttpError::Malformed("non-utf8 header".to_owned()))?;
+    Ok(Some((text, pos + nl + 1)))
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// `Partial` means the prefix seen so far is a valid *incomplete*
+/// request; errors mean the prefix can never become valid (or blew a
+/// cap) and the connection should answer 400/413 and close.
+pub fn try_parse(buf: &[u8]) -> Result<ParseStatus, HttpError> {
+    let Some((request_line, mut pos)) = take_line(buf, 0)? else {
+        return Ok(ParseStatus::Partial);
     };
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -126,15 +149,23 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
             )))
         }
     };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("unsupported {version}")));
-    }
+    let minor_version = match version.strip_prefix("HTTP/1.") {
+        Some(minor) => minor
+            .parse::<u8>()
+            .map_err(|_| HttpError::Malformed(format!("unsupported {version}")))?,
+        None => return Err(HttpError::Malformed(format!("unsupported {version}"))),
+    };
     let path = target.split('?').next().unwrap_or(target).to_owned();
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(reader)?
-            .ok_or_else(|| HttpError::Malformed("eof inside headers".to_owned()))?;
+        let Some((line, next)) = take_line(buf, pos)? else {
+            if buf.len() > MAX_HEADERS * MAX_HEADER_LINE {
+                return Err(HttpError::TooLarge("header block too large".to_owned()));
+            }
+            return Ok(ParseStatus::Partial);
+        };
+        pos = next;
         if line.is_empty() {
             break;
         }
@@ -150,6 +181,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     let mut request = Request {
         method: method.to_owned(),
         path,
+        minor_version,
         headers,
         body: Vec::new(),
     };
@@ -168,22 +200,50 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         if len > MAX_BODY {
             return Err(HttpError::TooLarge(format!("body of {len} bytes")));
         }
-        let mut body = vec![0u8; len];
-        reader.read_exact(&mut body)?;
-        request.body = body;
+        if buf.len() < pos + len {
+            return Ok(ParseStatus::Partial);
+        }
+        request.body = buf[pos..pos + len].to_vec();
+        pos += len;
     }
-    Ok(Some(request))
+    Ok(ParseStatus::Complete(request, pos))
 }
 
-/// A response about to be written: status plus a fixed-length body.
-#[derive(Clone, Debug)]
+/// How large a buffered body-less response may grow before the handler
+/// should have streamed it; also the per-segment target for streamed
+/// bodies. Bounds per-connection memory on large answer sets.
+pub const STREAM_SEGMENT_BYTES: usize = 64 * 1024;
+
+/// A response body: fully materialized bytes, or a pull-based stream of
+/// bounded segments written with chunked transfer-encoding.
+pub enum Body {
+    /// A fixed-length body (`Content-Length`).
+    Bytes(Vec<u8>),
+    /// A streamed body: each call yields the next segment (roughly
+    /// [`STREAM_SEGMENT_BYTES`] each), `None` when exhausted. Written as
+    /// chunked transfer-encoding, so the peer needs no length up front
+    /// and the server never holds the full serialization in memory.
+    Chunks(Box<dyn FnMut() -> Option<Vec<u8>> + Send>),
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Body::Bytes(b) => f.debug_tuple("Bytes").field(&b.len()).finish(),
+            Body::Chunks(_) => f.write_str("Chunks(..)"),
+        }
+    }
+}
+
+/// A response about to be written.
+#[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
-    /// The body bytes.
-    pub body: Vec<u8>,
+    /// The body.
+    pub body: Body,
 }
 
 impl Response {
@@ -192,7 +252,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
-            body: body.to_string().into_bytes(),
+            body: Body::Bytes(body.to_string().into_bytes()),
         }
     }
 
@@ -201,7 +261,21 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body: body.into_bytes(),
+            body: Body::Bytes(body.into_bytes()),
+        }
+    }
+
+    /// A streamed response (chunked transfer-encoding); see
+    /// [`Body::Chunks`].
+    pub fn streamed(
+        status: u16,
+        content_type: &'static str,
+        next: Box<dyn FnMut() -> Option<Vec<u8>> + Send>,
+    ) -> Response {
+        Response {
+            status,
+            content_type,
+            body: Body::Chunks(next),
         }
     }
 
@@ -213,18 +287,66 @@ impl Response {
         )
     }
 
-    /// Serializes the response (always `Connection: close`).
-    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            self.body.len()
-        )?;
-        writer.write_all(&self.body)?;
-        writer.flush()
+    /// Materializes the body (draining a stream), for tests and clients
+    /// that want the bytes regardless of framing.
+    pub fn into_body_bytes(self) -> Vec<u8> {
+        match self.body {
+            Body::Bytes(b) => b,
+            Body::Chunks(mut next) => {
+                let mut out = Vec::new();
+                while let Some(seg) = next() {
+                    out.extend_from_slice(&seg);
+                }
+                out
+            }
+        }
+    }
+
+    /// Serializes the response. `close` controls the `Connection` header
+    /// (the caller owns the keep-alive decision). Returns the number of
+    /// **body** bytes written (headers and chunk framing excluded), for
+    /// the bytes-streamed counter.
+    pub fn write_to(self, writer: &mut impl Write, close: bool) -> io::Result<u64> {
+        let connection = if close { "close" } else { "keep-alive" };
+        match self.body {
+            Body::Bytes(body) => {
+                write!(
+                    writer,
+                    "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                    self.status,
+                    reason(self.status),
+                    self.content_type,
+                    body.len(),
+                    connection,
+                )?;
+                writer.write_all(&body)?;
+                writer.flush()?;
+                Ok(body.len() as u64)
+            }
+            Body::Chunks(mut next) => {
+                write!(
+                    writer,
+                    "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                    self.status,
+                    reason(self.status),
+                    self.content_type,
+                    connection,
+                )?;
+                let mut body_bytes = 0u64;
+                while let Some(seg) = next() {
+                    if seg.is_empty() {
+                        continue; // an empty chunk would terminate the body
+                    }
+                    write!(writer, "{:x}\r\n", seg.len())?;
+                    writer.write_all(&seg)?;
+                    writer.write_all(b"\r\n")?;
+                    body_bytes += seg.len() as u64;
+                }
+                writer.write_all(b"0\r\n\r\n")?;
+                writer.flush()?;
+                Ok(body_bytes)
+            }
+        }
     }
 }
 
@@ -238,6 +360,7 @@ pub fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -245,37 +368,77 @@ pub fn reason(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()))
+    fn parse(raw: &str) -> Result<ParseStatus, HttpError> {
+        try_parse(raw.as_bytes())
+    }
+
+    fn complete(raw: &str) -> (Request, usize) {
+        match parse(raw).expect("parses") {
+            ParseStatus::Complete(req, used) => (req, used),
+            ParseStatus::Partial => panic!("unexpectedly partial: {raw:?}"),
+        }
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req =
-            parse("POST /eval?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
-                .expect("reads")
-                .expect("some");
+        let (req, used) =
+            complete("POST /eval?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/eval");
+        assert_eq!(req.minor_version, 1);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"body");
+        assert_eq!(
+            used,
+            "POST /eval?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody".len()
+        );
     }
 
     #[test]
     fn parses_get_without_body_and_bare_lf() {
-        let req = parse("GET /stats HTTP/1.1\nAccept: text/plain\n\n")
-            .expect("reads")
-            .expect("some");
+        let (req, _) = complete("GET /stats HTTP/1.1\nAccept: text/plain\n\n");
         assert_eq!(req.method, "GET");
         assert!(req.wants_text());
         assert!(req.body.is_empty());
     }
 
     #[test]
-    fn clean_eof_is_none() {
-        assert!(parse("").expect("ok").is_none());
+    fn incremental_prefixes_are_partial() {
+        // Every proper prefix of a valid request parses as Partial —
+        // headers and bodies split across TCP segments are never errors.
+        let full = "POST /eval HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse(&full[..cut]), Ok(ParseStatus::Partial)),
+                "prefix of {cut} bytes must be partial"
+            );
+        }
+        let (req, used) = complete(full);
+        assert_eq!(used, full.len());
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let two = "GET /stats HTTP/1.1\r\n\r\nGET /other HTTP/1.1\r\n\r\n";
+        let (first, used) = complete(two);
+        assert_eq!(first.path, "/stats");
+        let (second, used2) = complete(&two[used..]);
+        assert_eq!(second.path, "/other");
+        assert_eq!(used + used2, two.len());
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_version() {
+        let (req, _) = complete("GET / HTTP/1.1\r\n\r\n");
+        assert!(req.wants_keep_alive(), "1.1 defaults to keep-alive");
+        let (req, _) = complete("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.wants_keep_alive());
+        let (req, _) = complete("GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.wants_keep_alive(), "1.0 defaults to close");
+        let (req, _) = complete("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.wants_keep_alive());
     }
 
     #[test]
@@ -303,31 +466,78 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_io_error() {
+    fn oversized_lines_and_header_blocks_are_413() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEADER_LINE + 1));
+        assert!(matches!(parse(&long), Err(HttpError::TooLarge(_))));
+        // A line over the cap with no newline yet must fail early, not
+        // buffer forever.
+        let unterminated = "G".repeat(MAX_HEADER_LINE + 2);
+        assert!(matches!(parse(&unterminated), Err(HttpError::TooLarge(_))));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "H: v\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(matches!(parse(&many), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_partial_not_error() {
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
-            Err(HttpError::Io(_))
+            Ok(ParseStatus::Partial)
         ));
     }
 
     #[test]
-    fn response_serializes_with_length_and_close() {
+    fn response_serializes_with_length_and_connection() {
         let mut out = Vec::new();
-        Response::text(200, "hi\n".to_owned())
-            .write_to(&mut out)
+        let n = Response::text(200, "hi\n".to_owned())
+            .write_to(&mut out, true)
             .expect("writes");
+        assert_eq!(n, 3);
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 3\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nhi\n"));
+
+        let mut out = Vec::new();
+        Response::text(200, "hi\n".to_owned())
+            .write_to(&mut out, false)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn chunked_body_frames_segments() {
+        let mut segments = vec![b"world".to_vec(), b"hello ".to_vec()];
+        let resp = Response::streamed(
+            200,
+            "text/plain; charset=utf-8",
+            Box::new(move || segments.pop()),
+        );
+        let mut out = Vec::new();
+        let n = resp.write_to(&mut out, false).expect("writes");
+        assert_eq!(n, 11);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn into_body_bytes_drains_streams() {
+        let mut segments = vec![b"b".to_vec(), b"a".to_vec()];
+        let resp = Response::streamed(200, "text/plain", Box::new(move || segments.pop()));
+        assert_eq!(resp.into_body_bytes(), b"ab");
     }
 
     #[test]
     fn error_body_is_json() {
         let resp = Response::error(400, "nope");
         assert_eq!(resp.status, 400);
-        let body = String::from_utf8(resp.body).expect("utf8");
+        let body = String::from_utf8(resp.into_body_bytes()).expect("utf8");
         let j = Json::parse(&body).expect("json");
         assert_eq!(j.get("error").and_then(Json::as_str), Some("nope"));
     }

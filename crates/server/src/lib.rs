@@ -14,17 +14,22 @@
 //! back to a full rebuild only when the log no longer covers the gap.
 //! Never stale, because cache keys *are* generation stamps.
 //!
-//! The HTTP/1.1 layer is hand-rolled over `std::net::TcpListener` and a
-//! small worker pool — the build image has no registry access (see
-//! ROADMAP "vendored shims"), and the subset needed here (fixed-length
-//! bodies, `Connection: close`) is small enough to own.
+//! The HTTP/1.1 layer is hand-rolled over `std::net` — the build image
+//! has no registry access (see ROADMAP "vendored shims"), so the crate
+//! owns the subset it needs: keep-alive and pipelining over an
+//! incremental request parser, chunked transfer-encoding for streamed
+//! large results, and an epoll readiness loop ([`epoll`] wraps the three
+//! syscalls as local FFI) that parks idle and mid-request connections so
+//! the worker pool only ever sees fully-buffered requests.
 //!
-//! See `docs/SERVER.md` for the endpoint and wire-format reference, and
-//! [`client`] for the bundled test/bench client.
+//! See `docs/SERVER.md` for the endpoint, wire-format, and
+//! connection-lifecycle reference, and [`client`] for the bundled
+//! test/bench client (one-shot helpers plus a keep-alive [`client::Client`]).
 
 #![warn(missing_docs)]
 
 mod budget;
+mod epoll;
 mod http;
 mod json;
 mod listener;
@@ -34,11 +39,11 @@ mod stats;
 
 pub mod client;
 
-pub use http::{Request, Response};
+pub use http::{Body, ParseStatus, Request, Response};
 pub use json::{Json, JsonError};
 pub use listener::{serve, ServeConfig, ServerHandle};
 pub use state::ServerState;
-pub use stats::{Endpoint, EndpointCounter, EndpointStats};
+pub use stats::{ConnStats, Endpoint, EndpointCounter, EndpointStats};
 
 /// The crate version reported by `GET /stats`.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,15 +1,35 @@
-//! The accept loop and worker thread pool.
+//! The epoll event loop and worker thread pool.
 //!
-//! `serve` binds a `TcpListener`, spawns one accept thread plus a fixed
-//! worker pool, and returns immediately with a [`ServerHandle`]. The
-//! listener is non-blocking and the accept thread polls it between
-//! shutdown-flag checks, so a `POST /shutdown` (or the CLI's SIGINT flag)
-//! stops accepting within one poll interval; the worker channel is then
-//! closed and each worker drains its in-flight connection before exiting
-//! — graceful, not abortive.
+//! `serve` binds a `TcpListener` and spawns one **event-loop** thread
+//! plus a fixed worker pool, returning immediately with a
+//! [`ServerHandle`]. The event loop owns an epoll set holding the
+//! listener, a wakeup eventfd, and every **parked** connection — a
+//! keep-alive connection between requests, or one whose request is still
+//! arriving. Sockets are nonblocking on the loop side: readable
+//! connections are drained into a per-connection buffer and incrementally
+//! parsed ([`crate::http::try_parse`]), so headers and bodies split
+//! across TCP segments simply stay parked until complete. Only when a
+//! **full request is buffered** is the connection handed to a worker —
+//! a slow or hostile sender can never pin a worker thread.
+//!
+//! Workers serve the buffered request (and any pipelined followers, in
+//! order), then re-park the connection back onto the event loop via a
+//! queue + eventfd wake — or close it, when the client asked for
+//! `Connection: close`, the per-connection request cap was reached, the
+//! peer vanished, or shutdown began. Worker-side writes carry a timeout:
+//! streaming a large response to a pathologically slow *reader* costs
+//! bounded time, after which the connection is dropped (the slow client
+//! pays, nobody else queues behind it).
+//!
+//! Idle keep-alive connections are swept by the loop after
+//! `keepalive_timeout`; `max_conns` bounds concurrently-open connections
+//! (surplus accepts are answered 503 and closed). Both are
+//! [`ServeConfig`] knobs (`--max-conns`, `--keepalive-timeout`).
 
-use std::io::{self, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -18,20 +38,22 @@ use std::time::{Duration, Instant};
 
 use prov_storage::Database;
 
-use crate::http::{read_request, HttpError, Response};
+use crate::epoll::{Epoll, Waker, EPOLLIN, EPOLLRDHUP};
+use crate::http::{try_parse, HttpError, ParseStatus, Request, Response};
 use crate::router::route;
 use crate::state::ServerState;
 use crate::stats::Endpoint;
 
-/// How long the accept thread sleeps between polls when idle. This is
-/// the arrival latency a connection pays when the server is idle (bursts
-/// drain back-to-back without sleeping), so it is kept tight; it also
-/// bounds shutdown latency and idle CPU burn (~1k wakeups/s of a single
-/// thread doing one syscall each).
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
-/// Per-connection socket read timeout: a stalled client cannot pin a
-/// worker forever.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long one `epoll_wait` blocks at most: bounds shutdown latency and
+/// the idle-sweep granularity, and is paid only by a fully idle loop.
+const WAIT_TIMEOUT_MS: i32 = 100;
+/// Per-connection socket write timeout on the worker side: a stalled
+/// reader cannot pin a worker past this per response segment.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Cap on one connection's buffered-but-unparsed input. Large enough for
+/// the biggest legal request (16 MiB body + headers), small enough that a
+/// connection cannot buffer unboundedly.
+const MAX_CONN_BUFFER: usize = 17 * 1024 * 1024;
 
 /// Configuration for [`serve`].
 #[derive(Clone, Debug)]
@@ -40,6 +62,15 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads handling requests (min 1).
     pub workers: usize,
+    /// Concurrently-open connections allowed; surplus accepts get an
+    /// immediate 503 and a close (`--max-conns`).
+    pub max_conns: usize,
+    /// How long a keep-alive connection may sit idle (no complete request
+    /// arriving) before the loop closes it (`--keepalive-timeout`).
+    pub keepalive_timeout: Duration,
+    /// Requests served on one connection before the server answers with
+    /// `Connection: close` — bounds per-connection resource pinning.
+    pub max_requests_per_conn: u64,
 }
 
 impl Default for ServeConfig {
@@ -47,17 +78,20 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7171".to_owned(),
             workers: 4,
+            max_conns: 1024,
+            keepalive_timeout: Duration::from_secs(30),
+            max_requests_per_conn: 10_000,
         }
     }
 }
 
-/// A running server: the bound address, the shared state, and the accept
-/// thread to join on shutdown.
+/// A running server: the bound address, the shared state, and the event
+/// loop thread to join on shutdown.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -71,12 +105,12 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Requests shutdown and blocks until the accept thread and every
+    /// Requests shutdown and blocks until the event loop and every
     /// worker have drained and exited.
     pub fn shutdown(mut self) {
         self.state.request_shutdown();
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
     }
 }
@@ -86,8 +120,8 @@ impl Drop for ServerHandle {
     /// error paths); explicit [`ServerHandle::shutdown`] is preferred.
     fn drop(&mut self) {
         self.state.request_shutdown();
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
     }
 }
@@ -98,109 +132,493 @@ pub fn serve(config: ServeConfig, db: Database) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState::new(db));
-    let accept_state = Arc::clone(&state);
-    let workers = config.workers.max(1);
-    let accept = std::thread::Builder::new()
-        .name("provmin-accept".to_owned())
-        .spawn(move || accept_loop(&listener, &accept_state, workers))?;
+    let loop_state = Arc::clone(&state);
+    let event_loop = std::thread::Builder::new()
+        .name("provmin-events".to_owned())
+        .spawn(move || event_loop(listener, &loop_state, &config))?;
     Ok(ServerHandle {
         addr,
         state,
-        accept: Some(accept),
+        event_loop: Some(event_loop),
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, workers: usize) {
-    let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
-    let pool: Vec<JoinHandle<()>> = (0..workers)
+/// A connection at rest on the event loop.
+struct Parked {
+    stream: TcpStream,
+    /// Received-but-unparsed bytes (possibly mid-request).
+    buf: Vec<u8>,
+    /// Requests already served on this connection.
+    served: u64,
+    /// Last time bytes arrived or a worker finished with it.
+    last_activity: Instant,
+}
+
+/// A connection with at least one complete request buffered, on its way
+/// to a worker.
+struct Job {
+    stream: TcpStream,
+    /// The parsed first request.
+    request: Request,
+    /// Bytes after the first request (pipelined followers, possibly a
+    /// partial one).
+    rest: Vec<u8>,
+    served: u64,
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+fn event_loop(listener: TcpListener, state: &Arc<ServerState>, config: &ServeConfig) {
+    let epoll = Epoll::new().expect("epoll_create1");
+    let waker = Arc::new(Waker::new().expect("eventfd"));
+    epoll
+        .add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+        .expect("register listener");
+    epoll
+        .add(waker.as_raw_fd(), TOKEN_WAKER, EPOLLIN)
+        .expect("register waker");
+
+    let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+    let (park_tx, park_rx) = std::sync::mpsc::channel::<Parked>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let pool: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|i| {
-            let rx = Arc::clone(&rx);
+            let job_rx = Arc::clone(&job_rx);
+            let park_tx = park_tx.clone();
+            let waker = Arc::clone(&waker);
             let state = Arc::clone(state);
+            let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("provmin-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &state))
+                .spawn(move || worker_loop(&job_rx, &park_tx, &waker, &state, &config))
                 .expect("spawn worker thread")
         })
         .collect();
+    drop(park_tx); // the loop's receiver ends when the last worker exits
+
+    let mut parked: HashMap<u64, Parked> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = Vec::new();
+    let mut last_sweep = Instant::now();
     while !state.shutdown_requested() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Send fails only if every worker died (each is panic-
-                // isolated per request, so that means process teardown).
-                if tx.send(stream).is_err() {
-                    break;
+        let _ = epoll.wait(&mut events, WAIT_TIMEOUT_MS);
+        for ev in events.drain(..) {
+            match ev.token {
+                TOKEN_LISTENER => accept_ready(
+                    &listener,
+                    &epoll,
+                    state,
+                    config,
+                    &mut parked,
+                    &mut next_token,
+                ),
+                TOKEN_WAKER => waker.drain(),
+                token => {
+                    if let Some(conn) = parked.remove(&token) {
+                        drive_parked(conn, token, &epoll, state, &job_tx, &mut parked);
+                    }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        // Re-admit worker-parked connections whether or not the wake was
+        // seen this round (wakes coalesce).
+        while let Ok(conn) = park_rx.try_recv() {
+            if state.shutdown_requested() {
+                close_conn(state, &conn.stream, conn.served, false);
+                continue;
+            }
+            let token = next_token;
+            next_token += 1;
+            match epoll.add(conn.stream.as_raw_fd(), token, EPOLLIN | EPOLLRDHUP) {
+                Ok(()) => {
+                    parked.insert(token, conn);
+                }
+                Err(_) => close_conn(state, &conn.stream, conn.served, false),
+            }
+        }
+        // Idle sweep, at most once a second: hundreds of parked
+        // connections make this a sub-microsecond scan.
+        if last_sweep.elapsed() >= Duration::from_secs(1) {
+            last_sweep = Instant::now();
+            let timeout = config.keepalive_timeout;
+            let expired: Vec<u64> = parked
+                .iter()
+                .filter(|(_, c)| c.last_activity.elapsed() > timeout)
+                .map(|(&t, _)| t)
+                .collect();
+            for token in expired {
+                if let Some(conn) = parked.remove(&token) {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                    close_conn(state, &conn.stream, conn.served, true);
+                }
+            }
         }
     }
-    drop(tx); // closes the channel: workers exit after their current request
+
+    // Shutdown: stop accepting, flush parked connections, let workers
+    // drain their in-flight connection, then join them.
+    drop(listener);
+    for (_, conn) in parked.drain() {
+        let _ = epoll.delete(conn.stream.as_raw_fd());
+        close_conn(state, &conn.stream, conn.served, false);
+    }
+    drop(job_tx); // closes the channel: workers exit after their current job
     for worker in pool {
         let _ = worker.join();
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<ServerState>) {
+/// Accepts every pending connection (level-triggered: drain to
+/// `WouldBlock`), parking each or refusing it at the `max_conns` cap.
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    state: &Arc<ServerState>,
+    config: &ServeConfig,
+    parked: &mut HashMap<u64, Parked>,
+    next_token: &mut u64,
+) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        if state.conn_stats().active() >= config.max_conns as u64 {
+            state.conn_stats().on_refuse();
+            refuse_overloaded(&stream);
+            continue;
+        }
+        state.conn_stats().on_accept();
+        let token = *next_token;
+        *next_token += 1;
+        match epoll.add(stream.as_raw_fd(), token, EPOLLIN | EPOLLRDHUP) {
+            Ok(()) => {
+                parked.insert(
+                    token,
+                    Parked {
+                        stream,
+                        buf: Vec::new(),
+                        served: 0,
+                        last_activity: Instant::now(),
+                    },
+                );
+            }
+            Err(_) => close_conn(state, &stream, 0, false),
+        }
+    }
+}
+
+/// Best-effort 503 to a connection over the cap; nonblocking, so a peer
+/// that can't even take the error line just gets the close.
+fn refuse_overloaded(stream: &TcpStream) {
+    let mut s = stream;
+    let _ = Response::error(503, "connection limit reached").write_to(&mut s, true);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads a readable parked connection to `WouldBlock` and acts on what
+/// arrived: dispatch to a worker (complete request), keep parked
+/// (partial), respond 400/413 and close (hopeless), or close (EOF/error).
+/// The caller has already removed `conn` from the parked map.
+fn drive_parked(
+    mut conn: Parked,
+    token: u64,
+    epoll: &Epoll,
+    state: &Arc<ServerState>,
+    job_tx: &Sender<Job>,
+    parked: &mut HashMap<u64, Parked>,
+) {
+    let mut saw_eof = false;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                if conn.buf.len() > MAX_CONN_BUFFER {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                    respond_and_close(state, &conn, Response::error(413, "request too large"));
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                saw_eof = true;
+                break;
+            }
+        }
+    }
+    match try_parse(&conn.buf) {
+        Ok(ParseStatus::Complete(request, used)) => {
+            let _ = epoll.delete(conn.stream.as_raw_fd());
+            let rest = conn.buf.split_off(used);
+            let job = Job {
+                stream: conn.stream,
+                request,
+                rest,
+                served: conn.served,
+            };
+            if let Err(send_failed) = job_tx.send(job) {
+                // Every worker died — each is panic-isolated per request,
+                // so this means process teardown. Close the connection.
+                let job = send_failed.0;
+                close_conn(state, &job.stream, job.served, false);
+            }
+        }
+        Ok(ParseStatus::Partial) => {
+            if saw_eof {
+                // Peer went away mid-request (mid-body disconnect): no
+                // response possible, just clean up.
+                let _ = epoll.delete(conn.stream.as_raw_fd());
+                close_conn(state, &conn.stream, conn.served, false);
+            } else {
+                conn.last_activity = Instant::now();
+                parked.insert(token, conn);
+            }
+        }
+        Err(e) => {
+            let _ = epoll.delete(conn.stream.as_raw_fd());
+            let status = match e {
+                HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            state.stats().counter(Endpoint::Other).observe(0, false);
+            respond_and_close(state, &conn, Response::error(status, e.to_string()));
+        }
+    }
+}
+
+/// Best-effort error response on the (nonblocking) loop side, then close.
+fn respond_and_close(state: &Arc<ServerState>, conn: &Parked, response: Response) {
+    let mut s = &conn.stream;
+    let _ = response.write_to(&mut s, true);
+    close_conn(state, &conn.stream, conn.served, false);
+}
+
+/// Records the close in the connection counters and shuts the socket
+/// down (the `TcpStream` itself is dropped by the caller).
+fn close_conn(state: &Arc<ServerState>, stream: &TcpStream, served: u64, idle: bool) {
+    state.conn_stats().on_close(served, idle);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn worker_loop(
+    job_rx: &Mutex<Receiver<Job>>,
+    park_tx: &Sender<Parked>,
+    waker: &Waker,
+    state: &Arc<ServerState>,
+    config: &ServeConfig,
+) {
     loop {
         let next = {
-            let receiver = rx.lock().unwrap_or_else(|e| e.into_inner());
+            let receiver = job_rx.lock().unwrap_or_else(|e| e.into_inner());
             receiver.recv()
         };
         match next {
-            Ok(stream) => {
-                let _ = handle_connection(state, stream);
-            }
+            Ok(job) => handle_job(job, park_tx, waker, state, config),
             Err(_) => return, // channel closed: shutdown
         }
     }
 }
 
-/// Serves one request on `stream` (the server speaks
-/// one-request-per-connection HTTP/1.1, see [`crate::http`]).
-fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let request = match read_request(&mut reader) {
-        Ok(Some(request)) => request,
-        Ok(None) => return Ok(()), // peer connected and went away
-        Err(HttpError::Io(e)) => return Err(e),
-        Err(e @ HttpError::Malformed(_)) => {
-            let resp = Response::error(400, e.to_string());
-            state.stats().counter(Endpoint::Other).observe(0, false);
-            return resp.write_to(&mut writer);
+/// Serves the job's request and every already-pipelined follower in
+/// order, then re-parks or closes the connection.
+fn handle_job(
+    job: Job,
+    park_tx: &Sender<Parked>,
+    waker: &Waker,
+    state: &Arc<ServerState>,
+    config: &ServeConfig,
+) {
+    let Job {
+        stream,
+        request,
+        rest,
+        mut served,
+    } = job;
+    // Blocking mode on the worker side: responses (including streamed
+    // segments) are written synchronously under a write timeout, so a
+    // stalled reader costs this worker at most WRITE_TIMEOUT per segment
+    // before the connection is dropped.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        close_conn(state, &stream, served, false);
+        return;
+    }
+    let mut buf = rest;
+    let mut pending = Some(request);
+    loop {
+        let request = match pending.take() {
+            Some(request) => request,
+            None => match try_parse(&buf) {
+                Ok(ParseStatus::Complete(request, used)) => {
+                    buf.drain(..used);
+                    request
+                }
+                Ok(ParseStatus::Partial) => {
+                    // Nothing complete buffered: try one nonblocking read
+                    // for bytes that raced in while responding; otherwise
+                    // hand back to the event loop.
+                    match read_more(&stream, &mut buf) {
+                        ReadMore::Progress => continue,
+                        ReadMore::WouldBlock => {
+                            park(stream, buf, served, park_tx, waker, state);
+                            return;
+                        }
+                        ReadMore::Eof => {
+                            close_conn(state, &stream, served, false);
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Pipelined garbage after a valid request: the bad
+                    // connection costs exactly its own 400/413.
+                    let status = if matches!(e, HttpError::TooLarge(_)) {
+                        413
+                    } else {
+                        400
+                    };
+                    state.stats().counter(Endpoint::Other).observe(0, false);
+                    let mut s = &stream;
+                    let _ = Response::error(status, e.to_string()).write_to(&mut s, true);
+                    close_conn(state, &stream, served, false);
+                    return;
+                }
+            },
+        };
+
+        served += 1;
+        if served > 1 {
+            state.conn_stats().on_keepalive_reuse();
         }
-        Err(e @ HttpError::TooLarge(_)) => {
-            let resp = Response::error(413, e.to_string());
-            state.stats().counter(Endpoint::Other).observe(0, false);
-            return resp.write_to(&mut writer);
+        let keep_alive = request.wants_keep_alive()
+            && served < config.max_requests_per_conn
+            && !state.shutdown_requested();
+
+        let started = Instant::now();
+        // A panicking handler must cost exactly one 500, never a worker.
+        let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| route(state, &request)))
+            .unwrap_or_else(|_| {
+                (
+                    Endpoint::Other,
+                    Response::error(500, "internal error (handler panicked)"),
+                )
+            });
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state
+            .stats()
+            .counter(endpoint)
+            .observe(micros, response.status < 400);
+        let mut s = &stream;
+        match response.write_to(&mut s, !keep_alive) {
+            Ok(body_bytes) => state.conn_stats().on_body_bytes(body_bytes),
+            Err(_) => {
+                // Peer gone or write timeout (slow reader): drop it.
+                close_conn(state, &stream, served, false);
+                return;
+            }
         }
-    };
-    let started = Instant::now();
-    // A panicking handler must cost exactly one 500, never a worker.
-    let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| route(state, &request)))
-        .unwrap_or_else(|_| {
-            (
-                Endpoint::Other,
-                Response::error(500, "internal error (handler panicked)"),
-            )
-        });
-    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    state
-        .stats()
-        .counter(endpoint)
-        .observe(micros, response.status < 400);
-    response.write_to(&mut writer)?;
-    writer.flush()
+        if !keep_alive {
+            close_conn(state, &stream, served, false);
+            return;
+        }
+        if buf.is_empty() {
+            // Fast path for the common no-pipelining case: skip the parse
+            // attempt and go straight to the read probe.
+            match read_more(&stream, &mut buf) {
+                ReadMore::Progress => {}
+                ReadMore::WouldBlock => {
+                    park(stream, buf, served, park_tx, waker, state);
+                    return;
+                }
+                ReadMore::Eof => {
+                    close_conn(state, &stream, served, false);
+                    return;
+                }
+            }
+        }
+    }
 }
 
-// Sender must be droppable from the accept thread while workers hold the
-// receiver; both ends are moved across threads.
+enum ReadMore {
+    /// Bytes arrived (appended to the buffer).
+    Progress,
+    /// Nothing pending right now.
+    WouldBlock,
+    /// Peer closed (or errored).
+    Eof,
+}
+
+/// One nonblocking read probe, restoring blocking mode afterwards.
+fn read_more(stream: &TcpStream, buf: &mut Vec<u8>) -> ReadMore {
+    if stream.set_nonblocking(true).is_err() {
+        return ReadMore::Eof;
+    }
+    let mut chunk = [0u8; 16 * 1024];
+    let outcome = loop {
+        match (&*stream).read(&mut chunk) {
+            Ok(0) => break ReadMore::Eof,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                break ReadMore::Progress;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break ReadMore::WouldBlock,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break ReadMore::Eof,
+        }
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return ReadMore::Eof;
+    }
+    outcome
+}
+
+/// Hands a connection back to the event loop (or closes it when the loop
+/// is already gone at shutdown).
+fn park(
+    stream: TcpStream,
+    buf: Vec<u8>,
+    served: u64,
+    park_tx: &Sender<Parked>,
+    waker: &Waker,
+    state: &Arc<ServerState>,
+) {
+    if stream.set_nonblocking(true).is_err() {
+        close_conn(state, &stream, served, false);
+        return;
+    }
+    let parked = Parked {
+        stream,
+        buf,
+        served,
+        last_activity: Instant::now(),
+    };
+    match park_tx.send(parked) {
+        Ok(()) => waker.wake(),
+        Err(send_failed) => {
+            let conn = send_failed.0;
+            close_conn(state, &conn.stream, conn.served, false);
+        }
+    }
+}
+
+// Jobs and parked connections cross the loop/worker boundary.
 const _: () = {
     const fn assert_send<T: Send>() {}
-    assert_send::<Sender<TcpStream>>();
-    assert_send::<Receiver<TcpStream>>();
+    assert_send::<Sender<Job>>();
+    assert_send::<Receiver<Job>>();
+    assert_send::<Sender<Parked>>();
 };

@@ -15,17 +15,27 @@
 //! performs. With `Accept: text/plain` the response body *is* the CLI
 //! stdout, byte for byte.
 
+use std::sync::Arc;
+
 use prov_core::minimize::{minimize_with, MinimizeOutcome};
+use prov_engine::AnnotatedResult;
 use prov_query::{parse_ucq, UnionQuery};
 use prov_semiring::Annotation;
 use prov_storage::textio::parse_tuple_line;
 use prov_storage::{Database, RelName, Tuple};
 
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, STREAM_SEGMENT_BYTES};
 use crate::json::Json;
 use crate::state::ServerState;
 use crate::stats::Endpoint;
 use crate::{budget, VERSION};
+
+/// Result rows above which `/eval` responses are streamed as chunked
+/// segments instead of one `Content-Length` body. Below it the buffered
+/// path is cheaper (one write, no chunk framing); above it per-connection
+/// memory must stay bounded by [`STREAM_SEGMENT_BYTES`]-sized segments no
+/// matter how large the answer set is.
+const STREAM_ROWS_THRESHOLD: usize = 512;
 
 /// Routes one request, returning which endpoint it hit (for the latency
 /// counters) and the response to send.
@@ -315,11 +325,17 @@ fn handle_eval(state: &ServerState, request: &Request) -> Response {
     let result = state.session().eval_ucq_with(&query, &db, options);
     let generation = db.generation();
     drop(db);
-    let lines = result_lines(&result);
     if request.wants_text() {
-        return Response::text(200, lines.join("\n") + "\n");
+        if result.len() > STREAM_ROWS_THRESHOLD {
+            return streamed_text_eval(result);
+        }
+        return Response::text(200, result_lines(&result).join("\n") + "\n");
     }
     let stats = state.session().stats();
+    if result.len() > STREAM_ROWS_THRESHOLD {
+        return streamed_json_eval(result, generation, &stats);
+    }
+    let lines = result_lines(&result);
     Response::json(
         200,
         &Json::Obj(vec![
@@ -331,6 +347,91 @@ fn handle_eval(state: &ServerState, request: &Request) -> Response {
                 Json::Arr(lines.into_iter().map(Json::Str).collect()),
             ),
         ]),
+    )
+}
+
+/// Streams a large text-mode `/eval` result: each chunked segment holds
+/// roughly [`STREAM_SEGMENT_BYTES`] of rendered lines, and the cursor —
+/// the last tuple written — re-seeks into the shared `BTreeMap` result in
+/// O(log n), so the full serialization never exists in memory and the
+/// `Arc` keeps the result alive without copying it per connection.
+fn streamed_text_eval(result: Arc<AnnotatedResult>) -> Response {
+    let mut cursor: Option<Tuple> = None;
+    Response::streamed(
+        200,
+        "text/plain; charset=utf-8",
+        Box::new(move || {
+            let mut seg = Vec::with_capacity(STREAM_SEGMENT_BYTES + 1024);
+            let mut last: Option<Tuple> = None;
+            for (tuple, p) in result.iter_from(cursor.as_ref()) {
+                seg.extend_from_slice(format!("{tuple}  [{p}]\n").as_bytes());
+                last = Some(tuple.clone());
+                if seg.len() >= STREAM_SEGMENT_BYTES {
+                    break;
+                }
+            }
+            let advanced = last?;
+            cursor = Some(advanced);
+            Some(seg)
+        }),
+    )
+}
+
+/// Streams a large JSON-mode `/eval` result, byte-compatible with the
+/// buffered rendering: the object head (generation/rows/cache) rides in
+/// the first segment, then the `results` array is emitted incrementally
+/// with the same cursor scheme as [`streamed_text_eval`].
+fn streamed_json_eval(
+    result: Arc<AnnotatedResult>,
+    generation: u64,
+    stats: &prov_engine::SessionStats,
+) -> Response {
+    let mut head = Json::Obj(vec![
+        ("generation".to_owned(), Json::from_u64(generation)),
+        ("rows".to_owned(), Json::from_u64(result.len() as u64)),
+        ("cache".to_owned(), cache_json(stats)),
+    ])
+    .to_string();
+    debug_assert_eq!(head.pop(), Some('}'));
+    head.push_str(",\"results\":[");
+    let mut head = Some(head.into_bytes());
+    let mut cursor: Option<Tuple> = None;
+    let mut emitted_any = false;
+    let mut done = false;
+    Response::streamed(
+        200,
+        "application/json",
+        Box::new(move || {
+            if done {
+                return None;
+            }
+            let mut seg = head.take().unwrap_or_default();
+            seg.reserve(STREAM_SEGMENT_BYTES + 1024);
+            let mut last: Option<Tuple> = None;
+            for (tuple, p) in result.iter_from(cursor.as_ref()) {
+                if emitted_any || last.is_some() {
+                    seg.push(b',');
+                }
+                let line = Json::Str(format!("{tuple}  [{p}]")).to_string();
+                seg.extend_from_slice(line.as_bytes());
+                last = Some(tuple.clone());
+                if seg.len() >= STREAM_SEGMENT_BYTES {
+                    break;
+                }
+            }
+            match last {
+                Some(advanced) => {
+                    cursor = Some(advanced);
+                    emitted_any = true;
+                    Some(seg)
+                }
+                None => {
+                    done = true;
+                    seg.extend_from_slice(b"]}");
+                    Some(seg)
+                }
+            }
+        }),
     )
 }
 
@@ -423,6 +524,7 @@ fn handle_stats(state: &ServerState) -> Response {
             ),
             ("cache".to_owned(), cache_json(&stats)),
             ("endpoints".to_owned(), state.stats().snapshot()),
+            ("connections".to_owned(), state.conn_stats().snapshot()),
         ]),
     )
 }
@@ -444,13 +546,15 @@ mod tests {
         Request {
             method: "POST".to_owned(),
             path: path.to_owned(),
+            minor_version: 1,
             headers: vec![("content-type".to_owned(), "application/json".to_owned())],
             body: body.as_bytes().to_vec(),
         }
     }
 
-    fn body_json(resp: &Response) -> Json {
-        Json::parse(std::str::from_utf8(&resp.body).expect("utf8")).expect("json body")
+    fn body_json(resp: Response) -> Json {
+        let bytes = resp.into_body_bytes();
+        Json::parse(std::str::from_utf8(&bytes).expect("utf8")).expect("json body")
     }
 
     fn loaded_state() -> ServerState {
@@ -469,7 +573,7 @@ mod tests {
         let (endpoint, resp) = route(&state, &request);
         assert_eq!(endpoint, Endpoint::Eval);
         assert_eq!(resp.status, 200);
-        let json = body_json(&resp);
+        let json = body_json(resp);
         let results = json.get("results").and_then(Json::as_array).expect("array");
         let lines: Vec<&str> = results.iter().filter_map(Json::as_str).collect();
         assert_eq!(lines, ["(a)  [s1 + s2·s3]", "(b)  [s2·s3 + s4]"]);
@@ -484,16 +588,75 @@ mod tests {
             .push(("accept".to_owned(), "text/plain".to_owned()));
         let (_, resp) = route(&state, &request);
         assert_eq!(
-            std::str::from_utf8(&resp.body).expect("utf8"),
+            String::from_utf8(resp.into_body_bytes()).expect("utf8"),
             "(a)  [s1]\n(b)  [s4]\n"
         );
+    }
+
+    #[test]
+    fn large_results_stream_and_match_buffered_rendering() {
+        // 600 rows clears STREAM_ROWS_THRESHOLD, so both text and JSON
+        // responses take the chunked path; the drained bytes must still
+        // be exactly what the buffered rendering would have produced.
+        let mut text = String::new();
+        for i in 0..600 {
+            text.push_str(&format!("S(v{i:04}) : t{i}\n"));
+        }
+        let state = ServerState::new(parse_database(&text).expect("parses"));
+        let mut request = post("/eval", r#"{"query": "ans(x) :- S(x)"}"#);
+        let (_, resp) = route(&state, &request);
+        assert!(
+            matches!(resp.body, crate::http::Body::Chunks(_)),
+            "large JSON result must stream"
+        );
+        let json = body_json(resp);
+        assert_eq!(json.get("rows").and_then(Json::as_u64), Some(600));
+        let results = json.get("results").and_then(Json::as_array).expect("array");
+        assert_eq!(results.len(), 600);
+        assert_eq!(results[0].as_str(), Some("(v0000)  [t0]"));
+
+        request
+            .headers
+            .push(("accept".to_owned(), "text/plain".to_owned()));
+        let (_, resp) = route(&state, &request);
+        assert!(matches!(resp.body, crate::http::Body::Chunks(_)));
+        let body = String::from_utf8(resp.into_body_bytes()).expect("utf8");
+        assert_eq!(body.lines().count(), 600);
+        assert!(body.starts_with("(v0000)  [t0]\n"));
+        assert!(body.ends_with("(v0599)  [t599]\n"));
+    }
+
+    #[test]
+    fn stats_reports_connection_counters() {
+        let state = loaded_state();
+        state.conn_stats().on_accept();
+        state.conn_stats().on_keepalive_reuse();
+        let get_stats = Request {
+            method: "GET".to_owned(),
+            path: "/stats".to_owned(),
+            minor_version: 1,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let (_, resp) = route(&state, &get_stats);
+        let conns = body_json(resp)
+            .get("connections")
+            .cloned()
+            .expect("connections");
+        assert_eq!(conns.get("accepted").and_then(Json::as_u64), Some(1));
+        assert_eq!(conns.get("active").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            conns.get("keepalive_reuses").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(conns.get("requests_per_conn").is_some());
     }
 
     #[test]
     fn empty_result_renders_like_cli() {
         let state = loaded_state();
         let (_, resp) = route(&state, &post("/eval", r#"{"query": "ans(x) :- Zzz(x)"}"#));
-        let json = body_json(&resp);
+        let json = body_json(resp);
         let results = json.get("results").and_then(Json::as_array).expect("array");
         assert_eq!(results, [Json::str("(empty result)")]);
         assert_eq!(json.get("rows").and_then(Json::as_u64), Some(0));
@@ -506,16 +669,15 @@ mod tests {
         let (_, first) = route(&state, &request);
         let (_, second) = route(&state, &request);
         assert_eq!(first.status, 200);
-        let cache = body_json(&second).get("cache").cloned().expect("cache");
+        let first = body_json(first);
+        let second = body_json(second);
+        let cache = second.get("cache").cloned().expect("cache");
         // The repeat is served straight out of the materialized result
         // store: one full evaluation total, no second touch of the view
         // cache.
         assert_eq!(cache.get("full_rebuilds").and_then(Json::as_u64), Some(1));
         assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
-        assert_eq!(
-            body_json(&second).get("results"),
-            body_json(&first).get("results")
-        );
+        assert_eq!(second.get("results"), first.get("results"));
     }
 
     #[test]
@@ -523,16 +685,16 @@ mod tests {
         let state = loaded_state();
         let eval = post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#);
         let (_, before) = route(&state, &eval);
-        let g0 = body_json(&before).get("generation").and_then(Json::as_u64);
+        let g0 = body_json(before).get("generation").and_then(Json::as_u64);
         let (_, mutated) = route(&state, &post("/mutate", r#"{"insert": ["R(c, c) : s5"]}"#));
         assert_eq!(mutated.status, 200);
-        let mutated = body_json(&mutated);
+        let mutated = body_json(mutated);
         assert_eq!(mutated.get("inserted").and_then(Json::as_u64), Some(1));
         assert_ne!(mutated.get("generation").and_then(Json::as_u64), g0);
         // The mutation was absorbed by the delta log, not a cache wipe.
         assert_eq!(mutated.get("cache").and_then(Json::as_str), Some("delta"));
         let (_, after) = route(&state, &eval);
-        let after = body_json(&after);
+        let after = body_json(after);
         let lines: Vec<&str> = after
             .get("results")
             .and_then(Json::as_array)
@@ -550,11 +712,11 @@ mod tests {
         assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
         // Removal restores the original answers, again via the delta path.
         let (_, removed) = route(&state, &post("/mutate", r#"{"remove": ["R(c, c)"]}"#));
-        let removed = body_json(&removed);
+        let removed = body_json(removed);
         assert_eq!(removed.get("removed").and_then(Json::as_u64), Some(1));
         assert_eq!(removed.get("cache").and_then(Json::as_str), Some("delta"));
         let (_, restored) = route(&state, &eval);
-        let restored = body_json(&restored);
+        let restored = body_json(restored);
         let lines: Vec<&str> = restored
             .get("results")
             .and_then(Json::as_array)
@@ -593,7 +755,7 @@ mod tests {
         );
         assert_eq!(resp.status, 400);
         let (_, check) = route(&state, &post("/eval", r#"{"query": "ans(x) :- R(x,x)"}"#));
-        let lines: Vec<String> = body_json(&check)
+        let lines: Vec<String> = body_json(check)
             .get("results")
             .and_then(Json::as_array)
             .expect("array")
@@ -661,7 +823,7 @@ mod tests {
             &state,
             &post("/minimize", r#"{"query": "ans(x) :- R(x,y), R(x,z)"}"#),
         );
-        let complete = body_json(&complete);
+        let complete = body_json(complete);
         assert_eq!(
             complete.get("status").and_then(Json::as_str),
             Some("complete")
@@ -679,7 +841,7 @@ mod tests {
                 r#"{"query": "ans(x) :- R(x,y), R(y,z)", "budget_steps": 1}"#,
             ),
         );
-        let partial = body_json(&partial);
+        let partial = body_json(partial);
         assert_eq!(
             partial.get("status").and_then(Json::as_str),
             Some("partial")
@@ -695,10 +857,10 @@ mod tests {
         let mut request = post("/load", "S(x) : t1\n");
         request.headers[0].1 = "text/plain".to_owned();
         let (_, resp) = route(&state, &request);
-        let json = body_json(&resp);
+        let json = body_json(resp);
         assert_eq!(json.get("tuples").and_then(Json::as_u64), Some(1));
         let (_, evald) = route(&state, &post("/eval", r#"{"query": "ans(y) :- S(y)"}"#));
-        let lines = body_json(&evald);
+        let lines = body_json(evald);
         let lines: Vec<&str> = lines
             .get("results")
             .and_then(Json::as_array)
@@ -715,12 +877,13 @@ mod tests {
         let get_stats = Request {
             method: "GET".to_owned(),
             path: "/stats".to_owned(),
+            minor_version: 1,
             headers: Vec::new(),
             body: Vec::new(),
         };
         let (endpoint, resp) = route(&state, &get_stats);
         assert_eq!(endpoint, Endpoint::Stats);
-        let json = body_json(&resp);
+        let json = body_json(resp);
         assert!(json.get("generation").is_some());
         assert!(json.get("endpoints").is_some());
 
@@ -731,6 +894,7 @@ mod tests {
             &Request {
                 method: "GET".to_owned(),
                 path: "/eval".to_owned(),
+                minor_version: 1,
                 headers: Vec::new(),
                 body: Vec::new(),
             },

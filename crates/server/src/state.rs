@@ -24,7 +24,7 @@ use std::time::Instant;
 use prov_engine::EvalSession;
 use prov_storage::Database;
 
-use crate::stats::EndpointStats;
+use crate::stats::{ConnStats, EndpointStats};
 
 /// Everything the worker threads share.
 #[derive(Debug)]
@@ -32,6 +32,7 @@ pub struct ServerState {
     db: RwLock<Database>,
     session: EvalSession,
     stats: EndpointStats,
+    conns: ConnStats,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -43,6 +44,7 @@ impl ServerState {
             db: RwLock::new(db),
             session: EvalSession::new(),
             stats: EndpointStats::default(),
+            conns: ConnStats::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
         }
@@ -72,6 +74,11 @@ impl ServerState {
     /// The per-endpoint counters.
     pub fn stats(&self) -> &EndpointStats {
         &self.stats
+    }
+
+    /// The connection-level counters (keep-alive transport telemetry).
+    pub fn conn_stats(&self) -> &ConnStats {
+        &self.conns
     }
 
     /// Asks the accept loop (and the CLI wait loop) to wind down.

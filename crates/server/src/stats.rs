@@ -57,6 +57,115 @@ impl EndpointCounter {
     }
 }
 
+/// Connection-level counters for the keep-alive transport, surfaced as
+/// the `connections` object of `GET /stats`.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    active: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    idle_timeouts: AtomicU64,
+    bytes_streamed: AtomicU64,
+    // Requests-served-per-connection histogram, bucketed 1 / 2–9 /
+    // 10–99 / ≥100; recorded once when a connection closes.
+    served_hist: [AtomicU64; 4],
+}
+
+impl ConnStats {
+    /// A connection was accepted onto the event loop.
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away at the `--max-conns` cap.
+    pub fn on_refuse(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request beyond the first was served on one connection.
+    pub fn on_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Response body bytes written (buffered and chunk-streamed alike).
+    pub fn on_body_bytes(&self, n: u64) {
+        self.bytes_streamed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A previously-accepted connection closed after serving `served`
+    /// requests; `idle_timeout` marks an idle-sweep close.
+    pub fn on_close(&self, served: u64, idle_timeout: bool) {
+        // Saturating: a close racing a late accept must not underflow.
+        let _ = self
+            .active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+        if idle_timeout {
+            self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = match served {
+            0..=1 => 0,
+            2..=9 => 1,
+            10..=99 => 2,
+            _ => 3,
+        };
+        self.served_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently accepted and not yet closed.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Total connections accepted.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// The counters as the `/stats` `connections` JSON object.
+    pub fn snapshot(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "accepted".to_owned(),
+                Json::from_u64(self.accepted.load(Ordering::Relaxed)),
+            ),
+            (
+                "refused".to_owned(),
+                Json::from_u64(self.refused.load(Ordering::Relaxed)),
+            ),
+            (
+                "active".to_owned(),
+                Json::from_u64(self.active.load(Ordering::Relaxed)),
+            ),
+            (
+                "keepalive_reuses".to_owned(),
+                Json::from_u64(self.keepalive_reuses.load(Ordering::Relaxed)),
+            ),
+            (
+                "idle_timeouts".to_owned(),
+                Json::from_u64(self.idle_timeouts.load(Ordering::Relaxed)),
+            ),
+            (
+                "bytes_streamed".to_owned(),
+                Json::from_u64(self.bytes_streamed.load(Ordering::Relaxed)),
+            ),
+            (
+                "requests_per_conn".to_owned(),
+                Json::Obj(
+                    ["1", "2_9", "10_99", "100_plus"]
+                        .iter()
+                        .zip(&self.served_hist)
+                        .map(|(k, v)| ((*k).to_owned(), Json::from_u64(v.load(Ordering::Relaxed))))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// The routes the server exposes (plus a bucket for everything else).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Endpoint {
@@ -131,6 +240,30 @@ mod tests {
         assert_eq!(snap.get("total_micros").and_then(Json::as_u64), Some(40));
         assert_eq!(snap.get("mean_micros").and_then(Json::as_u64), Some(20));
         assert_eq!(snap.get("max_micros").and_then(Json::as_u64), Some(30));
+    }
+
+    #[test]
+    fn conn_stats_counts_and_buckets() {
+        let c = ConnStats::default();
+        c.on_accept();
+        c.on_accept();
+        c.on_refuse();
+        c.on_keepalive_reuse();
+        c.on_body_bytes(100);
+        c.on_body_bytes(28);
+        c.on_close(1, false);
+        c.on_close(12, true);
+        assert_eq!(c.accepted(), 2);
+        assert_eq!(c.active(), 0);
+        let snap = c.snapshot();
+        assert_eq!(snap.get("refused").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("keepalive_reuses").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("idle_timeouts").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("bytes_streamed").and_then(Json::as_u64), Some(128));
+        let hist = snap.get("requests_per_conn").expect("histogram");
+        assert_eq!(hist.get("1").and_then(Json::as_u64), Some(1));
+        assert_eq!(hist.get("10_99").and_then(Json::as_u64), Some(1));
+        assert_eq!(hist.get("2_9").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn start(db_text: &str) -> (ServerHandle, String) {
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_owned(), // free port per test: tests run in parallel
         workers: 4,
+        ..ServeConfig::default()
     };
     let db = parse_database(db_text).expect("test database parses");
     let handle = serve(config, db).expect("bind");
@@ -216,6 +217,109 @@ fn malformed_requests_do_not_wedge_the_server() {
     let (status, _) =
         client::post_json(&addr, "/eval", r#"{"query": "ans(x) :- R(x,x)"}"#).expect("eval");
     assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn keepalive_connection_serves_many_requests() {
+    let (handle, addr) = start(TABLE_2);
+    let eval = r#"{"query": "ans(x) :- R(x,x)"}"#;
+    let (_, oneshot) = client::post_json_accept_text(&addr, "/eval", eval).expect("one-shot");
+
+    let mut conn = client::Client::connect(&addr).expect("connect");
+    for _ in 0..5 {
+        let (status, body) = conn
+            .post_json_accept_text("/eval", eval)
+            .expect("keep-alive");
+        assert_eq!(status, 200);
+        assert_eq!(body, oneshot, "keep-alive body must match one-shot");
+    }
+    // Mixed endpoints on the same connection.
+    let (status, _) = conn.get("/stats").expect("stats on same conn");
+    assert_eq!(status, 200);
+
+    let (_, stats) = conn.get("/stats").expect("stats");
+    let conns = json(&stats)
+        .get("connections")
+        .cloned()
+        .expect("connections");
+    let reuses = conns
+        .get("keepalive_reuses")
+        .and_then(Json::as_u64)
+        .expect("reuses");
+    assert!(
+        reuses >= 6,
+        "7 requests on one connection → ≥6 reuses, got {reuses}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let (handle, addr) = start(TABLE_2);
+    let q1 = r#"{"query": "ans(x) :- R(x,x)"}"#;
+    let q2 = r#"{"query": "ans(x) :- R(x,y), R(y,x)"}"#;
+    let mut conn = client::Client::connect(&addr).expect("connect");
+    let responses = conn
+        .pipeline(&[
+            (
+                "POST",
+                "/eval",
+                "application/json",
+                Some("text/plain"),
+                q1.as_bytes(),
+            ),
+            (
+                "POST",
+                "/eval",
+                "application/json",
+                Some("text/plain"),
+                q2.as_bytes(),
+            ),
+            (
+                "POST",
+                "/eval",
+                "application/json",
+                Some("text/plain"),
+                q1.as_bytes(),
+            ),
+        ])
+        .expect("pipeline");
+    assert_eq!(responses.len(), 3);
+    let (_, expect1) = client::post_json_accept_text(&addr, "/eval", q1).expect("one-shot");
+    let (_, expect2) = client::post_json_accept_text(&addr, "/eval", q2).expect("one-shot");
+    assert_eq!(responses[0], (200, expect1.clone()), "first answer, first");
+    assert_eq!(responses[1], (200, expect2), "second answer, second");
+    assert_eq!(responses[2], (200, expect1), "third answer, third");
+    handle.shutdown();
+}
+
+#[test]
+fn large_results_stream_intact_over_keepalive() {
+    // 2000 rows → well past the router's streaming threshold, so the
+    // response crosses the wire chunked; the client must reassemble it
+    // byte-identically, twice on the same connection.
+    let mut db_text = String::new();
+    for i in 0..2000 {
+        db_text.push_str(&format!("S(v{i:05}) : t{i}\n"));
+    }
+    let (handle, addr) = start(&db_text);
+    let eval = r#"{"query": "ans(x) :- S(x)"}"#;
+    let mut conn = client::Client::connect(&addr).expect("connect");
+    let (status, first) = conn.post_json_accept_text("/eval", eval).expect("streamed");
+    assert_eq!(status, 200);
+    assert_eq!(first.lines().count(), 2000);
+    assert!(first.starts_with("(v00000)  [t0]\n"));
+    assert!(first.ends_with("(v01999)  [t1999]\n"));
+    let (_, second) = conn
+        .post_json_accept_text("/eval", eval)
+        .expect("streamed again");
+    assert_eq!(first, second, "same connection, same bytes");
+    // JSON mode streams too and still parses.
+    let (status, body) = conn.post_json("/eval", eval).expect("streamed json");
+    assert_eq!(status, 200);
+    let parsed = json(&body);
+    assert_eq!(parsed.get("rows").and_then(Json::as_u64), Some(2000));
     handle.shutdown();
 }
 

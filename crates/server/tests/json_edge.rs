@@ -101,6 +101,7 @@ fn start() -> (ServerHandle, String) {
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
+        ..ServeConfig::default()
     };
     let db = parse_database("R(a, b) : j1\n").expect("db parses");
     let handle = serve(config, db).expect("bind");

@@ -1,0 +1,219 @@
+//! Hostile and partial wire input under keep-alive: every case here is a
+//! connection misbehaving at the TCP level — bytes dribbling in, garbage
+//! after a valid pipelined request, a slow-loris that never finishes its
+//! headers, a peer vanishing mid-body — and every case must cost the
+//! server at most that one connection's 400/timeout. The worker pool and
+//! event loop keep serving throughout (each test ends with a clean
+//! round trip proving it).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use prov_server::{client, serve, Json, ServeConfig, ServerHandle};
+use prov_storage::textio::parse_database;
+
+const TABLE_2: &str = "R(a, a) : s1\nR(a, b) : s2\nR(b, a) : s3\nR(b, b) : s4\n";
+const EVAL: &str = r#"{"query": "ans(x) :- R(x,x)"}"#;
+
+fn start(config: ServeConfig) -> (ServerHandle, String) {
+    let db = parse_database(TABLE_2).expect("test database parses");
+    let handle = serve(config, db).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn default_start() -> (ServerHandle, String) {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+}
+
+/// A well-formed eval request as raw bytes.
+fn raw_eval() -> Vec<u8> {
+    format!(
+        "POST /eval HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Accept: text/plain\r\nContent-Length: {}\r\n\r\n{EVAL}",
+        EVAL.len()
+    )
+    .into_bytes()
+}
+
+/// Reads until the peer closes, returning everything received.
+fn read_to_close(stream: &mut TcpStream) -> Vec<u8> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+/// The server must still serve cleanly (the hostile connection cost only
+/// itself).
+fn assert_still_serving(addr: &str) {
+    let (status, body) = client::post_json_accept_text(addr, "/eval", EVAL).expect("round trip");
+    assert_eq!((status, body.as_str()), (200, "(a)  [s1]\n(b)  [s4]\n"));
+}
+
+#[test]
+fn headers_split_across_many_writes_still_parse() {
+    let (handle, addr) = default_start();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let wire = raw_eval();
+    // Dribble the request in 7-byte segments with pauses: every prefix is
+    // a Partial parse, and the connection must just stay parked on the
+    // event loop (never a 400, never a worker dispatch) until complete.
+    for piece in wire.chunks(7) {
+        stream.write_all(piece).expect("write piece");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !response.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed before responding");
+        response.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    assert_still_serving(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_request_followed_by_garbage_costs_one_400() {
+    let (handle, addr) = default_start();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut wire = raw_eval();
+    wire.extend_from_slice(b"THIS IS NOT HTTP\r\n\r\n");
+    stream.write_all(&wire).expect("write");
+    let response = read_to_close(&mut stream);
+    let text = String::from_utf8_lossy(&response);
+    // The valid request is answered first, in order; the garbage then
+    // costs exactly one 400 and the close.
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    assert!(
+        text.contains("HTTP/1.1 400"),
+        "garbage after a valid request must yield a 400: {text}"
+    );
+    assert_still_serving(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_is_idle_timed_out() {
+    let (handle, addr) = start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        keepalive_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    // A request that never completes: the sweep must reclaim the
+    // connection after the idle timeout instead of holding it forever.
+    stream
+        .write_all(b"POST /eval HTTP/1.1\r\nHost: t\r\n")
+        .expect("write");
+    let t0 = Instant::now();
+    let leftovers = read_to_close(&mut stream); // blocks until server closes
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "idle sweep must reclaim a slow-loris connection"
+    );
+    assert!(
+        leftovers.is_empty(),
+        "a timed-out partial request gets no response"
+    );
+    // The close is recorded as an idle timeout in the /stats counters.
+    let (_, stats) = client::get(&addr, "/stats").expect("stats");
+    let conns = Json::parse(&stats)
+        .expect("json")
+        .get("connections")
+        .cloned()
+        .expect("connections");
+    assert!(
+        conns.get("idle_timeouts").and_then(Json::as_u64) >= Some(1),
+        "idle timeout must be counted: {conns:?}"
+    );
+    assert_still_serving(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_is_survived() {
+    let (handle, addr) = default_start();
+    for _ in 0..4 {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        // Headers promise 1000 body bytes; send 10 and vanish.
+        stream
+            .write_all(b"POST /eval HTTP/1.1\r\nHost: t\r\nContent-Length: 1000\r\n\r\n0123456789")
+            .expect("write");
+        drop(stream);
+    }
+    // Workers never saw those connections (no complete request buffered),
+    // so the pool is fully available.
+    assert_still_serving(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn connections_over_the_cap_get_503() {
+    let (handle, addr) = start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        max_conns: 2,
+        ..ServeConfig::default()
+    });
+    // Two parked keep-alive connections occupy the whole budget.
+    let mut a = client::Client::connect(&addr).expect("conn a");
+    let mut b = client::Client::connect(&addr).expect("conn b");
+    assert_eq!(a.post_json("/eval", EVAL).expect("a").0, 200);
+    assert_eq!(b.post_json("/eval", EVAL).expect("b").0, 200);
+    // The third is refused with 503 at accept time.
+    let mut refused = TcpStream::connect(&addr).expect("connect");
+    refused.write_all(&raw_eval()).expect("write");
+    let response = read_to_close(&mut refused);
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 503"),
+        "over-cap connection must get 503, got: {text:?}"
+    );
+    // Existing connections are unaffected, and closing one frees a slot.
+    assert_eq!(a.post_json("/eval", EVAL).expect("a again").0, 200);
+    drop(b);
+    let ok = (0..100).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        client::post_json(&addr, "/eval", EVAL).is_ok_and(|(status, _)| status == 200)
+    });
+    assert!(ok, "closing a connection must free a slot under the cap");
+    handle.shutdown();
+}
+
+#[test]
+fn per_connection_request_cap_forces_close() {
+    let (handle, addr) = start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        max_requests_per_conn: 3,
+        ..ServeConfig::default()
+    });
+    let mut conn = client::Client::connect(&addr).expect("connect");
+    for _ in 0..3 {
+        assert_eq!(conn.post_json("/eval", EVAL).expect("served").0, 200);
+    }
+    // The third response carried Connection: close; a fourth request on
+    // the same connection cannot be answered.
+    assert!(
+        conn.post_json("/eval", EVAL).is_err(),
+        "request cap must close the connection after 3 requests"
+    );
+    assert_still_serving(&addr);
+    handle.shutdown();
+}

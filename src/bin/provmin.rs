@@ -78,7 +78,7 @@ fn usage() -> ExitCode {
          provmin core [--threads N] [--planner KIND] [--batch|--tuple] [--cache-stats] <db-file> '<query>'\n  \
          provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>\n  \
-         provmin serve [--addr HOST:PORT] [--workers N] [--db FILE]\n  \
+         provmin serve [--addr HOST:PORT] [--workers N] [--db FILE] [--max-conns N] [--keepalive-timeout SECS]\n  \
          provmin fuzz [--spec NAME] [--seed N] [--cases N | --case K] [--list-specs]"
     );
     ExitCode::from(2)
@@ -410,6 +410,24 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeArgs, String> {
                 config.workers = n;
             }
             "--db" => db_path = Some(value("--db")?),
+            "--max-conns" => {
+                let n: usize = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| "--max-conns must be a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--max-conns must be a positive integer".to_owned());
+                }
+                config.max_conns = n;
+            }
+            "--keepalive-timeout" => {
+                let secs: u64 = value("--keepalive-timeout")?
+                    .parse()
+                    .map_err(|_| "--keepalive-timeout must be whole seconds".to_owned())?;
+                if secs == 0 {
+                    return Err("--keepalive-timeout must be whole seconds".to_owned());
+                }
+                config.keepalive_timeout = std::time::Duration::from_secs(secs);
+            }
             other => return Err(format!("unknown serve flag {other}")),
         }
     }
