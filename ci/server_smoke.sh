@@ -13,11 +13,16 @@
 #      all get byte-identical answers (vs one-shot `provmin eval`), and
 #      /stats shows the connection reuse actually happened
 #   6. SIGINT drains and exits 0
+#   7. a durable server (--data-dir) persists across SIGTERM: graceful
+#      exit 0, a snapshot on disk, acked mutations served after restart
+#   8. crash_storm: seeded kill -9 / torn-write rounds recover
+#      byte-identically, and `provmin recover --check` reads the last
+#      round's directory back cleanly
 #
 # Usage: ci/server_smoke.sh [path-to-provmin-binary] [port]
 # Needs curl + POSIX tools (no jq: stats are grepped) plus the
-# `keepalive_soak` binary next to the provmin one (both come out of
-# `cargo build --release`).
+# `keepalive_soak` and `crash_storm` binaries next to the provmin one
+# (all come out of `cargo build --release`).
 
 set -euo pipefail
 
@@ -149,5 +154,50 @@ SERVER_PID=""
 [ "$EXIT_CODE" -eq 0 ] || fail "serve exited $EXIT_CODE on SIGINT (expected 0)"
 curl -sf --max-time 2 "$BASE/stats" -o /dev/null 2>/dev/null \
     && fail "server still accepting after shutdown"
+
+echo "== 7. durable serve survives SIGTERM with a final snapshot"
+DATA_DIR="$WORKDIR/data"
+DUR_PORT=$((PORT + 1))
+DUR_BASE="http://127.0.0.1:${DUR_PORT}"
+"$BIN" serve --addr "127.0.0.1:${DUR_PORT}" --workers 2 --db "$WORKDIR/db.txt" \
+    --data-dir "$DATA_DIR" --fsync always --snapshot-every 64 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    curl -sf "$DUR_BASE/stats" -o /dev/null 2>/dev/null && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "durable server exited before becoming ready"
+    sleep 0.1
+done
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"insert": ["R(d, d) : s6"]}' "$DUR_BASE/mutate" -o /dev/null \
+    || fail "durable mutate failed"
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+[ "$EXIT_CODE" -eq 0 ] || fail "durable serve exited $EXIT_CODE on SIGTERM (expected 0)"
+[ -s "$DATA_DIR/snapshot.db" ] || fail "graceful SIGTERM left no snapshot in $DATA_DIR"
+grep -q 'R(d, d) : s6' "$DATA_DIR/snapshot.db" \
+    || fail "final snapshot is missing the acked mutation"
+"$BIN" serve --addr "127.0.0.1:${DUR_PORT}" --workers 2 --data-dir "$DATA_DIR" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    curl -sf "$DUR_BASE/stats" -o "$WORKDIR/dur_stats.json" 2>/dev/null && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "restarted server exited before becoming ready"
+    sleep 0.1
+done
+TUPLES=$(json_u64 snapshot_tuples "$WORKDIR/dur_stats.json")
+[ "$TUPLES" -eq 5 ] || fail "restart recovered $TUPLES tuples from the snapshot (expected 5)"
+curl -sf -X POST -H 'Content-Type: application/json' -H 'Accept: text/plain' \
+    -d '{"query": "ans(x) :- R(x,x)"}' "$DUR_BASE/eval" -o "$WORKDIR/dur_eval.txt"
+grep -q '(d)' "$WORKDIR/dur_eval.txt" || fail "recovered eval is missing the acked mutation"
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID" || fail "restarted server did not drain cleanly"
+SERVER_PID=""
+
+echo "== 8. crash_storm: seeded kill -9 + torn-write recovery rounds"
+STORM="$(dirname "$BIN")/crash_storm"
+[ -x "$STORM" ] || fail "crash_storm binary not found next to $BIN (build the workspace)"
+"$STORM" "$BIN" --rounds 20 --seed 1309 --base-port $((PORT + 100)) \
+    || fail "crash_storm found a durability violation"
 
 echo "PASS: all server smoke checks passed"

@@ -161,15 +161,34 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
     // ≤1.5x-of-in-process acceptance row), and 64 concurrent keep-alive
     // connections hammering in parallel (per-request cost under
     // contention on the shared event loop + worker pool).
+    // Since the durability PR the served database persists to a WAL +
+    // snapshot data directory with `--fsync interval` (the deployment
+    // configuration): /eval never touches the log, so these rows also
+    // guard the "durability is free for readers" property — the
+    // keep-alive row's budget tolerates <10% over the pre-WAL figure.
     {
-        use prov_server::{client, serve, ServeConfig};
-        let handle = serve(
+        use prov_server::{client, serve_durable, ServeConfig};
+        use prov_storage::{DurabilityOptions, DurableStore, FsyncPolicy};
+        let data_dir =
+            std::env::temp_dir().join(format!("provmin_bench_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let (mut store, _) = DurableStore::open(
+            &data_dir,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Interval(FsyncPolicy::DEFAULT_INTERVAL),
+                ..DurabilityOptions::default()
+            },
+        )
+        .expect("bench data dir opens");
+        store.snapshot(&db200).expect("bench base snapshot");
+        let handle = serve_durable(
             ServeConfig {
                 addr: "127.0.0.1:0".to_owned(),
                 workers: 2,
                 ..ServeConfig::default()
             },
             db200.clone(),
+            Some(store),
         )
         .expect("serve bench binds");
         let addr = handle.addr().to_string();
@@ -232,6 +251,7 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
             });
         }
         handle.shutdown();
+        let _ = std::fs::remove_dir_all(&data_dir);
     }
 
     // B3 minimize_cq.
@@ -474,6 +494,53 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         ));
     }
 
+    // Durability: cold recovery of a qconj/800-scale snapshot plus a
+    // 64-record WAL tail — the boot path a crashed `--data-dir` server
+    // pays before it can serve again. Recovery is read-only, so the
+    // snapshot.db + wal.log pair is prepared once and replayed every
+    // iteration.
+    {
+        use prov_semiring::Annotation;
+        use prov_storage::wal::WalWriter;
+        use prov_storage::{
+            recover_readonly, DeltaEvent, DeltaKind, DurabilityOptions, DurableStore, FsyncPolicy,
+        };
+        let dir =
+            std::env::temp_dir().join(format!("provmin_bench_recover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut store, _) =
+            DurableStore::open(&dir, DurabilityOptions::default()).expect("bench recover dir");
+        store.snapshot(&db800).expect("bench recover snapshot");
+        drop(store);
+        let base_gen = db800.generation();
+        let tail: Vec<DeltaEvent> = (0..64u64)
+            .map(|i| DeltaEvent {
+                generation: base_gen + 1 + i,
+                kind: DeltaKind::Insert,
+                rel: RelName::new("R"),
+                tuple: Tuple::of(&[&format!("wal_x{i}"), &format!("wal_y{i}")]),
+                annotation: Annotation::new(&format!("wal_a{i}")),
+            })
+            .collect();
+        let mut writer = WalWriter::open(
+            &dir.join(prov_storage::durability::WAL_FILE),
+            FsyncPolicy::Always,
+        )
+        .expect("bench recover wal");
+        writer.append(&tail).expect("bench recover wal tail");
+        drop(writer);
+        extra.push(measure(
+            "durability/recover/qconj800_wal64",
+            budget_ms,
+            || {
+                let (db, report) = recover_readonly(&dir, 64).expect("recovery succeeds");
+                assert_eq!(report.wal_replayed, 64);
+                std::hint::black_box(db);
+            },
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     out.extend(extra);
     out
 }
@@ -618,7 +685,7 @@ mod tests {
         ] {
             assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
         }
-        // Incremental-maintenance rows (this PR's CI-visible surface):
+        // Incremental-maintenance rows (PR 7's CI-visible surface):
         // single-tuple delta absorption vs from-scratch rebuild.
         for id in [
             "incremental/insert_1/qconj800",
@@ -627,6 +694,15 @@ mod tests {
         ] {
             assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
         }
+        // Durability row (the WAL/snapshot PR's CI-visible surface):
+        // cold recovery of a snapshot + 64-frame WAL tail. The serve rows
+        // above now run against a durable `--fsync interval` server, so
+        // they double as the reader-path regression guard.
+        assert!(
+            ms.iter()
+                .any(|m| m.id == "durability/recover/qconj800_wal64"),
+            "durability/recover/qconj800_wal64 not covered"
+        );
         // Minimization-engine variants present: unbounded vs budgeted
         // rows for the Theorem 4.10 blowup family.
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/2/unmemoized"));

@@ -62,6 +62,12 @@ pub struct SessionStats {
     /// Distinct monomials dropped by deletion propagation across all
     /// delta applies.
     pub monomials_dropped: u64,
+    /// Times the materialized-result store was wiped wholesale
+    /// ([`EvalSession::invalidate_results`]): database replaced via
+    /// `/load`, or a post-recovery state whose generation lineage the
+    /// cached entries cannot roll forward to. Each wiped entry costs one
+    /// later full rebuild — the counter says the fallback happened.
+    pub invalidations: u64,
 }
 
 /// Whether a mutation was absorbed incrementally or invalidated the warm
@@ -138,6 +144,7 @@ pub struct EvalSession {
     delta_applies: AtomicU64,
     full_rebuilds: AtomicU64,
     monomials_dropped: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl std::fmt::Debug for EvalSession {
@@ -175,7 +182,24 @@ impl EvalSession {
             delta_applies: self.delta_applies.load(Ordering::Relaxed),
             full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
             monomials_dropped: self.monomials_dropped.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Drops every materialized result at once.
+    ///
+    /// The per-entry fallback in `eval_keyed` already
+    /// rebuilds transparently whenever the delta log cannot reach an
+    /// entry's generation, so correctness never *requires* this — but
+    /// when the caller knows the whole database lineage changed (a
+    /// `/load` replacement, a crash-recovered state), every cached entry
+    /// is dead weight that would only decay out of the LRU. Wiping frees
+    /// the memory immediately and records that the clean-rebuild path was
+    /// taken in [`SessionStats::invalidations`].
+    pub fn invalidate_results(&self) {
+        let mut store = self.results.lock().expect("result store poisoned");
+        store.entries.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Evaluates a conjunctive query under the session defaults.
@@ -564,6 +588,24 @@ mod tests {
         let r2 = session.eval_ucq(&q, &db);
         assert!(Arc::ptr_eq(&r1, &r2), "generation hit must share");
         assert_eq!(session.stats().full_rebuilds, 1);
+    }
+
+    #[test]
+    fn invalidate_results_forces_clean_rebuild_and_counts() {
+        let db = table_2_database();
+        let session = EvalSession::new();
+        let q = parse_ucq("ans(x) :- R(x,x)").unwrap();
+        let before = session.eval_ucq(&q, &db);
+        session.invalidate_results();
+        let after = session.eval_ucq(&q, &db);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "a wiped store must not hand back the old Arc"
+        );
+        assert_eq!(*before, *after);
+        let stats = session.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.full_rebuilds, 2, "post-wipe eval is a clean rebuild");
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! byte-for-byte against an expected file (the one-shot `provmin eval`
 //! output). Exits 0 only if every single response matched.
 //!
-//!     keepalive_soak --addr 127.0.0.1:7177 --conns 200 --requests 10 \
-//!         --query 'ans(x) :- R(x,x)' --expect expected.txt
+//! ```text
+//! keepalive_soak --addr 127.0.0.1:7177 --conns 200 --requests 10 \
+//!     --query 'ans(x) :- R(x,x)' --expect expected.txt
+//! ```
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -99,7 +99,7 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// The outcome of [`try_parse`] on the bytes buffered so far.
+/// The outcome of `try_parse` on the bytes buffered so far.
 #[derive(Debug)]
 pub enum ParseStatus {
     /// A complete request, plus how many buffered bytes it consumed
@@ -220,7 +220,7 @@ pub enum Body {
     /// A fixed-length body (`Content-Length`).
     Bytes(Vec<u8>),
     /// A streamed body: each call yields the next segment (roughly
-    /// [`STREAM_SEGMENT_BYTES`] each), `None` when exhausted. Written as
+    /// `STREAM_SEGMENT_BYTES` each), `None` when exhausted. Written as
     /// chunked transfer-encoding, so the peer needs no length up front
     /// and the server never holds the full serialization in memory.
     Chunks(Box<dyn FnMut() -> Option<Vec<u8>> + Send>),

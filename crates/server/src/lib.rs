@@ -18,7 +18,7 @@
 //! has no registry access (see ROADMAP "vendored shims"), so the crate
 //! owns the subset it needs: keep-alive and pipelining over an
 //! incremental request parser, chunked transfer-encoding for streamed
-//! large results, and an epoll readiness loop ([`epoll`] wraps the three
+//! large results, and an epoll readiness loop (the private `epoll` module wraps the three
 //! syscalls as local FFI) that parks idle and mid-request connections so
 //! the worker pool only ever sees fully-buffered requests.
 //!
@@ -41,7 +41,7 @@ pub mod client;
 
 pub use http::{Body, ParseStatus, Request, Response};
 pub use json::{Json, JsonError};
-pub use listener::{serve, ServeConfig, ServerHandle};
+pub use listener::{serve, serve_durable, ServeConfig, ServerHandle};
 pub use state::ServerState;
 pub use stats::{ConnStats, Endpoint, EndpointCounter, EndpointStats};
 

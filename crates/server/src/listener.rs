@@ -71,6 +71,10 @@ pub struct ServeConfig {
     /// Requests served on one connection before the server answers with
     /// `Connection: close` — bounds per-connection resource pinning.
     pub max_requests_per_conn: u64,
+    /// Delta-log window of databases created by `/load`
+    /// (`--delta-capacity`); the boot database keeps whatever window it
+    /// was built with.
+    pub delta_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +85,7 @@ impl Default for ServeConfig {
             max_conns: 1024,
             keepalive_timeout: Duration::from_secs(30),
             max_requests_per_conn: 10_000,
+            delta_capacity: prov_storage::DELTA_LOG_CAPACITY,
         }
     }
 }
@@ -126,12 +131,30 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `config.addr` and starts serving `db` in background threads.
+/// Binds `config.addr` and starts serving `db` in background threads
+/// (no persistence — see [`serve_durable`]).
 pub fn serve(config: ServeConfig, db: Database) -> io::Result<ServerHandle> {
+    serve_durable(config, db, None)
+}
+
+/// Like [`serve`], with an optional durability coordinator. The store
+/// must already be recovered and `db` must be its recovered database
+/// (see [`prov_storage::DurableStore::open`]); every `/mutate` is then
+/// WAL-appended before it is acknowledged, `/load` rotates a snapshot,
+/// and the graceful drain ends with a final compacted snapshot.
+pub fn serve_durable(
+    config: ServeConfig,
+    db: Database,
+    durability: Option<prov_storage::DurableStore>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(ServerState::new(db));
+    let state = Arc::new(ServerState::with_durability(
+        db,
+        durability,
+        config.delta_capacity,
+    ));
     let loop_state = Arc::clone(&state);
     let event_loop = std::thread::Builder::new()
         .name("provmin-events".to_owned())
@@ -268,6 +291,9 @@ fn event_loop(listener: TcpListener, state: &Arc<ServerState>, config: &ServeCon
     for worker in pool {
         let _ = worker.join();
     }
+    // Workers are gone, so no mutation is in flight: rotate the final
+    // compacted snapshot (SIGINT, SIGTERM, and /shutdown all drain here).
+    state.final_snapshot();
 }
 
 /// Accepts every pending connection (level-triggered: drain to

@@ -95,46 +95,14 @@ fn result_lines(result: &prov_engine::AnnotatedResult) -> Vec<String> {
 }
 
 /// Builds a database from text without ever panicking: beyond per-line
-/// syntax (which [`parse_database`] also rejects), cross-line
-/// inconsistencies — an annotation re-tagging a different tuple, an
-/// arity mismatch with an earlier line — become errors here, where
+/// syntax, cross-line inconsistencies — an annotation re-tagging a
+/// different tuple, an arity mismatch with an earlier line — become
+/// errors (via `textio::parse_database_into`'s checked inserts) where
 /// `Database::insert` / `Relation::insert` would assert. Network input
 /// must never be able to reach those asserts.
-fn build_database(text: &str) -> Result<Database, String> {
-    let mut db = Database::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        let Some((rel, tuple, annotation)) =
-            parse_tuple_line(raw).map_err(|e| format!("line {line}: {e}"))?
-        else {
-            continue;
-        };
-        if let Some(existing) = db.relation(rel) {
-            if existing.arity() != tuple.arity() {
-                return Err(format!(
-                    "line {line}: {rel} has arity {}, got a {}-tuple",
-                    existing.arity(),
-                    tuple.arity()
-                ));
-            }
-        }
-        match annotation {
-            Some(a) => {
-                if let Some((r0, t0)) = db.tuple_of(a) {
-                    if !(*r0 == rel && *t0 == tuple) {
-                        return Err(format!(
-                            "line {line}: annotation {a} already tags {r0}{t0} \
-                             (databases must be abstractly tagged)"
-                        ));
-                    }
-                }
-                db.insert(rel, tuple, a);
-            }
-            None => {
-                db.insert_fresh(rel, tuple);
-            }
-        }
-    }
+fn build_database(text: &str, delta_capacity: usize) -> Result<Database, String> {
+    let mut db = Database::with_delta_capacity(delta_capacity);
+    prov_storage::textio::parse_database_into(&mut db, text).map_err(|e| e.to_string())?;
     Ok(db)
 }
 
@@ -142,17 +110,18 @@ fn handle_load(state: &ServerState, request: &Request) -> Response {
     let is_json = request
         .header("content-type")
         .is_some_and(|t| t.contains("json"));
+    let capacity = state.delta_capacity();
     let parsed: Result<Database, Response> = if is_json {
         match json_body(request) {
             Ok(body) => match body.get("db").and_then(Json::as_str) {
-                Some(text) => build_database(text).map_err(|e| Response::error(400, e)),
+                Some(text) => build_database(text, capacity).map_err(|e| Response::error(400, e)),
                 None => Err(Response::error(400, "missing string field \"db\"")),
             },
             Err(resp) => Err(resp),
         }
     } else {
         match request.body_utf8() {
-            Some(text) => build_database(text).map_err(|e| Response::error(400, e)),
+            Some(text) => build_database(text, capacity).map_err(|e| Response::error(400, e)),
             None => Err(Response::error(400, "body is not valid utf-8")),
         }
     };
@@ -161,7 +130,21 @@ fn handle_load(state: &ServerState, request: &Request) -> Response {
         Err(resp) => return resp,
     };
     let (tuples, generation) = (db.num_tuples(), db.generation());
-    *state.write_db() = db;
+    {
+        let mut slot = state.write_db();
+        *slot = db;
+        // The replacement starts a fresh lineage: persist it as a full
+        // snapshot (truncating the WAL — its events belong to the old
+        // lineage) before acknowledging.
+        if let Some(mut store) = state.durability() {
+            if let Err(e) = store.snapshot(&slot) {
+                return Response::error(500, format!("load applied in memory only: {e}"));
+            }
+        }
+    }
+    // Every cached result keyed into the old lineage is dead weight now;
+    // free it eagerly and count the clean rebuild.
+    state.session().invalidate_results();
     Response::json(
         200,
         &Json::Obj(vec![
@@ -288,7 +271,25 @@ fn handle_mutate(state: &ServerState, request: &Request) -> Response {
         claimed.insert(a, (rel, tuple.clone()));
         resolved.push((rel, tuple, a));
     }
+    let from = db.generation();
     let outcome = state.session().apply_mutation(&mut db, &removes, &resolved);
+    // Durability before acknowledgement: the events are WAL-appended and
+    // (per --fsync policy) on disk before the 200 goes out, still under
+    // the write lock so the log order is the lock order. A batch that
+    // outran the delta-log window has no event list — fold the whole
+    // state into a snapshot instead.
+    if let Some(mut store) = state.durability() {
+        let persisted = match db.deltas_since(from) {
+            Some(events) if !events.is_empty() => store.append(events, &db).map(|_| ()),
+            Some(_) => Ok(()), // idempotent no-op: nothing to persist
+            None => store.snapshot(&db),
+        };
+        if let Err(e) = persisted {
+            // The mutation is live in memory but NOT durable; refusing to
+            // acknowledge keeps the contract "200 ⇒ survives a crash".
+            return Response::error(500, format!("mutation applied in memory only: {e}"));
+        }
+    }
     Response::json(
         200,
         &Json::Obj(vec![
@@ -392,7 +393,11 @@ fn streamed_json_eval(
         ("cache".to_owned(), cache_json(stats)),
     ])
     .to_string();
-    debug_assert_eq!(head.pop(), Some('}'));
+    // NOT inside a debug_assert: the pop must happen in release builds
+    // too, or the streamed prefix keeps the closing brace and the wire
+    // JSON is malformed.
+    let closing = head.pop();
+    debug_assert_eq!(closing, Some('}'));
     head.push_str(",\"results\":[");
     let mut head = Some(head.into_bytes());
     let mut cursor: Option<Tuple> = None;
@@ -453,6 +458,77 @@ fn cache_json(stats: &prov_engine::SessionStats) -> Json {
         (
             "monomials_dropped".to_owned(),
             Json::from_u64(stats.monomials_dropped),
+        ),
+        (
+            "invalidations".to_owned(),
+            Json::from_u64(stats.invalidations),
+        ),
+    ])
+}
+
+/// The `/stats` durability object: WAL/snapshot counters plus the boot
+/// recovery report (see `docs/DURABILITY.md`).
+fn durability_json(state: &ServerState) -> Json {
+    let Some(store) = state.durability() else {
+        return Json::Obj(vec![("enabled".to_owned(), Json::Bool(false))]);
+    };
+    let counters = store.counters();
+    let recovery = store.last_recovery();
+    let fsync = match store.options().fsync {
+        prov_storage::FsyncPolicy::Always => "always",
+        prov_storage::FsyncPolicy::Interval(_) => "interval",
+    };
+    Json::Obj(vec![
+        ("enabled".to_owned(), Json::Bool(true)),
+        (
+            "data_dir".to_owned(),
+            Json::Str(store.dir().display().to_string()),
+        ),
+        ("fsync".to_owned(), Json::str(fsync)),
+        (
+            "wal_appends".to_owned(),
+            Json::from_u64(counters.wal_appends),
+        ),
+        (
+            "wal_records".to_owned(),
+            Json::from_u64(counters.wal_records),
+        ),
+        ("fsyncs".to_owned(), Json::from_u64(counters.fsyncs)),
+        (
+            "snapshots_written".to_owned(),
+            Json::from_u64(counters.snapshots_written),
+        ),
+        (
+            "last_recovery".to_owned(),
+            Json::Obj(vec![
+                (
+                    "snapshot_generation".to_owned(),
+                    Json::from_u64(recovery.snapshot_generation),
+                ),
+                (
+                    "snapshot_tuples".to_owned(),
+                    Json::from_u64(recovery.snapshot_tuples as u64),
+                ),
+                (
+                    "wal_replayed".to_owned(),
+                    Json::from_u64(recovery.wal_replayed),
+                ),
+                (
+                    "wal_skipped".to_owned(),
+                    Json::from_u64(recovery.wal_skipped),
+                ),
+                (
+                    "wal_dropped_bytes".to_owned(),
+                    Json::from_u64(recovery.wal_dropped_bytes),
+                ),
+                (
+                    "corruption".to_owned(),
+                    match &recovery.corruption {
+                        Some(why) => Json::Str(why.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
         ),
     ])
 }
@@ -523,6 +599,7 @@ fn handle_stats(state: &ServerState) -> Response {
                 Json::from_u64(state.uptime_micros()),
             ),
             ("cache".to_owned(), cache_json(&stats)),
+            ("durability".to_owned(), durability_json(state)),
             ("endpoints".to_owned(), state.stats().snapshot()),
             ("connections".to_owned(), state.conn_stats().snapshot()),
         ]),

@@ -18,11 +18,11 @@
 //! construction because cache keys *are* generation stamps.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use prov_engine::EvalSession;
-use prov_storage::Database;
+use prov_storage::{Database, DurableStore, DELTA_LOG_CAPACITY};
 
 use crate::stats::{ConnStats, EndpointStats};
 
@@ -35,11 +35,31 @@ pub struct ServerState {
     conns: ConnStats,
     shutdown: AtomicBool,
     started: Instant,
+    /// The durability coordinator, when the server runs with
+    /// `--data-dir`. Mutation handlers touch it only while holding the
+    /// database *write* lock, so the mutex never contends — it exists to
+    /// make `&self` appends possible.
+    durability: Option<Mutex<DurableStore>>,
+    /// Delta-log window for databases created by `/load`
+    /// (`--delta-capacity`).
+    delta_capacity: usize,
 }
 
 impl ServerState {
-    /// State serving `db` (possibly empty until a `/load`).
+    /// State serving `db` (possibly empty until a `/load`), no
+    /// persistence.
     pub fn new(db: Database) -> Self {
+        ServerState::with_durability(db, None, DELTA_LOG_CAPACITY)
+    }
+
+    /// State with an optional durability coordinator (already recovered;
+    /// `db` is its recovered database) and a delta-log window for
+    /// `/load`-created databases.
+    pub fn with_durability(
+        db: Database,
+        durability: Option<DurableStore>,
+        delta_capacity: usize,
+    ) -> Self {
         ServerState {
             db: RwLock::new(db),
             session: EvalSession::new(),
@@ -47,6 +67,40 @@ impl ServerState {
             conns: ConnStats::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            durability: durability.map(Mutex::new),
+            delta_capacity,
+        }
+    }
+
+    /// The durability coordinator, when persistence is on. Lock order:
+    /// always acquire the database write lock first (see the field docs).
+    pub fn durability(&self) -> Option<MutexGuard<'_, DurableStore>> {
+        self.durability
+            .as_ref()
+            .map(|d| d.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Whether the server persists to a data directory.
+    pub fn durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The delta-log window `/load`-created databases get.
+    pub fn delta_capacity(&self) -> usize {
+        self.delta_capacity
+    }
+
+    /// Rotates a final compacted snapshot on graceful drain (SIGINT,
+    /// SIGTERM, `/shutdown`), so a clean stop never leans on the WAL.
+    /// Best-effort: a failure is logged, not fatal — the WAL still holds
+    /// everything acknowledged.
+    pub fn final_snapshot(&self) {
+        let db = self.read_db();
+        if let Some(mut store) = self.durability() {
+            if let Err(e) = store.snapshot(&db) {
+                eprintln!("provmin serve: final snapshot failed: {e}");
+                let _ = store.sync();
+            }
         }
     }
 

@@ -10,17 +10,37 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::{RelName, Value};
 
+/// The process-wide generation counter behind [`next_generation`].
+static GENERATION_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// Hands out globally-unique generation stamps. Starting at 1 keeps 0 as
 /// the shared stamp of never-mutated (hence empty, hence interchangeable)
 /// databases.
 fn next_generation() -> u64 {
-    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
-    COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    GENERATION_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
-/// How many mutation events a database retains in its delta log. Older
-/// events are discarded; consumers asking for deltas reaching past the
-/// retained window get `None` and must fall back to a full rebuild.
+/// Raises the process-wide generation counter so every stamp minted from
+/// now on is strictly greater than `floor`.
+///
+/// Generation stamps are process-local, so a restarted process would mint
+/// stamps that collide with the ones persisted by its predecessor (in a
+/// snapshot header or write-ahead log). Recovery calls this with the
+/// highest persisted stamp *before* rebuilding the database, which keeps
+/// the "equal stamps imply equal content" invariant valid across process
+/// lifetimes and keeps replay filters (`event.generation > snapshot
+/// generation`) sound after a crash between snapshot rotation steps.
+pub fn ensure_generation_floor(floor: u64) {
+    GENERATION_COUNTER.fetch_max(
+        floor.saturating_add(1),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// Default number of mutation events a database retains in its delta log
+/// (see [`Database::with_delta_capacity`] to pick a different window).
+/// Older events are discarded; consumers asking for deltas reaching past
+/// the retained window get `None` and must fall back to a full rebuild.
 pub const DELTA_LOG_CAPACITY: usize = 64;
 
 /// The kind of one logged mutation.
@@ -51,7 +71,7 @@ pub struct DeltaEvent {
 }
 
 /// A database instance of abstractly-tagged `N[X]`-relations.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Database {
     relations: BTreeMap<RelName, Relation>,
     /// Reverse index: annotation → (relation, tuple). Well-defined because
@@ -64,18 +84,61 @@ pub struct Database {
     /// be cached keyed by it and reused until the stamp moves.
     generation: u64,
     /// The most recent mutation events, oldest first, at most
-    /// [`DELTA_LOG_CAPACITY`] of them (older ones are discarded).
+    /// `delta_capacity` of them (older ones are discarded).
     delta_log: Vec<DeltaEvent>,
     /// The generation a replay of the whole retained log starts from:
     /// applying every `delta_log` event to a snapshot taken at `log_base`
     /// yields the current content.
     log_base: u64,
+    /// How many events `delta_log` retains before the oldest is dropped
+    /// (defaults to [`DELTA_LOG_CAPACITY`]).
+    delta_capacity: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::with_delta_capacity(DELTA_LOG_CAPACITY)
+    }
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Creates an empty database whose delta log retains up to `capacity`
+    /// mutation events (instead of the default [`DELTA_LOG_CAPACITY`]).
+    ///
+    /// A larger window lets incremental consumers absorb bigger mutation
+    /// batches before falling back to a full rebuild, at the cost of
+    /// keeping more events in memory; capacity 0 disables the log (only
+    /// same-generation asks succeed).
+    pub fn with_delta_capacity(capacity: usize) -> Self {
+        Database {
+            relations: BTreeMap::new(),
+            by_annotation: BTreeMap::new(),
+            generation: 0,
+            delta_log: Vec::new(),
+            log_base: 0,
+            delta_capacity: capacity,
+        }
+    }
+
+    /// The delta log's retention window, in events.
+    pub fn delta_capacity(&self) -> usize {
+        self.delta_capacity
+    }
+
+    /// Changes the delta log's retention window. Shrinking below the
+    /// current log length drops the oldest events immediately (moving the
+    /// replay base past them), exactly as if they had aged out.
+    pub fn set_delta_capacity(&mut self, capacity: usize) {
+        self.delta_capacity = capacity;
+        while self.delta_log.len() > capacity {
+            let dropped = self.delta_log.remove(0);
+            self.log_base = dropped.generation;
+        }
     }
 
     /// Inserts a tuple with an explicit annotation, creating the relation
@@ -113,11 +176,11 @@ impl Database {
     /// Appends a mutation event, discarding the oldest one when the log is
     /// full (which moves the replay base forward past it).
     fn log_event(&mut self, event: DeltaEvent) {
-        if self.delta_log.len() == DELTA_LOG_CAPACITY {
+        self.delta_log.push(event);
+        while self.delta_log.len() > self.delta_capacity {
             let dropped = self.delta_log.remove(0);
             self.log_base = dropped.generation;
         }
-        self.delta_log.push(event);
     }
 
     /// The mutation events that lead from the content the database had at
@@ -388,6 +451,53 @@ mod tests {
         db.add("R", &["a"], "dn1"); // idempotent re-insert
         db.remove(RelName::new("R"), &Tuple::of(&["zz"])); // missing tuple
         assert_eq!(db.deltas_since(g), Some(&[][..]));
+    }
+
+    #[test]
+    fn delta_capacity_is_configurable() {
+        let mut db = Database::with_delta_capacity(4);
+        assert_eq!(db.delta_capacity(), 4);
+        db.add("R", &["seed"], "cap_seed");
+        let early = db.generation();
+        for i in 0..4 {
+            db.add("R", &[&format!("v{i}")], &format!("cap_{i}"));
+        }
+        // Exactly 4 events after `early` fit the window...
+        assert_eq!(db.deltas_since(early).map(<[_]>::len), Some(4));
+        // ...one more pushes `early` out.
+        db.add("R", &["overflow"], "cap_overflow");
+        assert!(db.deltas_since(early).is_none());
+        // Shrinking drops oldest events immediately.
+        let mid = db.deltas_since(db.delta_log[1].generation).unwrap()[0].generation;
+        db.set_delta_capacity(2);
+        assert!(db.deltas_since(mid).is_some());
+        assert_eq!(db.delta_log.len(), 2);
+        // Capacity 0 disables the log: only same-generation asks succeed.
+        db.set_delta_capacity(0);
+        assert_eq!(db.deltas_since(db.generation()), Some(&[][..]));
+        db.add("R", &["zero"], "cap_zero");
+        let g = db.generation();
+        assert_eq!(db.deltas_since(g), Some(&[][..]));
+        assert!(db.deltas_since(early).is_none());
+    }
+
+    #[test]
+    fn generation_floor_raises_future_stamps() {
+        let mut db = Database::new();
+        db.add("R", &["pre"], "floor_pre");
+        let before = db.generation();
+        // A floor well above anything minted so far: the next stamp must
+        // clear it. (Other tests mint stamps concurrently, so only the
+        // lower bound is checkable.)
+        let floor = before + 1_000_000;
+        ensure_generation_floor(floor);
+        db.add("R", &["post"], "floor_post");
+        assert!(db.generation() > floor);
+        // A stale floor is a no-op: stamps keep moving forward.
+        ensure_generation_floor(1);
+        let g = db.generation();
+        db.add("R", &["post2"], "floor_post2");
+        assert!(db.generation() > g);
     }
 
     #[test]

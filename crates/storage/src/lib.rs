@@ -16,15 +16,22 @@ mod tuple;
 mod valuation;
 mod value;
 
+pub mod durability;
 pub mod generator;
 pub mod shard;
+pub mod snapshot;
 pub mod textio;
+pub mod wal;
 
 pub use columnar::{ColumnarDatabase, ColumnarRelation};
-pub use database::{Database, DeltaEvent, DeltaKind, DELTA_LOG_CAPACITY};
+pub use database::{ensure_generation_floor, Database, DeltaEvent, DeltaKind, DELTA_LOG_CAPACITY};
+pub use durability::{
+    recover_readonly, DurabilityCounters, DurabilityOptions, DurableStore, RecoveryReport,
+};
 pub use intern::Interner;
 pub use relation::Relation;
 pub use shard::{RelationShards, ShardedDatabase};
 pub use tuple::Tuple;
 pub use valuation::{Renaming, Valuation};
 pub use value::{RelName, Value};
+pub use wal::FsyncPolicy;

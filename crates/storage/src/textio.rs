@@ -90,24 +90,94 @@ pub fn parse_tuple_line(raw: &str) -> Result<Option<(RelName, Tuple, Option<Anno
 }
 
 /// Parses a database from the text format.
+///
+/// Never panics: beyond per-line syntax, cross-line inconsistencies — an
+/// annotation re-tagging a different tuple, an arity mismatch with an
+/// earlier line — are reported as errors where `Database::insert` /
+/// `Relation::insert` would assert. Untrusted input (network bodies,
+/// on-disk snapshots after a crash) must never be able to reach those
+/// asserts.
 pub fn parse_database(text: &str) -> Result<Database, TextFormatError> {
     let mut db = Database::new();
+    parse_database_into(&mut db, text)?;
+    Ok(db)
+}
+
+/// Parses text-format tuples into an existing database (same checked,
+/// never-panicking semantics as [`parse_database`], validated against the
+/// database's current content). Lets callers pick the instance's
+/// configuration — e.g. `Database::with_delta_capacity` — before loading.
+///
+/// Not atomic: on error, lines before the offending one have been applied.
+/// Callers needing all-or-nothing semantics should parse into a scratch
+/// database first.
+pub fn parse_database_into(db: &mut Database, text: &str) -> Result<(), TextFormatError> {
     for (idx, raw) in text.lines().enumerate() {
-        let parsed = parse_tuple_line(raw).map_err(|message| TextFormatError {
-            line: idx + 1,
-            message,
-        })?;
+        let line = idx + 1;
+        let parsed = parse_tuple_line(raw).map_err(|message| TextFormatError { line, message })?;
         let Some((rel, tuple, annotation)) = parsed else {
             continue;
         };
-        match annotation {
-            Some(a) => db.insert(rel, tuple, a),
-            None => {
-                db.insert_fresh(rel, tuple);
-            }
+        checked_insert(db, rel, tuple, annotation)
+            .map_err(|message| TextFormatError { line, message })?;
+    }
+    Ok(())
+}
+
+/// Inserts one parsed tuple, converting the panics `Database::insert` /
+/// `Relation::insert` reserve for programming errors into `Err`s — the
+/// validation layer for every path that feeds *untrusted* tuples into a
+/// database (text loads, `/mutate` bodies, WAL replay after a crash).
+pub fn checked_insert(
+    db: &mut Database,
+    rel: RelName,
+    tuple: Tuple,
+    annotation: Option<Annotation>,
+) -> Result<(), String> {
+    if let Some(existing) = db.relation(rel) {
+        if existing.arity() != tuple.arity() {
+            return Err(format!(
+                "{rel} has arity {}, got a {}-tuple",
+                existing.arity(),
+                tuple.arity()
+            ));
         }
     }
-    Ok(db)
+    match annotation {
+        Some(a) => {
+            if let Some((r0, t0)) = db.tuple_of(a) {
+                if !(*r0 == rel && *t0 == tuple) {
+                    return Err(format!(
+                        "annotation {a} already tags {r0}{t0} \
+                         (databases must be abstractly tagged)"
+                    ));
+                }
+            }
+            db.insert(rel, tuple, a);
+        }
+        None => {
+            db.insert_fresh(rel, tuple);
+        }
+    }
+    Ok(())
+}
+
+/// Renders one tuple as a text-format line (no trailing newline):
+/// `R(a, b) : s1`. The single-tuple inverse of [`parse_tuple_line`], and
+/// the record payload format of the write-ahead log.
+pub fn render_tuple_line(rel: RelName, tuple: &Tuple, annotation: Annotation) -> String {
+    let mut out = String::new();
+    out.push_str(&rel.name());
+    out.push('(');
+    for (i, v) in tuple.values().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.name());
+    }
+    out.push_str(") : ");
+    out.push_str(&annotation.name());
+    out
 }
 
 /// Serializes a database to the text format (round-trips through
@@ -116,16 +186,7 @@ pub fn format_database(db: &Database) -> String {
     let mut out = String::new();
     for rel in db.relations() {
         for (tuple, annotation) in rel.iter() {
-            out.push_str(&rel.name().name());
-            out.push('(');
-            for (i, v) in tuple.values().iter().enumerate() {
-                if i > 0 {
-                    out.push_str(", ");
-                }
-                out.push_str(&v.name());
-            }
-            out.push_str(") : ");
-            out.push_str(&annotation.name());
+            out.push_str(&render_tuple_line(rel.name(), tuple, *annotation));
             out.push('\n');
         }
     }
@@ -200,6 +261,53 @@ mod tests {
         assert!(db
             .annotation_of(RelName::new("R"), &Tuple::of(&["a", "b"]))
             .is_some());
+    }
+
+    #[test]
+    fn cross_line_inconsistencies_are_errors_not_panics() {
+        // Annotation re-used for a different tuple: would assert inside
+        // Database::insert if it reached it.
+        let err = parse_database("R(a, a) : s1\nR(b, b) : s1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("abstractly tagged"));
+        // Arity mismatch between lines of one relation.
+        let err = parse_database("R(a)\nR(b, c)\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("arity"));
+        // Re-asserting the same (tuple, annotation) pair is idempotent.
+        let db = parse_database("R(a) : s1\nR(a) : s1\n").unwrap();
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn parse_into_respects_existing_content() {
+        let mut db = Database::with_delta_capacity(7);
+        parse_database_into(&mut db, "R(a, b) : pi1\n").unwrap();
+        assert_eq!(db.delta_capacity(), 7);
+        let err = parse_database_into(&mut db, "R(c) : pi2\n").unwrap_err();
+        assert!(err.message.contains("arity"));
+        let err = parse_database_into(&mut db, "S(z) : pi1\n").unwrap_err();
+        assert!(err.message.contains("already tags"));
+        parse_database_into(&mut db, "R(c, d) : pi3\n").unwrap();
+        assert_eq!(db.num_tuples(), 2);
+    }
+
+    #[test]
+    fn render_tuple_line_round_trips() {
+        let rendered = render_tuple_line(
+            RelName::new("R"),
+            &Tuple::of(&["a", "b"]),
+            Annotation::new("s7"),
+        );
+        assert_eq!(rendered, "R(a, b) : s7");
+        let (rel, tuple, annotation) = parse_tuple_line(&rendered).unwrap().unwrap();
+        assert_eq!(rel, RelName::new("R"));
+        assert_eq!(tuple, Tuple::of(&["a", "b"]));
+        assert_eq!(annotation, Some(Annotation::new("s7")));
+        assert_eq!(
+            render_tuple_line(RelName::new("T"), &Tuple::empty(), Annotation::new("t0")),
+            "T() : t0"
+        );
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Fault-injection storm for the durability subsystem: a real `provmin
+//! serve --data-dir` process is fed a seeded mutation script from the
+//! `mutate` workload spec, `kill -9`'d at a random point (every fourth
+//! round instead aborts *mid-fsync* via the WAL writer's test failpoint,
+//! leaving a torn frame on disk), restarted, and byte-diffed against an
+//! uncrashed in-process reference.
+//!
+//! The contract checked per round:
+//!
+//! 1. **Acknowledged ⇒ durable**: with `--fsync always`, the recovered
+//!    `/eval` must be byte-identical to the reference evaluated over the
+//!    acknowledged prefix of the script (an in-doubt final request — sent
+//!    but never answered — may legitimately land on either side).
+//! 2. **Recovery converges**: re-applying the script from the first
+//!    unacknowledged step onward must reach the exact no-crash final
+//!    state (inserts are idempotent, removes of absent tuples are no-ops,
+//!    so in-doubt steps cannot fork the state).
+//! 3. **Torn tails are dropped, loudly**: failpoint rounds must report
+//!    `wal_dropped_bytes > 0` on the restarted server's `/stats`.
+//! 4. **A graceful stop stays clean**: the restarted server drains on
+//!    `/shutdown` with exit 0 and `provmin recover --check` then reads
+//!    the directory back without loss.
+//!
+//! ```text
+//! crash_storm <provmin-binary> [--rounds N] [--seed N] [--base-port P] [--keep]
+//! ```
+//!
+//! Exit 0 when every round holds, 1 on the first violation (the round's
+//! data directory is kept for inspection). Used by `ci/server_smoke.sh`.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::Path;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use provmin::engine::EvalSession;
+use provmin::semiring::Polynomial;
+use provmin::server::client;
+use provmin::storage::textio::{checked_insert, format_database};
+use provmin::storage::{Database, RelName};
+use provmin::workload::{MutationStep, Sampler, Scenario};
+
+/// Deterministic split-mix generator — the storm must replay from
+/// `--seed` alone.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct StormOptions {
+    provmin: String,
+    rounds: u64,
+    seed: u64,
+    base_port: u16,
+    keep: bool,
+}
+
+fn parse_args() -> Result<StormOptions, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut rounds = 24u64;
+    let mut seed = 0xc0ffee_u64;
+    let mut base_port = 7410u16;
+    let mut keep = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--rounds" => {
+                rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|_| "--rounds must be an integer".to_owned())?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_owned())?;
+            }
+            "--base-port" => {
+                base_port = value("--base-port")?
+                    .parse()
+                    .map_err(|_| "--base-port must be a port number".to_owned())?;
+            }
+            "--keep" => keep = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [provmin] = positional.as_slice() else {
+        return Err(
+            "usage: crash_storm <provmin-binary> [--rounds N] [--seed N] [--base-port P] [--keep]"
+                .to_owned(),
+        );
+    };
+    Ok(StormOptions {
+        provmin: provmin.clone(),
+        rounds,
+        seed,
+        base_port,
+        keep,
+    })
+}
+
+/// Spawns `provmin serve` on `port` over `dir` and waits until `/stats`
+/// answers. `failpoint` is the `PROVMIN_WAL_FAILPOINT` value, if any.
+fn spawn_server(
+    provmin: &str,
+    dir: &Path,
+    port: u16,
+    snapshot_every: u64,
+    delta_capacity: u64,
+    failpoint: Option<&str>,
+) -> Result<(Child, String), String> {
+    let addr = format!("127.0.0.1:{port}");
+    let mut cmd = Command::new(provmin);
+    cmd.args([
+        "serve",
+        "--addr",
+        &addr,
+        "--data-dir",
+        dir.to_str().expect("utf8 temp path"),
+        "--fsync",
+        "always",
+        "--snapshot-every",
+        &snapshot_every.to_string(),
+        "--delta-capacity",
+        &delta_capacity.to_string(),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    match failpoint {
+        Some(spec) => cmd.env(provmin::storage::wal::FAILPOINT_ENV, spec),
+        None => cmd.env_remove(provmin::storage::wal::FAILPOINT_ENV),
+    };
+    let child = cmd.spawn().map_err(|e| format!("spawn {provmin}: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client::get(&addr, "/stats") {
+            Ok((200, _)) => return Ok((child, addr)),
+            _ if Instant::now() > deadline => {
+                return Err(format!("server on {addr} did not come up"));
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// The `/mutate` wire line for one script step.
+fn step_line(step: &MutationStep) -> String {
+    match step {
+        MutationStep::Insert(tuple, annotation) => format!("R{tuple} : {annotation}"),
+        MutationStep::Remove(tuple) => format!("R{tuple}"),
+    }
+}
+
+/// The `/mutate` JSON body for one script step.
+fn step_body(step: &MutationStep) -> String {
+    let field = match step {
+        MutationStep::Insert(..) => "insert",
+        MutationStep::Remove(..) => "remove",
+    };
+    format!("{{\"{field}\": [\"{}\"]}}", step_line(step))
+}
+
+/// Applies the first `n` script steps to `db` with the exact semantics of
+/// the server's `/mutate` (idempotent inserts, no-op removes).
+fn apply_steps(db: &mut Database, steps: &[MutationStep], n: usize) {
+    let rel = RelName::new("R");
+    for step in &steps[..n] {
+        match step {
+            MutationStep::Insert(tuple, annotation) => {
+                checked_insert(db, rel, tuple.clone(), Some(*annotation))
+                    .expect("workload scripts are valid by construction");
+            }
+            MutationStep::Remove(tuple) => {
+                db.remove(rel, tuple);
+            }
+        }
+    }
+}
+
+/// Evaluates the scenario query over `db` and renders it exactly as the
+/// server's text-mode `/eval` does.
+fn reference_eval(scenario: &Scenario, db: &Database) -> String {
+    let result = EvalSession::new().eval_ucq(&scenario.query, db);
+    if result.is_empty() {
+        return "(empty result)\n".to_owned();
+    }
+    let lines: Vec<String> = result
+        .iter()
+        .map(|(tuple, p)| format!("{tuple}  [{p}]"))
+        .collect();
+    lines.join("\n") + "\n"
+}
+
+/// Re-parses a text-mode `/eval` body into `tuple → polynomial` in THIS
+/// process's intern space. Row order and in-line monomial order follow
+/// each process's `Value`/annotation intern ids (assigned at first
+/// sight), so equal results from two processes may render permuted;
+/// after canonicalization, equality is exact — every line byte-identical
+/// up to that permutation.
+fn canonical_result(text: &str) -> Result<BTreeMap<String, Polynomial>, String> {
+    let mut rows = BTreeMap::new();
+    if text.trim() == "(empty result)" {
+        return Ok(rows);
+    }
+    for line in text.lines() {
+        let parts = line
+            .split_once("  [")
+            .and_then(|(tuple, rest)| Some((tuple, rest.strip_suffix(']')?)));
+        let Some((tuple, poly)) = parts else {
+            return Err(format!("unparseable /eval line {line:?}"));
+        };
+        rows.insert(tuple.to_owned(), Polynomial::parse(poly));
+    }
+    Ok(rows)
+}
+
+/// The `/eval` JSON body for the scenario query (adjuncts re-joined in
+/// the parseable `;` spelling).
+fn query_body(scenario: &Scenario) -> String {
+    let text: Vec<String> = scenario
+        .query
+        .adjuncts()
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    format!("{{\"query\": \"{}\"}}", text.join(" ; "))
+}
+
+/// What happened to the mutation script before the crash.
+struct CrashOutcome {
+    /// Steps that received a 200 — these MUST survive.
+    acked: usize,
+    /// Whether step `acked` was sent but never answered — it may
+    /// legitimately have reached disk or not.
+    in_doubt: bool,
+}
+
+fn kill_hard(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// One storm round. Returns an error message on the first violated
+/// invariant.
+fn run_round(options: &StormOptions, round: u64, root: &Path) -> Result<(), String> {
+    let mut rng = SplitMix64(options.seed ^ (round.wrapping_mul(0x9e3779b97f4a7c15)));
+    let sampler = Sampler::named("mutate")?;
+    let scenario = sampler.scenario(options.seed, round);
+    let steps = &scenario.mutations;
+    let dir = root.join(format!("round{round}"));
+    let snapshot_every = [0u64, 3, 256][rng.below(3) as usize];
+    let delta_capacity = [2u64, 8, 64][rng.below(3) as usize];
+    let torn_round = round % 4 == 3;
+    let failpoint = if torn_round {
+        // Frames are only written for effective (non-no-op) steps, so
+        // aim low to make the abort likely to fire mid-script.
+        Some(format!("torn:{}", 1 + rng.below(steps.len() as u64 / 2)))
+    } else {
+        None
+    };
+    let port = options.base_port + (round as u16) * 2;
+
+    // -- Phase 1: load the base database, mutate, crash. --
+    let (mut child, addr) = spawn_server(
+        &options.provmin,
+        &dir,
+        port,
+        snapshot_every,
+        delta_capacity,
+        failpoint.as_deref(),
+    )?;
+    let base_text = format_database(&scenario.database);
+    match client::post_text(&addr, "/load", &base_text) {
+        Ok((200, _)) => {}
+        Ok((status, body)) => {
+            kill_hard(&mut child);
+            return Err(format!("/load failed: {status} {body}"));
+        }
+        Err(e) => {
+            kill_hard(&mut child);
+            return Err(format!("/load failed: {e}"));
+        }
+    }
+    let kill_at = if torn_round {
+        steps.len() // the failpoint aborts the server for us
+    } else {
+        rng.below(steps.len() as u64 + 1) as usize
+    };
+    let mut outcome = CrashOutcome {
+        acked: 0,
+        in_doubt: false,
+    };
+    for (i, step) in steps.iter().enumerate() {
+        if i == kill_at && !torn_round {
+            // kill -9 between an acknowledged request and the next one;
+            // delivery races with the requests below, so later acks (and
+            // one in-doubt request) are still possible and still binding.
+            let _ = child.kill();
+        }
+        match client::post_json(&addr, "/mutate", &step_body(step)) {
+            Ok((200, _)) => outcome.acked = i + 1,
+            Ok((status, body)) => {
+                kill_hard(&mut child);
+                return Err(format!("step {i} rejected: {status} {body}"));
+            }
+            Err(_) => {
+                outcome.in_doubt = true;
+                break;
+            }
+        }
+    }
+    kill_hard(&mut child);
+
+    // -- Phase 2: restart, check the recovered state byte-for-byte. --
+    let (mut child, addr) = spawn_server(
+        &options.provmin,
+        &dir,
+        port + 1,
+        snapshot_every,
+        delta_capacity,
+        None,
+    )?;
+    let mut acked_db = scenario.database.clone();
+    apply_steps(&mut acked_db, steps, outcome.acked);
+    let acked_eval = reference_eval(&scenario, &acked_db);
+    let in_doubt_eval = if outcome.in_doubt && outcome.acked < steps.len() {
+        let mut db = acked_db.clone();
+        apply_steps(&mut db, &steps[outcome.acked..], 1);
+        Some(reference_eval(&scenario, &db))
+    } else {
+        None
+    };
+    let recovered = match client::post_json_accept_text(&addr, "/eval", &query_body(&scenario)) {
+        Ok((200, body)) => body,
+        Ok((status, body)) => {
+            kill_hard(&mut child);
+            return Err(format!("recovered /eval failed: {status} {body}"));
+        }
+        Err(e) => {
+            kill_hard(&mut child);
+            return Err(format!("recovered /eval failed: {e}"));
+        }
+    };
+    let recovered_rows = canonical_result(&recovered)?;
+    let matches_acked = recovered_rows == canonical_result(&acked_eval)?;
+    let matches_in_doubt = match &in_doubt_eval {
+        Some(text) => recovered_rows == canonical_result(text)?,
+        None => false,
+    };
+    if !matches_acked && !matches_in_doubt {
+        kill_hard(&mut child);
+        return Err(format!(
+            "acknowledged mutations lost: after {} acked step(s){}, recovered /eval:\n{recovered}\nexpected:\n{acked_eval}",
+            outcome.acked,
+            if outcome.in_doubt { " (+1 in doubt)" } else { "" },
+        ));
+    }
+    if torn_round && outcome.in_doubt {
+        // The aborted append left a half-written frame; recovery must
+        // have dropped it and said so.
+        let stats = match client::get(&addr, "/stats") {
+            Ok((200, body)) => body,
+            other => {
+                kill_hard(&mut child);
+                return Err(format!("restarted /stats failed: {other:?}"));
+            }
+        };
+        if !stats.contains("\"wal_dropped_bytes\":") || stats.contains("\"wal_dropped_bytes\":0") {
+            kill_hard(&mut child);
+            return Err(format!("torn round reported no dropped wal bytes: {stats}"));
+        }
+    }
+
+    // -- Phase 3: converge — finish the script, compare the final state. --
+    let resume_from = outcome.acked;
+    for (i, step) in steps.iter().enumerate().skip(resume_from) {
+        match client::post_json(&addr, "/mutate", &step_body(step)) {
+            Ok((200, _)) => {}
+            other => {
+                kill_hard(&mut child);
+                return Err(format!("post-recovery step {i} failed: {other:?}"));
+            }
+        }
+    }
+    let mut final_db = scenario.database.clone();
+    apply_steps(&mut final_db, steps, steps.len());
+    let final_eval = reference_eval(&scenario, &final_db);
+    let served = match client::post_json_accept_text(&addr, "/eval", &query_body(&scenario)) {
+        Ok((200, body)) => body,
+        other => {
+            kill_hard(&mut child);
+            return Err(format!("final /eval failed: {other:?}"));
+        }
+    };
+    if canonical_result(&served)? != canonical_result(&final_eval)? {
+        kill_hard(&mut child);
+        return Err(format!(
+            "post-recovery state diverged:\n{served}\nexpected:\n{final_eval}"
+        ));
+    }
+
+    // -- Phase 4: graceful drain + offline check must both stay clean. --
+    match client::post_json(&addr, "/shutdown", "{}") {
+        Ok((200, _)) => {}
+        other => {
+            kill_hard(&mut child);
+            return Err(format!("/shutdown failed: {other:?}"));
+        }
+    }
+    let status = child
+        .wait()
+        .map_err(|e| format!("waiting for drained server: {e}"))?;
+    if !status.success() {
+        return Err(format!("drained server exited with {status}"));
+    }
+    let check = Command::new(&options.provmin)
+        .args([
+            "recover",
+            "--data-dir",
+            dir.to_str().expect("utf8"),
+            "--check",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .map_err(|e| format!("recover --check: {e}"))?;
+    if !check.status.success() {
+        let mut err = String::new();
+        let _ = (&check.stderr[..]).read_to_string(&mut err);
+        return Err(format!("recover --check failed: {err}"));
+    }
+    if !options.keep {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = std::env::temp_dir().join(format!("provmin_crash_storm_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&root) {
+        eprintln!("error: creating {}: {e}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let mut torn = 0u64;
+    for round in 0..options.rounds {
+        match run_round(&options, round, &root) {
+            Ok(()) => {
+                if round % 4 == 3 {
+                    torn += 1;
+                }
+                eprintln!(
+                    "crash_storm: round {round}/{} ok{}",
+                    options.rounds,
+                    if round % 4 == 3 {
+                        " (torn-write failpoint)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Err(message) => {
+                eprintln!(
+                    "crash_storm: FAILED at round {round} (seed {}): {message}",
+                    options.seed
+                );
+                eprintln!(
+                    "crash_storm: data dir kept at {}",
+                    root.join(format!("round{round}")).display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !options.keep {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    println!(
+        "crash_storm: OK — {} round(s) (incl. {torn} torn-write) recovered byte-identically, seed {}",
+        options.rounds, options.seed
+    );
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,7 @@
 //! provmin trace    '<query>'                  MinProv step-by-step
 //! provmin datalog  <db-file> <program> <pred> evaluate + core a pipeline
 //! provmin serve    [--addr H:P] [--db FILE]   long-running HTTP query service
+//! provmin recover  --data-dir DIR [--check]   offline recovery check/compact
 //! provmin fuzz     [--spec NAME] [--seed N]   differential fuzzing over DSL
 //!                  [--cases N | --case K]     workloads (docs/FUZZING.md)
 //! ```
@@ -43,9 +44,23 @@
 //! * `--workers N` — request worker threads (default 4).
 //! * `--db FILE` — database to load at startup (else start empty and
 //!   `POST /load`).
+//! * `--data-dir DIR` — persist to a write-ahead log + snapshots and
+//!   recover from them on boot (see `docs/DURABILITY.md`).
+//! * `--fsync always|interval` — WAL fsync policy with `--data-dir`
+//!   (default `always`: a 200 means the mutation survives a crash).
+//! * `--snapshot-every N` — rotate a compacted snapshot after N WAL
+//!   events (default 256; 0 = only at shutdown/`/load`).
+//! * `--delta-capacity N` — delta-log window of the served database
+//!   (default 64).
 //!
-//! It runs until SIGINT (Ctrl-C) or `POST /shutdown`, then drains
-//! in-flight requests and exits cleanly.
+//! It runs until SIGINT (Ctrl-C), SIGTERM, or `POST /shutdown`, then
+//! drains in-flight requests, rotates a final snapshot when persistent,
+//! and exits cleanly.
+//!
+//! `recover` opens a `--data-dir` offline, prints the recovery report
+//! (snapshot generation/tuples, WAL events replayed, bytes dropped from
+//! a torn tail), and — unless `--check` — compacts the directory into a
+//! fresh snapshot with an empty WAL.
 //!
 //! `fuzz` differentially checks DSL-generated scenarios (every eval
 //! mode × planner × thread count bit-identical, semiring specialization
@@ -60,7 +75,7 @@
 //! Databases use the text format: one `R(a, b) : s1` per line.
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicI32, Ordering};
 
 use provmin::core::minimize::{minimize_with, MinimizeOptions, MinimizeOutcome, Strategy};
 use provmin::datalog::{core_query, evaluate, Program};
@@ -79,6 +94,8 @@ fn usage() -> ExitCode {
          provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>\n  \
          provmin serve [--addr HOST:PORT] [--workers N] [--db FILE] [--max-conns N] [--keepalive-timeout SECS]\n  \
+         \u{20}             [--data-dir DIR] [--fsync always|interval] [--snapshot-every N] [--delta-capacity N]\n  \
+         provmin recover --data-dir DIR [--check]\n  \
          provmin fuzz [--spec NAME] [--seed N] [--cases N | --case K] [--list-specs]"
     );
     ExitCode::from(2)
@@ -246,6 +263,13 @@ fn main() -> ExitCode {
                 return usage();
             }
         },
+        [cmd, rest @ ..] if cmd == "recover" => match parse_recover_flags(rest) {
+            Ok(recover_args) => run_recover(recover_args).map(|()| true),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return usage();
+            }
+        },
         [cmd, db_path, query] if cmd == "eval" || cmd == "core" => {
             run_with_db(cmd, db_path, query, options, cache_stats).map(|()| true)
         }
@@ -266,31 +290,48 @@ fn main() -> ExitCode {
     }
 }
 
-/// Set by the SIGINT handler; polled by the `serve` wait loop.
-static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+/// The signal number (SIGINT or SIGTERM) received by the handler, or 0;
+/// polled by the `serve` wait loop. Both signals mean the same thing:
+/// drain in-flight requests, rotate a final snapshot when persistent,
+/// exit 0 — so `kill <pid>` from a process supervisor is as safe as
+/// Ctrl-C.
+static SHUTDOWN_SIGNAL: AtomicI32 = AtomicI32::new(0);
 
-extern "C" fn on_sigint(_signum: i32) {
-    // Only async-signal-safe work here: flip the flag and return.
-    SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+extern "C" fn on_shutdown_signal(signum: i32) {
+    // Only async-signal-safe work here: record the signal and return.
+    SHUTDOWN_SIGNAL.store(signum, Ordering::SeqCst);
 }
 
-/// Routes SIGINT (Ctrl-C) to [`SIGINT_RECEIVED`] so the serve loop can
-/// drain and exit cleanly instead of being killed mid-request.
+/// Routes SIGINT (Ctrl-C) and SIGTERM (supervisor stop) to
+/// [`SHUTDOWN_SIGNAL`] so the serve loop can drain and exit cleanly
+/// instead of being killed mid-request.
 #[cfg(unix)]
-fn install_sigint_handler() {
+fn install_shutdown_handlers() {
     extern "C" {
         // libc's simplified signal registration; the handler pointer has
         // the exact C signature, so no cast is involved.
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     unsafe {
-        signal(SIGINT, on_sigint);
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
     }
 }
 
 #[cfg(not(unix))]
-fn install_sigint_handler() {}
+fn install_shutdown_handlers() {}
+
+/// Human-readable name for the signals [`install_shutdown_handlers`]
+/// registers.
+fn signal_name(signum: i32) -> &'static str {
+    match signum {
+        2 => "SIGINT",
+        15 => "SIGTERM",
+        _ => "signal",
+    }
+}
 
 /// Parsed `provmin fuzz` invocation.
 enum FuzzCommand {
@@ -385,12 +426,16 @@ fn run_fuzz(options: &provmin::fuzz::FuzzOptions) -> ExitCode {
 struct ServeArgs {
     config: provmin::server::ServeConfig,
     db_path: Option<String>,
+    data_dir: Option<String>,
+    durability: provmin::storage::DurabilityOptions,
 }
 
 /// Extracts `serve`'s flags; errors here are usage errors (exit 2).
 fn parse_serve_flags(args: &[String]) -> Result<ServeArgs, String> {
     let mut config = provmin::server::ServeConfig::default();
     let mut db_path: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut durability = provmin::storage::DurabilityOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -428,32 +473,109 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeArgs, String> {
                 }
                 config.keepalive_timeout = std::time::Duration::from_secs(secs);
             }
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
+            "--fsync" => {
+                durability.fsync = provmin::storage::FsyncPolicy::parse(&value("--fsync")?)?;
+            }
+            "--snapshot-every" => {
+                durability.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every must be an integer".to_owned())?;
+            }
+            "--delta-capacity" => {
+                let n: usize = value("--delta-capacity")?
+                    .parse()
+                    .map_err(|_| "--delta-capacity must be an integer".to_owned())?;
+                config.delta_capacity = n;
+                durability.delta_capacity = n;
+            }
             other => return Err(format!("unknown serve flag {other}")),
         }
     }
-    Ok(ServeArgs { config, db_path })
+    if data_dir.is_none()
+        && args
+            .iter()
+            .any(|a| a == "--fsync" || a == "--snapshot-every")
+    {
+        return Err("--fsync/--snapshot-every need --data-dir".to_owned());
+    }
+    Ok(ServeArgs {
+        config,
+        db_path,
+        data_dir,
+        durability,
+    })
 }
 
-/// `provmin serve`: bind, serve until SIGINT or `POST /shutdown`, drain.
+/// `provmin serve`: bind, serve until SIGINT/SIGTERM or `POST /shutdown`,
+/// drain (rotating a final snapshot when persistent).
 fn run_serve(args: ServeArgs) -> Result<(), String> {
-    let ServeArgs { config, db_path } = args;
+    let ServeArgs {
+        config,
+        db_path,
+        data_dir,
+        durability,
+    } = args;
+    // Open the data directory before building any other database:
+    // recovery raises the process generation floor above everything
+    // persisted, which must happen before new stamps are minted.
+    let (mut store, recovered) = match &data_dir {
+        Some(dir) => {
+            let (store, db) =
+                provmin::storage::DurableStore::open(std::path::Path::new(dir), durability)?;
+            let r = store.last_recovery();
+            eprintln!(
+                "provmin serve: recovered {dir} — snapshot gen {} ({} tuple(s)), \
+                 wal {} replayed / {} stale / {} byte(s) dropped",
+                r.snapshot_generation,
+                r.snapshot_tuples,
+                r.wal_replayed,
+                r.wal_skipped,
+                r.wal_dropped_bytes
+            );
+            if let Some(why) = &r.corruption {
+                eprintln!("provmin serve: recovery truncated the wal tail: {why}");
+            }
+            (Some(store), Some(db))
+        }
+        None => (None, None),
+    };
     let db = match &db_path {
-        Some(path) => load_db(path)?,
-        None => Database::new(),
+        Some(path) => {
+            // An explicit `--db` starts a new lineage: it replaces
+            // whatever the data directory held and is persisted as the
+            // fresh snapshot before the first request is served.
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut db = Database::with_delta_capacity(config.delta_capacity);
+            provmin::storage::textio::parse_database_into(&mut db, &text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if let Some(store) = store.as_mut() {
+                store
+                    .snapshot(&db)
+                    .map_err(|e| format!("persisting {path}: {e}"))?;
+            }
+            db
+        }
+        None => recovered.unwrap_or_else(|| Database::with_delta_capacity(config.delta_capacity)),
     };
     let tuples = db.num_tuples();
-    let handle = provmin::server::serve(config.clone(), db)
+    let handle = provmin::server::serve_durable(config.clone(), db, store)
         .map_err(|e| format!("bind {}: {e}", config.addr))?;
-    install_sigint_handler();
+    install_shutdown_handlers();
     eprintln!(
-        "provmin serve: listening on http://{} ({} worker(s), {} tuple(s) loaded)",
+        "provmin serve: listening on http://{} ({} worker(s), {} tuple(s) loaded{})",
         handle.addr(),
         config.workers,
-        tuples
+        tuples,
+        match &data_dir {
+            Some(dir) => format!(", persisting to {dir}"),
+            None => String::new(),
+        }
     );
     loop {
-        if SIGINT_RECEIVED.load(Ordering::SeqCst) {
-            eprintln!("provmin serve: SIGINT — draining");
+        let signum = SHUTDOWN_SIGNAL.load(Ordering::SeqCst);
+        if signum != 0 {
+            eprintln!("provmin serve: {} — draining", signal_name(signum));
             handle.state().request_shutdown();
         }
         if handle.state().shutdown_requested() {
@@ -463,6 +585,74 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
     }
     handle.shutdown();
     eprintln!("provmin serve: shutdown complete");
+    Ok(())
+}
+
+/// Parsed `provmin recover` arguments.
+struct RecoverArgs {
+    data_dir: String,
+    check: bool,
+}
+
+/// Extracts `recover`'s flags; errors here are usage errors (exit 2).
+fn parse_recover_flags(args: &[String]) -> Result<RecoverArgs, String> {
+    let mut data_dir: Option<String> = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                data_dir = Some(it.next().cloned().ok_or("--data-dir needs a value")?);
+            }
+            "--check" => check = true,
+            other => return Err(format!("unknown recover flag {other}")),
+        }
+    }
+    Ok(RecoverArgs {
+        data_dir: data_dir.ok_or("recover needs --data-dir")?,
+        check,
+    })
+}
+
+/// `provmin recover`: offline recovery of a data directory. `--check`
+/// only reads and reports; the default additionally compacts the
+/// directory into a fresh snapshot with an empty WAL. A torn tail is
+/// reported, not fatal (exit 0) — an unreadable snapshot is fatal
+/// (exit 1).
+fn run_recover(args: RecoverArgs) -> Result<(), String> {
+    let dir = std::path::Path::new(&args.data_dir);
+    let report = if args.check {
+        let (db, report) =
+            provmin::storage::recover_readonly(dir, provmin::storage::DELTA_LOG_CAPACITY)?;
+        println!(
+            "recover --check: {} tuple(s) recoverable from {}",
+            db.num_tuples(),
+            args.data_dir
+        );
+        report
+    } else {
+        let (store, db) = provmin::storage::DurableStore::open(
+            dir,
+            provmin::storage::DurabilityOptions::default(),
+        )?;
+        println!(
+            "recover: compacted {} into a fresh snapshot ({} tuple(s))",
+            args.data_dir,
+            db.num_tuples()
+        );
+        store.last_recovery().clone()
+    };
+    println!(
+        "  snapshot: generation {} ({} tuple(s))",
+        report.snapshot_generation, report.snapshot_tuples
+    );
+    println!(
+        "  wal: {} replayed, {} stale, {} byte(s) dropped",
+        report.wal_replayed, report.wal_skipped, report.wal_dropped_bytes
+    );
+    if let Some(why) = &report.corruption {
+        println!("  corruption: {why}");
+    }
     Ok(())
 }
 
