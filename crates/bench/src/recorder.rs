@@ -370,6 +370,46 @@ pub fn run_suite(budget_ms: u128) -> Vec<Measurement> {
         }
     }
 
+    // Memory-bounded chunked evaluation (the chunked-pipeline PR's
+    // CI-visible surface). A deliberate fan-out self-join — every R row
+    // shares its first column, so the unchunked frontier after the second
+    // extension is n² rows — timed chunked vs unchunked, plus the peak
+    // frontier of each run recorded as its own row (units: *rows*, not
+    // ns). The workload is fixed, so the peaks are exact constants; the
+    // >3x CI gate then doubles as a memory-bound regression guard, and
+    // the chunked/unchunked timing pair keeps the <10% throughput-cost
+    // claim of docs/PERF.md under watch.
+    {
+        let mut fan = prov_storage::Database::new();
+        let n = 128usize;
+        for i in 0..n {
+            fan.add("R", &["h", &format!("fb{i}")], &format!("fan_{i}"));
+        }
+        let fanjoin = parse_cq("ans(y,z) :- R(x,y), R(x,z)").expect("fanjoin parses");
+        // Chunk below the first atom's 128 candidate rows so the slicing
+        // path actually runs: peak drops from n² to chunk × n.
+        let chunked_opts = EvalOptions::batched().with_chunk_rows(16);
+        let unchunked_opts = EvalOptions::batched().unchunked();
+        record("eval_throughput/fanout_selfjoin/chunked", &mut || {
+            std::hint::black_box(eval_cq_with(&fanjoin, &fan, chunked_opts));
+        });
+        record("eval_throughput/fanout_selfjoin/unchunked", &mut || {
+            std::hint::black_box(eval_cq_with(&fanjoin, &fan, unchunked_opts));
+        });
+        for (id, opts) in [
+            ("peak_frontier/fanout_selfjoin/chunked", chunked_opts),
+            ("peak_frontier/fanout_selfjoin/unchunked", unchunked_opts),
+        ] {
+            let session = EvalSession::with_options(opts);
+            session.eval_cq(&fanjoin, &fan);
+            extra.push(Measurement {
+                id: id.to_owned(),
+                ns_per_iter: u128::from(session.stats().peak_frontier_rows),
+                iters: 1,
+            });
+        }
+    }
+
     // B7 direct_core.
     let poly80 = random_polynomial(80, 6, 43, 3);
     record("direct_core/core_polynomial/80", &mut || {
@@ -708,8 +748,9 @@ mod tests {
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/2/unmemoized"));
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/3/memo"));
         assert!(ms.iter().any(|m| m.id == "minprov_blowup/qn/4/budget64"));
-        // Workload-DSL shape-family rows (this PR's CI-visible surface):
-        // DSL-enumerated shapes and skewed databases in the baseline.
+        // Workload-DSL shape-family rows (the DSL PR's CI-visible
+        // surface): DSL-enumerated shapes and skewed databases in the
+        // baseline.
         for id in [
             "workload_shapes/fanout/eval",
             "workload_shapes/ucq_overlap/eval",
@@ -719,5 +760,29 @@ mod tests {
         ] {
             assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
         }
+        // Memory-bounded chunked-eval rows (the chunked-pipeline PR's
+        // CI-visible surface): chunked vs unchunked throughput on the
+        // fan-out self-join, plus the two peak-frontier rows. The peaks
+        // are deterministic row counts, so pin the bound itself: chunked
+        // must stay strictly below unchunked.
+        for id in [
+            "eval_throughput/fanout_selfjoin/chunked",
+            "eval_throughput/fanout_selfjoin/unchunked",
+            "peak_frontier/fanout_selfjoin/chunked",
+            "peak_frontier/fanout_selfjoin/unchunked",
+        ] {
+            assert!(ms.iter().any(|m| m.id == id), "{id} not covered");
+        }
+        let peak = |id: &str| {
+            ms.iter()
+                .find(|m| m.id == id)
+                .expect("peak row present")
+                .ns_per_iter
+        };
+        assert!(
+            peak("peak_frontier/fanout_selfjoin/chunked")
+                < peak("peak_frontier/fanout_selfjoin/unchunked"),
+            "chunking must bound the peak frontier"
+        );
     }
 }

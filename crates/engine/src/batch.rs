@@ -4,12 +4,15 @@
 //! paying a `BTreeMap` binding update, a `Tuple` clone, and a fresh
 //! `Monomial` per enumerated assignment. This module carries a **block**
 //! of partial assignments instead, in struct-of-arrays form: one
-//! contiguous `Vec<Value>` column per bound variable plus one
-//! `Vec<Annotation>` column per matched atom (the factor columns of the
-//! eventual monomials). Each planned atom maps a block to the next block
-//! with a probe/filter pass over the relation's columnar view
-//! ([`prov_storage::ColumnarRelation`]) followed by columnar gathers;
-//! provenance is accumulated in place through the reused factor buffer of
+//! contiguous **dictionary-encoded** `Vec<u32>` column of interned value
+//! ids per bound variable plus one `Vec<Annotation>` column per matched
+//! atom (the factor columns of the eventual monomials). Each planned atom
+//! maps a block to the next block with a probe/filter pass over the
+//! relation's columnar view ([`prov_storage::ColumnarRelation`], itself
+//! id-encoded — every equality and disequality check is a fixed-width
+//! `u32` compare) followed by columnar gathers; ids are decoded back to
+//! [`Value`]s only at the output boundary, where provenance is
+//! accumulated in place through the reused factor buffer of
 //! [`prov_semiring::MonomialBuilder`] and
 //! `Polynomial::add_occurrence` — no per-derivation temporaries.
 //!
@@ -22,11 +25,18 @@
 //! the first atom's block into chunks work-stolen by scoped threads, the
 //! same ⊕-merge argument as [`crate::parallel`].
 //!
-//! Memory note: each step materializes its full assignment frontier. The
-//! frontier of the *last* step equals the result's occurrence count (which
-//! the tuple path also materializes as `Vec<Assignment>`), but skewed
-//! intermediate joins can peak higher than the depth-first path's O(depth)
-//! working set — the classic vectorized-executor trade.
+//! Memory bound: a frontier larger than [`EvalOptions::chunk_rows`] is
+//! split into chunk-sized slices, each driven through the *entire*
+//! remaining atom schedule (accumulating into the shared result) before
+//! the next slice starts. One extension step may still fan a chunk out
+//! past the bound — that oversized block is re-chunked before the *next*
+//! step — so peak frontier memory is O(`chunk_rows` × the largest
+//! one-step fan-out) per schedule level instead of O(largest intermediate
+//! join). The high-water mark is reported through
+//! [`crate::IndexCache::peak_frontier_rows`] /
+//! [`crate::SessionStats::peak_frontier_rows`]. Unchunked
+//! (`chunk_rows: None`), each step materializes its full frontier — the
+//! classic vectorized-executor trade.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -34,7 +44,7 @@ use prov_query::{ConjunctiveQuery, Term, Variable};
 use prov_semiring::{Annotation, MonomialBuilder};
 use prov_storage::{ColumnarRelation, Database, RelName, Value};
 
-use crate::cache::EvalViews;
+use crate::cache::{EvalViews, IndexCache};
 use crate::eval::{AnnotatedResult, EvalOptions};
 use crate::index::RelationIndex;
 
@@ -72,6 +82,8 @@ impl RowRestrict {
 }
 
 /// How to produce one value of an output tuple or disequality operand.
+/// Constants are stored decoded; comparisons against id columns use
+/// [`Value::id`] (a field read — same fixed-width compare).
 #[derive(Clone, Copy, Debug)]
 enum Fetch {
     /// Read the block column with this id.
@@ -109,12 +121,13 @@ struct AtomPlan {
     diseqs: Vec<DiseqPlan>,
 }
 
-/// A block of partial assignments in struct-of-arrays form.
+/// A block of partial assignments in struct-of-arrays form, with value
+/// columns dictionary-encoded to interned ids ([`Value::id`]).
 #[derive(Clone, Debug, Default)]
 struct Block {
     len: usize,
-    /// One column per bound variable, in binding order.
-    cols: Vec<Vec<Value>>,
+    /// One id column per bound variable, in binding order.
+    cols: Vec<Vec<u32>>,
     /// One annotation column per matched atom (monomial factors).
     annot_cols: Vec<Vec<Annotation>>,
 }
@@ -225,18 +238,19 @@ fn extend_block(
     rel: &ColumnarRelation,
     index: Option<&RelationIndex>,
 ) -> Block {
-    // Checks independent of the parent assignment.
+    // Checks independent of the parent assignment. All value checks are
+    // id compares over the dictionary-encoded columns.
     let row_tags = rel.annotations();
     let static_ok = |row: usize| {
         plan.restrict.allows(row_tags[row])
             && plan
                 .const_checks
                 .iter()
-                .all(|&(pos, v)| rel.column(pos)[row] == v)
+                .all(|&(pos, v)| rel.column_ids(pos)[row] == v.id())
             && plan
                 .self_checks
                 .iter()
-                .all(|&(pos, p0)| rel.column(pos)[row] == rel.column(p0)[row])
+                .all(|&(pos, p0)| rel.column_ids(pos)[row] == rel.column_ids(p0)[row])
     };
 
     // The join phase: (parent, relation row) match pairs.
@@ -275,7 +289,7 @@ fn extend_block(
                     && plan
                         .bound_checks
                         .iter()
-                        .all(|&(pos, col)| rel.column(pos)[row] == block.cols[col][parent])
+                        .all(|&(pos, col)| rel.column_ids(pos)[row] == block.cols[col][parent])
             };
             match index {
                 Some(ix) => {
@@ -284,7 +298,7 @@ fn extend_block(
                     constraints.extend(
                         plan.bound_checks
                             .iter()
-                            .map(|&(pos, col)| (pos, block.cols[col][parent])),
+                            .map(|&(pos, col)| (pos, Value::from_id(block.cols[col][parent]))),
                     );
                     let posting = ix
                         .most_selective(&constraints)
@@ -310,12 +324,12 @@ fn extend_block(
 
     // The gather phase: existing columns follow the parent ids, new
     // columns and the new annotation column follow the matched rows.
-    let mut cols: Vec<Vec<Value>> = Vec::with_capacity(block.cols.len() + plan.binds.len());
+    let mut cols: Vec<Vec<u32>> = Vec::with_capacity(block.cols.len() + plan.binds.len());
     for c in &block.cols {
         cols.push(parents.iter().map(|&p| c[p as usize]).collect());
     }
     for &pos in &plan.binds {
-        let col = rel.column(pos);
+        let col = rel.column_ids(pos);
         cols.push(rows.iter().map(|&r| col[r as usize]).collect());
     }
     let mut annot_cols: Vec<Vec<Annotation>> = Vec::with_capacity(block.annot_cols.len() + 1);
@@ -343,7 +357,7 @@ fn apply_diseqs(block: &mut Block, diseqs: &[DiseqPlan]) {
                 let left = block.cols[d.left][i];
                 let right = match d.right {
                     Fetch::Col(c) => block.cols[c][i],
-                    Fetch::Const(v) => v,
+                    Fetch::Const(v) => v.id(),
                 };
                 left != right
             })
@@ -362,30 +376,78 @@ fn apply_diseqs(block: &mut Block, diseqs: &[DiseqPlan]) {
     block.len = keep.len();
 }
 
-/// Runs `block` through the remaining steps and accumulates the surviving
-/// assignments' provenance into `result` in place.
-fn finish_chunk(
-    mut block: Block,
-    plans: &[AtomPlan],
-    rels: &[&ColumnarRelation],
-    indexes: &[Option<&RelationIndex>],
-    head: &[Fetch],
-    result: &mut AnnotatedResult,
-) {
-    for ((plan, rel), index) in plans.iter().zip(rels).zip(indexes) {
-        if block.len == 0 {
-            return;
+/// The read-only remainder of a batched schedule: the per-step plan,
+/// relation, and index slices advance in lockstep; head layout, chunk
+/// bound, and the frontier counter are shared by every level.
+#[derive(Clone, Copy)]
+struct Pipeline<'a> {
+    plans: &'a [AtomPlan],
+    rels: &'a [&'a ColumnarRelation],
+    indexes: &'a [Option<&'a RelationIndex>],
+    head: &'a [Fetch],
+    chunk_rows: usize,
+    cache: &'a IndexCache,
+}
+
+impl<'a> Pipeline<'a> {
+    /// The pipeline after consuming one extension step.
+    fn next_step(&self) -> Pipeline<'a> {
+        Pipeline {
+            plans: &self.plans[1..],
+            rels: &self.rels[1..],
+            indexes: &self.indexes[1..],
+            ..*self
         }
-        block = extend_block(&block, plan, rel, *index);
-        apply_diseqs(&mut block, &plan.diseqs);
     }
+}
+
+/// Runs `block` through the remaining steps and accumulates the surviving
+/// assignments' provenance into `result` in place, never holding more
+/// than `pipe.chunk_rows` input rows per extension step: an oversized
+/// frontier is sliced and each slice driven through the *entire*
+/// remaining schedule (depth-first over chunks) before the next slice
+/// starts — correctness-neutral, since the slices partition the block's
+/// rows and ⊕-accumulation into `result` is order-independent. A
+/// `chunk_rows` of `usize::MAX` is the unchunked behavior.
+fn finish_chunk(block: Block, pipe: &Pipeline<'_>, result: &mut AnnotatedResult) {
+    let Some(plan) = pipe.plans.first() else {
+        emit_block(&block, pipe.head, result);
+        return;
+    };
+    if block.len == 0 {
+        return;
+    }
+    if block.len > pipe.chunk_rows {
+        // Re-chunk before extending: only the already-materialized
+        // oversized block (bounded by chunk × one step's fan-out) plus
+        // one chunk-sized slice chain is ever live at once.
+        let mut start = 0;
+        while start < block.len {
+            let end = (start + pipe.chunk_rows).min(block.len);
+            finish_chunk(block.slice(start, end), pipe, result);
+            start = end;
+        }
+        return;
+    }
+    let mut next = extend_block(&block, plan, pipe.rels[0], pipe.indexes[0]);
+    // The input chunk is dead once extended; free it before recursing so
+    // the live set along the schedule stays one block per level.
+    drop(block);
+    apply_diseqs(&mut next, &plan.diseqs);
+    pipe.cache.observe_frontier(next.len);
+    finish_chunk(next, &pipe.next_step(), result);
+}
+
+/// Emits every row of a fully-extended block: decode the head ids back to
+/// [`Value`]s, accumulate the annotation factors in place.
+fn emit_block(block: &Block, head: &[Fetch], result: &mut AnnotatedResult) {
     let mut builder = MonomialBuilder::new();
     let mut head_buf: Vec<Value> = Vec::with_capacity(head.len());
     for i in 0..block.len {
         head_buf.clear();
         for f in head {
             head_buf.push(match *f {
-                Fetch::Col(c) => block.cols[c][i],
+                Fetch::Col(c) => Value::from_id(block.cols[c][i]),
                 Fetch::Const(v) => v,
             });
         }
@@ -404,8 +466,9 @@ pub(crate) fn eval_cq_batched(
     db: &Database,
     options: EvalOptions,
     views: &EvalViews,
+    cache: &IndexCache,
 ) -> AnnotatedResult {
-    eval_cq_batched_restricted(q, db, options, views, None)
+    eval_cq_batched_restricted(q, db, options, views, cache, None)
 }
 
 /// [`eval_cq_batched`] with a per-atom row restriction — the delta ⊕-join
@@ -416,6 +479,7 @@ pub(crate) fn eval_cq_batched_restricted(
     db: &Database,
     options: EvalOptions,
     views: &EvalViews,
+    cache: &IndexCache,
     restricts: Option<&[RowRestrict]>,
 ) -> AnnotatedResult {
     debug_assert!(!q.atoms().is_empty(), "caller handles atom-free queries");
@@ -463,24 +527,30 @@ pub(crate) fn eval_cq_batched_restricted(
         .collect();
 
     // First step from the unit block, shared by both execution modes.
+    // Its fan-out is bounded by the first relation's size — within the
+    // per-step bound chunking guarantees for every later step.
     let mut block = extend_block(&Block::unit(), &plans[0], rels[0], indexes[0]);
     apply_diseqs(&mut block, &plans[0].diseqs);
+    cache.observe_frontier(block.len);
+    let pipe = Pipeline {
+        plans: &plans[1..],
+        rels: &rels[1..],
+        indexes: &indexes[1..],
+        head: &head,
+        chunk_rows: options.effective_chunk_rows(),
+        cache,
+    };
 
     let threads = options.effective_threads();
     if threads < 2 || plans.len() < 2 || block.len < 2 {
-        finish_chunk(
-            block,
-            &plans[1..],
-            &rels[1..],
-            &indexes[1..],
-            &head,
-            &mut result,
-        );
+        finish_chunk(block, &pipe, &mut result);
         return result;
     }
 
     // Parallel mode: shard the first-atom block into chunks, work-stolen
-    // by scoped threads; ⊕-merge the private partial results.
+    // by scoped threads; ⊕-merge the private partial results. A shard
+    // wider than `chunk_rows` is re-sliced inside `finish_chunk`, so the
+    // per-thread frontier bound holds regardless of shard geometry.
     let num_chunks = (threads * CHUNKS_PER_THREAD).min(block.len).max(1);
     let bounds: Vec<(usize, usize)> = (0..num_chunks)
         .map(|i| (i * block.len / num_chunks, (i + 1) * block.len / num_chunks))
@@ -497,14 +567,7 @@ pub(crate) fn eval_cq_batched_restricted(
                             break;
                         }
                         let (start, end) = bounds[i];
-                        finish_chunk(
-                            block.slice(start, end),
-                            &plans[1..],
-                            &rels[1..],
-                            &indexes[1..],
-                            &head,
-                            &mut local,
-                        );
+                        finish_chunk(block.slice(start, end), &pipe, &mut local);
                     }
                     local
                 })
@@ -614,6 +677,40 @@ mod tests {
         let batched = eval_ucq_with(&q, &db, EvalOptions::batched());
         let reference = eval_ucq_with(&q, &db, EvalOptions::naive());
         assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn chunking_bounds_the_peak_frontier() {
+        // A deliberate fan-out: every R row shares x = 'h', so the
+        // self-join's frontier after the second extension is n² rows
+        // unchunked. With chunk c, each ≤c-row slice is extended by the
+        // per-row fan-out n, so the counter must stay ≤ c·n — the
+        // documented O(chunk × max one-step fan-out) bound — while the
+        // result is bit-identical.
+        let n = 64usize;
+        let chunk = 8usize;
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add("R", &["h", &format!("b{i}")], &format!("fan_{i}"));
+        }
+        let q = parse_ucq("ans(y,z) :- R(x,y), R(x,z)").unwrap();
+
+        let unchunked = crate::EvalSession::with_options(EvalOptions::batched().unchunked());
+        let full = unchunked.eval_ucq(&q, &db);
+        let unchunked_peak = unchunked.stats().peak_frontier_rows;
+        assert_eq!(unchunked_peak, (n * n) as u64);
+
+        let chunked =
+            crate::EvalSession::with_options(EvalOptions::batched().with_chunk_rows(chunk));
+        let bounded = chunked.eval_ucq(&q, &db);
+        let chunked_peak = chunked.stats().peak_frontier_rows;
+        assert_eq!(*bounded, *full);
+        assert!(
+            chunked_peak <= (chunk * n) as u64,
+            "peak {chunked_peak} exceeds chunk × fan-out = {}",
+            chunk * n
+        );
+        assert!(chunked_peak < unchunked_peak);
     }
 
     #[test]

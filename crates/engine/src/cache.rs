@@ -130,6 +130,10 @@ pub struct IndexCache {
     entry: Mutex<Option<Arc<EvalViews>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// High-water mark of materialized frontier rows across every
+    /// evaluation routed through this cache (see
+    /// [`IndexCache::peak_frontier_rows`]).
+    peak_frontier: AtomicU64,
 }
 
 impl IndexCache {
@@ -193,6 +197,22 @@ impl IndexCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records that an evaluation materialized a frontier of `rows`
+    /// partial-assignment rows at once (a block of the batched pipeline,
+    /// or the assignment buffer of the tuple paths). Keeps the maximum.
+    pub(crate) fn observe_frontier(&self, rows: usize) {
+        self.peak_frontier.fetch_max(rows as u64, Ordering::Relaxed);
+    }
+
+    /// High-water mark of materialized frontier rows across every
+    /// evaluation routed through this cache — the memory-boundedness
+    /// witness of the chunked batched pipeline: with
+    /// `EvalOptions::chunk_rows = Some(c)` this stays O(c × max one-step
+    /// fan-out) however large the intermediate joins grow.
+    pub fn peak_frontier_rows(&self) -> u64 {
+        self.peak_frontier.load(Ordering::Relaxed)
     }
 }
 

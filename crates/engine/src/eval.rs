@@ -158,6 +158,13 @@ impl AnnotatedResult {
     }
 }
 
+/// Default chunk size of the memory-bounded batched pipeline: how many
+/// first-frontier rows flow through the whole atom schedule at once.
+/// Large enough that chunking costs nothing on small workloads (the whole
+/// evaluation is one chunk), small enough that a fan-out-heavy join's
+/// peak frontier stays a bounded multiple of it.
+pub const DEFAULT_CHUNK_ROWS: usize = 64 * 1024;
+
 /// Evaluation strategy knobs (the B1 ablation axes).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct EvalOptions {
@@ -177,6 +184,17 @@ pub struct EvalOptions {
     /// [`EvalOptions::tuple`] is the escape hatch back to the
     /// tuple-at-a-time recursion.
     pub batch: bool,
+    /// Memory bound of the batched pipeline: a frontier block larger than
+    /// this is driven through the remaining atom schedule in
+    /// `chunk_rows`-row slices, each accumulated into the shared result
+    /// before the next slice starts, so peak frontier memory is
+    /// O(`chunk_rows` × the largest one-step fan-out) instead of
+    /// O(largest intermediate join). `None` (or `Some(0)`) disables
+    /// chunking; results are bit-identical either way (⊕ is commutative
+    /// and associative — the chunks are just a regrouping of the Def 2.6
+    /// assignment sum). Defaults to [`DEFAULT_CHUNK_ROWS`]. Ignored by
+    /// the tuple-at-a-time paths, whose working set is O(depth) already.
+    pub chunk_rows: Option<usize>,
 }
 
 impl Default for EvalOptions {
@@ -186,6 +204,7 @@ impl Default for EvalOptions {
             use_index: true,
             parallelism: None,
             batch: true,
+            chunk_rows: Some(DEFAULT_CHUNK_ROWS),
         }
     }
 }
@@ -198,6 +217,7 @@ impl EvalOptions {
             use_index: false,
             parallelism: None,
             batch: false,
+            chunk_rows: None,
         }
     }
 
@@ -250,9 +270,39 @@ impl EvalOptions {
         }
     }
 
+    /// This strategy with the batched pipeline's frontier chunked to
+    /// `rows`-row slices (`0` disables chunking, like
+    /// [`EvalOptions::unchunked`]). See [`EvalOptions::chunk_rows`].
+    pub fn with_chunk_rows(self, rows: usize) -> Self {
+        EvalOptions {
+            chunk_rows: Some(rows),
+            ..self
+        }
+    }
+
+    /// This strategy with frontier chunking disabled: the batched
+    /// pipeline materializes each full intermediate frontier (the
+    /// pre-chunking behavior — fastest on workloads that fit in memory,
+    /// unbounded peak on those that don't).
+    pub fn unchunked(self) -> Self {
+        EvalOptions {
+            chunk_rows: None,
+            ..self
+        }
+    }
+
     /// The worker-thread count this strategy actually runs with.
     pub(crate) fn effective_threads(&self) -> usize {
         self.parallelism.unwrap_or(1).max(1)
+    }
+
+    /// The chunk bound the batched pipeline actually applies
+    /// (`usize::MAX` = unchunked).
+    pub(crate) fn effective_chunk_rows(&self) -> usize {
+        match self.chunk_rows {
+            Some(rows) if rows > 0 => rows,
+            _ => usize::MAX,
+        }
     }
 }
 
@@ -454,17 +504,21 @@ pub(crate) fn eval_cq_via_cache(
     }
     if options.batch {
         let views = cache.views(db);
-        return crate::batch::eval_cq_batched(q, db, options, &views);
+        return crate::batch::eval_cq_batched(q, db, options, &views, cache);
     }
     if options.effective_threads() >= 2 {
         let views = options.use_index.then(|| cache.views(db));
         let index = views.as_ref().map(|v| v.database_index(db));
-        return crate::parallel::eval_cq_parallel(q, db, options, index);
+        return crate::parallel::eval_cq_parallel(q, db, options, index, cache);
     }
     let views = options.use_index.then(|| cache.views(db));
     let index = views.as_ref().map(|v| v.database_index(db));
+    let assignments = collect_assignments(q, db, options, index);
+    // The tuple path's frontier analog: the fully-materialized assignment
+    // vector (the batched pipeline reports its block sizes instead).
+    cache.observe_frontier(assignments.len());
     let mut result = AnnotatedResult::default();
-    for a in collect_assignments(q, db, options, index) {
+    for a in assignments {
         result.record(a.head_tuple(q), a.monomial(q, db));
     }
     result

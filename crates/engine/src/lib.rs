@@ -21,7 +21,7 @@ pub use assignment::Assignment;
 pub use cache::{CacheStats, EvalViews, IndexCache};
 pub use eval::{
     assignments, assignments_with, eval_cq, eval_cq_with, eval_in_semiring, eval_ucq,
-    eval_ucq_with, AnnotatedResult, EvalOptions,
+    eval_ucq_with, AnnotatedResult, EvalOptions, DEFAULT_CHUNK_ROWS,
 };
 pub use index::{DatabaseIndex, RelationIndex};
 pub use planner::PlannerKind;

@@ -21,6 +21,7 @@ use prov_query::{ConjunctiveQuery, Term, Variable};
 use prov_storage::{Database, RelationShards, Tuple, Value};
 
 use crate::assignment::Assignment;
+use crate::cache::IndexCache;
 use crate::eval::{try_candidate, AnnotatedResult, EvalOptions};
 use crate::index::DatabaseIndex;
 
@@ -62,6 +63,7 @@ pub(crate) fn eval_cq_parallel(
     db: &Database,
     options: EvalOptions,
     index: Option<&DatabaseIndex>,
+    cache: &IndexCache,
 ) -> AnnotatedResult {
     let threads = options.effective_threads();
     debug_assert!(threads >= 2 && !q.atoms().is_empty());
@@ -92,6 +94,10 @@ pub(crate) fn eval_cq_parallel(
                     let mut tuples: Vec<Tuple> = vec![Tuple::empty(); q.atoms().len()];
                     let mut bindings: BTreeMap<Variable, Value> = BTreeMap::new();
                     let mut buf: Vec<Assignment> = Vec::new();
+                    // This path's frontier analog: the per-candidate
+                    // assignment buffer, drained after every first-atom
+                    // row. Tracked thread-locally, published once.
+                    let mut local_peak = 0usize;
                     loop {
                         let shard = cursor.fetch_add(1, Ordering::Relaxed);
                         if shard >= num_shards {
@@ -109,11 +115,13 @@ pub(crate) fn eval_cq_parallel(
                                 &mut bindings,
                                 &mut buf,
                             );
+                            local_peak = local_peak.max(buf.len());
                             for a in buf.drain(..) {
                                 local.record(a.head_tuple(q), a.monomial(q, db));
                             }
                         }
                     }
+                    cache.observe_frontier(local_peak);
                     local
                 })
             })

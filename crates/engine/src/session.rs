@@ -68,6 +68,14 @@ pub struct SessionStats {
     /// cached entries cannot roll forward to. Each wiped entry costs one
     /// later full rebuild — the counter says the fallback happened.
     pub invalidations: u64,
+    /// High-water mark of materialized frontier rows across this
+    /// session's evaluations: the largest partial-assignment block the
+    /// batched pipeline held at once (or assignment buffer, for the
+    /// tuple paths). With [`EvalOptions::chunk_rows`] set this stays
+    /// bounded by chunk size × the largest one-step fan-out — the
+    /// memory-boundedness witness reported on `/stats` and
+    /// `--cache-stats`.
+    pub peak_frontier_rows: u64,
 }
 
 /// Whether a mutation was absorbed incrementally or invalidated the warm
@@ -183,6 +191,7 @@ impl EvalSession {
             full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
             monomials_dropped: self.monomials_dropped.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            peak_frontier_rows: self.views.peak_frontier_rows(),
         }
     }
 
@@ -421,6 +430,7 @@ fn apply_deltas(
                     db,
                     options,
                     &eval_views,
+                    views,
                     Some(&restricts),
                 ));
             }
@@ -538,6 +548,59 @@ mod tests {
         db.add("R", &["post", "z"], "lt_post");
         assert_matches_fresh(&session, &q, &db);
         assert_eq!(session.stats().delta_applies, 1);
+    }
+
+    #[test]
+    fn zero_delta_capacity_degrades_to_rebuild_per_window() {
+        // Capacity 0 truncates every window — the degenerate lower bound
+        // of the fallback path. Each re-evaluation after a mutation must
+        // cost exactly one full rebuild (never a panic, never a stale
+        // serve, never more than one rebuild).
+        let mut db = Database::with_delta_capacity(0);
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        let session = EvalSession::new();
+        let q = parse_ucq("ans(x) :- R(x,y)").unwrap();
+        assert_matches_fresh(&session, &q, &db);
+        assert_eq!(session.stats().full_rebuilds, 1);
+        for round in 0..3u32 {
+            db.add("R", &[&format!("c{round}"), "a"], &format!("z_{round}"));
+            assert_matches_fresh(&session, &q, &db);
+            let stats = session.stats();
+            assert_eq!(stats.delta_applies, 0, "capacity 0 must never delta");
+            assert_eq!(stats.full_rebuilds, u64::from(round) + 2);
+        }
+    }
+
+    #[test]
+    fn capacity_one_deltas_single_event_windows() {
+        // Capacity 1 is the smallest log that can cover a window at all:
+        // one event per re-evaluation stays on the delta path, while a
+        // two-event window truncates and falls back to a rebuild.
+        let mut db = Database::with_delta_capacity(1);
+        db.add("R", &["a", "a"], "s1");
+        db.add("R", &["a", "b"], "s2");
+        let session = EvalSession::new();
+        let q = parse_ucq("ans(x) :- R(x,y)").unwrap();
+        assert_matches_fresh(&session, &q, &db);
+        assert_eq!(session.stats().full_rebuilds, 1);
+
+        db.add("R", &["c", "a"], "z_0");
+        assert_matches_fresh(&session, &q, &db);
+        assert_eq!(session.stats().delta_applies, 1);
+        assert_eq!(session.stats().full_rebuilds, 1);
+
+        db.remove(RelName::new("R"), &Tuple::of(&["c", "a"]));
+        assert_matches_fresh(&session, &q, &db);
+        assert_eq!(session.stats().delta_applies, 2);
+        assert_eq!(session.stats().full_rebuilds, 1);
+
+        db.add("R", &["d", "a"], "z_1");
+        db.add("R", &["e", "a"], "z_2");
+        assert_matches_fresh(&session, &q, &db);
+        let stats = session.stats();
+        assert_eq!(stats.delta_applies, 2, "overflowed window must not delta");
+        assert_eq!(stats.full_rebuilds, 2);
     }
 
     #[test]

@@ -37,22 +37,38 @@ proptest! {
         for batch in [false, true] {
             for planner in [PlannerKind::Syntactic, PlannerKind::CostBased] {
                 for threads in [1usize, 4] {
-                    let options = EvalOptions::default()
-                        .with_batch(batch)
-                        .with_planner(planner)
-                        .with_parallelism(threads);
-                    let result = eval_cq_with(&q, &db, options);
-                    prop_assert_eq!(
-                        &result,
-                        &reference,
-                        "batch={} × {:?} × {} threads diverges on {} (query seed {}, db seed {})",
-                        batch,
-                        planner,
-                        threads,
-                        q,
-                        query_seed,
-                        db_seed
-                    );
+                    // chunk_rows only shapes the batched pipeline, so the
+                    // tuple path runs the axis once. 1 and 7 force the
+                    // re-chunking recursion constantly; 64Ki is the
+                    // default; None is the unbounded legacy behaviour.
+                    let chunk_axis: &[Option<usize>] = if batch {
+                        &[Some(1), Some(7), Some(64 * 1024), None]
+                    } else {
+                        &[None]
+                    };
+                    for &chunk in chunk_axis {
+                        let mut options = EvalOptions::default()
+                            .with_batch(batch)
+                            .with_planner(planner)
+                            .with_parallelism(threads);
+                        options = match chunk {
+                            Some(rows) => options.with_chunk_rows(rows),
+                            None => options.unchunked(),
+                        };
+                        let result = eval_cq_with(&q, &db, options);
+                        prop_assert_eq!(
+                            &result,
+                            &reference,
+                            "batch={} × {:?} × {} threads × chunk {:?} diverges on {} (query seed {}, db seed {})",
+                            batch,
+                            planner,
+                            threads,
+                            chunk,
+                            q,
+                            query_seed,
+                            db_seed
+                        );
+                    }
                 }
             }
         }

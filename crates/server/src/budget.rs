@@ -19,8 +19,10 @@ pub const MAX_THREADS: u64 = 64;
 
 /// Reads `/eval` strategy fields from the request body:
 /// `mode` (`"batched"` default / `"tuple"`), `threads` (1 ..=
-/// [`MAX_THREADS`]), `planner` (`"written"`, `"syntactic"`, `"cost"`).
-/// Unknown fields are ignored so clients can round-trip stats blobs.
+/// [`MAX_THREADS`]), `planner` (`"written"`, `"syntactic"`, `"cost"`),
+/// `chunk_rows` (frontier chunk size for the batched pipeline; 0
+/// disables chunking). Unknown fields are ignored so clients can
+/// round-trip stats blobs.
 pub fn eval_options(body: &Json) -> Result<EvalOptions, String> {
     let mut options = EvalOptions::default();
     if let Some(mode) = body.get("mode") {
@@ -53,6 +55,14 @@ pub fn eval_options(body: &Json) -> Result<EvalOptions, String> {
             }
         };
         options = options.with_planner(kind);
+    }
+    if let Some(rows) = body.get("chunk_rows") {
+        let n = rows.as_u64().ok_or("\"chunk_rows\" must be an integer")?;
+        options = if n == 0 {
+            options.unchunked()
+        } else {
+            options.with_chunk_rows(n as usize)
+        };
     }
     Ok(options)
 }
@@ -118,6 +128,15 @@ mod tests {
         assert!(eval_options(&obj(r#"{"mode":"vectorized"}"#)).is_err());
         assert!(eval_options(&obj(r#"{"threads":0}"#)).is_err());
         assert!(eval_options(&obj(r#"{"planner":"best"}"#)).is_err());
+    }
+
+    #[test]
+    fn chunk_rows_translates_and_zero_disables() {
+        let opts = eval_options(&obj(r#"{"chunk_rows":7}"#)).expect("parses");
+        assert_eq!(opts, EvalOptions::default().with_chunk_rows(7));
+        let unbounded = eval_options(&obj(r#"{"chunk_rows":0}"#)).expect("parses");
+        assert_eq!(unbounded, EvalOptions::default().unchunked());
+        assert!(eval_options(&obj(r#"{"chunk_rows":"lots"}"#)).is_err());
     }
 
     #[test]

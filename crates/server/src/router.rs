@@ -463,6 +463,10 @@ fn cache_json(stats: &prov_engine::SessionStats) -> Json {
             "invalidations".to_owned(),
             Json::from_u64(stats.invalidations),
         ),
+        (
+            "peak_frontier_rows".to_owned(),
+            Json::from_u64(stats.peak_frontier_rows),
+        ),
     ])
 }
 

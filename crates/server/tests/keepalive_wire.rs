@@ -197,6 +197,48 @@ fn connections_over_the_cap_get_503() {
 }
 
 #[test]
+fn chunked_eval_streams_byte_identical_to_unchunked() {
+    // A result big enough to cross the streaming threshold (512 rows), so
+    // the response is produced by the chunked-transfer path with its
+    // `iter_from` cursor re-seeks. The session's result store is keyed by
+    // query text alone, so the two chunk settings must run on *fresh*
+    // server instances — a second request to the same server would be
+    // served the first run's materialized result and compare nothing.
+    let mut table = String::new();
+    for i in 0..600 {
+        table.push_str(&format!("R(k{i}, v{i}) : t{i}\n"));
+    }
+    let serve_one = |body: &str| {
+        let db = parse_database(&table).expect("test database parses");
+        let handle = serve(
+            ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            db,
+        )
+        .expect("bind");
+        let addr = handle.addr().to_string();
+        let (status, text) =
+            client::post_json_accept_text(&addr, "/eval", body).expect("round trip");
+        handle.shutdown();
+        assert_eq!(status, 200);
+        text
+    };
+    let unchunked = serve_one(r#"{"query": "ans(x,y) :- R(x,y)", "chunk_rows": 0}"#);
+    assert!(
+        unchunked.lines().count() > 512,
+        "result must be large enough to stream"
+    );
+    // Degenerate single-row chunks maximize accumulation interleaving;
+    // the paper's ⊕ canonicalization makes the result — and therefore
+    // the streamed bytes, re-seeks included — identical.
+    let chunked = serve_one(r#"{"query": "ans(x,y) :- R(x,y)", "chunk_rows": 1}"#);
+    assert_eq!(chunked, unchunked);
+}
+
+#[test]
 fn per_connection_request_cap_forces_close() {
     let (handle, addr) = start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),

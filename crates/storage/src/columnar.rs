@@ -5,10 +5,14 @@
 //! is the right shape for set semantics and point lookups but makes the
 //! evaluation inner loop chase a `Vec<Value>` allocation per row. A
 //! [`ColumnarRelation`] transposes the rows once — one contiguous
-//! `Vec<Value>` per argument position and one `Vec<Annotation>` — so that
-//! batched assignment extension ([`prov-engine`'s] batch pipeline) scans
-//! and gathers contiguous columns instead. Views are plain owned data and
-//! therefore freely borrowable by shards and worker threads.
+//! **dictionary-encoded** `Vec<u32>` of interned value ids per argument
+//! position and one `Vec<Annotation>` — so that batched assignment
+//! extension ([`prov-engine`'s] batch pipeline) scans and gathers
+//! contiguous columns of fixed-width integers: equality candidate checks
+//! and disequality filters are plain `u32` compares the autovectorizer
+//! can chew on, and values are decoded back ([`Value::from_id`]) only at
+//! the output boundary. Views are plain owned data and therefore freely
+//! borrowable by shards and worker threads.
 //!
 //! Row order is insertion order, matching [`Relation::iter`]/[`Relation::row`],
 //! so row indices are interchangeable between a relation, its posting-list
@@ -23,28 +27,32 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::{RelName, Value};
 
-/// A columnar view of one annotated relation: `columns[p][r]` is the value
-/// at position `p` of row `r`, and `annotations[r]` is row `r`'s tag.
+/// A columnar view of one annotated relation: `columns[p][r]` is the
+/// interned id ([`Value::id`]) of the value at position `p` of row `r`,
+/// and `annotations[r]` is row `r`'s tag.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ColumnarRelation {
     name: RelName,
     /// Number of rows (kept explicitly: a nullary relation has no columns).
     len: usize,
-    columns: Vec<Vec<Value>>,
+    /// Dictionary-encoded value columns: interned ids, decoded back to
+    /// [`Value`] only at the output boundary.
+    columns: Vec<Vec<u32>>,
     annotations: Vec<Annotation>,
 }
 
 impl ColumnarRelation {
-    /// Transposes `relation` into columns (row order preserved).
+    /// Transposes `relation` into dictionary-encoded columns (row order
+    /// preserved).
     pub fn from_relation(relation: &Relation) -> Self {
         let len = relation.len();
-        let mut columns: Vec<Vec<Value>> = (0..relation.arity())
+        let mut columns: Vec<Vec<u32>> = (0..relation.arity())
             .map(|_| Vec::with_capacity(len))
             .collect();
         let mut annotations = Vec::with_capacity(len);
         for (tuple, annotation) in relation.iter() {
             for (column, &value) in columns.iter_mut().zip(tuple.values()) {
-                column.push(value);
+                column.push(value.id());
             }
             annotations.push(*annotation);
         }
@@ -61,7 +69,11 @@ impl ColumnarRelation {
     pub fn to_relation(&self) -> Relation {
         let mut relation = Relation::new(self.name, self.arity());
         for row in 0..self.len {
-            let tuple: Tuple = self.columns.iter().map(|c| c[row]).collect();
+            let tuple: Tuple = self
+                .columns
+                .iter()
+                .map(|c| Value::from_id(c[row]))
+                .collect();
             relation.insert(tuple, self.annotations[row]);
         }
         relation
@@ -87,8 +99,9 @@ impl ColumnarRelation {
         self.len == 0
     }
 
-    /// The value column at `position`. Panics if out of range.
-    pub fn column(&self, position: usize) -> &[Value] {
+    /// The dictionary-encoded value column at `position`: interned ids in
+    /// row order (decode with [`Value::from_id`]). Panics if out of range.
+    pub fn column_ids(&self, position: usize) -> &[u32] {
         &self.columns[position]
     }
 
@@ -97,9 +110,9 @@ impl ColumnarRelation {
         &self.annotations
     }
 
-    /// The value at `(row, position)`. Panics if out of range.
+    /// The decoded value at `(row, position)`. Panics if out of range.
     pub fn value(&self, row: usize, position: usize) -> Value {
-        self.columns[position][row]
+        Value::from_id(self.columns[position][row])
     }
 
     /// An empty view with the given name and arity (patch seed for a
@@ -118,7 +131,7 @@ impl ColumnarRelation {
     pub fn push_row(&mut self, tuple: &Tuple, annotation: Annotation) {
         assert_eq!(tuple.arity(), self.arity(), "columnar push arity mismatch");
         for (column, &value) in self.columns.iter_mut().zip(tuple.values()) {
-            column.push(value);
+            column.push(value.id());
         }
         self.annotations.push(annotation);
         self.len += 1;
@@ -203,12 +216,20 @@ mod tests {
         assert_eq!(view.len(), 3);
         assert_eq!(view.arity(), 2);
         assert_eq!(
-            view.column(0),
-            &[Value::new("a"), Value::new("a"), Value::new("b")]
+            view.column_ids(0),
+            &[
+                Value::new("a").id(),
+                Value::new("a").id(),
+                Value::new("b").id()
+            ]
         );
         assert_eq!(
-            view.column(1),
-            &[Value::new("b"), Value::new("c"), Value::new("c")]
+            view.column_ids(1),
+            &[
+                Value::new("b").id(),
+                Value::new("c").id(),
+                Value::new("c").id()
+            ]
         );
         assert_eq!(view.annotations()[2], Annotation::new("col_3"));
         assert_eq!(view.value(1, 1), Value::new("c"));

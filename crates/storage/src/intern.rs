@@ -70,6 +70,14 @@ impl Interner {
     pub fn name(&self, id: u32) -> String {
         self.lock().names[id as usize].clone()
     }
+
+    /// Number of ids this interner has minted (interned names plus slots
+    /// burned by [`Interner::fresh`] collisions). Ids are allocated
+    /// densely, so every id below this count is valid — the validity
+    /// check behind dictionary decoding (`Value::from_id`).
+    pub fn count(&self) -> usize {
+        self.lock().names.len()
+    }
 }
 
 #[cfg(test)]

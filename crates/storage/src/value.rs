@@ -36,6 +36,23 @@ impl Value {
     pub fn id(&self) -> u32 {
         self.0
     }
+
+    /// Decodes a raw interned id back into a `Value` — the inverse of
+    /// [`Value::id`]. This is the dictionary-decode step of the columnar
+    /// pipeline: blocks carry fixed-width `u32` id columns through the
+    /// join schedule and only rematerialize `Value`s at the output
+    /// boundary (tuple/monomial construction).
+    ///
+    /// `id` must have been minted by [`Value::id`] (or the columnar
+    /// store's id columns, which hold exactly such ids); debug builds
+    /// assert this against the interner.
+    pub fn from_id(id: u32) -> Self {
+        debug_assert!(
+            (id as usize) < VALUE_POOL.count(),
+            "value id {id} was not minted by the value interner"
+        );
+        Value(id)
+    }
 }
 
 impl fmt::Display for Value {
@@ -115,5 +132,12 @@ mod tests {
     #[test]
     fn fresh_values_unique() {
         assert_ne!(Value::fresh(), Value::fresh());
+    }
+
+    #[test]
+    fn id_round_trips_through_from_id() {
+        let v = Value::new("round-trip");
+        assert_eq!(Value::from_id(v.id()), v);
+        assert_eq!(Value::from_id(v.id()).name(), "round-trip");
     }
 }

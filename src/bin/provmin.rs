@@ -22,11 +22,16 @@
 //! * `--batch` / `--tuple` — columnar batched evaluation (the default
 //!   since the soak of the equivalence suite) or the tuple-at-a-time
 //!   escape hatch. Identical results either way.
+//! * `--chunk-rows N` — frontier chunk size of the batched pipeline
+//!   (default 65536, `0` = unchunked): bounds peak evaluation memory at
+//!   O(chunk × one step's fan-out) with bit-identical results (see the
+//!   memory-bounded-evaluation section of `docs/PERF.md`).
 //! * `--cache-stats` — print the session's cache counters to stderr, in
 //!   the same schema as the server's `/stats` cache object: view-cache
 //!   `hits`/`misses` plus the incremental-maintenance counters
-//!   `delta_applies`/`full_rebuilds`/`monomials_dropped` (all disjuncts
-//!   of a union share one index build via the session).
+//!   `delta_applies`/`full_rebuilds`/`monomials_dropped` and the
+//!   `peak_frontier_rows` high-water mark (all disjuncts of a union
+//!   share one index build via the session).
 //!
 //! `minimize` accepts engine flags (see `docs/MINIMIZE.md`):
 //!
@@ -88,20 +93,20 @@ const EXIT_BUDGET_EXHAUSTED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] [--batch|--tuple] [--cache-stats] <db-file> '<query>'\n  \
+        "usage:\n  provmin eval [--threads N] [--planner written|syntactic|cost] [--batch|--tuple] [--chunk-rows N] [--cache-stats] <db-file> '<query>'\n  \
          provmin minimize [--strategy minprov|auto|standard|dedup] [--budget-steps N] [--budget-ms N] [--no-memo] '<query>'\n  \
-         provmin core [--threads N] [--planner KIND] [--batch|--tuple] [--cache-stats] <db-file> '<query>'\n  \
+         provmin core [--threads N] [--planner KIND] [--batch|--tuple] [--chunk-rows N] [--cache-stats] <db-file> '<query>'\n  \
          provmin trace '<query>'\n  \
          provmin datalog <db-file> <program-file> <predicate>\n  \
          provmin serve [--addr HOST:PORT] [--workers N] [--db FILE] [--max-conns N] [--keepalive-timeout SECS]\n  \
          \u{20}             [--data-dir DIR] [--fsync always|interval] [--snapshot-every N] [--delta-capacity N]\n  \
          provmin recover --data-dir DIR [--check]\n  \
-         provmin fuzz [--spec NAME] [--seed N] [--cases N | --case K] [--list-specs]"
+         provmin fuzz [--spec NAME] [--seed N] [--cases N | --case K] [--chunk-rows N] [--list-specs]"
     );
     ExitCode::from(2)
 }
 
-/// Extracts `--threads`/`--planner`/`--batch`/`--cache-stats` flags from
+/// Extracts `--threads`/`--planner`/`--batch`/`--chunk-rows`/`--cache-stats` flags from
 /// the argument list, returning the remaining positional arguments, the
 /// resulting options, whether cache stats were requested, and whether any
 /// flag was present (only `eval`/`core` accept them).
@@ -142,6 +147,21 @@ fn parse_eval_flags(args: &[String]) -> Result<(Vec<String>, EvalOptions, bool, 
             "--tuple" => {
                 flags_used = true;
                 options = options.with_batch(false);
+            }
+            "--chunk-rows" => {
+                flags_used = true;
+                let n: usize = it
+                    .next()
+                    .ok_or("--chunk-rows needs a value")?
+                    .parse()
+                    .map_err(|_| "--chunk-rows must be an integer".to_owned())?;
+                // 0 disables chunking (unbounded frontier), matching the
+                // engine's `effective_chunk_rows` convention.
+                options = if n == 0 {
+                    options.unchunked()
+                } else {
+                    options.with_chunk_rows(n)
+                };
             }
             "--cache-stats" => {
                 flags_used = true;
@@ -212,22 +232,38 @@ fn load_db(path: &str) -> Result<Database, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (args, options, cache_stats, eval_flags_used) = match parse_eval_flags(&args) {
-        Ok(parsed) => parsed,
-        Err(message) => {
-            eprintln!("error: {message}");
-            return usage();
+    // `fuzz`, `serve`, and `recover` parse their own flags from the
+    // arguments after the subcommand (fuzz shares `--chunk-rows` with
+    // eval/core), so the global eval/minimize flag extraction must not
+    // run for them — it would consume their flags first.
+    let subcommand_owns_flags = matches!(
+        args.first().map(String::as_str),
+        Some("fuzz" | "serve" | "recover")
+    );
+    let (args, options, cache_stats, eval_flags_used) = if subcommand_owns_flags {
+        (args, EvalOptions::default(), false, false)
+    } else {
+        match parse_eval_flags(&args) {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return usage();
+            }
         }
     };
     if eval_flags_used && !matches!(args.first().map(String::as_str), Some("eval" | "core")) {
         eprintln!("error: --threads/--planner/--batch/--cache-stats only apply to eval and core");
         return usage();
     }
-    let (args, minimize_options, minimize_flags_used) = match parse_minimize_flags(&args) {
-        Ok(parsed) => parsed,
-        Err(message) => {
-            eprintln!("error: {message}");
-            return usage();
+    let (args, minimize_options, minimize_flags_used) = if subcommand_owns_flags {
+        (args, MinimizeOptions::default(), false)
+    } else {
+        match parse_minimize_flags(&args) {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return usage();
+            }
         }
     };
     if minimize_flags_used && args.first().map(String::as_str) != Some("minimize") {
@@ -383,6 +419,12 @@ fn parse_fuzz_flags(args: &[String]) -> Result<FuzzCommand, String> {
                     .parse()
                     .map_err(|_| "--case must be an integer".to_owned())?;
                 options.cases = 1;
+            }
+            "--chunk-rows" => {
+                let n: usize = value("--chunk-rows")?
+                    .parse()
+                    .map_err(|_| "--chunk-rows must be an integer".to_owned())?;
+                options.chunk_rows = Some(n);
             }
             other => return Err(format!("unknown fuzz flag {other}")),
         }
@@ -675,12 +717,13 @@ fn run_with_db(
         // Same counter schema as the server's `/stats` cache object.
         let stats = session.stats();
         eprintln!(
-            "cache: hits={} misses={} delta_applies={} full_rebuilds={} monomials_dropped={}",
+            "cache: hits={} misses={} delta_applies={} full_rebuilds={} monomials_dropped={} peak_frontier_rows={}",
             stats.views.hits,
             stats.views.misses,
             stats.delta_applies,
             stats.full_rebuilds,
-            stats.monomials_dropped
+            stats.monomials_dropped,
+            stats.peak_frontier_rows
         );
     }
     if result.is_empty() {

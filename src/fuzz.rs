@@ -5,12 +5,14 @@
 //! a bug in exactly the guarantees the source paper proves:
 //!
 //! * **Evaluation** — `{batched, tuple} × {1, 4 threads} ×
-//!   {cost-based, syntactic, written-order planners}` must be
-//!   bit-identical to the naive reference (Def 2.6/2.12: every strategy
-//!   enumerates the same assignments; ⊕-merge order is immaterial). Each
-//!   configuration runs in its own [`EvalSession`] (a shared session
-//!   would serve later configs the first one's materialized result and
-//!   check nothing).
+//!   {cost-based, syntactic, written-order planners}`, plus two
+//!   degenerate-chunk batched configs (`--chunk-rows` overrides the
+//!   whole matrix), must be bit-identical to the naive reference
+//!   (Def 2.6/2.12: every strategy enumerates the same assignments;
+//!   ⊕-merge order is immaterial — chunked accumulation is just another
+//!   regrouping of ⊕). Each configuration runs in its own
+//!   [`EvalSession`] (a shared session would serve later configs the
+//!   first one's materialized result and check nothing).
 //! * **Incremental maintenance** — for scenarios carrying a mutation
 //!   script (the `mutate` spec), one `EvalSession` is driven across the
 //!   whole insert/delete interleaving and must stay bit-identical to
@@ -52,6 +54,10 @@ pub struct FuzzOptions {
     pub start: u64,
     /// Number of cases.
     pub cases: u64,
+    /// `Some(n)`: force chunk size `n` (0 = unchunked) onto *every* eval
+    /// configuration, replacing the default matrix's two dedicated
+    /// chunked configs. `None`: default matrix.
+    pub chunk_rows: Option<usize>,
 }
 
 impl Default for FuzzOptions {
@@ -61,6 +67,7 @@ impl Default for FuzzOptions {
             seed: 1,
             start: 0,
             cases: 200,
+            chunk_rows: None,
         }
     }
 }
@@ -95,9 +102,22 @@ pub enum FuzzVerdict {
     Diverged(Box<Divergence>),
 }
 
-/// The twelve differential evaluation configurations (the naive
-/// reference is the thirteenth, run separately).
-fn eval_configs() -> Vec<(String, EvalOptions)> {
+/// The differential evaluation configurations (the naive reference runs
+/// separately). The base matrix is `{batched, tuple} × {1, 4 threads} ×
+/// {cost, syntactic, written}` = 12 configs, all at the default chunk
+/// size; without an override, two degenerate-chunk configs (chunk 1
+/// sequential, chunk 7 parallel — the sizes that maximally exercise the
+/// re-chunking recursion) ride along for 14. A `chunk_override` of
+/// `Some(n)` instead forces chunk size `n` (0 = unchunked) onto every
+/// base config.
+fn eval_configs(chunk_override: Option<usize>) -> Vec<(String, EvalOptions)> {
+    let chunked = |options: EvalOptions, rows: usize| {
+        if rows == 0 {
+            options.unchunked()
+        } else {
+            options.with_chunk_rows(rows)
+        }
+    };
     let mut configs = Vec::new();
     for (mode_name, batch) in [("batched", true), ("tuple", false)] {
         for threads in [1usize, 4] {
@@ -106,12 +126,28 @@ fn eval_configs() -> Vec<(String, EvalOptions)> {
                 ("syntactic", PlannerKind::Syntactic),
                 ("written", PlannerKind::WrittenOrder),
             ] {
-                let options = EvalOptions::default()
+                let mut options = EvalOptions::default()
                     .with_batch(batch)
                     .with_planner(planner)
                     .with_parallelism(threads);
-                configs.push((format!("{mode_name}/{planner_name}/t{threads}"), options));
+                let mut name = format!("{mode_name}/{planner_name}/t{threads}");
+                if let Some(rows) = chunk_override {
+                    options = chunked(options, rows);
+                    name.push_str(&format!("/chunk{rows}"));
+                }
+                configs.push((name, options));
             }
+        }
+    }
+    if chunk_override.is_none() {
+        for (threads, rows) in [(1usize, 1usize), (4, 7)] {
+            let options = chunked(
+                EvalOptions::default()
+                    .with_batch(true)
+                    .with_parallelism(threads),
+                rows,
+            );
+            configs.push((format!("batched/cost/t{threads}/chunk{rows}"), options));
         }
     }
     configs
@@ -122,7 +158,7 @@ fn eval_configs() -> Vec<(String, EvalOptions)> {
 /// in the verdict.
 pub fn run(options: &FuzzOptions) -> Result<FuzzVerdict, String> {
     let sampler = Sampler::named(&options.spec)?;
-    let configs = eval_configs();
+    let configs = eval_configs(options.chunk_rows);
     let inject = injected_case();
     for case in options.start..options.start.saturating_add(options.cases) {
         let scenario = sampler.scenario(options.seed, case);
@@ -377,12 +413,12 @@ fn fnv(text: &str) -> u64 {
 /// triple with the full config matrix.
 pub fn check_triple(spec: &str, seed: u64, case: u64) -> Result<(), String> {
     let sampler = Sampler::named(spec)?;
-    check_scenario(&sampler.scenario(seed, case), &eval_configs())
+    check_scenario(&sampler.scenario(seed, case), &eval_configs(None))
 }
 
 /// Re-export used by the CLI to size its summary line.
 pub fn eval_config_count() -> usize {
-    eval_configs().len()
+    eval_configs(None).len()
 }
 
 #[cfg(test)]
@@ -397,6 +433,7 @@ mod tests {
                 seed: 7,
                 start: 0,
                 cases: 6,
+                chunk_rows: None,
             })
             .expect("spec resolves");
             match verdict {
@@ -405,11 +442,36 @@ mod tests {
                     eval_configs,
                 } => {
                     assert_eq!(cases, 6);
-                    assert_eq!(eval_configs, 12);
+                    assert_eq!(eval_configs, 14);
                 }
                 FuzzVerdict::Diverged(d) => {
                     panic!("unexpected divergence: {} — {}", d.replay, d.detail)
                 }
+            }
+        }
+    }
+
+    /// Satellite of the chunked-eval PR: chunk size 1 (the maximally
+    /// re-chunked pipeline) must stay bit-identical to the tuple-at-a-time
+    /// path on a slice of every spec. Transitivity through the naive
+    /// reference already implies this inside `run`; this pins the direct
+    /// comparison so a future naive-path bug can't mask a chunking one.
+    #[test]
+    fn chunk_rows_one_matches_tuple_path_on_every_spec() {
+        for spec in prov_workload::ScenarioSpec::names() {
+            let sampler = Sampler::named(spec).expect("spec resolves");
+            for case in 0..4 {
+                let scenario = sampler.scenario(11, case);
+                let chunked = EvalSession::with_options(
+                    EvalOptions::default().with_batch(true).with_chunk_rows(1),
+                );
+                let tuple = EvalSession::with_options(EvalOptions::default().with_batch(false));
+                assert_eq!(
+                    *chunked.eval_ucq(&scenario.query, &scenario.database),
+                    *tuple.eval_ucq(&scenario.query, &scenario.database),
+                    "chunk_rows=1 diverged from tuple path on {}",
+                    scenario.replay(),
+                );
             }
         }
     }

@@ -206,6 +206,31 @@ fn fuzz_flag_errors_are_2() {
     assert_eq!(code(&provmin(&["fuzz", "--frobnicate"])), 2);
     // Eval/minimize flags don't leak into fuzz.
     assert_eq!(code(&provmin(&["fuzz", "--threads", "2"])), 2);
+    assert_eq!(code(&provmin(&["fuzz", "--chunk-rows", "many"])), 2);
+}
+
+#[test]
+fn fuzz_chunk_rows_overrides_the_eval_matrix() {
+    // `--chunk-rows` is shared with eval/core; the fuzz subcommand must
+    // still receive it (not the global eval-flag extraction).
+    let output = provmin(&[
+        "fuzz",
+        "--spec",
+        "fanout",
+        "--seed",
+        "11",
+        "--cases",
+        "4",
+        "--chunk-rows",
+        "3",
+    ]);
+    assert_eq!(
+        code(&output),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout(&output).contains("fuzz: OK"));
 }
 
 #[test]
